@@ -1,0 +1,339 @@
+// Benchmarks regenerating every figure of the paper's evaluation
+// (Section 8) plus the ablations of DESIGN.md and micro-benchmarks of
+// the substrates. Each figure bar is a sub-benchmark reporting MB/s;
+// cmd/dpfs-bench prints the same data as tables.
+//
+// The array is scaled down from the paper's 32K x 32K (see
+// EXPERIMENTS.md for the calibration argument); ratios between bars,
+// not absolute MB/s, carry the paper's claims.
+package dpfs_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"dpfs/internal/bench"
+	"dpfs/internal/core"
+	"dpfs/internal/datatype"
+	"dpfs/internal/metadb"
+	"dpfs/internal/netsim"
+	"dpfs/internal/server"
+	"dpfs/internal/stripe"
+	"dpfs/internal/wire"
+)
+
+// benchConfig scales the figure benchmarks down so the full -bench=.
+// run finishes in minutes.
+func benchConfig(b *testing.B) bench.Config {
+	return bench.Config{N: 256, Dir: b.TempDir(), Reps: 1}
+}
+
+func reportLevel(b *testing.B, np, io int, class netsim.Params, lc bench.LevelCase) {
+	b.Helper()
+	cfg := benchConfig(b)
+	ctx := context.Background()
+	var mbps float64
+	for i := 0; i < b.N; i++ {
+		m, err := bench.RunLevelCase(ctx, cfg, np, io, class, lc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mbps += m.MBps
+	}
+	b.ReportMetric(mbps/float64(b.N), "MB/s")
+	b.ReportMetric(0, "ns/op")
+}
+
+func reportAlgo(b *testing.B, np, io int, algo string, ac bench.AlgoCase) {
+	b.Helper()
+	cfg := benchConfig(b)
+	ctx := context.Background()
+	var mbps float64
+	for i := 0; i < b.N; i++ {
+		m, err := bench.RunAlgoCase(ctx, cfg, algo, ac, np, io)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mbps += m.MBps
+	}
+	b.ReportMetric(mbps/float64(b.N), "MB/s")
+	b.ReportMetric(0, "ns/op")
+}
+
+// BenchmarkFig11 regenerates Fig. 11: I/O bandwidth of the six file
+// level variants on each storage class, 8 compute nodes, 4 I/O nodes.
+func BenchmarkFig11(b *testing.B) {
+	for _, class := range []netsim.Params{netsim.Class1(), netsim.Class2(), netsim.Class3()} {
+		for _, lc := range bench.LevelCases() {
+			b.Run(class.Name+"/"+lc.Label, func(b *testing.B) {
+				reportLevel(b, 8, 4, class, lc)
+			})
+		}
+	}
+}
+
+// BenchmarkFig12 regenerates Fig. 12: the same comparison at 16
+// compute nodes and 8 I/O nodes.
+func BenchmarkFig12(b *testing.B) {
+	for _, class := range []netsim.Params{netsim.Class1(), netsim.Class2(), netsim.Class3()} {
+		for _, lc := range bench.LevelCases() {
+			b.Run(class.Name+"/"+lc.Label, func(b *testing.B) {
+				reportLevel(b, 16, 8, class, lc)
+			})
+		}
+	}
+}
+
+// BenchmarkFig13 regenerates Fig. 13: round-robin vs greedy placement
+// on half class-1 / half class-3 storage, 8 compute nodes, 8 I/O
+// nodes.
+func BenchmarkFig13(b *testing.B) {
+	for _, algo := range []string{"round-robin", "greedy"} {
+		for _, ac := range bench.AlgoCases() {
+			b.Run(algo+"/"+ac.Label, func(b *testing.B) {
+				reportAlgo(b, 8, 8, algo, ac)
+			})
+		}
+	}
+}
+
+// BenchmarkFig14 regenerates Fig. 14: the same comparison at 16
+// compute nodes and 16 I/O nodes.
+func BenchmarkFig14(b *testing.B) {
+	for _, algo := range []string{"round-robin", "greedy"} {
+		for _, ac := range bench.AlgoCases() {
+			b.Run(algo+"/"+ac.Label, func(b *testing.B) {
+				reportAlgo(b, 16, 16, algo, ac)
+			})
+		}
+	}
+}
+
+// BenchmarkAblationStagger isolates the staggered scheduling half of
+// request combination (Sec. 4.2).
+func BenchmarkAblationStagger(b *testing.B) {
+	runAblation(b, "stagger")
+}
+
+// BenchmarkAblationBrickShape compares tile aspect ratios under column
+// access.
+func BenchmarkAblationBrickShape(b *testing.B) {
+	runAblation(b, "shape")
+}
+
+// BenchmarkAblationServerCount sweeps I/O node count at fixed compute
+// nodes.
+func BenchmarkAblationServerCount(b *testing.B) {
+	runAblation(b, "servers")
+}
+
+// BenchmarkAblationExactReads contrasts whole-brick fetching with
+// exact extents.
+func BenchmarkAblationExactReads(b *testing.B) {
+	runAblation(b, "exact")
+}
+
+// BenchmarkAblationCollective contrasts independent with two-phase
+// collective I/O under an interleaved row pattern.
+func BenchmarkAblationCollective(b *testing.B) {
+	runAblation(b, "collective")
+}
+
+func runAblation(b *testing.B, name string) {
+	b.Helper()
+	cfg := benchConfig(b)
+	ctx := context.Background()
+	// Discover the variant labels once.
+	first, err := bench.Ablation(ctx, cfg, name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for vi := range first {
+		vi := vi
+		b.Run(first[vi].Label, func(b *testing.B) {
+			var mbps float64
+			for i := 0; i < b.N; i++ {
+				ms, err := bench.Ablation(ctx, benchConfig(b), name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mbps += ms[vi].MBps
+			}
+			b.ReportMetric(mbps/float64(b.N), "MB/s")
+			b.ReportMetric(0, "ns/op")
+		})
+	}
+}
+
+// --- substrate micro-benchmarks ---------------------------------------
+
+// BenchmarkPlanSection measures the pure striping math for the three
+// levels (no I/O): the client-side cost of turning a section into a
+// brick plan.
+func BenchmarkPlanSection(b *testing.B) {
+	geoms := map[string]*stripe.Geometry{
+		"linear":   {Level: stripe.LevelLinear, ElemSize: 8, Dims: []int64{4096, 4096}, BrickBytes: 512 << 10},
+		"multidim": {Level: stripe.LevelMultidim, ElemSize: 8, Dims: []int64{4096, 4096}, Tile: []int64{256, 256}},
+		"array": {Level: stripe.LevelArray, ElemSize: 8, Dims: []int64{4096, 4096},
+			Pattern: []stripe.Dist{stripe.DistStar, stripe.DistBlock}, Grid: []int64{1, 8}},
+	}
+	sec := stripe.NewSection([]int64{0, 512}, []int64{4096, 512})
+	for name, g := range geoms {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := g.PlanSection(sec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGreedyAssign measures the placement algorithm itself.
+func BenchmarkGreedyAssign(b *testing.B) {
+	perf := []int{1, 1, 1, 1, 3, 3, 3, 3}
+	g := stripe.Greedy{Perf: perf}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Assign(16384, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDatatypePack measures derived-datatype packing of a strided
+// column out of a 1 MiB matrix.
+func BenchmarkDatatypePack(b *testing.B) {
+	t := datatype.Subarray{ElemSize: 8, Dims: []int64{512, 256}, Start: []int64{0, 0}, Count: []int64{512, 32}}
+	mem := make([]byte, t.Extent())
+	out := make([]byte, t.Size())
+	b.SetBytes(t.Size())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := datatype.PackInto(t, mem, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMetaDB measures the catalog substrate: point inserts and
+// primary-key lookups, the operations on DPFS's open/create path.
+func BenchmarkMetaDB(b *testing.B) {
+	b.Run("insert", func(b *testing.B) {
+		db := metadb.Memory()
+		defer db.Close()
+		s := db.Session()
+		if _, err := s.Exec(`CREATE TABLE t (id INT PRIMARY KEY, name TEXT, size INT)`); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Exec(fmt.Sprintf(`INSERT INTO t VALUES (%d, 'file%d', %d)`, i, i, i*4096)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pk-lookup", func(b *testing.B) {
+		db := metadb.Memory()
+		defer db.Close()
+		s := db.Session()
+		if _, err := s.Exec(`CREATE TABLE t (id INT PRIMARY KEY, name TEXT)`); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 10000; i++ {
+			if _, err := s.Exec(fmt.Sprintf(`INSERT INTO t VALUES (%d, 'file%d')`, i, i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := s.Exec(fmt.Sprintf(`SELECT name FROM t WHERE id = %d`, i%10000))
+			if err != nil || len(res.Rows) != 1 {
+				b.Fatalf("lookup failed: %v", err)
+			}
+		}
+	})
+}
+
+// BenchmarkCatalogOpen measures the full DPFS open path (metadata
+// lookup + distribution reconstruction) against a live cluster,
+// demonstrating that database overhead sits off the data path.
+func BenchmarkCatalogOpen(b *testing.B) {
+	cfg := benchConfig(b)
+	ctx := context.Background()
+	_ = ctx
+	c, fsys := startBenchCluster(b, cfg)
+	defer c()
+	f, err := fsys.Create("/bench-open", 8, []int64{512, 512},
+		core.Hint{Level: stripe.LevelMultidim, Tile: []int64{64, 64}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := fsys.Open("/bench-open")
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.Close()
+	}
+}
+
+// BenchmarkWireEncode measures the message codec with a combined
+// 16-extent 512 KiB write frame.
+func BenchmarkWireEncode(b *testing.B) {
+	req := &wire.Request{Op: wire.OpWrite, Path: "/bench/file"}
+	for i := 0; i < 16; i++ {
+		req.Extents = append(req.Extents, wire.Extent{Off: int64(i) << 16, Len: 32 << 10})
+	}
+	req.Data = make([]byte, 512<<10)
+	var buf bytes.Buffer
+	b.SetBytes(512 << 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := wire.WriteRequest(&buf, req); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := wire.ReadRequest(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServerIO measures the raw unshaped I/O server over loopback
+// TCP: the substrate floor under every figure.
+func BenchmarkServerIO(b *testing.B) {
+	srv, err := server.Listen(server.Config{Root: b.TempDir(), Name: "bench"}, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	cli := server.NewClient(srv.Addr())
+	defer cli.Close()
+	ctx := context.Background()
+	const chunk = 256 << 10
+	data := make([]byte, chunk)
+
+	b.Run("write", func(b *testing.B) {
+		b.SetBytes(chunk)
+		for i := 0; i < b.N; i++ {
+			if _, err := cli.Do(ctx, &wire.Request{Op: wire.OpWrite, Path: "f",
+				Extents: []wire.Extent{{Off: int64(i%64) * chunk, Len: chunk}}, Data: data}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("read", func(b *testing.B) {
+		b.SetBytes(chunk)
+		for i := 0; i < b.N; i++ {
+			if _, err := cli.Do(ctx, &wire.Request{Op: wire.OpRead, Path: "f",
+				Extents: []wire.Extent{{Off: int64(i%64) * chunk, Len: chunk}}}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

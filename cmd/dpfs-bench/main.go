@@ -1,0 +1,95 @@
+// Command dpfs-bench regenerates the paper's evaluation figures
+// (Figs. 11-14 of Section 8) and the ablation studies listed in
+// DESIGN.md, printing one table row per bar. The testbed is built
+// in-process: real TCP servers shaped by the netsim storage classes.
+//
+// Usage:
+//
+//	dpfs-bench -fig 11          # one figure
+//	dpfs-bench -fig 0           # all four figures
+//	dpfs-bench -n 1024          # larger array (paper: 32768)
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"dpfs/internal/bench"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate (11-14; 0 = all)")
+	ablation := flag.String("ablation", "", "run an ablation instead: stagger, shape, servers, exact, or all")
+	n := flag.Int64("n", 512, "array edge in elements (paper: 32768)")
+	tile := flag.Int64("tile", 0, "multidim tile edge (default n/8; paper: 256)")
+	reps := flag.Int("reps", 3, "repetitions per bar (median reported)")
+	dir := flag.String("dir", "", "scratch directory (default: a temp dir)")
+	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	flag.Parse()
+
+	scratch := *dir
+	if scratch == "" {
+		var err error
+		scratch, err = os.MkdirTemp("", "dpfs-bench")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(scratch)
+	}
+	cfg := bench.Config{N: *n, Tile: *tile, Dir: scratch, Reps: *reps}
+	ctxAbl := context.Background()
+
+	emit := func(ms []bench.Measurement) {
+		for _, m := range ms {
+			if *csvOut {
+				fmt.Printf("%s,%s,%s,%.3f,%d,%d,%.3f,%.3f\n",
+					m.Figure, m.Class, m.Label, m.MBps, m.Elapsed.Microseconds(),
+					m.Requests, m.MovedMB, m.UsefulMB)
+			} else {
+				fmt.Println(m)
+			}
+		}
+	}
+	if *csvOut {
+		fmt.Println("figure,class,variant,mbps,elapsed_us,requests,moved_mb,useful_mb")
+	}
+
+	if *ablation != "" {
+		names := []string{*ablation}
+		if *ablation == "all" {
+			names = bench.AblationNames()
+		}
+		for _, name := range names {
+			fmt.Printf("== Ablation: %s ==\n", name)
+			ms, err := bench.Ablation(ctxAbl, cfg, name)
+			if err != nil {
+				fatal(err)
+			}
+			emit(ms)
+			fmt.Println()
+		}
+		return
+	}
+
+	figs := []int{11, 12, 13, 14}
+	if *fig != 0 {
+		figs = []int{*fig}
+	}
+	ctx := context.Background()
+	for _, f := range figs {
+		fmt.Printf("== Figure %d ==\n", f)
+		ms, err := bench.Figure(ctx, cfg, f)
+		if err != nil {
+			fatal(err)
+		}
+		emit(ms)
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dpfs-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,96 @@
+// Command dpfs-server runs one DPFS I/O server (Section 2): it stores
+// subfiles under -root, serves brick requests over TCP, and registers
+// itself in the metadata database so clients can find it. An optional
+// -class attaches the netsim performance model of one of the paper's
+// three storage classes, for single-machine experiments.
+//
+// Usage:
+//
+//	dpfs-server -addr :7801 -root /data/dpfs -name io0 -meta 127.0.0.1:7700
+//	dpfs-server -addr :7802 -root /tmp/s2 -name io1 -meta ... -class class3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"dpfs/internal/meta"
+	"dpfs/internal/metadb/mdbnet"
+	"dpfs/internal/netsim"
+	"dpfs/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:0", "TCP listen address")
+	root := flag.String("root", "", "directory for subfile storage (required)")
+	name := flag.String("name", "", "server name in the catalog (default: the listen address)")
+	metaAddr := flag.String("meta", "", "metadata server address to register with (optional)")
+	className := flag.String("class", "", "simulated storage class: class1, class2 or class3 (default: native speed)")
+	capacity := flag.Int64("capacity", 1<<30, "advertised capacity in bytes")
+	advertise := flag.String("advertise", "", "address to advertise in the catalog (default: the listen address)")
+	flag.Parse()
+
+	if *root == "" {
+		fatal(fmt.Errorf("-root is required"))
+	}
+	var model *netsim.Model
+	perf := 1
+	if *className != "" {
+		params, ok := netsim.ClassByName(*className)
+		if !ok {
+			fatal(fmt.Errorf("unknown class %q", *className))
+		}
+		model = netsim.New(params)
+		// Normalize against class 1 with the paper's 512 KiB brick.
+		perf = netsim.NormalizedPerf([]netsim.Params{netsim.Class1(), params}, 512<<10)[1]
+	}
+
+	srv, err := server.Listen(server.Config{Root: *root, Model: model, Name: *name}, *addr)
+	if err != nil {
+		fatal(err)
+	}
+	serverName := *name
+	if serverName == "" {
+		serverName = srv.Addr()
+	}
+	adv := *advertise
+	if adv == "" {
+		adv = srv.Addr()
+	}
+
+	if *metaAddr != "" {
+		cli, err := mdbnet.Dial(*metaAddr)
+		if err != nil {
+			fatal(fmt.Errorf("register: %w", err))
+		}
+		cat := meta.NewCatalog(cli)
+		if err := cat.Init(); err != nil {
+			fatal(fmt.Errorf("register: %w", err))
+		}
+		err = cat.RegisterServer(meta.ServerInfo{
+			Name: serverName, Capacity: *capacity, Performance: perf, Addr: adv,
+		})
+		cli.Close()
+		if err != nil {
+			fatal(fmt.Errorf("register: %w", err))
+		}
+		fmt.Printf("dpfs-server: registered as %q (perf %d) with %s\n", serverName, perf, *metaAddr)
+	}
+	fmt.Printf("dpfs-server: %q serving %s on %s\n", serverName, *root, srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("dpfs-server: shutting down")
+	if err := srv.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dpfs-server:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,67 @@
+// Command dpfs-sh is the DPFS user interface of Section 7: an
+// interactive shell with UNIX-like commands (ls, pwd, cd, mkdir,
+// rmdir, rm, stat, df, cp, cat) over a DPFS deployment, including data
+// transfer between sequential files and DPFS (cp with local: paths).
+//
+// Usage:
+//
+//	dpfs-sh -meta 127.0.0.1:7700            # interactive
+//	dpfs-sh -meta 127.0.0.1:7700 -c "ls /"  # one command
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"dpfs"
+	"dpfs/internal/shell"
+)
+
+func main() {
+	metaAddr := flag.String("meta", "127.0.0.1:7700", "metadata server address")
+	command := flag.String("c", "", "run one command and exit")
+	rank := flag.Int("rank", 0, "compute rank (drives staggered scheduling)")
+	flag.Parse()
+
+	client, err := dpfs.Connect(*metaAddr, *rank, dpfs.Options{Combine: true, Stagger: true})
+	if err != nil {
+		fatal(err)
+	}
+	defer client.Close()
+	sh := shell.New(client)
+	ctx := context.Background()
+
+	if *command != "" {
+		out, err := sh.Run(ctx, *command)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		return
+	}
+
+	fmt.Println("DPFS shell (type 'help' for commands, ctrl-D to exit)")
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Printf("dpfs:%s> ", sh.Cwd())
+		if !scanner.Scan() {
+			fmt.Println()
+			return
+		}
+		out, err := sh.Run(ctx, scanner.Text())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			continue
+		}
+		fmt.Print(out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dpfs-sh:", err)
+	os.Exit(1)
+}

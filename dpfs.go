@@ -1,0 +1,222 @@
+// Package dpfs is a Go implementation of DPFS, the Distributed Parallel
+// File System of Shen and Choudhary (ICPP 2001). DPFS aggregates unused
+// storage on distributed machines into one parallel file system:
+// files are striped into bricks across TCP I/O servers, meta data lives
+// in a relational database reached over the network, and the client
+// library offers MPI-IO-style access with user hints.
+//
+// The three file levels of the paper are supported:
+//
+//   - Linear: the file is a byte stream; bricks are contiguous byte
+//     runs. Most general, but column-style accesses touch every brick.
+//   - Multidimensional: the file is an N-d array; bricks are N-d tiles,
+//     so row and column accesses touch equally few bricks.
+//   - Array: the file is pre-chunked by an HPF distribution
+//     ((BLOCK,*), (*,BLOCK), (BLOCK,BLOCK), ...); each chunk is one
+//     brick, ideal for checkpoint-style whole-chunk access.
+//
+// Placement is round-robin or the paper's greedy algorithm, which gives
+// faster servers proportionally more bricks. Request combination ships
+// all bricks bound for one server in a single message and staggers each
+// client's server sweep to avoid convoying.
+//
+// A complete deployment needs a metadata server (cmd/dpfs-meta), any
+// number of I/O servers (cmd/dpfs-server), and clients created with
+// Connect. Tests and single-process experiments can instead use
+// internal/cluster through the example programs.
+package dpfs
+
+import (
+	"context"
+	"io"
+
+	"dpfs/internal/core"
+	"dpfs/internal/meta"
+	"dpfs/internal/metadb/mdbnet"
+	"dpfs/internal/stripe"
+)
+
+// Re-exported striping vocabulary. See internal/stripe for details.
+type (
+	// Level selects a DPFS file level (striping method).
+	Level = stripe.Level
+	// Dist is a per-dimension HPF distribution for array-level files.
+	Dist = stripe.Dist
+	// Section is a hyper-rectangular region of an array file.
+	Section = stripe.Section
+	// Geometry describes a file's brick layout.
+	Geometry = stripe.Geometry
+	// Placement assigns bricks to servers (RoundRobin or Greedy).
+	Placement = stripe.Placement
+	// RoundRobin places brick i on server i mod S.
+	RoundRobin = stripe.RoundRobin
+	// Greedy is the load-balancing placement of Fig. 8.
+	Greedy = stripe.Greedy
+)
+
+// File levels.
+const (
+	// Linear treats the file as a stream of bytes (Fig. 4).
+	Linear = stripe.LevelLinear
+	// Multidim stripes the file into N-dimensional tiles (Fig. 6).
+	Multidim = stripe.LevelMultidim
+	// Array stripes the file into whole HPF chunks (Fig. 7).
+	Array = stripe.LevelArray
+)
+
+// HPF distribution specifiers.
+const (
+	// Star ("*") leaves a dimension undistributed.
+	Star = stripe.DistStar
+	// Block ("BLOCK") divides a dimension into contiguous blocks.
+	Block = stripe.DistBlock
+)
+
+// Client-engine types. See internal/core for field documentation.
+type (
+	// Options tune the client engine (request combination, staggered
+	// scheduling, exact reads).
+	Options = core.Options
+	// Hint is the DPFS-API hint structure conveyed at file creation.
+	Hint = core.Hint
+	// File is an open DPFS file handle.
+	File = core.File
+	// Stats counts network requests and bytes moved by the engine.
+	Stats = core.Stats
+	// FileInfo is a file's catalog record.
+	FileInfo = meta.FileInfo
+	// ServerInfo is an I/O server's catalog registration.
+	ServerInfo = meta.ServerInfo
+)
+
+// AccessPattern describes expected file access for Advise.
+type AccessPattern = core.AccessPattern
+
+// Advise turns an access-pattern description into a creation hint,
+// encoding the paper's Section 3 guidance: array level for whole-chunk
+// HPF access, multidimensional level with access-shaped tiles for
+// subarray access, linear otherwise.
+func Advise(elemSize int64, dims []int64, ap AccessPattern) Hint {
+	return core.Advise(elemSize, dims, ap)
+}
+
+// NewSection builds a section from start/count per dimension.
+func NewSection(start, count []int64) Section { return stripe.NewSection(start, count) }
+
+// FullSection covers an entire array.
+func FullSection(dims []int64) Section { return stripe.FullSection(dims) }
+
+// ReadStats returns engine-wide traffic counters (request counts,
+// transferred and useful bytes).
+func ReadStats() Stats { return core.ReadStats() }
+
+// ResetStats zeroes the traffic counters.
+func ResetStats() { core.ResetStats() }
+
+// Client is a DPFS mount: one compute process's connection to the
+// metadata database and, lazily, to the I/O servers.
+type Client struct {
+	fs  *core.FS
+	mdb *mdbnet.Client
+}
+
+// Connect dials the metadata server at metaAddr and returns a client
+// for the given compute rank. Call Close when done.
+func Connect(metaAddr string, rank int, opts Options) (*Client, error) {
+	mdb, err := mdbnet.Dial(metaAddr)
+	if err != nil {
+		return nil, err
+	}
+	cat := meta.NewCatalog(mdb)
+	if err := cat.Init(); err != nil {
+		mdb.Close()
+		return nil, err
+	}
+	return &Client{fs: core.NewFS(cat, rank, opts), mdb: mdb}, nil
+}
+
+// Wrap builds a Client around an existing engine (used by in-process
+// clusters and tests).
+func Wrap(fs *core.FS) *Client { return &Client{fs: fs} }
+
+// Close drops all server connections.
+func (c *Client) Close() error {
+	err := c.fs.Close()
+	if c.mdb != nil {
+		if cerr := c.mdb.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Engine exposes the underlying client engine.
+func (c *Client) Engine() *core.FS { return c.fs }
+
+// Create makes and opens a new DPFS file holding an array of the given
+// element size and dimensions, striped according to the hint
+// (DPFS-Open for writing, Section 6).
+func (c *Client) Create(path string, elemSize int64, dims []int64, hint Hint) (*File, error) {
+	return c.fs.Create(path, elemSize, dims, hint)
+}
+
+// Open opens an existing DPFS file (DPFS-Open for reading).
+func (c *Client) Open(path string) (*File, error) { return c.fs.Open(path) }
+
+// Remove deletes a file: catalog rows and all server subfiles.
+func (c *Client) Remove(ctx context.Context, path string) error { return c.fs.Remove(ctx, path) }
+
+// Rename moves a file to a new path (catalog records and server
+// subfiles).
+func (c *Client) Rename(ctx context.Context, oldPath, newPath string) error {
+	return c.fs.Rename(ctx, oldPath, newPath)
+}
+
+// Chmod sets a file's permission bits in the catalog.
+func (c *Client) Chmod(path string, perm int) error { return c.fs.Catalog().SetPerm(path, perm) }
+
+// Chown sets a file's owner in the catalog.
+func (c *Client) Chown(path, owner string) error { return c.fs.Catalog().SetOwner(path, owner) }
+
+// Usage reports per-server file and brick counts from the catalog.
+func (c *Client) Usage() ([]meta.ServerUsage, error) { return c.fs.Catalog().Usage() }
+
+// FilesOnServer lists the files holding bricks on one server.
+func (c *Client) FilesOnServer(server string) ([]meta.FileOnServer, error) {
+	return c.fs.Catalog().FilesOnServer(server)
+}
+
+// Stat returns a file's catalog record.
+func (c *Client) Stat(path string) (FileInfo, error) { return c.fs.Catalog().Stat(path) }
+
+// Mkdir creates a DPFS directory.
+func (c *Client) Mkdir(path string) error { return c.fs.Catalog().Mkdir(path) }
+
+// Rmdir removes an empty DPFS directory.
+func (c *Client) Rmdir(path string) error { return c.fs.Catalog().Rmdir(path) }
+
+// ReadDir lists a directory.
+func (c *Client) ReadDir(path string) (dirs, files []string, err error) {
+	return c.fs.Catalog().ReadDir(path)
+}
+
+// IsDir reports whether path is an existing directory.
+func (c *Client) IsDir(path string) (bool, error) { return c.fs.Catalog().IsDir(path) }
+
+// Servers lists registered I/O servers.
+func (c *Client) Servers() ([]ServerInfo, error) { return c.fs.Catalog().Servers() }
+
+// RegisterServer adds or updates an I/O server registration.
+func (c *Client) RegisterServer(si ServerInfo) error { return c.fs.Catalog().RegisterServer(si) }
+
+// Import copies size bytes from r into a new linear DPFS file
+// (sequential file → DPFS, Section 7).
+func (c *Client) Import(ctx context.Context, r io.Reader, path string, size int64, hint Hint) error {
+	return c.fs.Import(ctx, r, path, size, hint)
+}
+
+// Export streams a DPFS file's contents to w as a flat byte sequence
+// (DPFS → sequential file, Section 7).
+func (c *Client) Export(ctx context.Context, w io.Writer, path string) error {
+	return c.fs.Export(ctx, w, path)
+}

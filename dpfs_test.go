@@ -1,0 +1,183 @@
+package dpfs_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"dpfs"
+	"dpfs/internal/bench"
+	"dpfs/internal/cluster"
+	"dpfs/internal/core"
+)
+
+// startBenchCluster launches a 4-server unshaped cluster and returns a
+// cleanup func plus an engine (shared by tests and benchmarks).
+func startBenchCluster(tb testing.TB, cfg bench.Config) (func(), *core.FS) {
+	tb.Helper()
+	c, err := cluster.Start(cluster.Config{Servers: cluster.Uniform(4), Dir: cfg.Dir})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	fs, err := c.NewFS(0, core.Options{Combine: true, Stagger: true})
+	if err != nil {
+		c.Close()
+		tb.Fatal(err)
+	}
+	return func() {
+		fs.Close()
+		c.Close()
+	}, fs
+}
+
+// TestPublicAPI drives the exported package surface end to end against
+// a real cluster: Connect over TCP, directory ops, create/write/read
+// with hints, import/export, remove.
+func TestPublicAPI(t *testing.T) {
+	c, err := cluster.Start(cluster.Config{Servers: cluster.Uniform(3), Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// Connect through the network metadata server like an external
+	// process would.
+	client, err := dpfs.Connect(c.MetaSrv.Addr(), 0, dpfs.Options{Combine: true, Stagger: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	servers, err := client.Servers()
+	if err != nil || len(servers) != 3 {
+		t.Fatalf("Servers = %v, %v", servers, err)
+	}
+
+	if err := client.Mkdir("/proj"); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := client.IsDir("/proj")
+	if err != nil || !ok {
+		t.Fatalf("IsDir = %v %v", ok, err)
+	}
+
+	// A multidim array with the paper's hint flow.
+	f, err := client.Create("/proj/temps", 8, []int64{128, 128}, dpfs.Hint{
+		Level: dpfs.Multidim,
+		Tile:  []int64{32, 32},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := dpfs.FullSection([]int64{128, 128})
+	data := make([]byte, full.Bytes(8))
+	for i := range data {
+		data[i] = byte(i * 3)
+	}
+	if err := f.WriteSection(ctx, full, data); err != nil {
+		t.Fatal(err)
+	}
+	col := dpfs.NewSection([]int64{0, 96}, []int64{128, 32})
+	buf := make([]byte, col.Bytes(8))
+	if err := f.ReadSection(ctx, col, buf); err != nil {
+		t.Fatal(err)
+	}
+	for r := int64(0); r < 128; r++ {
+		off := (r*128 + 96) * 8
+		if !bytes.Equal(buf[r*32*8:(r+1)*32*8], data[off:off+32*8]) {
+			t.Fatalf("column row %d mismatch", r)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fi, err := client.Stat("/proj/temps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Geometry.Level != dpfs.Multidim || fi.Size != 128*128*8 {
+		t.Fatalf("stat = %+v", fi)
+	}
+	dirs, files, err := client.ReadDir("/proj")
+	if err != nil || len(dirs) != 0 || len(files) != 1 || files[0] != "temps" {
+		t.Fatalf("ReadDir = %v %v %v", dirs, files, err)
+	}
+
+	// Import/export.
+	payload := bytes.Repeat([]byte("seq"), 50000)
+	if err := client.Import(ctx, bytes.NewReader(payload), "/proj/blob", int64(len(payload)), dpfs.Hint{}); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := client.Export(ctx, &out, "/proj/blob"); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), payload) {
+		t.Fatal("import/export mismatch")
+	}
+
+	// Array-level checkpoint shape.
+	ck, err := client.Create("/proj/ckpt", 8, []int64{64, 64}, dpfs.Hint{
+		Level:   dpfs.Array,
+		Pattern: []dpfs.Dist{dpfs.Block, dpfs.Star},
+		Grid:    []int64{4, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := dpfs.NewSection([]int64{16, 0}, []int64{16, 64})
+	cdata := make([]byte, chunk.Bytes(8))
+	if err := ck.WriteSection(ctx, chunk, cdata); err != nil {
+		t.Fatal(err)
+	}
+	ck.Close()
+
+	// Stats counters move.
+	dpfs.ResetStats()
+	f2, err := client.Open("/proj/temps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.ReadSection(ctx, col, buf); err != nil {
+		t.Fatal(err)
+	}
+	f2.Close()
+	if st := dpfs.ReadStats(); st.Requests == 0 || st.BytesUseful == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// Remove everything.
+	for _, p := range []string{"/proj/temps", "/proj/blob", "/proj/ckpt"} {
+		if err := client.Remove(ctx, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := client.Rmdir("/proj"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConnectFailure: dialing a dead metadata server fails cleanly.
+func TestConnectFailure(t *testing.T) {
+	if _, err := dpfs.Connect("127.0.0.1:1", 0, dpfs.Options{}); err == nil {
+		t.Fatal("connect to dead address should fail")
+	}
+}
+
+// TestWrap exposes an in-process engine through the public client.
+func TestWrap(t *testing.T) {
+	cfg := bench.Config{Dir: t.TempDir()}
+	cleanup, fs := startBenchCluster(t, cfg)
+	defer cleanup()
+	client := dpfs.Wrap(fs)
+	if client.Engine() != fs {
+		t.Fatal("Engine() identity")
+	}
+	if err := client.Mkdir("/x"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,49 @@
+package dpfs_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun smoke-tests every example program end to end: each
+// must exit zero and print its success line. They are real programs
+// spinning up real clusters, so this is also an integration pass over
+// the public API.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs example binaries")
+	}
+	cases := []struct {
+		dir  string
+		want string
+	}{
+		{"quickstart", "quickstart done"},
+		{"checkpoint", "restore verified"},
+		{"columnread", "linear striping fetches every brick"},
+		{"heterogeneous", "bandwidth rises"},
+		{"collectiveio", "identical file contents"},
+	}
+	bin := t.TempDir()
+	for _, c := range cases {
+		c := c
+		t.Run(c.dir, func(t *testing.T) {
+			t.Parallel()
+			out := filepath.Join(bin, c.dir)
+			build := exec.Command("go", "build", "-o", out, "./examples/"+c.dir)
+			build.Env = os.Environ()
+			if msg, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build: %v\n%s", err, msg)
+			}
+			msg, err := exec.Command(out).CombinedOutput()
+			if err != nil {
+				t.Fatalf("run: %v\n%s", err, msg)
+			}
+			if !strings.Contains(string(msg), c.want) {
+				t.Fatalf("output missing %q:\n%s", c.want, msg)
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module dpfs
+
+go 1.22

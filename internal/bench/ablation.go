@@ -1,0 +1,377 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"dpfs/internal/cluster"
+	"dpfs/internal/collective"
+	"dpfs/internal/core"
+	"dpfs/internal/netsim"
+	"dpfs/internal/stripe"
+)
+
+// This file holds the ablations DESIGN.md calls out: experiments the
+// paper motivates qualitatively but does not plot, isolating individual
+// design decisions.
+
+// AblationStagger isolates the scheduling half of request combination
+// (Sec. 4.2): combined linear reads with and without the staggered
+// server start. A linear file spreads every client's bricks over all
+// servers, so without staggering all ranks begin their sweep at server
+// 0 and convoy.
+func AblationStagger(ctx context.Context, cfg Config, np, io int) ([]Measurement, error) {
+	cfg = cfg.WithDefaults()
+	var out []Measurement
+	for _, stagger := range []bool{false, true} {
+		c, err := cluster.Start(cluster.Config{
+			Servers:       cluster.UniformClass(io, netsim.Class1()),
+			Dir:           caseDir(cfg.Dir),
+			RefBrickBytes: cfg.Tile * cfg.Tile * elemSize,
+		})
+		if err != nil {
+			return nil, err
+		}
+		m, err := runStaggerCase(ctx, cfg, c, np, stagger)
+		c.Close()
+		if err != nil {
+			return nil, err
+		}
+		m.Figure = "AblStagger"
+		m.Class = "class1"
+		if stagger {
+			m.Label = "Combined+Stagger"
+		} else {
+			m.Label = "Combined, no stagger"
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+func runStaggerCase(ctx context.Context, cfg Config, c *cluster.Cluster, np int, stagger bool) (Measurement, error) {
+	dims := []int64{cfg.N, cfg.N}
+	path := "/abl-stagger.dat"
+	fs, err := c.NewFS(0, core.Options{Combine: true})
+	if err != nil {
+		return Measurement{}, err
+	}
+	f, err := fs.Create(path, elemSize, dims,
+		core.Hint{Level: stripe.LevelLinear, BrickBytes: cfg.Tile * cfg.Tile * elemSize})
+	if err != nil {
+		fs.Close()
+		return Measurement{}, err
+	}
+	f.Close()
+	fs.Close()
+	if err := fill(ctx, c, path, dims); err != nil {
+		return Measurement{}, err
+	}
+	opts := core.Options{Combine: true, Stagger: stagger}
+	return measure(ctx, cfg, c, np, opts, path,
+		func(rank int) stripe.Section { return colSection(cfg.N, np, rank) }, false)
+}
+
+// AblationBrickShape compares multidim tile aspect ratios (square,
+// row-shaped, column-shaped of equal byte size) under a (*, BLOCK)
+// column read: the paper's argument for why the tile shape should
+// match the access pattern.
+func AblationBrickShape(ctx context.Context, cfg Config, np, io int) ([]Measurement, error) {
+	cfg = cfg.WithDefaults()
+	t := cfg.Tile
+	shapes := []struct {
+		label string
+		tile  []int64
+	}{
+		{"square tile", []int64{t, t}},
+		{"row tile", []int64{t / 4, t * 4}},
+		{"column tile", []int64{t * 4, t / 4}},
+	}
+	var out []Measurement
+	for _, sh := range shapes {
+		if sh.tile[0] < 1 || sh.tile[1] < 1 || sh.tile[0] > cfg.N || sh.tile[1] > cfg.N {
+			continue
+		}
+		c, err := cluster.Start(cluster.Config{
+			Servers:       cluster.UniformClass(io, netsim.Class1()),
+			Dir:           caseDir(cfg.Dir),
+			RefBrickBytes: cfg.Tile * cfg.Tile * elemSize,
+		})
+		if err != nil {
+			return nil, err
+		}
+		m, err := runShapeCase(ctx, cfg, c, np, sh.tile)
+		c.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", sh.label, err)
+		}
+		m.Figure = "AblShape"
+		m.Class = "class1"
+		m.Label = sh.label
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+func runShapeCase(ctx context.Context, cfg Config, c *cluster.Cluster, np int, tile []int64) (Measurement, error) {
+	dims := []int64{cfg.N, cfg.N}
+	path := "/abl-shape.dat"
+	fs, err := c.NewFS(0, core.Options{Combine: true})
+	if err != nil {
+		return Measurement{}, err
+	}
+	f, err := fs.Create(path, elemSize, dims, core.Hint{Level: stripe.LevelMultidim, Tile: tile})
+	if err != nil {
+		fs.Close()
+		return Measurement{}, err
+	}
+	f.Close()
+	fs.Close()
+	if err := fill(ctx, c, path, dims); err != nil {
+		return Measurement{}, err
+	}
+	opts := core.Options{Combine: true, Stagger: true}
+	return measure(ctx, cfg, c, np, opts, path,
+		func(rank int) stripe.Section { return colSection(cfg.N, np, rank) }, false)
+}
+
+// AblationServerCount sweeps the I/O node count at a fixed compute
+// count, showing bandwidth scaling with storage parallelism (the
+// paper's motivation for striping at all).
+func AblationServerCount(ctx context.Context, cfg Config, np int, ios []int) ([]Measurement, error) {
+	cfg = cfg.WithDefaults()
+	if len(ios) == 0 {
+		ios = []int{1, 2, 4, 8}
+	}
+	var out []Measurement
+	for _, io := range ios {
+		m, err := RunLevelCase(ctx, cfg, np, io, netsim.Class1(),
+			LevelCase{Label: "Combined Multi-dim", Level: stripe.LevelMultidim, Combine: true})
+		if err != nil {
+			return nil, fmt.Errorf("io=%d: %w", io, err)
+		}
+		m.Figure = "AblServers"
+		m.Label = fmt.Sprintf("%d I/O nodes", io)
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// AblationExactReads contrasts the paper's whole-brick access model
+// with exact-extent (data-sieving-off) reads under a linear column
+// access, quantifying how much of the linear level's penalty is
+// discarded data versus request count.
+func AblationExactReads(ctx context.Context, cfg Config, np, io int) ([]Measurement, error) {
+	cfg = cfg.WithDefaults()
+	var out []Measurement
+	for _, exact := range []bool{false, true} {
+		c, err := cluster.Start(cluster.Config{
+			Servers:       cluster.UniformClass(io, netsim.Class1()),
+			Dir:           caseDir(cfg.Dir),
+			RefBrickBytes: cfg.Tile * cfg.Tile * elemSize,
+		})
+		if err != nil {
+			return nil, err
+		}
+		m, err := runExactCase(ctx, cfg, c, np, exact)
+		c.Close()
+		if err != nil {
+			return nil, err
+		}
+		m.Figure = "AblExact"
+		m.Class = "class1"
+		if exact {
+			m.Label = "Linear, exact extents"
+		} else {
+			m.Label = "Linear, whole bricks"
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+func runExactCase(ctx context.Context, cfg Config, c *cluster.Cluster, np int, exact bool) (Measurement, error) {
+	dims := []int64{cfg.N, cfg.N}
+	path := "/abl-exact.dat"
+	fs, err := c.NewFS(0, core.Options{Combine: true})
+	if err != nil {
+		return Measurement{}, err
+	}
+	f, err := fs.Create(path, elemSize, dims,
+		core.Hint{Level: stripe.LevelLinear, BrickBytes: cfg.Tile * cfg.Tile * elemSize})
+	if err != nil {
+		fs.Close()
+		return Measurement{}, err
+	}
+	f.Close()
+	fs.Close()
+	if err := fill(ctx, c, path, dims); err != nil {
+		return Measurement{}, err
+	}
+	opts := core.Options{Combine: true, Stagger: true, ExactReads: exact}
+	return measure(ctx, cfg, c, np, opts, path,
+		func(rank int) stripe.Section { return colSection(cfg.N, np, rank) }, false)
+}
+
+// AblationCollective contrasts independent I/O with two-phase
+// collective I/O (internal/collective, the paper's MPI-IO future-work
+// layer) under an interleaved (CYCLIC, *) row write, the pattern where
+// per-rank requests fragment worst.
+func AblationCollective(ctx context.Context, cfg Config, np, io int) ([]Measurement, error) {
+	cfg = cfg.WithDefaults()
+	var out []Measurement
+	for _, coll := range []bool{false, true} {
+		c, err := cluster.Start(cluster.Config{
+			Servers:       cluster.UniformClass(io, netsim.Class1()),
+			Dir:           caseDir(cfg.Dir),
+			RefBrickBytes: cfg.Tile * cfg.Tile * elemSize,
+		})
+		if err != nil {
+			return nil, err
+		}
+		m, err := runCollectiveCase(ctx, cfg, c, np, coll)
+		c.Close()
+		if err != nil {
+			return nil, err
+		}
+		m.Figure = "AblColl"
+		m.Class = "class1"
+		if coll {
+			m.Label = "Collective (two-phase)"
+		} else {
+			m.Label = "Independent"
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+func runCollectiveCase(ctx context.Context, cfg Config, c *cluster.Cluster, np int, coll bool) (Measurement, error) {
+	dims := []int64{cfg.N, cfg.N}
+	path := "/abl-coll.dat"
+	admin, err := c.NewFS(0, core.Options{Combine: true})
+	if err != nil {
+		return Measurement{}, err
+	}
+	f, err := admin.Create(path, elemSize, dims, core.Hint{Level: stripe.LevelMultidim, Tile: []int64{cfg.Tile, cfg.Tile}})
+	if err != nil {
+		admin.Close()
+		return Measurement{}, err
+	}
+	f.Close()
+	admin.Close()
+
+	runs := make([]Measurement, 0, cfg.Reps)
+	for rep := 0; rep < cfg.Reps; rep++ {
+		m, err := measureCollective(ctx, c, cfg, np, path, coll)
+		if err != nil {
+			return Measurement{}, err
+		}
+		runs = append(runs, m)
+	}
+	sortMeasurements(runs)
+	return runs[len(runs)/2], nil
+}
+
+// measureCollective has every rank write rowsPerRank interleaved
+// single rows ((CYCLIC, *)), independently or through a collective
+// group.
+func measureCollective(ctx context.Context, c *cluster.Cluster, cfg Config, np int, path string, coll bool) (Measurement, error) {
+	files := make([]*core.File, np)
+	fss := make([]*core.FS, np)
+	for r := 0; r < np; r++ {
+		fs, err := c.NewFS(r, core.Options{Combine: true, Stagger: true})
+		if err != nil {
+			return Measurement{}, err
+		}
+		fss[r] = fs
+		f, err := fs.Open(path)
+		if err != nil {
+			return Measurement{}, err
+		}
+		files[r] = f
+	}
+	defer func() {
+		for r := 0; r < np; r++ {
+			if files[r] != nil {
+				files[r].Close()
+			}
+			if fss[r] != nil {
+				fss[r].Close()
+			}
+		}
+	}()
+
+	rounds := int(cfg.Tile) // one tile-row of interleaved rows
+	rowBytes := cfg.N * elemSize
+	data := make([]byte, rowBytes)
+	g, err := collective.NewGroup(np)
+	if err != nil {
+		return Measurement{}, err
+	}
+
+	core.ResetStats()
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, np)
+	for r := 0; r < np; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			buf := append([]byte(nil), data...)
+			for round := 0; round < rounds; round++ {
+				row := int64(round*np + rank)
+				sec := stripe.NewSection([]int64{row, 0}, []int64{1, cfg.N})
+				var err error
+				if coll {
+					err = g.WriteAll(ctx, rank, files[rank], sec, buf)
+				} else {
+					err = files[rank].WriteSection(ctx, sec, buf)
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return Measurement{}, err
+	}
+	useful := int64(np*rounds) * rowBytes
+	st := core.ReadStats()
+	return Measurement{
+		Elapsed:  elapsed,
+		MBps:     float64(useful) / (1 << 20) / elapsed.Seconds(),
+		Requests: st.Requests,
+		MovedMB:  float64(st.BytesTransferred) / (1 << 20),
+		UsefulMB: float64(useful) / (1 << 20),
+	}, nil
+}
+
+// Ablation dispatches an ablation by name.
+func Ablation(ctx context.Context, cfg Config, name string) ([]Measurement, error) {
+	switch name {
+	case "stagger":
+		return AblationStagger(ctx, cfg, 8, 8)
+	case "shape":
+		return AblationBrickShape(ctx, cfg, 8, 4)
+	case "servers":
+		return AblationServerCount(ctx, cfg, 8, nil)
+	case "exact":
+		return AblationExactReads(ctx, cfg, 8, 4)
+	case "collective":
+		return AblationCollective(ctx, cfg, 8, 4)
+	}
+	return nil, fmt.Errorf("bench: unknown ablation %q (stagger, shape, servers, exact, collective)", name)
+}
+
+// AblationNames lists the available ablations.
+func AblationNames() []string {
+	return []string{"stagger", "shape", "servers", "exact", "collective"}
+}

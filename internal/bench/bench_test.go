@@ -1,0 +1,249 @@
+package bench
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"dpfs/internal/netsim"
+)
+
+// These tests assert the *shape* of the paper's evaluation — who wins
+// and roughly by how much — at a reduced scale. They are the
+// regression guard for the reproduction: if a change to the striping,
+// combination or placement code inverts one of the paper's findings,
+// a test here fails. Margins are deliberately loose (timing on a busy
+// host is noisy) and each assertion retries once before failing.
+func testConfig(t *testing.T) Config {
+	return Config{N: 256, Dir: t.TempDir(), Reps: 3}
+}
+
+func ctxT(t *testing.T) context.Context {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// retryRatio asserts got() produces a pair (a, b) with a/b >= want,
+// allowing one retry to ride out scheduling noise.
+func retryRatio(t *testing.T, what string, want float64, got func() (float64, float64, error)) {
+	t.Helper()
+	var a, b float64
+	var err error
+	for attempt := 0; attempt < 2; attempt++ {
+		a, b, err = got()
+		if err != nil {
+			t.Fatalf("%s: %v", what, err)
+		}
+		if b > 0 && a/b >= want {
+			return
+		}
+	}
+	t.Errorf("%s: ratio %.2f (%.2f / %.2f), want >= %.2f", what, a/b, a, b, want)
+}
+
+// byLabel indexes measurements.
+func byLabel(ms []Measurement) map[string]Measurement {
+	out := make(map[string]Measurement, len(ms))
+	for _, m := range ms {
+		out[m.Label] = m
+	}
+	return out
+}
+
+// TestFig11Shape: on one storage class, the paper's file-level ordering
+// holds: multidim beats linear by a large factor, the array level
+// beats combined multidim, and request combination helps the linear
+// and multidim levels but not the array level.
+func TestFig11Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based shape test")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation distorts timing ratios")
+	}
+	cfg := testConfig(t)
+	ctx := ctxT(t)
+
+	run := func() map[string]Measurement {
+		ms, err := FileLevels(ctx, cfg, "Fig11", 8, 4, netsim.Class1())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return byLabel(ms)
+	}
+
+	retryRatio(t, "multidim over linear (paper: 10-20x with hints)", 3.0, func() (float64, float64, error) {
+		m := run()
+		return m["Combined Multi-dim"].MBps, m["Linear"].MBps, nil
+	})
+	retryRatio(t, "combination helps linear", 1.2, func() (float64, float64, error) {
+		m := run()
+		return m["Combined Linear"].MBps, m["Linear"].MBps, nil
+	})
+	retryRatio(t, "combination helps multidim", 1.1, func() (float64, float64, error) {
+		m := run()
+		return m["Combined Multi-dim"].MBps, m["Multi-dim"].MBps, nil
+	})
+	retryRatio(t, "array over combined multidim (paper: ~2x over multidim)", 1.1, func() (float64, float64, error) {
+		m := run()
+		return m["Array"].MBps, m["Combined Multi-dim"].MBps, nil
+	})
+	// Combination can not further improve the array level (paper): the
+	// two bars stay within noise of each other (each side bounded).
+	retryRatio(t, "combined array does not collapse", 0.7, func() (float64, float64, error) {
+		m := run()
+		return m["Combined Array"].MBps, m["Array"].MBps, nil
+	})
+}
+
+// TestFig11TrafficShape asserts the non-timing side of Fig. 11, which
+// is deterministic: request counts and moved bytes per level.
+func TestFig11TrafficShape(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Reps = 1
+	ctx := ctxT(t)
+	ms, err := FileLevels(ctx, cfg, "Fig11", 8, 4, netsim.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := byLabel(ms)
+
+	// Linear touches every brick of the file (np x the useful bytes);
+	// multidim and array move exactly the useful bytes.
+	if m["Linear"].MovedMB < 7.9*m["Multi-dim"].MovedMB {
+		t.Errorf("linear moved %.2f MB, multidim %.2f; want 8x waste",
+			m["Linear"].MovedMB, m["Multi-dim"].MovedMB)
+	}
+	if m["Multi-dim"].MovedMB != m["Multi-dim"].UsefulMB {
+		t.Errorf("multidim moved %.2f MB for %.2f useful", m["Multi-dim"].MovedMB, m["Multi-dim"].UsefulMB)
+	}
+	// Request counts: 8 procs x 64 bricks linear = 512; combination
+	// collapses to one per proc per server (<= 32); multidim column
+	// access touches 8 bricks per proc = 64; array one chunk per proc.
+	if m["Linear"].Requests != 512 {
+		t.Errorf("linear requests = %d, want 512", m["Linear"].Requests)
+	}
+	if m["Combined Linear"].Requests != 32 {
+		t.Errorf("combined linear requests = %d, want 32", m["Combined Linear"].Requests)
+	}
+	if m["Multi-dim"].Requests != 64 {
+		t.Errorf("multidim requests = %d, want 64", m["Multi-dim"].Requests)
+	}
+	if m["Array"].Requests != 8 {
+		t.Errorf("array requests = %d, want 8 (one chunk per proc)", m["Array"].Requests)
+	}
+}
+
+// TestFig13Shape: greedy placement beats round-robin on mixed
+// class-1/class-3 storage for reads and writes, combined or not.
+func TestFig13Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based shape test")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation distorts timing ratios")
+	}
+	cfg := testConfig(t)
+	ctx := ctxT(t)
+
+	for _, ac := range AlgoCases() {
+		ac := ac
+		retryRatio(t, "greedy over round-robin: "+ac.Label, 1.1, func() (float64, float64, error) {
+			g, err := RunAlgoCase(ctx, cfg, "greedy", ac, 8, 8)
+			if err != nil {
+				return 0, 0, err
+			}
+			r, err := RunAlgoCase(ctx, cfg, "round-robin", ac, 8, 8)
+			if err != nil {
+				return 0, 0, err
+			}
+			return g.MBps, r.MBps, nil
+		})
+	}
+}
+
+// TestGreedySplitShape: the deterministic half of Fig. 13 — greedy
+// gives the class-1 half 3x the bricks of the class-3 half.
+func TestGreedySplitShape(t *testing.T) {
+	perf := netsim.NormalizedPerf([]netsim.Params{
+		netsim.Class1(), netsim.Class1(), netsim.Class3(), netsim.Class3(),
+	}, 512<<10)
+	if perf[0] != 1 || perf[2] != 3 {
+		t.Fatalf("normalized perf = %v, want [1 1 3 3]", perf)
+	}
+}
+
+// TestAblationShapes: the ablations' winners stay the right way
+// around.
+func TestAblationShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based shape test")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation distorts timing ratios")
+	}
+	cfg := testConfig(t)
+	ctx := ctxT(t)
+
+	retryRatio(t, "stagger avoids convoy", 1.05, func() (float64, float64, error) {
+		ms, err := AblationStagger(ctx, cfg, 8, 8)
+		if err != nil {
+			return 0, 0, err
+		}
+		m := byLabel(ms)
+		return m["Combined+Stagger"].MBps, m["Combined, no stagger"].MBps, nil
+	})
+	retryRatio(t, "square tile beats row tile under column access", 1.2, func() (float64, float64, error) {
+		ms, err := AblationBrickShape(ctx, cfg, 8, 4)
+		if err != nil {
+			return 0, 0, err
+		}
+		m := byLabel(ms)
+		return m["square tile"].MBps, m["row tile"].MBps, nil
+	})
+	retryRatio(t, "more servers scale bandwidth", 1.5, func() (float64, float64, error) {
+		ms, err := AblationServerCount(ctx, cfg, 8, []int{1, 4})
+		if err != nil {
+			return 0, 0, err
+		}
+		return ms[1].MBps, ms[0].MBps, nil
+	})
+	retryRatio(t, "collective beats independent on interleaved rows", 1.5, func() (float64, float64, error) {
+		ms, err := AblationCollective(ctx, cfg, 8, 4)
+		if err != nil {
+			return 0, 0, err
+		}
+		m := byLabel(ms)
+		return m["Collective (two-phase)"].MBps, m["Independent"].MBps, nil
+	})
+}
+
+// TestFigureDispatch covers the Figure() entry points and unknown
+// figure handling.
+func TestFigureDispatch(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Reps = 1
+	cfg.N = 128
+	ctx := ctxT(t)
+	if _, err := Figure(ctx, cfg, 7); err == nil {
+		t.Fatal("figure 7 should be rejected")
+	}
+	ms, err := Figure(ctx, cfg, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 8 {
+		t.Fatalf("fig 13 bars = %d, want 8", len(ms))
+	}
+	if _, err := Ablation(ctx, cfg, "nosuch"); err == nil {
+		t.Fatal("unknown ablation should be rejected")
+	}
+	if len(AblationNames()) != 5 {
+		t.Fatalf("ablations = %v", AblationNames())
+	}
+	// Measurement renders.
+	if s := ms[0].String(); s == "" {
+		t.Fatal("empty measurement string")
+	}
+}

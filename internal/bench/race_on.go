@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports that the race detector is instrumenting this
+// build; timing-based shape assertions skip themselves because the
+// 5-20x instrumentation slowdown distorts bandwidth ratios.
+const raceEnabled = true

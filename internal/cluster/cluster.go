@@ -1,0 +1,239 @@
+// Package cluster assembles a complete DPFS deployment in one process:
+// a metadata database served over TCP (the paper's POSTGRES at
+// Northwestern), any number of DPFS I/O servers with optional
+// heterogeneous performance models (the paper's three workstation
+// classes), and client factories for compute-node goroutines (the
+// paper's SP2 ranks). Tests, examples and every benchmark build their
+// testbed through this package; the same building blocks run as
+// separate processes through cmd/dpfs-meta and cmd/dpfs-server.
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"dpfs/internal/core"
+	"dpfs/internal/meta"
+	"dpfs/internal/metadb"
+	"dpfs/internal/metadb/mdbnet"
+	"dpfs/internal/netsim"
+	"dpfs/internal/server"
+)
+
+// ServerSpec describes one I/O server to launch.
+type ServerSpec struct {
+	// Name registers the server in DPFS-SERVER; empty names are
+	// generated ("io0", "io1", ...).
+	Name string
+	// Class, when non-zero, attaches a netsim performance model.
+	Class netsim.Params
+	// Capacity advertised in the catalog (bytes); defaults to 1 GiB.
+	Capacity int64
+}
+
+// Config configures a cluster.
+type Config struct {
+	// Servers lists the I/O servers to start.
+	Servers []ServerSpec
+	// Dir is the working directory for server roots and the metadata
+	// database; it must exist.
+	Dir string
+	// DurableMeta stores the metadata database on disk (Dir/meta)
+	// instead of in memory.
+	DurableMeta bool
+	// RefBrickBytes calibrates the normalized performance numbers
+	// (DPFS-SERVER.performance): the per-brick cost of each class is
+	// normalized against the fastest. Defaults to 512 KiB, the
+	// 256x256 float64 tile of Section 8.
+	RefBrickBytes int64
+}
+
+// Cluster is a running DPFS deployment.
+type Cluster struct {
+	DB        *metadb.DB
+	MetaSrv   *mdbnet.Server
+	IOServers []*server.Server
+	Specs     []ServerSpec
+
+	mu      sync.Mutex // guards clients (NewFS is called from many goroutines)
+	clients []*mdbnet.Client
+}
+
+// Start launches the metadata server and all I/O servers, registers
+// the servers in the catalog, and returns the running cluster.
+func Start(cfg Config) (*Cluster, error) {
+	if len(cfg.Servers) == 0 {
+		return nil, fmt.Errorf("cluster: need at least one I/O server")
+	}
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("cluster: Config.Dir is required")
+	}
+	ref := cfg.RefBrickBytes
+	if ref == 0 {
+		ref = 512 << 10
+	}
+
+	var opts metadb.Options
+	if cfg.DurableMeta {
+		opts.Dir = filepath.Join(cfg.Dir, "meta")
+	}
+	db, err := metadb.Open(opts)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{DB: db}
+
+	c.MetaSrv, err = mdbnet.Listen(db, "")
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+
+	// Normalize performance numbers across the spec classes.
+	classes := make([]netsim.Params, len(cfg.Servers))
+	for i, s := range cfg.Servers {
+		classes[i] = s.Class
+	}
+	perf := netsim.NormalizedPerf(classes, ref)
+
+	cat, err := c.NewCatalog()
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	if err := cat.Init(); err != nil {
+		c.Close()
+		return nil, err
+	}
+
+	for i, spec := range cfg.Servers {
+		name := spec.Name
+		if name == "" {
+			name = fmt.Sprintf("io%d", i)
+		}
+		root := filepath.Join(cfg.Dir, "srv-"+name)
+		if err := os.MkdirAll(root, 0o755); err != nil {
+			c.Close()
+			return nil, err
+		}
+		var model *netsim.Model
+		if spec.Class != (netsim.Params{}) {
+			model = netsim.New(spec.Class)
+		}
+		srv, err := server.Listen(server.Config{Root: root, Model: model, Name: name}, "")
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.IOServers = append(c.IOServers, srv)
+		cap := spec.Capacity
+		if cap == 0 {
+			cap = 1 << 30
+		}
+		if err := cat.RegisterServer(meta.ServerInfo{
+			Name: name, Capacity: cap, Performance: perf[i], Addr: srv.Addr(),
+		}); err != nil {
+			c.Close()
+			return nil, err
+		}
+		spec.Name = name
+		c.Specs = append(c.Specs, spec)
+	}
+	return c, nil
+}
+
+// NewCatalog opens a fresh catalog connection through the network
+// metadata server (one database session per connection, as the paper's
+// clients each connect to POSTGRES).
+func (c *Cluster) NewCatalog() (*meta.Catalog, error) {
+	cli, err := mdbnet.Dial(c.MetaSrv.Addr())
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.clients = append(c.clients, cli)
+	c.mu.Unlock()
+	return meta.NewCatalog(cli), nil
+}
+
+// NewFS builds a compute-node client with its own catalog connection.
+func (c *Cluster) NewFS(rank int, opts core.Options) (*core.FS, error) {
+	cat, err := c.NewCatalog()
+	if err != nil {
+		return nil, err
+	}
+	return core.NewFS(cat, rank, opts), nil
+}
+
+// ServerNames returns the registered I/O server names in launch
+// order.
+func (c *Cluster) ServerNames() []string {
+	out := make([]string, len(c.Specs))
+	for i, s := range c.Specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Close shuts everything down: catalog connections, I/O servers, the
+// metadata server and the database.
+func (c *Cluster) Close() error {
+	var firstErr error
+	c.mu.Lock()
+	clients := c.clients
+	c.clients = nil
+	c.mu.Unlock()
+	for _, cli := range clients {
+		if err := cli.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, srv := range c.IOServers {
+		if err := srv.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if c.MetaSrv != nil {
+		if err := c.MetaSrv.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if c.DB != nil {
+		if err := c.DB.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Uniform returns n identical unshaped server specs (full native
+// speed), for correctness tests.
+func Uniform(n int) []ServerSpec {
+	out := make([]ServerSpec, n)
+	return out
+}
+
+// UniformClass returns n servers of one storage class.
+func UniformClass(n int, class netsim.Params) []ServerSpec {
+	out := make([]ServerSpec, n)
+	for i := range out {
+		out[i].Class = class
+	}
+	return out
+}
+
+// Mixed returns the Fig. 13/14 testbed: half the servers class 1, half
+// class 3.
+func Mixed(n int) []ServerSpec {
+	out := make([]ServerSpec, n)
+	for i := range out {
+		if i < n/2 {
+			out[i].Class = netsim.Class1()
+		} else {
+			out[i].Class = netsim.Class3()
+		}
+	}
+	return out
+}

@@ -1,0 +1,290 @@
+// Package collective implements two-phase collective I/O on top of the
+// DPFS client engine: the paper's stated future direction of using
+// DPFS "as a low level system to service a high level interface such
+// as MPI-I/O" (Section 10), following the collective-I/O design of
+// ROMIO (Thakur, Gropp, Lusk — cited as [25] in the paper).
+//
+// In independent I/O, every compute process ships its own (possibly
+// tiny, interleaved) section to the servers. In collective I/O all NP
+// processes of a Group enter the operation together; the union of
+// their requests is reorganized by brick (phase 1, the shuffle), and
+// brick-aligned combined requests are issued by aggregator processes
+// (phase 2), one aggregator per server stripe. Interleaved patterns
+// that would generate many fragmented requests collapse into a few
+// whole-brick transfers.
+//
+// Group models an MPI communicator for in-process compute ranks
+// (goroutines); the shuffle phase moves bytes through shared memory,
+// standing in for the MPI alltoall a multi-node implementation would
+// use.
+package collective
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"dpfs/internal/core"
+	"dpfs/internal/stripe"
+)
+
+// Group coordinates NP ranks' collective operations. Create one per
+// logical communicator; every rank must call each collective exactly
+// once and in the same order, like MPI collectives.
+type Group struct {
+	np int
+
+	mu    sync.Mutex
+	calls map[string]*call // op signature -> in-flight call
+	seq   int
+}
+
+// NewGroup builds a communicator of np ranks.
+func NewGroup(np int) (*Group, error) {
+	if np <= 0 {
+		return nil, errors.New("collective: group size must be positive")
+	}
+	return &Group{np: np, calls: make(map[string]*call)}, nil
+}
+
+// Size returns the number of ranks.
+func (g *Group) Size() int { return g.np }
+
+// contrib is one rank's part of a collective operation.
+type contrib struct {
+	rank int
+	file *core.File
+	sec  stripe.Section
+	buf  []byte
+}
+
+// call is one in-flight collective operation.
+type call struct {
+	write    bool
+	path     string
+	contribs []contrib
+	done     chan struct{}
+	err      error
+}
+
+// WriteAll performs a collective write: rank contributes data for the
+// file region sec and blocks until the whole group's operation
+// completes. All ranks must pass handles to the same file path.
+func (g *Group) WriteAll(ctx context.Context, rank int, f *core.File, sec stripe.Section, data []byte) error {
+	return g.collective(ctx, rank, f, sec, data, true)
+}
+
+// ReadAll performs a collective read into buf.
+func (g *Group) ReadAll(ctx context.Context, rank int, f *core.File, sec stripe.Section, buf []byte) error {
+	return g.collective(ctx, rank, f, sec, buf, false)
+}
+
+func (g *Group) collective(ctx context.Context, rank int, f *core.File, sec stripe.Section, buf []byte, write bool) error {
+	if rank < 0 || rank >= g.np {
+		return fmt.Errorf("collective: rank %d out of range [0,%d)", rank, g.np)
+	}
+	if f == nil {
+		return errors.New("collective: nil file")
+	}
+	if want := sec.Bytes(f.Geometry().ElemSize); int64(len(buf)) != want {
+		return fmt.Errorf("collective: rank %d: section %v needs %d bytes, buffer has %d", rank, sec, want, len(buf))
+	}
+
+	op := "R"
+	if write {
+		op = "W"
+	}
+	key := op + ":" + f.Info().Path
+
+	g.mu.Lock()
+	c, ok := g.calls[key]
+	if !ok {
+		c = &call{write: write, path: f.Info().Path, done: make(chan struct{})}
+		g.calls[key] = c
+	}
+	c.contribs = append(c.contribs, contrib{rank: rank, file: f, sec: sec, buf: buf})
+	last := len(c.contribs) == g.np
+	if last {
+		delete(g.calls, key) // next collective on this key starts fresh
+	}
+	g.mu.Unlock()
+
+	if last {
+		c.err = g.execute(ctx, c)
+		close(c.done)
+	} else {
+		select {
+		case <-c.done:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return c.err
+}
+
+// brickWork is the merged access to one brick across all ranks.
+type brickWork struct {
+	brick int
+	// segs are the rank contributions: where in the brick, and where
+	// in which rank's buffer.
+	segs []rankSeg
+}
+
+type rankSeg struct {
+	brickOff int64
+	len      int64
+	buf      []byte // the contributing rank's buffer
+	memOff   int64
+}
+
+// execute runs both phases with the last-arriving rank as coordinator:
+// merge all sections by brick, stage each brick contiguously, and let
+// one aggregator rank per server issue the combined brick-aligned
+// requests.
+func (g *Group) execute(ctx context.Context, c *call) error {
+	// Deterministic order regardless of arrival order.
+	sort.Slice(c.contribs, func(i, j int) bool { return c.contribs[i].rank < c.contribs[j].rank })
+	geo := c.contribs[0].file.Geometry()
+	for _, ct := range c.contribs {
+		if ct.file.Info().Path != c.path {
+			return fmt.Errorf("collective: rank %d passed file %s, group is operating on %s",
+				ct.rank, ct.file.Info().Path, c.path)
+		}
+	}
+
+	// Phase 1: merge every rank's plan by brick.
+	byBrick := make(map[int]*brickWork)
+	for _, ct := range c.contribs {
+		plan, err := geo.PlanSection(ct.sec)
+		if err != nil {
+			return err
+		}
+		for _, bio := range plan {
+			w, ok := byBrick[bio.Brick]
+			if !ok {
+				w = &brickWork{brick: bio.Brick}
+				byBrick[bio.Brick] = w
+			}
+			for _, seg := range bio.Segs {
+				w.segs = append(w.segs, rankSeg{
+					brickOff: seg.BrickOff, len: seg.Len, buf: ct.buf, memOff: seg.MemOff,
+				})
+			}
+		}
+	}
+	bricks := make([]*brickWork, 0, len(byBrick))
+	for _, w := range byBrick {
+		bricks = append(bricks, w)
+	}
+	sort.Slice(bricks, func(i, j int) bool { return bricks[i].brick < bricks[j].brick })
+
+	// Stage each brick contiguously: one shared buffer, per-brick
+	// bases; covered intervals become plan segments with MemOff equal
+	// to base+BrickOff.
+	var total int64
+	base := make(map[int]int64, len(bricks))
+	for _, w := range bricks {
+		base[w.brick] = total
+		total += geo.BrickBytesOf(w.brick)
+	}
+	staging := make([]byte, total)
+
+	plan := make([]stripe.BrickIO, 0, len(bricks))
+	for _, w := range bricks {
+		b := base[w.brick]
+		if c.write {
+			for _, rs := range w.segs {
+				copy(staging[b+rs.brickOff:b+rs.brickOff+rs.len], rs.buf[rs.memOff:rs.memOff+rs.len])
+			}
+		}
+		plan = append(plan, stripe.BrickIO{
+			Brick: w.brick,
+			Segs:  coveredRuns(w.segs, b),
+		})
+	}
+
+	// Phase 2: partition bricks among aggregator ranks by server and
+	// issue in parallel, each aggregator through its own file handle
+	// (its own connections), mirroring ROMIO's aggregator processes.
+	assign := fileAssign(c.contribs[0].file, plan)
+	perAgg := make(map[int][]stripe.BrickIO)
+	for i, bio := range plan {
+		agg := assign[i] % g.np
+		perAgg[agg] = append(perAgg[agg], bio)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(perAgg))
+	for agg, subPlan := range perAgg {
+		wg.Add(1)
+		go func(agg int, subPlan []stripe.BrickIO) {
+			defer wg.Done()
+			f := c.contribs[agg].file
+			if err := f.ExecutePlan(ctx, subPlan, staging, c.write); err != nil {
+				errs <- err
+			}
+		}(agg, subPlan)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return err
+	}
+
+	// Scatter read data back to every rank's buffer.
+	if !c.write {
+		for _, w := range bricks {
+			b := base[w.brick]
+			for _, rs := range w.segs {
+				copy(rs.buf[rs.memOff:rs.memOff+rs.len], staging[b+rs.brickOff:b+rs.brickOff+rs.len])
+			}
+		}
+	}
+	return nil
+}
+
+// coveredRuns merges the per-rank segments of one brick into maximal
+// disjoint (BrickOff, Len) runs, with MemOff pointing into the shared
+// staging buffer. Overlapping writes resolve to the staging copy order
+// (rank order), like overlapping independent writes would.
+func coveredRuns(segs []rankSeg, stagingBase int64) []stripe.Segment {
+	if len(segs) == 0 {
+		return nil
+	}
+	ivs := make([][2]int64, len(segs))
+	for i, rs := range segs {
+		ivs[i] = [2]int64{rs.brickOff, rs.brickOff + rs.len}
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i][0] < ivs[j][0] })
+	var out []stripe.Segment
+	cur := ivs[0]
+	flush := func() {
+		out = append(out, stripe.Segment{
+			BrickOff: cur[0], MemOff: stagingBase + cur[0], Len: cur[1] - cur[0],
+		})
+	}
+	for _, iv := range ivs[1:] {
+		if iv[0] <= cur[1] {
+			if iv[1] > cur[1] {
+				cur[1] = iv[1]
+			}
+			continue
+		}
+		flush()
+		cur = iv
+	}
+	flush()
+	return out
+}
+
+// fileAssign maps each plan entry to its server index using the file's
+// brick assignment.
+func fileAssign(f *core.File, plan []stripe.BrickIO) []int {
+	assign := f.Assignment()
+	out := make([]int, len(plan))
+	for i, bio := range plan {
+		out[i] = assign[bio.Brick]
+	}
+	return out
+}

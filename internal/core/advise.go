@@ -1,0 +1,118 @@
+package core
+
+import (
+	"dpfs/internal/stripe"
+)
+
+// AccessPattern describes how an application expects to touch a file:
+// the knowledge Section 3 says only the user has, in a form the
+// library can turn into a file-level hint. Set the fields that apply;
+// the zero value means "nothing known" and yields the most general
+// (linear) level.
+type AccessPattern struct {
+	// Sequential access: the file is read/written as a byte stream
+	// (post-processing on a workstation, log-style data).
+	Sequential bool
+
+	// WholeChunks: every process accesses exactly its chunk of the
+	// HPF distribution given by Pattern/Grid — the checkpoint
+	// dump/restore shape of Sec. 3.3.
+	WholeChunks bool
+	Pattern     []stripe.Dist
+	Grid        []int64
+
+	// SectionShape is the typical per-process section extent in
+	// elements (e.g. a (*, BLOCK) column read of an NxN array by P
+	// processes has shape {N, N/P}). Used to shape multidimensional
+	// tiles so one access touches few bricks with little waste.
+	SectionShape []int64
+
+	// TargetBrickBytes bounds the brick size (default
+	// DefaultLinearBrick).
+	TargetBrickBytes int64
+}
+
+// Advise turns an access pattern into a creation hint, encoding the
+// paper's guidance: array level when accesses are whole HPF chunks,
+// multidimensional level with an access-shaped tile for subarray
+// accesses, and the linear level otherwise.
+func Advise(elemSize int64, dims []int64, ap AccessPattern) Hint {
+	target := ap.TargetBrickBytes
+	if target <= 0 {
+		target = DefaultLinearBrick
+	}
+
+	switch {
+	case ap.WholeChunks && len(ap.Pattern) == len(dims) && len(ap.Grid) == len(dims):
+		return Hint{Level: stripe.LevelArray, Pattern: ap.Pattern, Grid: ap.Grid}
+
+	case len(ap.SectionShape) == len(dims) && !ap.Sequential:
+		return Hint{Level: stripe.LevelMultidim,
+			Tile: shapeTile(elemSize, dims, ap.SectionShape, target)}
+
+	default:
+		return Hint{Level: stripe.LevelLinear, BrickBytes: target}
+	}
+}
+
+// shapeTile derives a tile whose aspect ratio follows the access
+// section (so a tall-thin column access gets a tall-thin tile) while
+// keeping the brick close to target bytes.
+func shapeTile(elemSize int64, dims, shape []int64, target int64) []int64 {
+	nd := len(dims)
+	tile := make([]int64, nd)
+	for d := range tile {
+		tile[d] = clamp(shape[d], 1, dims[d])
+	}
+	// Shrink proportionally while the brick exceeds the target,
+	// trimming the largest dimension first so the access aspect is
+	// kept as long as possible.
+	for bytesOf(tile, elemSize) > target {
+		big := 0
+		for d := 1; d < nd; d++ {
+			if tile[d] > tile[big] {
+				big = d
+			}
+		}
+		if tile[big] == 1 {
+			break
+		}
+		tile[big] = (tile[big] + 1) / 2
+	}
+	// Grow uniformly while well under target (small sections should
+	// not force tiny bricks).
+	for {
+		next := make([]int64, nd)
+		grew := false
+		for d := range tile {
+			next[d] = tile[d]
+			if tile[d]*2 <= dims[d] {
+				next[d] = tile[d] * 2
+				grew = true
+			}
+		}
+		if !grew || bytesOf(next, elemSize) > target {
+			break
+		}
+		tile = next
+	}
+	return tile
+}
+
+func bytesOf(tile []int64, elemSize int64) int64 {
+	n := elemSize
+	for _, t := range tile {
+		n *= t
+	}
+	return n
+}
+
+func clamp(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,88 @@
+package core_test
+
+import (
+	"testing"
+
+	"dpfs/internal/core"
+	"dpfs/internal/stripe"
+)
+
+func TestAdviseWholeChunks(t *testing.T) {
+	h := core.Advise(8, []int64{1024, 1024}, core.AccessPattern{
+		WholeChunks: true,
+		Pattern:     []stripe.Dist{stripe.DistBlock, stripe.DistStar},
+		Grid:        []int64{8, 1},
+	})
+	if h.Level != stripe.LevelArray {
+		t.Fatalf("level = %v, want array", h.Level)
+	}
+	if len(h.Pattern) != 2 || h.Grid[0] != 8 {
+		t.Fatalf("hint = %+v", h)
+	}
+}
+
+func TestAdviseSectionShape(t *testing.T) {
+	// Column access: tall-thin sections should yield tall-thin tiles.
+	h := core.Advise(8, []int64{4096, 4096}, core.AccessPattern{
+		SectionShape: []int64{4096, 64},
+	})
+	if h.Level != stripe.LevelMultidim {
+		t.Fatalf("level = %v, want multidim", h.Level)
+	}
+	if len(h.Tile) != 2 || h.Tile[0] <= h.Tile[1] {
+		t.Fatalf("tile = %v, want taller than wide", h.Tile)
+	}
+	// The brick stays near the target size.
+	if b := h.Tile[0] * h.Tile[1] * 8; b > core.DefaultLinearBrick*2 {
+		t.Fatalf("brick = %d bytes, way over target", b)
+	}
+	// The hint actually creates a working file.
+	c := startCluster(t, 2)
+	fs := newFS(t, c, 0, core.Options{Combine: true})
+	f, err := fs.Create("/advised", 8, []int64{4096, 4096}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Row access gets wide tiles.
+	h = core.Advise(8, []int64{4096, 4096}, core.AccessPattern{
+		SectionShape: []int64{64, 4096},
+	})
+	if h.Tile[1] <= h.Tile[0] {
+		t.Fatalf("tile = %v, want wider than tall", h.Tile)
+	}
+}
+
+func TestAdviseSmallSectionsGrow(t *testing.T) {
+	// Tiny sections must not force tiny bricks: the tile grows toward
+	// the target while keeping within dims.
+	h := core.Advise(8, []int64{4096, 4096}, core.AccessPattern{
+		SectionShape: []int64{4, 4},
+	})
+	if b := h.Tile[0] * h.Tile[1] * 8; b < core.DefaultLinearBrick/4 {
+		t.Fatalf("brick = %d bytes, too small for a useful access unit", b)
+	}
+}
+
+func TestAdviseDefaultLinear(t *testing.T) {
+	h := core.Advise(1, []int64{1 << 20}, core.AccessPattern{Sequential: true})
+	if h.Level != stripe.LevelLinear || h.BrickBytes != core.DefaultLinearBrick {
+		t.Fatalf("hint = %+v", h)
+	}
+	// Nothing known at all: linear too.
+	h = core.Advise(1, []int64{1 << 20}, core.AccessPattern{})
+	if h.Level != stripe.LevelLinear {
+		t.Fatalf("hint = %+v", h)
+	}
+	// Rank mismatch in section shape falls back to linear.
+	h = core.Advise(8, []int64{64, 64}, core.AccessPattern{SectionShape: []int64{64}})
+	if h.Level != stripe.LevelLinear {
+		t.Fatalf("hint = %+v", h)
+	}
+	// Custom brick target.
+	h = core.Advise(1, []int64{1 << 20}, core.AccessPattern{Sequential: true, TargetBrickBytes: 1 << 20})
+	if h.BrickBytes != 1<<20 {
+		t.Fatalf("brick = %d", h.BrickBytes)
+	}
+}

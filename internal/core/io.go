@@ -1,0 +1,445 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+
+	"dpfs/internal/datatype"
+	"dpfs/internal/stripe"
+	"dpfs/internal/wire"
+)
+
+// Stats count the engine's traffic since creation; benchmarks and
+// tests use them to verify the request-combination and whole-brick
+// behaviours.
+type Stats struct {
+	// Requests is the number of network requests issued to I/O
+	// servers.
+	Requests int64
+	// BytesTransferred counts payload bytes moved over the network
+	// (including discarded parts of whole-brick reads).
+	BytesTransferred int64
+	// BytesUseful counts the bytes the application actually asked for.
+	BytesUseful int64
+}
+
+var (
+	statRequests    atomic.Int64
+	statTransferred atomic.Int64
+	statUseful      atomic.Int64
+)
+
+// ReadStats returns engine-wide traffic counters.
+func ReadStats() Stats {
+	return Stats{
+		Requests:         statRequests.Load(),
+		BytesTransferred: statTransferred.Load(),
+		BytesUseful:      statUseful.Load(),
+	}
+}
+
+// ResetStats zeroes the traffic counters.
+func ResetStats() {
+	statRequests.Store(0)
+	statTransferred.Store(0)
+	statUseful.Store(0)
+}
+
+// WriteSection writes the packed section data into the file region sec.
+// data holds sec's elements in row-major order of the section.
+func (f *File) WriteSection(ctx context.Context, sec stripe.Section, data []byte) error {
+	if f.closed {
+		return fmt.Errorf("dpfs: %s: file closed", f.info.Path)
+	}
+	g := &f.info.Geometry
+	if want := sec.Bytes(g.ElemSize); int64(len(data)) != want {
+		return fmt.Errorf("dpfs: %s: section %v needs %d bytes, buffer has %d", f.info.Path, sec, want, len(data))
+	}
+	plan, err := g.PlanSection(sec)
+	if err != nil {
+		return err
+	}
+	return f.execute(ctx, plan, data, true)
+}
+
+// ReadSection reads the file region sec into buf (packed row-major
+// order of the section).
+func (f *File) ReadSection(ctx context.Context, sec stripe.Section, buf []byte) error {
+	if f.closed {
+		return fmt.Errorf("dpfs: %s: file closed", f.info.Path)
+	}
+	g := &f.info.Geometry
+	if want := sec.Bytes(g.ElemSize); int64(len(buf)) != want {
+		return fmt.Errorf("dpfs: %s: section %v needs %d bytes, buffer has %d", f.info.Path, sec, want, len(buf))
+	}
+	plan, err := g.PlanSection(sec)
+	if err != nil {
+		return err
+	}
+	return f.execute(ctx, plan, buf, false)
+}
+
+// WriteAt writes p at byte offset off of a linear file (DPFS-Write
+// with a contiguous datatype).
+func (f *File) WriteAt(ctx context.Context, p []byte, off int64) error {
+	if f.closed {
+		return fmt.Errorf("dpfs: %s: file closed", f.info.Path)
+	}
+	plan, err := f.info.Geometry.PlanExtents([]stripe.Extent{{Off: off, Len: int64(len(p))}})
+	if err != nil {
+		return err
+	}
+	return f.execute(ctx, plan, p, true)
+}
+
+// ReadAt reads len(p) bytes at byte offset off of a linear file.
+func (f *File) ReadAt(ctx context.Context, p []byte, off int64) error {
+	if f.closed {
+		return fmt.Errorf("dpfs: %s: file closed", f.info.Path)
+	}
+	plan, err := f.info.Geometry.PlanExtents([]stripe.Extent{{Off: off, Len: int64(len(p))}})
+	if err != nil {
+		return err
+	}
+	return f.execute(ctx, plan, p, false)
+}
+
+// WriteTyped gathers non-contiguous data described by the derived
+// datatype t from mem and writes it into the file region sec
+// (DPFS-Write with an MPI-style derived datatype, Section 6).
+func (f *File) WriteTyped(ctx context.Context, sec stripe.Section, t datatype.Type, mem []byte) error {
+	want := sec.Bytes(f.info.Geometry.ElemSize)
+	if t.Size() != want {
+		return fmt.Errorf("dpfs: %s: datatype selects %d bytes, section %v needs %d",
+			f.info.Path, t.Size(), sec, want)
+	}
+	packed, err := datatype.Pack(t, mem)
+	if err != nil {
+		return err
+	}
+	return f.WriteSection(ctx, sec, packed)
+}
+
+// ReadTyped reads the file region sec and scatters it into mem
+// following the derived datatype t.
+func (f *File) ReadTyped(ctx context.Context, sec stripe.Section, t datatype.Type, mem []byte) error {
+	want := sec.Bytes(f.info.Geometry.ElemSize)
+	if t.Size() != want {
+		return fmt.Errorf("dpfs: %s: datatype selects %d bytes, section %v needs %d",
+			f.info.Path, t.Size(), sec, want)
+	}
+	packed := make([]byte, want)
+	if err := f.ReadSection(ctx, sec, packed); err != nil {
+		return err
+	}
+	return datatype.Unpack(t, packed, mem)
+}
+
+// WriteAtTyped is the full MPI-IO-style call for linear files: mtype
+// selects the (possibly non-contiguous) bytes in client memory, ftype
+// selects the (possibly non-contiguous) file region starting at byte
+// offset off — the analogue of an MPI file view. Both types must
+// select the same number of bytes.
+func (f *File) WriteAtTyped(ctx context.Context, off int64, ftype datatype.Type, mtype datatype.Type, mem []byte) error {
+	exts, err := f.viewExtents(off, ftype, mtype)
+	if err != nil {
+		return err
+	}
+	packed, err := datatype.Pack(mtype, mem)
+	if err != nil {
+		return err
+	}
+	plan, err := f.info.Geometry.PlanExtents(exts)
+	if err != nil {
+		return err
+	}
+	return f.execute(ctx, plan, packed, true)
+}
+
+// ReadAtTyped reads the file region selected by ftype at off and
+// scatters it into mem following mtype.
+func (f *File) ReadAtTyped(ctx context.Context, off int64, ftype datatype.Type, mtype datatype.Type, mem []byte) error {
+	exts, err := f.viewExtents(off, ftype, mtype)
+	if err != nil {
+		return err
+	}
+	packed := make([]byte, ftype.Size())
+	plan, err := f.info.Geometry.PlanExtents(exts)
+	if err != nil {
+		return err
+	}
+	if err := f.execute(ctx, plan, packed, false); err != nil {
+		return err
+	}
+	return datatype.Unpack(mtype, packed, mem)
+}
+
+func (f *File) viewExtents(off int64, ftype, mtype datatype.Type) ([]stripe.Extent, error) {
+	if f.closed {
+		return nil, fmt.Errorf("dpfs: %s: file closed", f.info.Path)
+	}
+	if f.info.Geometry.Level != stripe.LevelLinear {
+		return nil, fmt.Errorf("dpfs: %s: typed file views require a linear file, have %v",
+			f.info.Path, f.info.Geometry.Level)
+	}
+	if ftype.Size() != mtype.Size() {
+		return nil, fmt.Errorf("dpfs: %s: file type selects %d bytes, memory type %d",
+			f.info.Path, ftype.Size(), mtype.Size())
+	}
+	segs := datatype.Segments(ftype)
+	exts := make([]stripe.Extent, len(segs))
+	for i, s := range segs {
+		exts[i] = stripe.Extent{Off: off + s.Off, Len: s.Len}
+	}
+	return exts, nil
+}
+
+// ExecutePlan ships a raw brick plan against the file: every segment
+// moves between brick storage and buf. This is the entry point for
+// layers that compute their own plans, such as the two-phase
+// collective I/O in internal/collective; ordinary callers use the
+// section and byte APIs.
+func (f *File) ExecutePlan(ctx context.Context, plan []stripe.BrickIO, buf []byte, write bool) error {
+	if f.closed {
+		return fmt.Errorf("dpfs: %s: file closed", f.info.Path)
+	}
+	return f.execute(ctx, plan, buf, write)
+}
+
+// execute ships a plan to the servers. Each compute process issues its
+// requests one at a time, exactly as in the paper: the general
+// approach sends one request per brick in brick order; combination
+// groups all of a server's bricks into one request and (with Stagger)
+// starts the sweep at server rank mod S so concurrent clients do not
+// convoy on the same device (Section 4.2). Parallelism comes from
+// multiple compute processes and multiple servers, not from a single
+// client multi-threading its own access.
+func (f *File) execute(ctx context.Context, plan []stripe.BrickIO, buf []byte, write bool) error {
+	if len(plan) == 0 {
+		return nil
+	}
+	opts := f.fs.opts
+	var reqs []stripe.Request
+	if opts.Combine {
+		reqs = stripe.Combine(plan, f.assign)
+		if opts.Stagger {
+			reqs = stripe.Stagger(reqs, f.fs.rank, len(f.info.Servers))
+		}
+	} else {
+		reqs = stripe.PerBrick(plan, f.assign)
+	}
+
+	for _, bio := range plan {
+		statUseful.Add(bio.Bytes())
+	}
+
+	for i := range reqs {
+		if err := f.doRequest(ctx, &reqs[i], buf, write); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// doRequest performs one server exchange covering all bricks of r.
+func (f *File) doRequest(ctx context.Context, r *stripe.Request, buf []byte, write bool) error {
+	g := &f.info.Geometry
+	slot := g.SlotBytes()
+	wholeBrick := !write && !f.fs.opts.ExactReads
+
+	// Segments are packed in brick-offset order: runs contiguous in
+	// brick storage travel as one extent even when they gather from
+	// scattered memory (the client packs each brick before shipping
+	// it, so a whole-tile write is a single piece).
+	var exts []wire.Extent
+	var payload []byte
+	for bi := range r.Bricks {
+		b := &r.Bricks[bi]
+		base := f.localIdx[b.Brick] * slot
+		if wholeBrick {
+			exts = append(exts, wire.Extent{Off: base, Len: g.BrickBytesOf(b.Brick)})
+			continue
+		}
+		for _, seg := range brickOrder(b.Segs) {
+			n := len(exts)
+			if n > 0 && exts[n-1].Off+exts[n-1].Len == base+seg.BrickOff {
+				exts[n-1].Len += seg.Len
+			} else {
+				exts = append(exts, wire.Extent{Off: base + seg.BrickOff, Len: seg.Len})
+			}
+			if write {
+				payload = append(payload, buf[seg.MemOff:seg.MemOff+seg.Len]...)
+			}
+		}
+	}
+
+	op := wire.OpRead
+	if write {
+		op = wire.OpWrite
+	}
+	client, err := f.fs.client(f.info.Servers[r.Server])
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(ctx, &wire.Request{Op: op, Path: f.info.Path, Extents: exts, Data: payload})
+	if err != nil {
+		return fmt.Errorf("dpfs: %s: %w", f.info.Path, err)
+	}
+	statRequests.Add(1)
+	moved := wire.DataBytes(exts)
+	statTransferred.Add(moved)
+	if write {
+		return nil
+	}
+	if int64(len(resp.Data)) != moved {
+		return fmt.Errorf("dpfs: %s: server returned %d bytes, want %d", f.info.Path, len(resp.Data), moved)
+	}
+
+	// Scatter the response into the caller's buffer.
+	pos := int64(0)
+	for bi := range r.Bricks {
+		b := &r.Bricks[bi]
+		if wholeBrick {
+			blen := g.BrickBytesOf(b.Brick)
+			brickData := resp.Data[pos : pos+blen]
+			for _, seg := range b.Segs {
+				copy(buf[seg.MemOff:seg.MemOff+seg.Len], brickData[seg.BrickOff:seg.BrickOff+seg.Len])
+			}
+			pos += blen
+			continue
+		}
+		for _, seg := range brickOrder(b.Segs) {
+			copy(buf[seg.MemOff:seg.MemOff+seg.Len], resp.Data[pos:pos+seg.Len])
+			pos += seg.Len
+		}
+	}
+	return nil
+}
+
+// brickOrder returns the segments sorted by brick offset (plans sort
+// by memory offset). The common aligned cases are already in brick
+// order, so the copy is skipped when possible.
+func brickOrder(segs []stripe.Segment) []stripe.Segment {
+	sorted := true
+	for i := 1; i < len(segs); i++ {
+		if segs[i].BrickOff < segs[i-1].BrickOff {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return segs
+	}
+	out := append([]stripe.Segment(nil), segs...)
+	sort.Slice(out, func(i, j int) bool { return out[i].BrickOff < out[j].BrickOff })
+	return out
+}
+
+// importChunk is the transfer unit of Import/Export.
+const importChunk = 1 << 20
+
+// Import copies size bytes from r into a new linear DPFS file at path
+// (the sequential-file → DPFS direction of the Section 7 user
+// interface).
+func (fs *FS) Import(ctx context.Context, r io.Reader, path string, size int64, hint Hint) (err error) {
+	if hint.Level == 0 {
+		hint.Level = stripe.LevelLinear
+	}
+	if hint.Level != stripe.LevelLinear {
+		return fmt.Errorf("dpfs: import requires a linear file level, have %v", hint.Level)
+	}
+	f, err := fs.Create(path, 1, []int64{size}, hint)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		cerr := f.Close()
+		if err == nil {
+			err = cerr
+		}
+		if err != nil {
+			// Leave no half-imported file behind.
+			_ = fs.Remove(ctx, path)
+		}
+	}()
+	buf := make([]byte, importChunk)
+	var off int64
+	for off < size {
+		n := importChunk
+		if rem := size - off; rem < int64(n) {
+			n = int(rem)
+		}
+		if _, err := io.ReadFull(r, buf[:n]); err != nil {
+			return fmt.Errorf("dpfs: import %s: %w", path, err)
+		}
+		if err := f.WriteAt(ctx, buf[:n], off); err != nil {
+			return err
+		}
+		off += int64(n)
+	}
+	return nil
+}
+
+// Export copies a DPFS file's full contents to w as a flat sequential
+// byte stream. Multidimensional and array files are linearized
+// row-major (the in-memory reorganization of Sec. 3.2).
+func (fs *FS) Export(ctx context.Context, w io.Writer, path string) error {
+	f, err := fs.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	g := &f.info.Geometry
+
+	if g.Level == stripe.LevelLinear && len(g.Dims) == 1 {
+		buf := make([]byte, importChunk)
+		size := g.Size()
+		var off int64
+		for off < size {
+			n := int64(importChunk)
+			if rem := size - off; rem < n {
+				n = rem
+			}
+			if err := f.ReadAt(ctx, buf[:n], off); err != nil {
+				return err
+			}
+			if _, err := w.Write(buf[:n]); err != nil {
+				return fmt.Errorf("dpfs: export %s: %w", path, err)
+			}
+			off += n
+		}
+		return nil
+	}
+
+	// Array-shaped files: stream row-block sections in row-major
+	// order.
+	rows := g.Dims[0]
+	rowBytes := g.Size() / rows
+	step := rows
+	if rowBytes > 0 {
+		step = importChunk / rowBytes
+		if step < 1 {
+			step = 1
+		}
+	}
+	for r0 := int64(0); r0 < rows; r0 += step {
+		n := step
+		if rem := rows - r0; rem < n {
+			n = rem
+		}
+		sec := stripe.FullSection(g.Dims)
+		sec.Start[0] = r0
+		sec.Count[0] = n
+		buf := make([]byte, sec.Bytes(g.ElemSize))
+		if err := f.ReadSection(ctx, sec, buf); err != nil {
+			return err
+		}
+		if _, err := w.Write(buf); err != nil {
+			return fmt.Errorf("dpfs: export %s: %w", path, err)
+		}
+	}
+	return nil
+}

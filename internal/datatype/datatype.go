@@ -1,0 +1,338 @@
+// Package datatype implements MPI-IO style derived datatypes, the
+// mechanism DPFS adopts to let users express non-contiguous data
+// conveniently (Section 6 of the paper, following Thakur et al.'s "A
+// case for using MPI's derived datatypes to improve I/O performance").
+//
+// A Type describes a pattern of bytes inside a user buffer. Packing
+// gathers the described bytes into a contiguous buffer (what travels to
+// the I/O servers); unpacking scatters a contiguous buffer back out.
+package datatype
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Type describes a (possibly non-contiguous) byte layout in memory.
+//
+// Size is the number of payload bytes the type selects; Extent is the
+// span of memory it covers, so that Count consecutive instances of the
+// type start Extent bytes apart.
+type Type interface {
+	Size() int64
+	Extent() int64
+
+	// segments calls yield for every contiguous run (offset relative to
+	// the instance origin plus base, length in bytes) in memory order.
+	// It stops early and returns false when yield returns false.
+	segments(base int64, yield func(off, n int64) bool) bool
+}
+
+// Segment is one contiguous run of a datatype's layout.
+type Segment struct {
+	Off int64 // byte offset within the user buffer
+	Len int64 // run length in bytes
+}
+
+// Segments materializes the type's layout as a list of contiguous runs
+// in memory order.
+func Segments(t Type) []Segment {
+	var out []Segment
+	t.segments(0, func(off, n int64) bool {
+		if len(out) > 0 && out[len(out)-1].Off+out[len(out)-1].Len == off {
+			out[len(out)-1].Len += n
+			return true
+		}
+		out = append(out, Segment{Off: off, Len: n})
+		return true
+	})
+	return out
+}
+
+// Pack gathers the bytes the type describes from mem into a fresh
+// contiguous buffer of t.Size() bytes.
+func Pack(t Type, mem []byte) ([]byte, error) {
+	out := make([]byte, t.Size())
+	if err := PackInto(t, mem, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PackInto gathers the described bytes into out, which must be at least
+// t.Size() long.
+func PackInto(t Type, mem, out []byte) error {
+	if int64(len(out)) < t.Size() {
+		return fmt.Errorf("datatype: pack buffer %d bytes, need %d", len(out), t.Size())
+	}
+	if t.Extent() > int64(len(mem)) {
+		return fmt.Errorf("datatype: memory buffer %d bytes, type extent %d", len(mem), t.Extent())
+	}
+	pos := int64(0)
+	ok := t.segments(0, func(off, n int64) bool {
+		copy(out[pos:pos+n], mem[off:off+n])
+		pos += n
+		return true
+	})
+	if !ok {
+		return errors.New("datatype: pack aborted")
+	}
+	return nil
+}
+
+// Unpack scatters the contiguous buffer in (t.Size() bytes) into mem
+// following the type's layout.
+func Unpack(t Type, in, mem []byte) error {
+	if int64(len(in)) < t.Size() {
+		return fmt.Errorf("datatype: unpack source %d bytes, need %d", len(in), t.Size())
+	}
+	if t.Extent() > int64(len(mem)) {
+		return fmt.Errorf("datatype: memory buffer %d bytes, type extent %d", len(mem), t.Extent())
+	}
+	pos := int64(0)
+	ok := t.segments(0, func(off, n int64) bool {
+		copy(mem[off:off+n], in[pos:pos+n])
+		pos += n
+		return true
+	})
+	if !ok {
+		return errors.New("datatype: unpack aborted")
+	}
+	return nil
+}
+
+// Contig returns true when the type is a single contiguous run, in
+// which case Pack/Unpack degrade to a copy (or can be skipped).
+func Contig(t Type) bool {
+	segs := Segments(t)
+	return len(segs) == 0 || (len(segs) == 1 && segs[0].Off == 0 && segs[0].Len == t.Size())
+}
+
+// --- Base and constructed types -------------------------------------
+
+// Bytes is the elementary contiguous type of n bytes (MPI_BYTE with a
+// count folded in).
+type Bytes int64
+
+// Size implements Type.
+func (b Bytes) Size() int64 { return int64(b) }
+
+// Extent implements Type.
+func (b Bytes) Extent() int64 { return int64(b) }
+
+func (b Bytes) segments(base int64, yield func(off, n int64) bool) bool {
+	if b == 0 {
+		return true
+	}
+	return yield(base, int64(b))
+}
+
+// Contiguous is Count consecutive instances of Elem
+// (MPI_Type_contiguous).
+type Contiguous struct {
+	Count int64
+	Elem  Type
+}
+
+// Size implements Type.
+func (c Contiguous) Size() int64 { return c.Count * c.Elem.Size() }
+
+// Extent implements Type.
+func (c Contiguous) Extent() int64 { return c.Count * c.Elem.Extent() }
+
+func (c Contiguous) segments(base int64, yield func(off, n int64) bool) bool {
+	ext := c.Elem.Extent()
+	for i := int64(0); i < c.Count; i++ {
+		if !c.Elem.segments(base+i*ext, yield) {
+			return false
+		}
+	}
+	return true
+}
+
+// Vector is Count blocks of BlockLen elements, the starts of
+// consecutive blocks Stride elements apart (MPI_Type_vector). Stride is
+// measured in units of Elem.Extent().
+type Vector struct {
+	Count    int64
+	BlockLen int64
+	Stride   int64
+	Elem     Type
+}
+
+// Size implements Type.
+func (v Vector) Size() int64 { return v.Count * v.BlockLen * v.Elem.Size() }
+
+// Extent implements Type.
+func (v Vector) Extent() int64 {
+	if v.Count == 0 {
+		return 0
+	}
+	ext := v.Elem.Extent()
+	return ((v.Count-1)*v.Stride + v.BlockLen) * ext
+}
+
+func (v Vector) segments(base int64, yield func(off, n int64) bool) bool {
+	ext := v.Elem.Extent()
+	blk := Contiguous{Count: v.BlockLen, Elem: v.Elem}
+	for i := int64(0); i < v.Count; i++ {
+		if !blk.segments(base+i*v.Stride*ext, yield) {
+			return false
+		}
+	}
+	return true
+}
+
+// Indexed is a sequence of blocks of varying length at varying
+// displacements, both measured in units of Elem.Extent()
+// (MPI_Type_indexed). Displacements must be non-decreasing in memory
+// order for packing to be well defined.
+type Indexed struct {
+	BlockLens []int64
+	Displs    []int64
+	Elem      Type
+}
+
+// Size implements Type.
+func (ix Indexed) Size() int64 {
+	var n int64
+	for _, b := range ix.BlockLens {
+		n += b
+	}
+	return n * ix.Elem.Size()
+}
+
+// Extent implements Type.
+func (ix Indexed) Extent() int64 {
+	var hi int64
+	for i := range ix.BlockLens {
+		end := ix.Displs[i] + ix.BlockLens[i]
+		if end > hi {
+			hi = end
+		}
+	}
+	return hi * ix.Elem.Extent()
+}
+
+func (ix Indexed) segments(base int64, yield func(off, n int64) bool) bool {
+	ext := ix.Elem.Extent()
+	for i := range ix.BlockLens {
+		blk := Contiguous{Count: ix.BlockLens[i], Elem: ix.Elem}
+		if !blk.segments(base+ix.Displs[i]*ext, yield) {
+			return false
+		}
+	}
+	return true
+}
+
+// Subarray selects the hyper-rectangle [Start, Start+Count) of a
+// row-major N-dimensional array of Dims elements, each ElemSize bytes
+// (MPI_Type_create_subarray). Its extent is the whole array.
+type Subarray struct {
+	ElemSize int64
+	Dims     []int64
+	Start    []int64
+	Count    []int64
+}
+
+// Size implements Type.
+func (s Subarray) Size() int64 {
+	n := s.ElemSize
+	for _, c := range s.Count {
+		n *= c
+	}
+	return n
+}
+
+// Extent implements Type.
+func (s Subarray) Extent() int64 {
+	n := s.ElemSize
+	for _, d := range s.Dims {
+		n *= d
+	}
+	return n
+}
+
+func (s Subarray) segments(base int64, yield func(off, n int64) bool) bool {
+	nd := len(s.Dims)
+	if nd == 0 {
+		return true
+	}
+	run := s.Count[nd-1] * s.ElemSize
+	pos := make([]int64, nd)
+	for {
+		off := int64(0)
+		for d := 0; d < nd; d++ {
+			off = off*s.Dims[d] + s.Start[d] + pos[d]
+		}
+		if !yield(base+off*s.ElemSize, run) {
+			return false
+		}
+		d := nd - 2
+		for d >= 0 {
+			pos[d]++
+			if pos[d] < s.Count[d] {
+				break
+			}
+			pos[d] = 0
+			d--
+		}
+		if d < 0 {
+			return true
+		}
+	}
+}
+
+// Validate checks a Subarray's internal consistency.
+func (s Subarray) Validate() error {
+	if s.ElemSize <= 0 {
+		return errors.New("datatype: subarray ElemSize must be positive")
+	}
+	if len(s.Dims) == 0 || len(s.Start) != len(s.Dims) || len(s.Count) != len(s.Dims) {
+		return errors.New("datatype: subarray rank mismatch")
+	}
+	for d := range s.Dims {
+		if s.Dims[d] <= 0 || s.Start[d] < 0 || s.Count[d] <= 0 || s.Start[d]+s.Count[d] > s.Dims[d] {
+			return fmt.Errorf("datatype: subarray dim %d out of range", d)
+		}
+	}
+	return nil
+}
+
+// Struct is a heterogeneous sequence of fields at explicit byte
+// displacements (MPI_Type_create_struct). Displacements must be
+// non-decreasing in memory order for packing to be well defined.
+type Struct struct {
+	Displs []int64 // byte displacement of each field
+	Types  []Type
+}
+
+// Size implements Type.
+func (st Struct) Size() int64 {
+	var n int64
+	for _, t := range st.Types {
+		n += t.Size()
+	}
+	return n
+}
+
+// Extent implements Type.
+func (st Struct) Extent() int64 {
+	var hi int64
+	for i, t := range st.Types {
+		end := st.Displs[i] + t.Extent()
+		if end > hi {
+			hi = end
+		}
+	}
+	return hi
+}
+
+func (st Struct) segments(base int64, yield func(off, n int64) bool) bool {
+	for i, t := range st.Types {
+		if !t.segments(base+st.Displs[i], yield) {
+			return false
+		}
+	}
+	return true
+}

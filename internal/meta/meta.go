@@ -1,0 +1,858 @@
+// Package meta implements the DPFS meta-data catalog of Section 5: the
+// four relational tables of Fig. 10 (DPFS-SERVER,
+// DPFS-FILE-DISTRIBUTION, DPFS-DIRECTORY, DPFS-FILE-ATTR) kept in a SQL
+// database and manipulated through plain SQL statements inside
+// transactions. The database can be embedded (a *metadb.Session) or
+// remote (an *mdbnet.Client), exactly as the paper runs POSTGRES on a
+// separate machine.
+package meta
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"dpfs/internal/metadb"
+	"dpfs/internal/stripe"
+)
+
+// Execer runs one SQL statement; *metadb.Session and *mdbnet.Client
+// both satisfy it. Statements issued between BEGIN and COMMIT must see
+// connection/session-scoped transaction semantics.
+type Execer interface {
+	Exec(sql string) (*metadb.Result, error)
+}
+
+// ServerInfo is one row of DPFS-SERVER.
+type ServerInfo struct {
+	Name string
+	// Capacity is the advertised storage capacity in bytes.
+	Capacity int64
+	// Performance is the normalized per-brick access time (fastest
+	// server = 1; a server 3x slower = 3). The greedy striping
+	// algorithm consumes this.
+	Performance int
+	// Addr is the network address of the DPFS server process.
+	Addr string
+}
+
+// FileInfo is a DPFS file's complete meta data: the DPFS-FILE-ATTR row
+// plus the server list of its distribution.
+type FileInfo struct {
+	Path     string
+	Owner    string
+	Perm     int
+	Size     int64
+	Geometry stripe.Geometry
+	// Placement names the striping algorithm used at creation.
+	Placement string
+	// Servers holds, in distribution order, the names of the servers
+	// across which the file is striped; the brick→server assignment
+	// indexes into it.
+	Servers []string
+}
+
+// Catalog performs DPFS catalog operations over a SQL connection. It
+// is safe for concurrent use; operations that touch multiple tables
+// run inside a transaction.
+type Catalog struct {
+	mu sync.Mutex
+	db Execer
+}
+
+// NewCatalog wraps a SQL connection.
+func NewCatalog(db Execer) *Catalog { return &Catalog{db: db} }
+
+// Init creates the four DPFS tables (idempotent) and the root
+// directory.
+func (c *Catalog) Init() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	stmts := []string{
+		`CREATE TABLE IF NOT EXISTS dpfs_server (
+			server_name TEXT PRIMARY KEY,
+			capacity INT NOT NULL,
+			performance INT NOT NULL,
+			addr TEXT NOT NULL)`,
+		`CREATE TABLE IF NOT EXISTS dpfs_file_distribution (
+			server TEXT NOT NULL,
+			filename TEXT NOT NULL,
+			srv_index INT NOT NULL,
+			brick_count INT NOT NULL,
+			bricklist TEXT NOT NULL)`,
+		`CREATE INDEX IF NOT EXISTS dist_by_file ON dpfs_file_distribution (filename)`,
+		`CREATE INDEX IF NOT EXISTS dist_by_server ON dpfs_file_distribution (server)`,
+		`CREATE TABLE IF NOT EXISTS dpfs_directory (
+			main_dir TEXT PRIMARY KEY,
+			sub_dirs TEXT NOT NULL,
+			files TEXT NOT NULL)`,
+		`CREATE TABLE IF NOT EXISTS dpfs_file_attr (
+			filename TEXT PRIMARY KEY,
+			owner TEXT NOT NULL,
+			permission INT NOT NULL,
+			size INT NOT NULL,
+			filelevel TEXT NOT NULL,
+			elem_size INT NOT NULL,
+			dims TEXT NOT NULL,
+			brick_bytes INT NOT NULL,
+			tile TEXT NOT NULL,
+			pattern TEXT NOT NULL,
+			grid TEXT NOT NULL,
+			placement TEXT NOT NULL,
+			slot_bytes INT NOT NULL)`,
+	}
+	for _, s := range stmts {
+		if _, err := c.db.Exec(s); err != nil {
+			return fmt.Errorf("meta: init: %w", err)
+		}
+	}
+	// Ensure the root directory row exists.
+	res, err := c.db.Exec(`SELECT main_dir FROM dpfs_directory WHERE main_dir = '/'`)
+	if err != nil {
+		return err
+	}
+	if len(res.Rows) == 0 {
+		_, err = c.db.Exec(`INSERT INTO dpfs_directory VALUES ('/', '', '')`)
+		if err != nil && !strings.Contains(err.Error(), "duplicate") {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- server registry --------------------------------------------------
+
+// RegisterServer adds or updates a DPFS-SERVER row.
+func (c *Catalog) RegisterServer(s ServerInfo) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := validName(s.Name); err != nil {
+		return err
+	}
+	if s.Performance < 1 {
+		return fmt.Errorf("meta: server %q performance must be >= 1", s.Name)
+	}
+	res, err := c.db.Exec(fmt.Sprintf(
+		`UPDATE dpfs_server SET capacity = %d, performance = %d, addr = %s WHERE server_name = %s`,
+		s.Capacity, s.Performance, quote(s.Addr), quote(s.Name)))
+	if err != nil {
+		return err
+	}
+	if res.RowsAffected == 0 {
+		_, err = c.db.Exec(fmt.Sprintf(`INSERT INTO dpfs_server VALUES (%s, %d, %d, %s)`,
+			quote(s.Name), s.Capacity, s.Performance, quote(s.Addr)))
+	}
+	return err
+}
+
+// RemoveServer drops a server from the registry. Files striped over it
+// keep their distribution rows; removing a server that still holds
+// files is an administrative error the caller must avoid.
+func (c *Catalog) RemoveServer(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	res, err := c.db.Exec(fmt.Sprintf(`DELETE FROM dpfs_server WHERE server_name = %s`, quote(name)))
+	if err != nil {
+		return err
+	}
+	if res.RowsAffected == 0 {
+		return fmt.Errorf("meta: no such server %q", name)
+	}
+	return nil
+}
+
+// Servers lists registered servers ordered by name.
+func (c *Catalog) Servers() ([]ServerInfo, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.serversLocked()
+}
+
+func (c *Catalog) serversLocked() ([]ServerInfo, error) {
+	res, err := c.db.Exec(`SELECT server_name, capacity, performance, addr FROM dpfs_server ORDER BY server_name`)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ServerInfo, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		out = append(out, ServerInfo{
+			Name:        r[0].Str,
+			Capacity:    r[1].Int,
+			Performance: int(r[2].Int),
+			Addr:        r[3].Str,
+		})
+	}
+	return out, nil
+}
+
+// Server returns one server's registration.
+func (c *Catalog) Server(name string) (ServerInfo, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	res, err := c.db.Exec(fmt.Sprintf(
+		`SELECT server_name, capacity, performance, addr FROM dpfs_server WHERE server_name = %s`, quote(name)))
+	if err != nil {
+		return ServerInfo{}, err
+	}
+	if len(res.Rows) == 0 {
+		return ServerInfo{}, fmt.Errorf("meta: no such server %q", name)
+	}
+	r := res.Rows[0]
+	return ServerInfo{Name: r[0].Str, Capacity: r[1].Int, Performance: int(r[2].Int), Addr: r[3].Str}, nil
+}
+
+// --- directories -------------------------------------------------------
+
+// Mkdir creates a directory; the parent must exist.
+func (c *Catalog) Mkdir(path string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	path, err := CleanPath(path)
+	if err != nil {
+		return err
+	}
+	if path == "/" {
+		return errors.New("meta: root directory already exists")
+	}
+	parent, name := Split(path)
+	if err := validName(name); err != nil {
+		return err
+	}
+	return c.inTx(func() error {
+		subs, files, err := c.readDirLocked(parent)
+		if err != nil {
+			return err
+		}
+		if contains(subs, name) || contains(files, name) {
+			return fmt.Errorf("meta: %s already exists", path)
+		}
+		if _, err := c.db.Exec(fmt.Sprintf(`INSERT INTO dpfs_directory VALUES (%s, '', '')`, quote(path))); err != nil {
+			return err
+		}
+		subs = append(subs, name)
+		sort.Strings(subs)
+		return c.writeDirList(parent, "sub_dirs", subs)
+	})
+}
+
+// Rmdir removes an empty directory.
+func (c *Catalog) Rmdir(path string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	path, err := CleanPath(path)
+	if err != nil {
+		return err
+	}
+	if path == "/" {
+		return errors.New("meta: cannot remove the root directory")
+	}
+	parent, name := Split(path)
+	return c.inTx(func() error {
+		subs, files, err := c.readDirLocked(path)
+		if err != nil {
+			return err
+		}
+		if len(subs) > 0 || len(files) > 0 {
+			return fmt.Errorf("meta: directory %s not empty", path)
+		}
+		if _, err := c.db.Exec(fmt.Sprintf(`DELETE FROM dpfs_directory WHERE main_dir = %s`, quote(path))); err != nil {
+			return err
+		}
+		psubs, _, err := c.readDirLocked(parent)
+		if err != nil {
+			return err
+		}
+		return c.writeDirList(parent, "sub_dirs", remove(psubs, name))
+	})
+}
+
+// ReadDir lists a directory's sub-directories and files, both sorted.
+func (c *Catalog) ReadDir(path string) (dirs, files []string, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	path, err = CleanPath(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c.readDirLocked(path)
+}
+
+// IsDir reports whether path names an existing directory.
+func (c *Catalog) IsDir(path string) (bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	path, err := CleanPath(path)
+	if err != nil {
+		return false, err
+	}
+	res, err := c.db.Exec(fmt.Sprintf(`SELECT main_dir FROM dpfs_directory WHERE main_dir = %s`, quote(path)))
+	if err != nil {
+		return false, err
+	}
+	return len(res.Rows) > 0, nil
+}
+
+func (c *Catalog) readDirLocked(path string) (subs, files []string, err error) {
+	res, err := c.db.Exec(fmt.Sprintf(
+		`SELECT sub_dirs, files FROM dpfs_directory WHERE main_dir = %s`, quote(path)))
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(res.Rows) == 0 {
+		return nil, nil, fmt.Errorf("meta: no such directory %s", path)
+	}
+	return splitList(res.Rows[0][0].Str), splitList(res.Rows[0][1].Str), nil
+}
+
+func (c *Catalog) writeDirList(path, col string, list []string) error {
+	_, err := c.db.Exec(fmt.Sprintf(`UPDATE dpfs_directory SET %s = %s WHERE main_dir = %s`,
+		col, quote(joinList(list)), quote(path)))
+	return err
+}
+
+// --- files -------------------------------------------------------------
+
+// CreateFile atomically records a new file: its DPFS-FILE-ATTR row, one
+// DPFS-FILE-DISTRIBUTION row per server, and the parent directory
+// update. assign maps brick id to an index into fi.Servers.
+func (c *Catalog) CreateFile(fi FileInfo, assign []int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	path, err := CleanPath(fi.Path)
+	if err != nil {
+		return err
+	}
+	fi.Path = path
+	parent, name := Split(path)
+	if err := validName(name); err != nil {
+		return err
+	}
+	if len(fi.Servers) == 0 {
+		return errors.New("meta: file needs at least one server")
+	}
+	if err := fi.Geometry.Validate(); err != nil {
+		return err
+	}
+	return c.inTx(func() error {
+		subs, files, err := c.readDirLocked(parent)
+		if err != nil {
+			return err
+		}
+		if contains(subs, name) || contains(files, name) {
+			return fmt.Errorf("meta: %s already exists", path)
+		}
+		g := &fi.Geometry
+		if _, err := c.db.Exec(fmt.Sprintf(
+			`INSERT INTO dpfs_file_attr VALUES (%s, %s, %d, %d, %s, %d, %s, %d, %s, %s, %s, %s, %d)`,
+			quote(path), quote(fi.Owner), fi.Perm, fi.Size, quote(g.Level.String()),
+			g.ElemSize, quote(joinInts(g.Dims)), g.BrickBytes, quote(joinInts(g.Tile)),
+			quote(joinPattern(g.Pattern)), quote(joinInts(g.Grid)), quote(fi.Placement),
+			g.SlotBytes())); err != nil {
+			return err
+		}
+		lists := stripe.BrickLists(assign, len(fi.Servers))
+		for si, list := range lists {
+			if _, err := c.db.Exec(fmt.Sprintf(
+				`INSERT INTO dpfs_file_distribution VALUES (%s, %s, %d, %d, %s)`,
+				quote(fi.Servers[si]), quote(path), si, len(list),
+				quote(stripe.FormatBrickList(list)))); err != nil {
+				return err
+			}
+		}
+		files = append(files, name)
+		sort.Strings(files)
+		return c.writeDirList(parent, "files", files)
+	})
+}
+
+// LookupFile loads a file's meta data and reconstructs the brick →
+// server assignment from the stored brick lists.
+func (c *Catalog) LookupFile(path string) (FileInfo, []int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	path, err := CleanPath(path)
+	if err != nil {
+		return FileInfo{}, nil, err
+	}
+	fi, err := c.statLocked(path)
+	if err != nil {
+		return FileInfo{}, nil, err
+	}
+	res, err := c.db.Exec(fmt.Sprintf(
+		`SELECT server, srv_index, bricklist FROM dpfs_file_distribution WHERE filename = %s ORDER BY srv_index`,
+		quote(path)))
+	if err != nil {
+		return FileInfo{}, nil, err
+	}
+	if len(res.Rows) == 0 {
+		return FileInfo{}, nil, fmt.Errorf("meta: file %s has no distribution rows", path)
+	}
+	lists := make([][]int, len(res.Rows))
+	fi.Servers = make([]string, len(res.Rows))
+	for _, r := range res.Rows {
+		si := int(r[1].Int)
+		if si < 0 || si >= len(res.Rows) {
+			return FileInfo{}, nil, fmt.Errorf("meta: file %s has corrupt srv_index %d", path, si)
+		}
+		fi.Servers[si] = r[0].Str
+		list, err := stripe.ParseBrickList(r[2].Str)
+		if err != nil {
+			return FileInfo{}, nil, err
+		}
+		lists[si] = list
+	}
+	assign, err := stripe.AssignmentFromLists(lists, fi.Geometry.NumBricks())
+	if err != nil {
+		return FileInfo{}, nil, fmt.Errorf("meta: file %s: %w", path, err)
+	}
+	return fi, assign, nil
+}
+
+// Stat returns a file's attributes without its distribution.
+func (c *Catalog) Stat(path string) (FileInfo, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	path, err := CleanPath(path)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	return c.statLocked(path)
+}
+
+func (c *Catalog) statLocked(path string) (FileInfo, error) {
+	res, err := c.db.Exec(fmt.Sprintf(
+		`SELECT owner, permission, size, filelevel, elem_size, dims, brick_bytes, tile, pattern, grid, placement
+		 FROM dpfs_file_attr WHERE filename = %s`, quote(path)))
+	if err != nil {
+		return FileInfo{}, err
+	}
+	if len(res.Rows) == 0 {
+		return FileInfo{}, fmt.Errorf("meta: no such file %s", path)
+	}
+	r := res.Rows[0]
+	level, err := stripe.ParseLevel(r[3].Str)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	dims, err := splitInts(r[5].Str)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	tile, err := splitInts(r[7].Str)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	pattern, err := splitPattern(r[8].Str)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	grid, err := splitInts(r[9].Str)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	return FileInfo{
+		Path:  path,
+		Owner: r[0].Str,
+		Perm:  int(r[1].Int),
+		Size:  r[2].Int,
+		Geometry: stripe.Geometry{
+			Level:      level,
+			ElemSize:   r[4].Int,
+			Dims:       dims,
+			BrickBytes: r[6].Int,
+			Tile:       tile,
+			Pattern:    pattern,
+			Grid:       grid,
+		},
+		Placement: r[10].Str,
+	}, nil
+}
+
+// RemoveFile atomically deletes a file's attr row, distribution rows
+// and directory entry, returning its former distribution so the caller
+// can delete the subfiles on the I/O servers.
+func (c *Catalog) RemoveFile(path string) (FileInfo, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	path, err := CleanPath(path)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	parent, name := Split(path)
+	var fi FileInfo
+	err = c.inTx(func() error {
+		fi, err = c.statLocked(path)
+		if err != nil {
+			return err
+		}
+		res, err := c.db.Exec(fmt.Sprintf(
+			`SELECT server FROM dpfs_file_distribution WHERE filename = %s ORDER BY srv_index`, quote(path)))
+		if err != nil {
+			return err
+		}
+		for _, r := range res.Rows {
+			fi.Servers = append(fi.Servers, r[0].Str)
+		}
+		if _, err := c.db.Exec(fmt.Sprintf(`DELETE FROM dpfs_file_attr WHERE filename = %s`, quote(path))); err != nil {
+			return err
+		}
+		if _, err := c.db.Exec(fmt.Sprintf(`DELETE FROM dpfs_file_distribution WHERE filename = %s`, quote(path))); err != nil {
+			return err
+		}
+		_, files, err := c.readDirLocked(parent)
+		if err != nil {
+			return err
+		}
+		return c.writeDirList(parent, "files", remove(files, name))
+	})
+	return fi, err
+}
+
+// RenameFile atomically moves a file's catalog records to a new path
+// (attr row, distribution rows, and both directory entries) and
+// returns the server list so the caller can rename the subfiles. The
+// destination's parent directory must exist and the destination must
+// not.
+func (c *Catalog) RenameFile(oldPath, newPath string) (servers []string, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	oldPath, err = CleanPath(oldPath)
+	if err != nil {
+		return nil, err
+	}
+	newPath, err = CleanPath(newPath)
+	if err != nil {
+		return nil, err
+	}
+	if oldPath == newPath {
+		return nil, fmt.Errorf("meta: rename %s onto itself", oldPath)
+	}
+	oldParent, oldName := Split(oldPath)
+	newParent, newName := Split(newPath)
+	if err := validName(newName); err != nil {
+		return nil, err
+	}
+	err = c.inTx(func() error {
+		if _, err := c.statLocked(oldPath); err != nil {
+			return err
+		}
+		nsubs, nfiles, err := c.readDirLocked(newParent)
+		if err != nil {
+			return err
+		}
+		if contains(nsubs, newName) || contains(nfiles, newName) {
+			return fmt.Errorf("meta: %s already exists", newPath)
+		}
+		res, err := c.db.Exec(fmt.Sprintf(
+			`SELECT server FROM dpfs_file_distribution WHERE filename = %s ORDER BY srv_index`, quote(oldPath)))
+		if err != nil {
+			return err
+		}
+		for _, r := range res.Rows {
+			servers = append(servers, r[0].Str)
+		}
+		if _, err := c.db.Exec(fmt.Sprintf(
+			`UPDATE dpfs_file_attr SET filename = %s WHERE filename = %s`,
+			quote(newPath), quote(oldPath))); err != nil {
+			return err
+		}
+		if _, err := c.db.Exec(fmt.Sprintf(
+			`UPDATE dpfs_file_distribution SET filename = %s WHERE filename = %s`,
+			quote(newPath), quote(oldPath))); err != nil {
+			return err
+		}
+		osubs, ofiles, err := c.readDirLocked(oldParent)
+		if err != nil {
+			return err
+		}
+		_ = osubs
+		if err := c.writeDirList(oldParent, "files", remove(ofiles, oldName)); err != nil {
+			return err
+		}
+		// Re-read in case old and new parents are the same directory.
+		_, nfiles, err = c.readDirLocked(newParent)
+		if err != nil {
+			return err
+		}
+		nfiles = append(nfiles, newName)
+		sort.Strings(nfiles)
+		return c.writeDirList(newParent, "files", nfiles)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return servers, nil
+}
+
+// ServerUsage is one row of the catalog's per-server load report.
+type ServerUsage struct {
+	Name        string
+	Capacity    int64
+	Performance int
+	Files       int64 // files with at least one brick on the server
+	Bricks      int64 // total bricks the server holds
+}
+
+// Usage aggregates DPFS-FILE-DISTRIBUTION per server (GROUP BY over
+// the catalog) and merges in the DPFS-SERVER registrations; servers
+// holding no files report zeros.
+func (c *Catalog) Usage() ([]ServerUsage, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	servers, err := c.serversLocked()
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.db.Exec(`SELECT server, COUNT(*), SUM(brick_count)
+		FROM dpfs_file_distribution GROUP BY server`)
+	if err != nil {
+		return nil, err
+	}
+	byName := make(map[string]*ServerUsage, len(servers))
+	out := make([]ServerUsage, len(servers))
+	for i, s := range servers {
+		out[i] = ServerUsage{Name: s.Name, Capacity: s.Capacity, Performance: s.Performance}
+		byName[s.Name] = &out[i]
+	}
+	for _, r := range res.Rows {
+		if u, ok := byName[r[0].Str]; ok {
+			u.Files = r[1].Int
+			u.Bricks = r[2].Int
+		}
+	}
+	return out, nil
+}
+
+// UsedBytes reports, per server, the bytes of subfile storage the
+// catalog accounts for (bricks held x the owning file's slot size),
+// computed with a join of DPFS-FILE-DISTRIBUTION and DPFS-FILE-ATTR
+// grouped by server. The create path uses it to enforce DPFS-SERVER
+// capacity.
+func (c *Catalog) UsedBytes() (map[string]int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.usedBytesLocked()
+}
+
+func (c *Catalog) usedBytesLocked() (map[string]int64, error) {
+	res, err := c.db.Exec(`SELECT d.server, SUM(d.brick_count * a.slot_bytes)
+		FROM dpfs_file_distribution d
+		JOIN dpfs_file_attr a ON d.filename = a.filename
+		GROUP BY d.server`)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]int64, len(res.Rows))
+	for _, r := range res.Rows {
+		out[r[0].Str] = r[1].Int
+	}
+	return out, nil
+}
+
+// FileOnServer is one row of FilesOnServer.
+type FileOnServer struct {
+	Path   string
+	Size   int64
+	Bricks int64
+}
+
+// FilesOnServer reports, via a join of DPFS-FILE-DISTRIBUTION with
+// DPFS-FILE-ATTR, every file holding bricks on the named server — the
+// query an administrator runs before retiring a storage machine.
+func (c *Catalog) FilesOnServer(server string) ([]FileOnServer, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	res, err := c.db.Exec(fmt.Sprintf(
+		`SELECT d.filename, a.size, d.brick_count
+		 FROM dpfs_file_distribution d
+		 JOIN dpfs_file_attr a ON d.filename = a.filename
+		 WHERE d.server = %s ORDER BY d.filename`, quote(server)))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]FileOnServer, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		out = append(out, FileOnServer{Path: r[0].Str, Size: r[1].Int, Bricks: r[2].Int})
+	}
+	return out, nil
+}
+
+// SetSize updates DPFS-FILE-ATTR.size after writes extend a file.
+func (c *Catalog) SetSize(path string, size int64) error {
+	return c.setAttr(path, fmt.Sprintf("size = %d", size))
+}
+
+// SetPerm updates DPFS-FILE-ATTR.permission (chmod).
+func (c *Catalog) SetPerm(path string, perm int) error {
+	if perm < 0 || perm > 0o7777 {
+		return fmt.Errorf("meta: invalid permission %o", perm)
+	}
+	return c.setAttr(path, fmt.Sprintf("permission = %d", perm))
+}
+
+// SetOwner updates DPFS-FILE-ATTR.owner (chown).
+func (c *Catalog) SetOwner(path, owner string) error {
+	if err := validName(owner); err != nil {
+		return err
+	}
+	return c.setAttr(path, "owner = "+quote(owner))
+}
+
+func (c *Catalog) setAttr(path, set string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	path, err := CleanPath(path)
+	if err != nil {
+		return err
+	}
+	res, err := c.db.Exec(fmt.Sprintf(`UPDATE dpfs_file_attr SET %s WHERE filename = %s`, set, quote(path)))
+	if err != nil {
+		return err
+	}
+	if res.RowsAffected == 0 {
+		return fmt.Errorf("meta: no such file %s", path)
+	}
+	return nil
+}
+
+// inTx runs fn inside BEGIN/COMMIT, rolling back on error.
+func (c *Catalog) inTx(fn func() error) error {
+	if _, err := c.db.Exec(`BEGIN`); err != nil {
+		return err
+	}
+	if err := fn(); err != nil {
+		_, _ = c.db.Exec(`ROLLBACK`)
+		return err
+	}
+	_, err := c.db.Exec(`COMMIT`)
+	return err
+}
+
+// --- helpers -----------------------------------------------------------
+
+// CleanPath validates and canonicalizes an absolute DPFS path.
+func CleanPath(p string) (string, error) {
+	if p == "" || p[0] != '/' {
+		return "", fmt.Errorf("meta: path %q must be absolute", p)
+	}
+	parts := strings.Split(p, "/")
+	var stack []string
+	for _, part := range parts {
+		switch part {
+		case "", ".":
+		case "..":
+			if len(stack) > 0 {
+				stack = stack[:len(stack)-1]
+			}
+		default:
+			if err := validName(part); err != nil {
+				return "", err
+			}
+			stack = append(stack, part)
+		}
+	}
+	return "/" + strings.Join(stack, "/"), nil
+}
+
+// Split returns the parent directory and base name of a cleaned path.
+func Split(p string) (dir, name string) {
+	i := strings.LastIndexByte(p, '/')
+	if i <= 0 {
+		return "/", p[i+1:]
+	}
+	return p[:i], p[i+1:]
+}
+
+func validName(name string) error {
+	if name == "" {
+		return errors.New("meta: empty name")
+	}
+	if strings.ContainsAny(name, ",/'\n") {
+		return fmt.Errorf("meta: name %q contains a reserved character", name)
+	}
+	return nil
+}
+
+func quote(s string) string { return metadb.S(s).String() }
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
+}
+
+func joinList(l []string) string { return strings.Join(l, ",") }
+
+func joinInts(xs []int64) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = strconv.FormatInt(x, 10)
+	}
+	return strings.Join(parts, ",")
+}
+
+func splitInts(s string) ([]int64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("meta: bad integer list %q", s)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func joinPattern(p []stripe.Dist) string {
+	parts := make([]string, len(p))
+	for i, d := range p {
+		parts[i] = d.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+func splitPattern(s string) ([]stripe.Dist, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]stripe.Dist, len(parts))
+	for i, p := range parts {
+		switch p {
+		case "BLOCK":
+			out[i] = stripe.DistBlock
+		case "*":
+			out[i] = stripe.DistStar
+		default:
+			return nil, fmt.Errorf("meta: bad pattern element %q", p)
+		}
+	}
+	return out, nil
+}
+
+func contains(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func remove(list []string, s string) []string {
+	out := list[:0]
+	for _, x := range list {
+		if x != s {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,653 @@
+package metadb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Result is the outcome of one statement.
+type Result struct {
+	// Cols and Rows are set for SELECT.
+	Cols []string
+	Rows [][]Value
+	// RowsAffected counts rows touched by INSERT/UPDATE/DELETE.
+	RowsAffected int64
+}
+
+// Options configures a database.
+type Options struct {
+	// Dir is the durable storage directory; empty means in-memory only.
+	Dir string
+	// Sync fsyncs the WAL on every commit.
+	Sync bool
+	// CheckpointBytes triggers an automatic snapshot + WAL truncation
+	// once the WAL grows past this size. Zero uses a default of 4 MiB;
+	// negative disables automatic checkpoints.
+	CheckpointBytes int64
+}
+
+// DB is an embedded relational database. It is safe for concurrent use
+// through any number of Sessions. Writes are serialized (strict
+// two-phase locking at database granularity); readers outside write
+// transactions run concurrently.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	closed bool
+
+	walMu sync.Mutex // serializes WAL appends and checkpoints (under mu)
+	wal   *walFile
+	opts  Options
+}
+
+// Open creates or reopens a database. With a non-empty Options.Dir any
+// existing snapshot and write-ahead log are recovered first.
+func Open(opts Options) (*DB, error) {
+	db := &DB{tables: make(map[string]*Table), opts: opts}
+	if opts.CheckpointBytes == 0 {
+		db.opts.CheckpointBytes = 4 << 20
+	}
+	if opts.Dir != "" {
+		w, err := openWAL(opts.Dir, opts.Sync)
+		if err != nil {
+			return nil, err
+		}
+		db.wal = w
+		if err := db.recover(); err != nil {
+			w.close()
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// Memory opens a throwaway in-memory database.
+func Memory() *DB {
+	db, _ := Open(Options{})
+	return db
+}
+
+// Close checkpoints (when durable) and shuts the database down.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	if db.wal != nil {
+		if err := db.checkpointLocked(); err != nil {
+			return err
+		}
+		return db.wal.close()
+	}
+	return nil
+}
+
+// Checkpoint forces a snapshot and truncates the WAL.
+func (db *DB) Checkpoint() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return errors.New("metadb: database closed")
+	}
+	if db.wal == nil {
+		return nil
+	}
+	return db.checkpointLocked()
+}
+
+// Session opens a new client session. Sessions are not themselves safe
+// for concurrent use; open one per goroutine or connection.
+func (db *DB) Session() *Session {
+	return &Session{db: db}
+}
+
+// Exec runs one autocommitted statement on a fresh session: a
+// convenience for callers that do not need transactions.
+func (db *DB) Exec(sql string) (*Result, error) {
+	return db.Session().Exec(sql)
+}
+
+// TableNames returns the current table names, sorted.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Session is one client's connection to the database, carrying its
+// transaction state.
+type Session struct {
+	db *DB
+	tx *txState
+}
+
+type txState struct {
+	locked bool // holds db.mu exclusively
+	undo   []undoOp
+	redo   []RedoOp
+}
+
+type undoOp struct {
+	kind  string // "insert", "delete", "update", "create", "drop", "createindex", "dropindex"
+	table string
+	rowid int64
+	vals  []Value // pre-image for delete/update
+	tbl   *Table  // saved table for drop
+	index string  // index name for createindex/dropindex
+	col   string  // indexed column for dropindex undo
+}
+
+// RedoOp is one durable mutation in a WAL commit record.
+type RedoOp struct {
+	Kind  string // "insert", "delete", "update", "create", "drop", "createindex", "dropindex"
+	Table string
+	RowID int64
+	Vals  []Value
+	Cols  []ColumnDef
+	Index string // index name for createindex/dropindex
+	Col   string // indexed column for createindex
+}
+
+// InTx reports whether the session has an open transaction.
+func (s *Session) InTx() bool { return s.tx != nil }
+
+// Exec parses and executes one SQL statement.
+func (s *Session) Exec(sql string) (*Result, error) {
+	st, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return s.ExecStmt(st)
+}
+
+// ExecStmt executes a parsed statement.
+func (s *Session) ExecStmt(st Statement) (*Result, error) {
+	switch st := st.(type) {
+	case Begin:
+		if s.tx != nil {
+			return nil, errors.New("metadb: transaction already open")
+		}
+		s.tx = &txState{}
+		return &Result{}, nil
+	case Commit:
+		return s.commit()
+	case Rollback:
+		return s.rollback()
+	case Select:
+		return s.runRead(st)
+	case Explain:
+		db := s.db
+		if s.tx != nil && s.tx.locked {
+			// Already hold the exclusive lock.
+			return db.explainSelect(st.Stmt)
+		}
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		if db.closed {
+			return nil, errors.New("metadb: database closed")
+		}
+		return db.explainSelect(st.Stmt)
+	case CreateTable, DropTable, CreateIndex, DropIndex, Insert, Update, Delete:
+		return s.runWrite(st)
+	}
+	return nil, fmt.Errorf("metadb: unhandled statement %T", st)
+}
+
+// Abort rolls back any open transaction (used when a client
+// disconnects mid-transaction).
+func (s *Session) Abort() {
+	if s.tx != nil {
+		_, _ = s.rollback()
+	}
+}
+
+func (s *Session) commit() (*Result, error) {
+	if s.tx == nil {
+		return nil, errors.New("metadb: no transaction open")
+	}
+	tx := s.tx
+	s.tx = nil
+	if !tx.locked {
+		return &Result{}, nil // read-only transaction
+	}
+	defer s.db.mu.Unlock()
+	if err := s.db.logCommit(tx.redo); err != nil {
+		// The WAL write failed; the safe reaction is to undo the
+		// in-memory effects so memory and disk stay consistent.
+		applyUndo(s.db, tx.undo)
+		return nil, fmt.Errorf("metadb: commit failed, transaction rolled back: %w", err)
+	}
+	return &Result{}, nil
+}
+
+func (s *Session) rollback() (*Result, error) {
+	if s.tx == nil {
+		return nil, errors.New("metadb: no transaction open")
+	}
+	tx := s.tx
+	s.tx = nil
+	if !tx.locked {
+		return &Result{}, nil
+	}
+	applyUndo(s.db, tx.undo)
+	s.db.mu.Unlock()
+	return &Result{}, nil
+}
+
+func applyUndo(db *DB, undo []undoOp) {
+	for i := len(undo) - 1; i >= 0; i-- {
+		op := undo[i]
+		switch op.kind {
+		case "insert": // undo an insert: delete the row
+			if t := db.tables[op.table]; t != nil {
+				t.delete(op.rowid)
+			}
+		case "delete": // undo a delete: restore the row
+			if t := db.tables[op.table]; t != nil {
+				t.insert(op.vals, op.rowid)
+			}
+		case "update":
+			if t := db.tables[op.table]; t != nil {
+				t.update(op.rowid, op.vals)
+			}
+		case "create": // undo create: drop
+			delete(db.tables, op.table)
+		case "drop": // undo drop: restore the saved table
+			db.tables[op.table] = op.tbl
+		case "createindex":
+			if t := db.tables[op.table]; t != nil {
+				t.dropIndex(op.index)
+			}
+		case "dropindex":
+			if t := db.tables[op.table]; t != nil {
+				_ = t.createIndex(op.index, op.col)
+			}
+		}
+	}
+}
+
+// runRead executes a SELECT under the appropriate lock. Autocommit
+// reads share an RLock; reads inside an explicit transaction take the
+// exclusive lock for the life of the transaction (strict two-phase
+// locking), so a read-modify-write transaction cannot lose its update
+// to a concurrent transaction that read the same rows.
+func (s *Session) runRead(st Select) (*Result, error) {
+	db := s.db
+	if s.tx != nil {
+		if !s.tx.locked {
+			db.mu.Lock()
+			if db.closed {
+				db.mu.Unlock()
+				return nil, errors.New("metadb: database closed")
+			}
+			s.tx.locked = true
+		}
+		return db.execSelect(st)
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, errors.New("metadb: database closed")
+	}
+	return db.execSelect(st)
+}
+
+// runWrite executes a mutating statement, acquiring the exclusive lock
+// for the life of the transaction (or just this statement when
+// autocommitting).
+func (s *Session) runWrite(st Statement) (*Result, error) {
+	db := s.db
+	auto := s.tx == nil
+	if auto {
+		s.tx = &txState{}
+	}
+	if !s.tx.locked {
+		db.mu.Lock()
+		if db.closed {
+			db.mu.Unlock()
+			s.tx = nil
+			return nil, errors.New("metadb: database closed")
+		}
+		s.tx.locked = true
+	}
+	res, err := db.execWrite(st, s.tx)
+	if err != nil {
+		if auto {
+			// Autocommit statement failed: roll back its partial work.
+			_, _ = s.rollback()
+		}
+		// In an explicit transaction the statement's own partial
+		// effects were already undone by execWrite; the transaction
+		// stays open for the client to COMMIT or ROLLBACK.
+		return nil, err
+	}
+	if auto {
+		if _, cerr := s.commit(); cerr != nil {
+			return nil, cerr
+		}
+	}
+	return res, nil
+}
+
+// execWrite dispatches a mutating statement; on error it undoes the
+// statement's own partial effects so explicit transactions see
+// statement atomicity. Caller holds the exclusive lock.
+func (db *DB) execWrite(st Statement, tx *txState) (*Result, error) {
+	undoMark := len(tx.undo)
+	redoMark := len(tx.redo)
+	var (
+		res *Result
+		err error
+	)
+	switch st := st.(type) {
+	case CreateTable:
+		res, err = db.execCreate(st, tx)
+	case DropTable:
+		res, err = db.execDrop(st, tx)
+	case CreateIndex:
+		res, err = db.execCreateIndex(st, tx)
+	case DropIndex:
+		res, err = db.execDropIndex(st, tx)
+	case Insert:
+		res, err = db.execInsert(st, tx)
+	case Update:
+		res, err = db.execUpdate(st, tx)
+	case Delete:
+		res, err = db.execDelete(st, tx)
+	default:
+		err = fmt.Errorf("metadb: unhandled write %T", st)
+	}
+	if err != nil {
+		applyUndo(db, tx.undo[undoMark:])
+		tx.undo = tx.undo[:undoMark]
+		tx.redo = tx.redo[:redoMark]
+		return nil, err
+	}
+	return res, nil
+}
+
+func (db *DB) table(name string) (*Table, error) {
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("metadb: no such table %q", name)
+	}
+	return t, nil
+}
+
+func (db *DB) execCreate(st CreateTable, tx *txState) (*Result, error) {
+	if _, exists := db.tables[st.Name]; exists {
+		if st.IfNotExists {
+			return &Result{}, nil
+		}
+		return nil, fmt.Errorf("metadb: table %q already exists", st.Name)
+	}
+	t, err := NewTable(st.Name, st.Cols)
+	if err != nil {
+		return nil, err
+	}
+	db.tables[st.Name] = t
+	tx.undo = append(tx.undo, undoOp{kind: "create", table: st.Name})
+	tx.redo = append(tx.redo, RedoOp{Kind: "create", Table: st.Name, Cols: st.Cols})
+	return &Result{}, nil
+}
+
+func (db *DB) execDrop(st DropTable, tx *txState) (*Result, error) {
+	t, exists := db.tables[st.Name]
+	if !exists {
+		if st.IfExists {
+			return &Result{}, nil
+		}
+		return nil, fmt.Errorf("metadb: no such table %q", st.Name)
+	}
+	delete(db.tables, st.Name)
+	tx.undo = append(tx.undo, undoOp{kind: "drop", table: st.Name, tbl: t})
+	tx.redo = append(tx.redo, RedoOp{Kind: "drop", Table: st.Name})
+	return &Result{}, nil
+}
+
+func (db *DB) execCreateIndex(st CreateIndex, tx *txState) (*Result, error) {
+	t, err := db.table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	if _, exists := t.secondary[st.Name]; exists {
+		if st.IfNotExists {
+			return &Result{}, nil
+		}
+		return nil, fmt.Errorf("metadb: index %q already exists on table %q", st.Name, st.Table)
+	}
+	if err := t.createIndex(st.Name, st.Col); err != nil {
+		return nil, err
+	}
+	tx.undo = append(tx.undo, undoOp{kind: "createindex", table: st.Table, index: st.Name})
+	tx.redo = append(tx.redo, RedoOp{Kind: "createindex", Table: st.Table, Index: st.Name, Col: st.Col})
+	return &Result{}, nil
+}
+
+func (db *DB) execDropIndex(st DropIndex, tx *txState) (*Result, error) {
+	t, err := db.table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	ix, exists := t.secondary[st.Name]
+	if !exists {
+		if st.IfExists {
+			return &Result{}, nil
+		}
+		return nil, fmt.Errorf("metadb: no index %q on table %q", st.Name, st.Table)
+	}
+	col := t.Cols[ix.col].Name
+	t.dropIndex(st.Name)
+	tx.undo = append(tx.undo, undoOp{kind: "dropindex", table: st.Table, index: st.Name, col: col})
+	tx.redo = append(tx.redo, RedoOp{Kind: "dropindex", Table: st.Table, Index: st.Name})
+	return &Result{}, nil
+}
+
+func (db *DB) execInsert(st Insert, tx *txState) (*Result, error) {
+	t, err := db.table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	cols := st.Cols
+	if cols == nil {
+		cols = make([]string, len(t.Cols))
+		for i, c := range t.Cols {
+			cols[i] = c.Name
+		}
+	}
+	colPos := make([]int, len(cols))
+	for i, c := range cols {
+		p, err := t.ColIndex(c)
+		if err != nil {
+			return nil, err
+		}
+		colPos[i] = p
+	}
+	var n int64
+	for _, rowExprs := range st.Rows {
+		if len(rowExprs) != len(cols) {
+			return nil, fmt.Errorf("metadb: INSERT has %d values for %d columns", len(rowExprs), len(cols))
+		}
+		vals := make([]Value, len(t.Cols)) // unset columns are NULL
+		for i := range vals {
+			vals[i] = Null()
+		}
+		for i, e := range rowExprs {
+			v, err := eval(e, nil)
+			if err != nil {
+				return nil, err
+			}
+			vals[colPos[i]] = v
+		}
+		checked, err := t.checkRow(vals, 0)
+		if err != nil {
+			return nil, err
+		}
+		rid := t.insert(checked, 0)
+		tx.undo = append(tx.undo, undoOp{kind: "insert", table: t.Name, rowid: rid})
+		tx.redo = append(tx.redo, RedoOp{Kind: "insert", Table: t.Name, RowID: rid, Vals: checked})
+		n++
+	}
+	return &Result{RowsAffected: n}, nil
+}
+
+// matchRows returns the rowids satisfying the WHERE clause, using the
+// primary-key or a secondary index for simple equality predicates.
+func (db *DB) matchRows(t *Table, where Expr) ([]int64, error) {
+	if where != nil {
+		if ci, lit, ok := eqPredicate(t, where); ok {
+			v, err := coerce(lit, t.Cols[ci].Type)
+			if err != nil {
+				return nil, nil // a mistyped probe matches nothing
+			}
+			if ci == t.pk {
+				if rid, found := t.lookupPK(v); found {
+					return []int64{rid}, nil
+				}
+				return nil, nil
+			}
+			if uidx, ok := t.uniqIdx[ci]; ok {
+				if rid, found := uidx[v]; found {
+					return []int64{rid}, nil
+				}
+				return nil, nil
+			}
+			if ix := t.indexOn(ci); ix != nil {
+				set := ix.m[v]
+				out := make([]int64, 0, len(set))
+				for rid := range set {
+					out = append(out, rid)
+				}
+				sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+				return out, nil
+			}
+		}
+	}
+	var out []int64
+	for _, rid := range t.scanIDs() {
+		vals := t.rows[rid]
+		if where != nil {
+			v, err := eval(where, &evalCtx{lookup: rowEnv(t, vals)})
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() || !v.Truth() {
+				continue
+			}
+		}
+		out = append(out, rid)
+	}
+	return out, nil
+}
+
+// eqPredicate recognizes WHERE clauses of the form col = literal (or
+// literal = col) over this table.
+func eqPredicate(t *Table, where Expr) (colIdx int, lit Value, ok bool) {
+	b, isBin := where.(Binary)
+	if !isBin || b.Op != "=" {
+		return 0, Value{}, false
+	}
+	try := func(ce, le Expr) (int, Value, bool) {
+		c, ok := ce.(Col)
+		if !ok || (c.Qual != "" && c.Qual != t.Name) {
+			return 0, Value{}, false
+		}
+		l, ok := le.(Lit)
+		if !ok {
+			return 0, Value{}, false
+		}
+		ci, err := t.ColIndex(c.Name)
+		if err != nil {
+			return 0, Value{}, false
+		}
+		return ci, l.V, true
+	}
+	if ci, v, ok := try(b.L, b.R); ok {
+		return ci, v, true
+	}
+	return try(b.R, b.L)
+}
+
+func rowEnv(t *Table, vals []Value) env {
+	return func(qual, name string) (Value, error) {
+		if qual != "" && qual != t.Name {
+			return Value{}, fmt.Errorf("metadb: unknown table qualifier %q", qual)
+		}
+		i, err := t.ColIndex(name)
+		if err != nil {
+			return Value{}, err
+		}
+		return vals[i], nil
+	}
+}
+
+func (db *DB) execUpdate(st Update, tx *txState) (*Result, error) {
+	t, err := db.table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	colPos := make([]int, len(st.Cols))
+	for i, c := range st.Cols {
+		p, err := t.ColIndex(c)
+		if err != nil {
+			return nil, err
+		}
+		colPos[i] = p
+	}
+	rids, err := db.matchRows(t, st.Where)
+	if err != nil {
+		return nil, err
+	}
+	var n int64
+	for _, rid := range rids {
+		old := t.rows[rid]
+		vals := append([]Value(nil), old...)
+		for i, e := range st.Exprs {
+			v, err := eval(e, &evalCtx{lookup: rowEnv(t, old)})
+			if err != nil {
+				return nil, err
+			}
+			vals[colPos[i]] = v
+		}
+		checked, err := t.checkRow(vals, rid)
+		if err != nil {
+			return nil, err
+		}
+		pre, _ := t.update(rid, checked)
+		tx.undo = append(tx.undo, undoOp{kind: "update", table: t.Name, rowid: rid, vals: pre})
+		tx.redo = append(tx.redo, RedoOp{Kind: "update", Table: t.Name, RowID: rid, Vals: checked})
+		n++
+	}
+	return &Result{RowsAffected: n}, nil
+}
+
+func (db *DB) execDelete(st Delete, tx *txState) (*Result, error) {
+	t, err := db.table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	rids, err := db.matchRows(t, st.Where)
+	if err != nil {
+		return nil, err
+	}
+	var n int64
+	for _, rid := range rids {
+		vals, ok := t.delete(rid)
+		if !ok {
+			continue
+		}
+		tx.undo = append(tx.undo, undoOp{kind: "delete", table: t.Name, rowid: rid, vals: vals})
+		tx.redo = append(tx.redo, RedoOp{Kind: "delete", Table: t.Name, RowID: rid})
+		n++
+	}
+	return &Result{RowsAffected: n}, nil
+}

@@ -1,0 +1,204 @@
+// Package mdbnet exposes a metadb database over TCP, playing the role
+// POSTGRES plays in the paper: the DPFS meta-data lives in one database
+// process somewhere on the network and every client performs catalog
+// operations by sending SQL to it (Section 5).
+//
+// The protocol is one gob stream per direction. Each connection owns
+// one database session, so BEGIN/COMMIT/ROLLBACK have connection scope
+// exactly like a real database connection; a dropped connection aborts
+// its open transaction.
+package mdbnet
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"dpfs/internal/metadb"
+)
+
+// request is one SQL statement from client to server.
+type request struct {
+	SQL string
+}
+
+// response carries a statement result or error back.
+type response struct {
+	Cols         []string
+	Rows         [][]metadb.Value
+	RowsAffected int64
+	Err          string
+}
+
+// Server serves a metadb database to network clients.
+type Server struct {
+	db  *metadb.DB
+	lis net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer starts serving db on lis. It returns immediately; use
+// Close to stop.
+func NewServer(db *metadb.DB, lis net.Listener) *Server {
+	s := &Server{db: db, lis: lis, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Listen starts a server on the given TCP address ("" or ":0" picks an
+// ephemeral port).
+func Listen(db *metadb.DB, addr string) (*Server, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("mdbnet: listen: %w", err)
+	}
+	return NewServer(db, lis), nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Close stops accepting, drops all connections and waits for handlers.
+// The underlying database is not closed.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	err := s.lis.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+
+	sess := s.db.Session()
+	defer sess.Abort() // a dropped connection abandons its transaction
+
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		var resp response
+		res, err := sess.Exec(req.SQL)
+		if err != nil {
+			resp.Err = err.Error()
+		} else {
+			resp.Cols = res.Cols
+			resp.Rows = res.Rows
+			resp.RowsAffected = res.RowsAffected
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+// Client is a connection to an mdbnet server. A Client owns one
+// database session; it is safe for concurrent use (statements are
+// serialized on the connection).
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// Dial connects to an mdbnet server.
+func Dial(addr string) (*Client, error) {
+	return DialTimeout(addr, 10*time.Second)
+}
+
+// DialTimeout connects with a dial timeout.
+func DialTimeout(addr string, d time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, d)
+	if err != nil {
+		return nil, fmt.Errorf("mdbnet: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+// Exec sends one SQL statement and waits for its result.
+func (c *Client) Exec(sql string) (*metadb.Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil, errors.New("mdbnet: client closed")
+	}
+	if err := c.enc.Encode(request{SQL: sql}); err != nil {
+		return nil, fmt.Errorf("mdbnet: send: %w", err)
+	}
+	var resp response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("mdbnet: receive: %w", err)
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	return &metadb.Result{Cols: resp.Cols, Rows: resp.Rows, RowsAffected: resp.RowsAffected}, nil
+}
+
+// Close tears the connection down (aborting any open transaction on
+// the server side).
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}

@@ -1,0 +1,229 @@
+package mdbnet
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"dpfs/internal/metadb"
+)
+
+func startServer(t *testing.T) (*Server, *metadb.DB) {
+	t.Helper()
+	db := metadb.Memory()
+	srv, err := Listen(db, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		db.Close()
+	})
+	return srv, db
+}
+
+func dial(t *testing.T, srv *Server) *Client {
+	t.Helper()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestBasicRoundtrip(t *testing.T) {
+	srv, _ := startServer(t)
+	c := dial(t, srv)
+
+	if _, err := c.Exec(`CREATE TABLE t (id INT PRIMARY KEY, s TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Exec(`INSERT INTO t VALUES (1, 'hello'), (2, 'world')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsAffected != 2 {
+		t.Fatalf("affected = %d", res.RowsAffected)
+	}
+	res, err = c.Exec(`SELECT s FROM t ORDER BY id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0].Str != "hello" || res.Rows[1][0].Str != "world" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestServerErrorsPropagate(t *testing.T) {
+	srv, _ := startServer(t)
+	c := dial(t, srv)
+	if _, err := c.Exec(`SELECT * FROM missing`); err == nil {
+		t.Fatal("expected error for missing table")
+	}
+	// The connection keeps working after an error.
+	if _, err := c.Exec(`CREATE TABLE t (x INT)`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransactionsPerConnection(t *testing.T) {
+	srv, db := startServer(t)
+	c1 := dial(t, srv)
+	if _, err := c1.Exec(`CREATE TABLE t (id INT PRIMARY KEY)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Exec(`BEGIN`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Exec(`INSERT INTO t VALUES (1)`); err != nil {
+		t.Fatal(err)
+	}
+	// Second connection blocks until commit; verify post-commit view.
+	done := make(chan int64, 1)
+	go func() {
+		c2 := dialNoCleanup(t, srv)
+		defer c2.Close()
+		res, err := c2.Exec(`SELECT COUNT(*) FROM t`)
+		if err != nil {
+			done <- -1
+			return
+		}
+		done <- res.Rows[0][0].Int
+	}()
+	if _, err := c1.Exec(`COMMIT`); err != nil {
+		t.Fatal(err)
+	}
+	if n := <-done; n != 1 {
+		t.Fatalf("second connection saw %d", n)
+	}
+	_ = db
+}
+
+func dialNoCleanup(t *testing.T, srv *Server) *Client {
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Error(err)
+		return nil
+	}
+	return c
+}
+
+// TestDisconnectAbortsTransaction drops a connection mid-transaction
+// and verifies the lock is released and the data rolled back.
+func TestDisconnectAbortsTransaction(t *testing.T) {
+	srv, db := startServer(t)
+	if _, err := db.Exec(`CREATE TABLE t (id INT PRIMARY KEY)`); err != nil {
+		t.Fatal(err)
+	}
+
+	c1, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Exec(`BEGIN`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Exec(`INSERT INTO t VALUES (1)`); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close() // crash the client mid-transaction
+
+	// A fresh connection must eventually acquire the lock and see zero
+	// rows.
+	c2 := dial(t, srv)
+	res, err := c2.Exec(`SELECT COUNT(*) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int != 0 {
+		t.Fatalf("abandoned transaction leaked %d rows", res.Rows[0][0].Int)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv, _ := startServer(t)
+	c := dial(t, srv)
+	if _, err := c.Exec(`CREATE TABLE t (id INT PRIMARY KEY)`); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cli, err := Dial(srv.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cli.Close()
+			for i := 0; i < 20; i++ {
+				if _, err := cli.Exec(fmt.Sprintf(`INSERT INTO t VALUES (%d)`, w*100+i)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	res, err := c.Exec(`SELECT COUNT(*) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int != 120 {
+		t.Fatalf("count = %v", res.Rows[0][0])
+	}
+}
+
+func TestClientClosed(t *testing.T) {
+	srv, _ := startServer(t)
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if _, err := c.Exec(`SELECT 1 FROM t`); err == nil {
+		t.Fatal("exec on closed client should fail")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestServerClose(t *testing.T) {
+	db := metadb.Memory()
+	defer db.Close()
+	srv, err := Listen(db, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+	if _, err := c.Exec(`SELECT 1 FROM t`); err == nil {
+		t.Fatal("exec against closed server should fail")
+	}
+	c.Close()
+	if _, err := Dial(srv.Addr()); err == nil {
+		t.Fatal("dialing closed server should fail")
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Fatal("dial to dead port should fail")
+	}
+}

@@ -1,0 +1,200 @@
+package metadb
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Property: GROUP BY + COUNT/SUM agree with a brute-force reference
+// over random data.
+func TestQuickGroupByAgainstReference(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := Memory().Session()
+		defer s.db.Close()
+		if _, err := s.Exec(`CREATE TABLE t (g INT, v INT)`); err != nil {
+			return false
+		}
+		type agg struct {
+			count int64
+			sum   int64
+		}
+		ref := map[int64]*agg{}
+		n := r.Intn(120)
+		for i := 0; i < n; i++ {
+			g := int64(r.Intn(6))
+			v := int64(r.Intn(100) - 50)
+			if _, err := s.Exec(fmt.Sprintf(`INSERT INTO t VALUES (%d, %d)`, g, v)); err != nil {
+				return false
+			}
+			a := ref[g]
+			if a == nil {
+				a = &agg{}
+				ref[g] = a
+			}
+			a.count++
+			a.sum += v
+		}
+		res, err := s.Exec(`SELECT g, COUNT(*), SUM(v) FROM t GROUP BY g ORDER BY g`)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if len(res.Rows) != len(ref) {
+			t.Logf("seed %d: %d groups, want %d", seed, len(res.Rows), len(ref))
+			return false
+		}
+		keys := make([]int64, 0, len(ref))
+		for k := range ref {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for i, k := range keys {
+			row := res.Rows[i]
+			if row[0].Int != k || row[1].Int != ref[k].count || row[2].Int != ref[k].sum {
+				t.Logf("seed %d: group %d = %v, want (%d,%d,%d)", seed, i, row, k, ref[k].count, ref[k].sum)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: an inner join equals the brute-force cross product filtered
+// by the ON condition.
+func TestQuickJoinAgainstReference(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := Memory().Session()
+		defer s.db.Close()
+		if _, err := s.Exec(`CREATE TABLE a (k INT, x INT)`); err != nil {
+			return false
+		}
+		if _, err := s.Exec(`CREATE TABLE b (k INT, y INT)`); err != nil {
+			return false
+		}
+		type row struct{ k, v int64 }
+		var as, bs []row
+		for i := 0; i < r.Intn(20); i++ {
+			rr := row{int64(r.Intn(5)), int64(i)}
+			as = append(as, rr)
+			if _, err := s.Exec(fmt.Sprintf(`INSERT INTO a VALUES (%d, %d)`, rr.k, rr.v)); err != nil {
+				return false
+			}
+		}
+		for i := 0; i < r.Intn(20); i++ {
+			rr := row{int64(r.Intn(5)), int64(i + 100)}
+			bs = append(bs, rr)
+			if _, err := s.Exec(fmt.Sprintf(`INSERT INTO b VALUES (%d, %d)`, rr.k, rr.v)); err != nil {
+				return false
+			}
+		}
+		var want []string
+		for _, ra := range as {
+			for _, rb := range bs {
+				if ra.k == rb.k {
+					want = append(want, fmt.Sprintf("%d|%d|%d", ra.k, ra.v, rb.v))
+				}
+			}
+		}
+		sort.Strings(want)
+
+		res, err := s.Exec(`SELECT a.k, a.x, b.y FROM a JOIN b ON a.k = b.k`)
+		if err != nil {
+			return false
+		}
+		var got []string
+		for _, r := range res.Rows {
+			got = append(got, fmt.Sprintf("%d|%d|%d", r[0].Int, r[1].Int, r[2].Int))
+		}
+		sort.Strings(got)
+		if len(got) != len(want) {
+			t.Logf("seed %d: %d join rows, want %d", seed, len(got), len(want))
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Logf("seed %d: row %d = %s, want %s", seed, i, got[i], want[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the parser and executor never panic on arbitrary garbage
+// (they must fail gracefully).
+func TestQuickParserNeverPanics(t *testing.T) {
+	words := []string{
+		"SELECT", "FROM", "WHERE", "INSERT", "INTO", "VALUES", "UPDATE", "SET",
+		"DELETE", "CREATE", "TABLE", "INDEX", "JOIN", "ON", "GROUP", "BY",
+		"HAVING", "ORDER", "LIMIT", "AND", "OR", "NOT", "NULL", "t", "x", "y",
+		"(", ")", ",", "*", "=", "<", ">", "+", "-", "/", "'s'", "1", "2.5",
+		"COUNT", "SUM", "DISTINCT", "IN", "LIKE", "IS", ";", "..", "\"q\"",
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(14)
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteString(words[r.Intn(len(words))])
+			sb.WriteByte(' ')
+		}
+		s := Memory().Session()
+		defer s.db.Close()
+		_, _ = s.Exec(`CREATE TABLE t (x INT, y TEXT)`)
+		_, _ = s.Exec(`INSERT INTO t VALUES (1, 'a')`)
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("seed %d: panic on %q: %v", seed, sb.String(), p)
+				}
+			}()
+			_, _ = s.Exec(sb.String())
+		}()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ORDER BY produces a non-decreasing sequence under Compare.
+func TestQuickOrderBySorted(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := Memory().Session()
+		defer s.db.Close()
+		if _, err := s.Exec(`CREATE TABLE t (v INT)`); err != nil {
+			return false
+		}
+		for i := 0; i < r.Intn(60); i++ {
+			if _, err := s.Exec(fmt.Sprintf(`INSERT INTO t VALUES (%d)`, r.Intn(1000)-500)); err != nil {
+				return false
+			}
+		}
+		res, err := s.Exec(`SELECT v FROM t ORDER BY v`)
+		if err != nil {
+			return false
+		}
+		for i := 1; i < len(res.Rows); i++ {
+			if Compare(res.Rows[i-1][0], res.Rows[i][0]) > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,327 @@
+package metadb
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Table is an in-memory relation: a schema, rows addressed by a
+// monotonically increasing rowid (which also gives stable scan order),
+// hash indexes on the primary key and UNIQUE columns, and optional
+// non-unique secondary indexes (CREATE INDEX).
+type Table struct {
+	Name      string
+	Cols      []ColumnDef
+	colIdx    map[string]int
+	rows      map[int64][]Value
+	pk        int                     // index of the primary-key column, -1 if none
+	pkIdx     map[Value]int64         // pk value -> rowid
+	uniqIdx   map[int]map[Value]int64 // column index -> value -> rowid
+	secondary map[string]*secondaryIndex
+	nextRow   int64
+}
+
+// secondaryIndex is a non-unique hash index over one column.
+type secondaryIndex struct {
+	name string
+	col  int
+	m    map[Value]map[int64]struct{}
+}
+
+func (ix *secondaryIndex) add(v Value, rid int64) {
+	if v.IsNull() {
+		return
+	}
+	set, ok := ix.m[v]
+	if !ok {
+		set = make(map[int64]struct{})
+		ix.m[v] = set
+	}
+	set[rid] = struct{}{}
+}
+
+func (ix *secondaryIndex) remove(v Value, rid int64) {
+	if v.IsNull() {
+		return
+	}
+	if set, ok := ix.m[v]; ok {
+		delete(set, rid)
+		if len(set) == 0 {
+			delete(ix.m, v)
+		}
+	}
+}
+
+// createIndex registers and builds a secondary index.
+func (t *Table) createIndex(name, col string) error {
+	ci, err := t.ColIndex(col)
+	if err != nil {
+		return err
+	}
+	if _, dup := t.secondary[name]; dup {
+		return fmt.Errorf("metadb: index %q already exists on table %q", name, t.Name)
+	}
+	ix := &secondaryIndex{name: name, col: ci, m: make(map[Value]map[int64]struct{})}
+	for rid, vals := range t.rows {
+		ix.add(vals[ci], rid)
+	}
+	if t.secondary == nil {
+		t.secondary = make(map[string]*secondaryIndex)
+	}
+	t.secondary[name] = ix
+	return nil
+}
+
+// dropIndex removes a secondary index.
+func (t *Table) dropIndex(name string) bool {
+	if _, ok := t.secondary[name]; !ok {
+		return false
+	}
+	delete(t.secondary, name)
+	return true
+}
+
+// indexOn returns a secondary index covering the column, if any.
+func (t *Table) indexOn(col int) *secondaryIndex {
+	for _, ix := range t.secondary {
+		if ix.col == col {
+			return ix
+		}
+	}
+	return nil
+}
+
+// NewTable builds an empty table from column definitions.
+func NewTable(name string, cols []ColumnDef) (*Table, error) {
+	t := &Table{
+		Name:    name,
+		Cols:    cols,
+		colIdx:  make(map[string]int, len(cols)),
+		rows:    make(map[int64][]Value),
+		pk:      -1,
+		uniqIdx: make(map[int]map[Value]int64),
+		nextRow: 1,
+	}
+	for i, c := range cols {
+		if _, dup := t.colIdx[c.Name]; dup {
+			return nil, fmt.Errorf("metadb: duplicate column %q in table %q", c.Name, name)
+		}
+		t.colIdx[c.Name] = i
+		if c.PrimaryKey {
+			if t.pk >= 0 {
+				return nil, fmt.Errorf("metadb: table %q has multiple primary keys", name)
+			}
+			t.pk = i
+			t.pkIdx = make(map[Value]int64)
+		}
+		if c.Unique && !c.PrimaryKey {
+			t.uniqIdx[i] = make(map[Value]int64)
+		}
+	}
+	return t, nil
+}
+
+// ColIndex returns the position of the named column.
+func (t *Table) ColIndex(name string) (int, error) {
+	i, ok := t.colIdx[name]
+	if !ok {
+		return 0, fmt.Errorf("metadb: no column %q in table %q", name, t.Name)
+	}
+	return i, nil
+}
+
+// checkRow coerces values to column types and validates constraints
+// (NOT NULL, PK/UNIQUE). excludeRow is skipped during uniqueness checks
+// (used when updating a row in place).
+func (t *Table) checkRow(vals []Value, excludeRow int64) ([]Value, error) {
+	if len(vals) != len(t.Cols) {
+		return nil, fmt.Errorf("metadb: table %q has %d columns, got %d values", t.Name, len(t.Cols), len(vals))
+	}
+	out := make([]Value, len(vals))
+	for i, c := range t.Cols {
+		v, err := coerce(vals[i], c.Type)
+		if err != nil {
+			return nil, fmt.Errorf("metadb: column %q: %w", c.Name, err)
+		}
+		if v.IsNull() && c.NotNull {
+			return nil, fmt.Errorf("metadb: column %q must not be NULL", c.Name)
+		}
+		out[i] = v
+	}
+	if t.pk >= 0 {
+		if rid, ok := t.pkIdx[out[t.pk]]; ok && rid != excludeRow {
+			return nil, fmt.Errorf("metadb: duplicate primary key %s in table %q", out[t.pk], t.Name)
+		}
+	}
+	for ci, idx := range t.uniqIdx {
+		v := out[ci]
+		if v.IsNull() {
+			continue
+		}
+		if rid, ok := idx[v]; ok && rid != excludeRow {
+			return nil, fmt.Errorf("metadb: duplicate value %s for unique column %q", v, t.Cols[ci].Name)
+		}
+	}
+	return out, nil
+}
+
+// insert adds a validated row and returns its rowid. When rid > 0 the
+// caller (WAL replay) dictates the rowid.
+func (t *Table) insert(vals []Value, rid int64) int64 {
+	if rid <= 0 {
+		rid = t.nextRow
+	}
+	if rid >= t.nextRow {
+		t.nextRow = rid + 1
+	}
+	t.rows[rid] = vals
+	if t.pk >= 0 {
+		t.pkIdx[vals[t.pk]] = rid
+	}
+	for ci, idx := range t.uniqIdx {
+		if !vals[ci].IsNull() {
+			idx[vals[ci]] = rid
+		}
+	}
+	for _, ix := range t.secondary {
+		ix.add(vals[ix.col], rid)
+	}
+	return rid
+}
+
+// delete removes a row by id, returning its values.
+func (t *Table) delete(rid int64) ([]Value, bool) {
+	vals, ok := t.rows[rid]
+	if !ok {
+		return nil, false
+	}
+	delete(t.rows, rid)
+	if t.pk >= 0 {
+		delete(t.pkIdx, vals[t.pk])
+	}
+	for ci, idx := range t.uniqIdx {
+		if !vals[ci].IsNull() {
+			delete(idx, vals[ci])
+		}
+	}
+	for _, ix := range t.secondary {
+		ix.remove(vals[ix.col], rid)
+	}
+	return vals, true
+}
+
+// update replaces a row's values in place, maintaining indexes.
+func (t *Table) update(rid int64, vals []Value) ([]Value, bool) {
+	old, ok := t.rows[rid]
+	if !ok {
+		return nil, false
+	}
+	if t.pk >= 0 {
+		delete(t.pkIdx, old[t.pk])
+		t.pkIdx[vals[t.pk]] = rid
+	}
+	for ci, idx := range t.uniqIdx {
+		if !old[ci].IsNull() {
+			delete(idx, old[ci])
+		}
+		if !vals[ci].IsNull() {
+			idx[vals[ci]] = rid
+		}
+	}
+	for _, ix := range t.secondary {
+		ix.remove(old[ix.col], rid)
+		ix.add(vals[ix.col], rid)
+	}
+	t.rows[rid] = vals
+	return old, true
+}
+
+// scanIDs returns all rowids in insertion (rowid) order.
+func (t *Table) scanIDs() []int64 {
+	ids := make([]int64, 0, len(t.rows))
+	for id := range t.rows {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// lookupPK returns the rowid holding the given primary-key value.
+func (t *Table) lookupPK(v Value) (int64, bool) {
+	if t.pk < 0 {
+		return 0, false
+	}
+	rid, ok := t.pkIdx[v]
+	return rid, ok
+}
+
+// pkEquality recognizes WHERE clauses of the form pkcol = literal (or
+// literal = pkcol) so point lookups skip the scan.
+func (t *Table) pkEquality(where Expr) (Value, bool) {
+	if t.pk < 0 {
+		return Value{}, false
+	}
+	b, ok := where.(Binary)
+	if !ok || b.Op != "=" {
+		return Value{}, false
+	}
+	pkName := t.Cols[t.pk].Name
+	if c, ok := b.L.(Col); ok && c.Name == pkName {
+		if l, ok := b.R.(Lit); ok {
+			return l.V, true
+		}
+	}
+	if c, ok := b.R.(Col); ok && c.Name == pkName {
+		if l, ok := b.L.(Lit); ok {
+			return l.V, true
+		}
+	}
+	return Value{}, false
+}
+
+// clone deep-copies the table (used to undo DROP TABLE).
+func (t *Table) clone() *Table {
+	nt := &Table{
+		Name:    t.Name,
+		Cols:    append([]ColumnDef(nil), t.Cols...),
+		colIdx:  make(map[string]int, len(t.colIdx)),
+		rows:    make(map[int64][]Value, len(t.rows)),
+		pk:      t.pk,
+		uniqIdx: make(map[int]map[Value]int64, len(t.uniqIdx)),
+		nextRow: t.nextRow,
+	}
+	for k, v := range t.colIdx {
+		nt.colIdx[k] = v
+	}
+	if t.pkIdx != nil {
+		nt.pkIdx = make(map[Value]int64, len(t.pkIdx))
+		for k, v := range t.pkIdx {
+			nt.pkIdx[k] = v
+		}
+	}
+	for ci, idx := range t.uniqIdx {
+		ni := make(map[Value]int64, len(idx))
+		for k, v := range idx {
+			ni[k] = v
+		}
+		nt.uniqIdx[ci] = ni
+	}
+	for id, vals := range t.rows {
+		nt.rows[id] = append([]Value(nil), vals...)
+	}
+	for name, ix := range t.secondary {
+		if nt.secondary == nil {
+			nt.secondary = make(map[string]*secondaryIndex)
+		}
+		nix := &secondaryIndex{name: ix.name, col: ix.col, m: make(map[Value]map[int64]struct{}, len(ix.m))}
+		for v, set := range ix.m {
+			ns := make(map[int64]struct{}, len(set))
+			for rid := range set {
+				ns[rid] = struct{}{}
+			}
+			nix.m[v] = ns
+		}
+		nt.secondary[name] = nix
+	}
+	return nt
+}

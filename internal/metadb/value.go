@@ -1,0 +1,200 @@
+// Package metadb is a small embedded relational database engine used as
+// the DPFS meta-data repository. The paper stores DPFS meta data in
+// POSTGRES and accesses it with standard SQL (Section 5); this package
+// is the from-scratch substitute: a SQL subset (CREATE/DROP TABLE,
+// INSERT, SELECT with WHERE/ORDER BY/LIMIT and whole-table aggregates,
+// UPDATE, DELETE), transactions (BEGIN/COMMIT/ROLLBACK) with undo
+// logging, and durable storage via a write-ahead log plus snapshot
+// checkpoints. A TCP front end lives in the mdbnet subpackage.
+package metadb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the runtime types of SQL values.
+type Kind uint8
+
+const (
+	// KindNull is the SQL NULL.
+	KindNull Kind = iota
+	// KindInt is a 64-bit signed integer.
+	KindInt
+	// KindFloat is a 64-bit float.
+	KindFloat
+	// KindText is a string.
+	KindText
+)
+
+// String names the kind like the SQL type keywords do.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INTEGER"
+	case KindFloat:
+		return "REAL"
+	case KindText:
+		return "TEXT"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Value is a SQL runtime value.
+type Value struct {
+	Kind  Kind
+	Int   int64
+	Float float64
+	Str   string
+}
+
+// Null, I, F and S are value constructors.
+func Null() Value       { return Value{Kind: KindNull} }
+func I(v int64) Value   { return Value{Kind: KindInt, Int: v} }
+func F(v float64) Value { return Value{Kind: KindFloat, Float: v} }
+func S(v string) Value  { return Value{Kind: KindText, Str: v} }
+func B(v bool) Value {
+	if v {
+		return I(1)
+	}
+	return I(0)
+}
+
+// IsNull reports whether the value is SQL NULL.
+func (v Value) IsNull() bool { return v.Kind == KindNull }
+
+// Truth reports whether the value counts as true in a WHERE clause
+// (non-zero number, non-empty handled as error elsewhere; NULL is
+// false).
+func (v Value) Truth() bool {
+	switch v.Kind {
+	case KindInt:
+		return v.Int != 0
+	case KindFloat:
+		return v.Float != 0
+	case KindText:
+		return v.Str != ""
+	}
+	return false
+}
+
+// AsFloat coerces a numeric value to float64.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.Kind {
+	case KindInt:
+		return float64(v.Int), true
+	case KindFloat:
+		return v.Float, true
+	}
+	return 0, false
+}
+
+// String renders the value as SQL literal text.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.Int, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.Float, 'g', -1, 64)
+	case KindText:
+		return "'" + strings.ReplaceAll(v.Str, "'", "''") + "'"
+	}
+	return "?"
+}
+
+// Text returns the value rendered as plain (unquoted) text, the way a
+// client displays result cells.
+func (v Value) Text() string {
+	if v.Kind == KindText {
+		return v.Str
+	}
+	return v.String()
+}
+
+// Compare orders two values: NULL sorts before everything; numbers
+// compare numerically across int/float; text compares bytewise.
+// Comparing text with numbers orders numbers first (deterministic, like
+// SQLite's type ordering).
+func Compare(a, b Value) int {
+	ra, rb := typeRank(a), typeRank(b)
+	if ra != rb {
+		if ra < rb {
+			return -1
+		}
+		return 1
+	}
+	switch a.Kind {
+	case KindNull:
+		return 0
+	case KindText:
+		return strings.Compare(a.Str, b.Str)
+	default: // numeric
+		fa, _ := a.AsFloat()
+		fb, _ := b.AsFloat()
+		// Exact path for int/int to avoid float rounding on big ints.
+		if a.Kind == KindInt && b.Kind == KindInt {
+			switch {
+			case a.Int < b.Int:
+				return -1
+			case a.Int > b.Int:
+				return 1
+			}
+			return 0
+		}
+		switch {
+		case fa < fb:
+			return -1
+		case fa > fb:
+			return 1
+		}
+		return 0
+	}
+}
+
+func typeRank(v Value) int {
+	switch v.Kind {
+	case KindNull:
+		return 0
+	case KindInt, KindFloat:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Equal reports SQL equality (used by =; NULL = NULL is handled by the
+// evaluator, which yields NULL before calling this).
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// ParseType maps a SQL column type keyword to a Kind.
+func ParseType(name string) (Kind, error) {
+	switch strings.ToUpper(name) {
+	case "INT", "INTEGER", "BIGINT", "SMALLINT":
+		return KindInt, nil
+	case "REAL", "FLOAT", "DOUBLE":
+		return KindFloat, nil
+	case "TEXT", "VARCHAR", "CHAR", "STRING":
+		return KindText, nil
+	}
+	return 0, fmt.Errorf("metadb: unknown column type %q", name)
+}
+
+// coerce converts v for storage into a column of kind k; ints widen to
+// floats, everything else must match (or be NULL).
+func coerce(v Value, k Kind) (Value, error) {
+	if v.IsNull() || v.Kind == k {
+		return v, nil
+	}
+	if k == KindFloat && v.Kind == KindInt {
+		return F(float64(v.Int)), nil
+	}
+	if k == KindInt && v.Kind == KindFloat && v.Float == float64(int64(v.Float)) {
+		return I(int64(v.Float)), nil
+	}
+	return Value{}, fmt.Errorf("metadb: cannot store %s value %s in %s column", v.Kind, v, k)
+}

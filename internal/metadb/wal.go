@@ -1,0 +1,317 @@
+package metadb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Durable storage layout:
+//
+//	<dir>/snapshot   full gob dump of all tables (atomic rename)
+//	<dir>/wal        committed transactions appended after the snapshot
+//
+// Each WAL record is an 8-byte little-endian length followed by the gob
+// encoding of a commitRecord (a fresh gob stream per record, so records
+// are independently decodable and a torn tail is detected and
+// discarded).
+
+type commitRecord struct {
+	Ops []RedoOp
+}
+
+type snapshotRecord struct {
+	Tables []tableDump
+}
+
+type tableDump struct {
+	Name    string
+	Cols    []ColumnDef
+	NextRow int64
+	RowIDs  []int64
+	Rows    [][]Value
+	Indexes []indexDump
+}
+
+type indexDump struct {
+	Name string
+	Col  string
+}
+
+type walFile struct {
+	dir  string
+	f    *os.File
+	sync bool
+	size int64
+}
+
+func openWAL(dir string, sync bool) (*walFile, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("metadb: create dir: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, "wal"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("metadb: open wal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &walFile{dir: dir, f: f, sync: sync, size: st.Size()}, nil
+}
+
+func (w *walFile) close() error { return w.f.Close() }
+
+// append writes one commit record at the end of the WAL.
+func (w *walFile) append(rec commitRecord) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(rec); err != nil {
+		return fmt.Errorf("metadb: encode wal record: %w", err)
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(buf.Len()))
+	if _, err := w.f.Seek(w.size, io.SeekStart); err != nil {
+		return err
+	}
+	if _, err := w.f.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.f.Write(buf.Bytes()); err != nil {
+		return err
+	}
+	w.size += 8 + int64(buf.Len())
+	if w.sync {
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replay streams committed records to apply, stopping cleanly at a torn
+// or corrupt tail (which it truncates away).
+func (w *walFile) replay(apply func(commitRecord) error) error {
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	var good int64
+	for {
+		var hdr [8]byte
+		if _, err := io.ReadFull(w.f, hdr[:]); err != nil {
+			break // EOF or torn header
+		}
+		n := binary.LittleEndian.Uint64(hdr[:])
+		if n == 0 || n > 1<<30 {
+			break // corrupt length
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(w.f, body); err != nil {
+			break // torn body
+		}
+		var rec commitRecord
+		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&rec); err != nil {
+			break // corrupt record
+		}
+		if err := apply(rec); err != nil {
+			return err
+		}
+		good += 8 + int64(n)
+	}
+	if good != w.size {
+		if err := w.f.Truncate(good); err != nil {
+			return err
+		}
+		w.size = good
+	}
+	return nil
+}
+
+// reset truncates the WAL to empty (after a snapshot).
+func (w *walFile) reset() error {
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	w.size = 0
+	if w.sync {
+		return w.f.Sync()
+	}
+	return nil
+}
+
+// logCommit durably records a committed transaction's redo ops and
+// triggers an automatic checkpoint when the WAL has grown large.
+// Caller holds db.mu exclusively.
+func (db *DB) logCommit(redo []RedoOp) error {
+	if db.wal == nil || len(redo) == 0 {
+		return nil
+	}
+	db.walMu.Lock()
+	defer db.walMu.Unlock()
+	if err := db.wal.append(commitRecord{Ops: redo}); err != nil {
+		return err
+	}
+	if db.opts.CheckpointBytes > 0 && db.wal.size > db.opts.CheckpointBytes {
+		return db.snapshotLocked()
+	}
+	return nil
+}
+
+// checkpointLocked snapshots under db.mu.
+func (db *DB) checkpointLocked() error {
+	db.walMu.Lock()
+	defer db.walMu.Unlock()
+	return db.snapshotLocked()
+}
+
+// snapshotLocked writes the full database state atomically and resets
+// the WAL. Caller holds both db.mu and db.walMu.
+func (db *DB) snapshotLocked() error {
+	rec := snapshotRecord{}
+	for _, name := range db.tableNamesLocked() {
+		t := db.tables[name]
+		dump := tableDump{Name: t.Name, Cols: t.Cols, NextRow: t.nextRow}
+		for _, rid := range t.scanIDs() {
+			dump.RowIDs = append(dump.RowIDs, rid)
+			dump.Rows = append(dump.Rows, t.rows[rid])
+		}
+		ixNames := make([]string, 0, len(t.secondary))
+		for name := range t.secondary {
+			ixNames = append(ixNames, name)
+		}
+		sort.Strings(ixNames)
+		for _, name := range ixNames {
+			ix := t.secondary[name]
+			dump.Indexes = append(dump.Indexes, indexDump{Name: name, Col: t.Cols[ix.col].Name})
+		}
+		rec.Tables = append(rec.Tables, dump)
+	}
+	tmp := filepath.Join(db.wal.dir, "snapshot.tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(f).Encode(rec); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(db.wal.dir, "snapshot")); err != nil {
+		return err
+	}
+	return db.wal.reset()
+}
+
+func (db *DB) tableNamesLocked() []string {
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	// Deterministic snapshot order.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// recover loads the snapshot (if any) and replays the WAL.
+func (db *DB) recover() error {
+	snap := filepath.Join(db.wal.dir, "snapshot")
+	if f, err := os.Open(snap); err == nil {
+		var rec snapshotRecord
+		err := gob.NewDecoder(f).Decode(&rec)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("metadb: corrupt snapshot: %w", err)
+		}
+		for _, dump := range rec.Tables {
+			t, err := NewTable(dump.Name, dump.Cols)
+			if err != nil {
+				return err
+			}
+			for i, rid := range dump.RowIDs {
+				t.insert(dump.Rows[i], rid)
+			}
+			if dump.NextRow > t.nextRow {
+				t.nextRow = dump.NextRow
+			}
+			for _, ix := range dump.Indexes {
+				if err := t.createIndex(ix.Name, ix.Col); err != nil {
+					return err
+				}
+			}
+			db.tables[dump.Name] = t
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	return db.wal.replay(func(rec commitRecord) error { return db.applyRedo(rec.Ops) })
+}
+
+// applyRedo replays committed operations during recovery.
+func (db *DB) applyRedo(ops []RedoOp) error {
+	for _, op := range ops {
+		switch op.Kind {
+		case "create":
+			t, err := NewTable(op.Table, op.Cols)
+			if err != nil {
+				return err
+			}
+			db.tables[op.Table] = t
+		case "drop":
+			delete(db.tables, op.Table)
+		case "insert":
+			t, err := db.table(op.Table)
+			if err != nil {
+				return err
+			}
+			t.insert(op.Vals, op.RowID)
+		case "delete":
+			t, err := db.table(op.Table)
+			if err != nil {
+				return err
+			}
+			t.delete(op.RowID)
+		case "update":
+			t, err := db.table(op.Table)
+			if err != nil {
+				return err
+			}
+			t.update(op.RowID, op.Vals)
+		case "createindex":
+			t, err := db.table(op.Table)
+			if err != nil {
+				return err
+			}
+			if err := t.createIndex(op.Index, op.Col); err != nil {
+				return err
+			}
+		case "dropindex":
+			t, err := db.table(op.Table)
+			if err != nil {
+				return err
+			}
+			t.dropIndex(op.Index)
+		default:
+			return fmt.Errorf("metadb: unknown redo op %q", op.Kind)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package netsim
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestServiceTime(t *testing.T) {
+	p := Params{RequestLatency: time.Millisecond, PerExtent: 100 * time.Microsecond, Bandwidth: 1 << 20}
+	if got := p.ServiceTime(1, 0); got != time.Millisecond+100*time.Microsecond {
+		t.Errorf("zero-byte request = %v", got)
+	}
+	if got := p.ServiceTime(1, 1<<20); got != time.Millisecond+100*time.Microsecond+time.Second {
+		t.Errorf("1MiB at 1MiB/s = %v", got)
+	}
+	// Each extra extent adds its overhead.
+	if got := p.ServiceTime(5, 0); got != time.Millisecond+500*time.Microsecond {
+		t.Errorf("5-extent request = %v", got)
+	}
+	// Zero bandwidth charges only latency.
+	p2 := Params{RequestLatency: time.Millisecond}
+	if got := p2.ServiceTime(1, 1<<30); got != time.Millisecond {
+		t.Errorf("no-bandwidth request = %v", got)
+	}
+}
+
+// TestClassRatio checks the paper's calibration: one brick from class 1
+// is about 3x faster than from class 3, and class 2 is the slowest.
+func TestClassRatio(t *testing.T) {
+	const brick = 512 << 10 // 512 KiB, the 256x256 float64 tile of Sec. 8
+	c1 := Class1().PerBrickCost(brick)
+	c2 := Class2().PerBrickCost(brick)
+	c3 := Class3().PerBrickCost(brick)
+	ratio := float64(c3) / float64(c1)
+	if ratio < 2.5 || ratio > 3.8 {
+		t.Errorf("class3/class1 per-brick ratio = %.2f, want ~3 (paper Sec. 8.2)", ratio)
+	}
+	if c2 <= c3 {
+		t.Errorf("class2 (%v) should be slower than class3 (%v)", c2, c3)
+	}
+}
+
+func TestClassByName(t *testing.T) {
+	for _, name := range []string{"class1", "class2", "class3"} {
+		p, ok := ClassByName(name)
+		if !ok || p.Name != name {
+			t.Errorf("ClassByName(%q) = %+v, %v", name, p, ok)
+		}
+	}
+	if _, ok := ClassByName("class9"); ok {
+		t.Error("unknown class resolved")
+	}
+}
+
+func TestNormalizedPerf(t *testing.T) {
+	const brick = 512 << 10
+	perf := NormalizedPerf([]Params{Class1(), Class1(), Class3(), Class3()}, brick)
+	if perf[0] != 1 || perf[1] != 1 {
+		t.Errorf("fast servers perf = %v", perf)
+	}
+	if perf[2] != 3 || perf[3] != 3 {
+		t.Errorf("slow servers perf = %v, want 3 (paper: greedy assigns 3x bricks)", perf)
+	}
+	if out := NormalizedPerf(nil, brick); len(out) != 0 {
+		t.Errorf("empty input = %v", out)
+	}
+}
+
+func TestNilModel(t *testing.T) {
+	var m *Model
+	d, err := m.Delay(context.Background(), 1, 1<<20)
+	if err != nil || d != 0 {
+		t.Errorf("nil model Delay = %v, %v", d, err)
+	}
+	if b, r := m.Stats(); b != 0 || r != 0 {
+		t.Errorf("nil model stats = %v %d", b, r)
+	}
+	if p := m.Params(); p.Bandwidth != 0 {
+		t.Errorf("nil model params = %+v", p)
+	}
+}
+
+func TestDelayCharges(t *testing.T) {
+	m := New(Params{RequestLatency: 5 * time.Millisecond})
+	start := time.Now()
+	if _, err := m.Delay(context.Background(), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if e := time.Since(start); e < 4*time.Millisecond {
+		t.Errorf("delay returned after %v, want >= ~5ms", e)
+	}
+	busy, reqs := m.Stats()
+	if reqs != 1 || busy != 5*time.Millisecond {
+		t.Errorf("stats = %v %d", busy, reqs)
+	}
+}
+
+// TestDeviceSerialization: N concurrent requests against one device
+// must take ~N times one request's service time (the device is a
+// queue, not a fountain).
+func TestDeviceSerialization(t *testing.T) {
+	m := New(Params{RequestLatency: 10 * time.Millisecond})
+	const n = 5
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = m.Delay(context.Background(), 0, 0)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if elapsed < 45*time.Millisecond {
+		t.Errorf("%d serialized 10ms requests finished in %v, want >= ~50ms", n, elapsed)
+	}
+}
+
+func TestDelayContextCancel(t *testing.T) {
+	m := New(Params{RequestLatency: 5 * time.Second})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := m.Delay(ctx, 0, 0)
+	if err == nil {
+		t.Fatal("expected context error")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("cancel did not interrupt the delay")
+	}
+}

@@ -1,0 +1,109 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"dpfs/internal/wire"
+)
+
+// Client is a pooled connection to one DPFS I/O server. Concurrent
+// requests each use their own TCP connection (mirroring the paper's
+// server spawning a handler per request); idle connections are reused.
+type Client struct {
+	addr string
+
+	mu     sync.Mutex
+	idle   []net.Conn
+	closed bool
+}
+
+// maxIdleConns bounds pooled connections per server.
+const maxIdleConns = 16
+
+// NewClient creates a lazy client for the server at addr; no connection
+// is made until the first request.
+func NewClient(addr string) *Client { return &Client{addr: addr} }
+
+// Addr returns the server address the client targets.
+func (c *Client) Addr() string { return c.addr }
+
+// Do performs one request/response exchange.
+func (c *Client) Do(ctx context.Context, req *wire.Request) (*wire.Response, error) {
+	conn, err := c.get(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if d, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(d)
+	} else {
+		_ = conn.SetDeadline(time.Time{})
+	}
+	if err := wire.WriteRequest(conn, req); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("dpfs server %s: send: %w", c.addr, err)
+	}
+	resp, err := wire.ReadResponse(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("dpfs server %s: receive: %w", c.addr, err)
+	}
+	c.put(conn)
+	if resp.Err != "" {
+		return nil, fmt.Errorf("dpfs server %s: %s", c.addr, resp.Err)
+	}
+	return resp, nil
+}
+
+// Ping checks the server is reachable.
+func (c *Client) Ping(ctx context.Context) error {
+	_, err := c.Do(ctx, &wire.Request{Op: wire.OpPing})
+	return err
+}
+
+func (c *Client) get(ctx context.Context) (net.Conn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errors.New("dpfs: client closed")
+	}
+	if n := len(c.idle); n > 0 {
+		conn := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return conn, nil
+	}
+	c.mu.Unlock()
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		return nil, fmt.Errorf("dpfs server %s: dial: %w", c.addr, err)
+	}
+	return conn, nil
+}
+
+func (c *Client) put(conn net.Conn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || len(c.idle) >= maxIdleConns {
+		conn.Close()
+		return
+	}
+	c.idle = append(c.idle, conn)
+}
+
+// Close drops all pooled connections.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for _, conn := range c.idle {
+		conn.Close()
+	}
+	c.idle = nil
+	return nil
+}

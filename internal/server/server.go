@@ -1,0 +1,408 @@
+// Package server implements the DPFS I/O server of Section 2: a
+// process on a storage machine that accepts brick requests over TCP and
+// performs the actual I/O through the local file system API, storing
+// each DPFS file's local bricks as one subfile. Requests from different
+// connections are serviced concurrently (one goroutine per connection);
+// an optional netsim.Model shapes service time to emulate the paper's
+// heterogeneous storage classes.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"dpfs/internal/netsim"
+	"dpfs/internal/wire"
+)
+
+// Config configures a server.
+type Config struct {
+	// Root is the directory under which subfiles are stored.
+	Root string
+	// Model, when non-nil, charges simulated service time per request.
+	Model *netsim.Model
+	// Name labels the server in errors and logs.
+	Name string
+}
+
+// Server is one DPFS I/O server instance.
+type Server struct {
+	cfg Config
+	lis net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	files  map[string]*subfile
+	closed bool
+	wg     sync.WaitGroup
+
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+// subfile is an open local file with a reference to keep handle reuse
+// cheap across requests.
+type subfile struct {
+	mu sync.Mutex // serializes size-extending writes
+	f  *os.File
+}
+
+// Listen starts a server on addr ("" picks an ephemeral loopback
+// port).
+func Listen(cfg Config, addr string) (*Server, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: listen: %w", err)
+	}
+	return New(cfg, lis)
+}
+
+// New starts a server on an existing listener.
+func New(cfg Config, lis net.Listener) (*Server, error) {
+	if cfg.Root == "" {
+		return nil, errors.New("server: Config.Root is required")
+	}
+	if err := os.MkdirAll(cfg.Root, 0o755); err != nil {
+		return nil, fmt.Errorf("server: create root: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:    cfg,
+		lis:    lis,
+		conns:  make(map[net.Conn]struct{}),
+		files:  make(map[string]*subfile),
+		ctx:    ctx,
+		cancel: cancel,
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Model returns the server's performance model (may be nil).
+func (s *Server) Model() *netsim.Model { return s.cfg.Model }
+
+// Close stops the server, drops connections and closes cached subfile
+// handles.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	s.cancel()
+	err := s.lis.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+
+	s.mu.Lock()
+	for _, sf := range s.files {
+		sf.f.Close()
+	}
+	s.files = make(map[string]*subfile)
+	s.mu.Unlock()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	for {
+		req, err := wire.ReadRequest(conn)
+		if err != nil {
+			return // disconnect or framing error
+		}
+		resp := s.dispatch(req)
+		if err := wire.WriteResponse(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req *wire.Request) *wire.Response {
+	resp, err := s.serve(req)
+	if err != nil {
+		return &wire.Response{Err: fmt.Sprintf("%s: %v", s.cfg.Name, err)}
+	}
+	return resp
+}
+
+func (s *Server) serve(req *wire.Request) (*wire.Response, error) {
+	switch req.Op {
+	case wire.OpPing:
+		return &wire.Response{}, nil
+	case wire.OpRead:
+		return s.opRead(req)
+	case wire.OpWrite:
+		return s.opWrite(req)
+	case wire.OpRemove:
+		return s.opRemove(req)
+	case wire.OpStat:
+		return s.opStat(req)
+	case wire.OpUsage:
+		return s.opUsage()
+	case wire.OpTruncate:
+		return s.opTruncate(req)
+	case wire.OpRename:
+		return s.opRename(req)
+	}
+	return nil, fmt.Errorf("unknown op %v", req.Op)
+}
+
+// localPath maps a DPFS subfile name to a path under Root, rejecting
+// escapes.
+func (s *Server) localPath(p string) (string, error) {
+	if p == "" {
+		return "", errors.New("empty subfile path")
+	}
+	norm := strings.ReplaceAll(p, "\\", "/")
+	for _, part := range strings.Split(norm, "/") {
+		if part == ".." {
+			return "", fmt.Errorf("invalid subfile path %q", p)
+		}
+	}
+	return filepath.Join(s.cfg.Root, filepath.Clean("/"+norm)), nil
+}
+
+// open returns a cached handle for the subfile, creating it (and its
+// parent directories) when create is set.
+func (s *Server) open(p string, create bool) (*subfile, error) {
+	local, err := s.localPath(p)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errors.New("server closed")
+	}
+	if sf, ok := s.files[local]; ok {
+		return sf, nil
+	}
+	flags := os.O_RDWR
+	if create {
+		flags |= os.O_CREATE
+		if err := os.MkdirAll(filepath.Dir(local), 0o755); err != nil {
+			return nil, err
+		}
+	}
+	f, err := os.OpenFile(local, flags, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	sf := &subfile{f: f}
+	s.files[local] = sf
+	return sf, nil
+}
+
+// drop closes and forgets a cached handle.
+func (s *Server) drop(local string) {
+	s.mu.Lock()
+	if sf, ok := s.files[local]; ok {
+		sf.f.Close()
+		delete(s.files, local)
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) opRead(req *wire.Request) (*wire.Response, error) {
+	total := wire.DataBytes(req.Extents)
+	if total < 0 || total > wire.MaxMessage {
+		return nil, fmt.Errorf("read of %d bytes out of range", total)
+	}
+	if _, err := s.cfg.Model.Delay(s.ctx, len(req.Extents), total); err != nil {
+		return nil, err
+	}
+	sf, err := s.open(req.Path, false)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			// Reading a never-written subfile returns zeros, matching
+			// hole semantics (client-side geometry guarantees the
+			// extents are within the file's logical size).
+			return &wire.Response{Data: make([]byte, total), N: total}, nil
+		}
+		return nil, err
+	}
+	buf := make([]byte, total)
+	pos := int64(0)
+	for _, e := range req.Extents {
+		if e.Len < 0 || e.Off < 0 {
+			return nil, fmt.Errorf("invalid extent [%d,%d)", e.Off, e.Off+e.Len)
+		}
+		n, err := sf.f.ReadAt(buf[pos:pos+e.Len], e.Off)
+		if err != nil && err != io.EOF {
+			return nil, err
+		}
+		// Bytes past EOF (sparse slots not yet written) read as zeros.
+		for i := pos + int64(n); i < pos+e.Len; i++ {
+			buf[i] = 0
+		}
+		pos += e.Len
+	}
+	return &wire.Response{Data: buf, N: total}, nil
+}
+
+func (s *Server) opWrite(req *wire.Request) (*wire.Response, error) {
+	total := wire.DataBytes(req.Extents)
+	if total != int64(len(req.Data)) {
+		return nil, fmt.Errorf("write carries %d bytes for %d bytes of extents", len(req.Data), total)
+	}
+	if _, err := s.cfg.Model.Delay(s.ctx, len(req.Extents), total); err != nil {
+		return nil, err
+	}
+	sf, err := s.open(req.Path, true)
+	if err != nil {
+		return nil, err
+	}
+	pos := int64(0)
+	for _, e := range req.Extents {
+		if e.Len < 0 || e.Off < 0 {
+			return nil, fmt.Errorf("invalid extent [%d,%d)", e.Off, e.Off+e.Len)
+		}
+		if _, err := sf.f.WriteAt(req.Data[pos:pos+e.Len], e.Off); err != nil {
+			return nil, err
+		}
+		pos += e.Len
+	}
+	return &wire.Response{N: total}, nil
+}
+
+func (s *Server) opRemove(req *wire.Request) (*wire.Response, error) {
+	local, err := s.localPath(req.Path)
+	if err != nil {
+		return nil, err
+	}
+	s.drop(local)
+	if err := os.Remove(local); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return nil, err
+	}
+	return &wire.Response{}, nil
+}
+
+func (s *Server) opStat(req *wire.Request) (*wire.Response, error) {
+	local, err := s.localPath(req.Path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := os.Stat(local)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return &wire.Response{N: 0}, nil
+		}
+		return nil, err
+	}
+	return &wire.Response{N: st.Size()}, nil
+}
+
+// opUsage walks the root and sums stored bytes: the live counterpart of
+// the DPFS-SERVER capacity bookkeeping.
+func (s *Server) opUsage() (*wire.Response, error) {
+	var total int64
+	err := filepath.WalkDir(s.cfg.Root, func(_ string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.Type().IsRegular() {
+			info, err := d.Info()
+			if err != nil {
+				return err
+			}
+			total += info.Size()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &wire.Response{N: total}, nil
+}
+
+// opRename moves a subfile to a new name (both confined under Root).
+// Renaming a subfile that does not exist yet succeeds: sparse DPFS
+// files may have no bricks on some servers.
+func (s *Server) opRename(req *wire.Request) (*wire.Response, error) {
+	oldLocal, err := s.localPath(req.Path)
+	if err != nil {
+		return nil, err
+	}
+	newLocal, err := s.localPath(string(req.Data))
+	if err != nil {
+		return nil, err
+	}
+	s.drop(oldLocal)
+	s.drop(newLocal)
+	if err := os.MkdirAll(filepath.Dir(newLocal), 0o755); err != nil {
+		return nil, err
+	}
+	if err := os.Rename(oldLocal, newLocal); err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return &wire.Response{}, nil
+		}
+		return nil, err
+	}
+	return &wire.Response{N: 1}, nil
+}
+
+func (s *Server) opTruncate(req *wire.Request) (*wire.Response, error) {
+	if len(req.Extents) != 1 {
+		return nil, errors.New("truncate needs exactly one extent")
+	}
+	sf, err := s.open(req.Path, true)
+	if err != nil {
+		return nil, err
+	}
+	sf.mu.Lock()
+	defer sf.mu.Unlock()
+	if err := sf.f.Truncate(req.Extents[0].Len); err != nil {
+		return nil, err
+	}
+	return &wire.Response{}, nil
+}

@@ -1,0 +1,291 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dpfs/internal/netsim"
+	"dpfs/internal/wire"
+)
+
+func startServer(t *testing.T, model *netsim.Model) (*Server, *Client) {
+	t.Helper()
+	srv, err := Listen(Config{Root: t.TempDir(), Model: model, Name: "test-io"}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := NewClient(srv.Addr())
+	t.Cleanup(func() {
+		cli.Close()
+		srv.Close()
+	})
+	return srv, cli
+}
+
+func ctxT(t *testing.T) context.Context {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestPing(t *testing.T) {
+	_, cli := startServer(t, nil)
+	if err := cli.Ping(ctxT(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteReadRoundtrip(t *testing.T) {
+	_, cli := startServer(t, nil)
+	ctx := ctxT(t)
+
+	data := []byte("hello brick world")
+	_, err := cli.Do(ctx, &wire.Request{
+		Op: wire.OpWrite, Path: "dir/sub.f",
+		Extents: []wire.Extent{{Off: 0, Len: 5}, {Off: 100, Len: 12}},
+		Data:    data,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cli.Do(ctx, &wire.Request{
+		Op: wire.OpRead, Path: "dir/sub.f",
+		Extents: []wire.Extent{{Off: 0, Len: 5}, {Off: 100, Len: 12}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp.Data, data) {
+		t.Fatalf("read %q, want %q", resp.Data, data)
+	}
+	// The gap between the extents reads as zeros.
+	resp, err = cli.Do(ctx, &wire.Request{Op: wire.OpRead, Path: "dir/sub.f",
+		Extents: []wire.Extent{{Off: 50, Len: 10}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp.Data, make([]byte, 10)) {
+		t.Fatalf("hole read %v", resp.Data)
+	}
+}
+
+func TestReadPastEOFZeroFills(t *testing.T) {
+	_, cli := startServer(t, nil)
+	ctx := ctxT(t)
+	if _, err := cli.Do(ctx, &wire.Request{Op: wire.OpWrite, Path: "f",
+		Extents: []wire.Extent{{Off: 0, Len: 4}}, Data: []byte("abcd")}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cli.Do(ctx, &wire.Request{Op: wire.OpRead, Path: "f",
+		Extents: []wire.Extent{{Off: 2, Len: 8}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte("cd"), make([]byte, 6)...)
+	if !bytes.Equal(resp.Data, want) {
+		t.Fatalf("read %v, want %v", resp.Data, want)
+	}
+}
+
+func TestReadMissingSubfileReturnsZeros(t *testing.T) {
+	_, cli := startServer(t, nil)
+	resp, err := cli.Do(ctxT(t), &wire.Request{Op: wire.OpRead, Path: "nope",
+		Extents: []wire.Extent{{Off: 0, Len: 16}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp.Data, make([]byte, 16)) {
+		t.Fatalf("missing subfile read = %v", resp.Data)
+	}
+}
+
+func TestStatRemoveUsage(t *testing.T) {
+	_, cli := startServer(t, nil)
+	ctx := ctxT(t)
+	if _, err := cli.Do(ctx, &wire.Request{Op: wire.OpWrite, Path: "a",
+		Extents: []wire.Extent{{Off: 0, Len: 8}}, Data: make([]byte, 8)}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cli.Do(ctx, &wire.Request{Op: wire.OpStat, Path: "a"})
+	if err != nil || resp.N != 8 {
+		t.Fatalf("stat = %+v, %v", resp, err)
+	}
+	resp, err = cli.Do(ctx, &wire.Request{Op: wire.OpUsage})
+	if err != nil || resp.N != 8 {
+		t.Fatalf("usage = %+v, %v", resp, err)
+	}
+	if _, err := cli.Do(ctx, &wire.Request{Op: wire.OpRemove, Path: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = cli.Do(ctx, &wire.Request{Op: wire.OpStat, Path: "a"})
+	if err != nil || resp.N != 0 {
+		t.Fatalf("stat after remove = %+v, %v", resp, err)
+	}
+	// Removing a missing subfile is idempotent.
+	if _, err := cli.Do(ctx, &wire.Request{Op: wire.OpRemove, Path: "a"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	_, cli := startServer(t, nil)
+	ctx := ctxT(t)
+	if _, err := cli.Do(ctx, &wire.Request{Op: wire.OpWrite, Path: "f",
+		Extents: []wire.Extent{{Off: 0, Len: 100}}, Data: make([]byte, 100)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Do(ctx, &wire.Request{Op: wire.OpTruncate, Path: "f",
+		Extents: []wire.Extent{{Off: 0, Len: 10}}}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cli.Do(ctx, &wire.Request{Op: wire.OpStat, Path: "f"})
+	if err != nil || resp.N != 10 {
+		t.Fatalf("size after truncate = %+v, %v", resp, err)
+	}
+	if _, err := cli.Do(ctx, &wire.Request{Op: wire.OpTruncate, Path: "f"}); err == nil {
+		t.Fatal("truncate without extent should fail")
+	}
+}
+
+func TestPathEscapesRejected(t *testing.T) {
+	_, cli := startServer(t, nil)
+	ctx := ctxT(t)
+	for _, p := range []string{"../escape", "a/../../b", ""} {
+		if _, err := cli.Do(ctx, &wire.Request{Op: wire.OpWrite, Path: p,
+			Extents: []wire.Extent{{Off: 0, Len: 1}}, Data: []byte{1}}); err == nil {
+			t.Errorf("path %q accepted", p)
+		}
+	}
+	// Absolute paths are confined under the root rather than escaping.
+	if _, err := cli.Do(ctx, &wire.Request{Op: wire.OpWrite, Path: "/abs/ok",
+		Extents: []wire.Extent{{Off: 0, Len: 1}}, Data: []byte{1}}); err != nil {
+		t.Errorf("absolute path rejected: %v", err)
+	}
+}
+
+func TestBadExtents(t *testing.T) {
+	_, cli := startServer(t, nil)
+	ctx := ctxT(t)
+	if _, err := cli.Do(ctx, &wire.Request{Op: wire.OpWrite, Path: "f",
+		Extents: []wire.Extent{{Off: -1, Len: 4}}, Data: make([]byte, 4)}); err == nil {
+		t.Error("negative offset accepted")
+	}
+	if _, err := cli.Do(ctx, &wire.Request{Op: wire.OpWrite, Path: "f",
+		Extents: []wire.Extent{{Off: 0, Len: 4}}, Data: make([]byte, 2)}); err == nil {
+		t.Error("mismatched data length accepted")
+	}
+	if _, err := cli.Do(ctx, &wire.Request{Op: wire.Op(42), Path: "f"}); err == nil {
+		t.Error("unknown op accepted")
+	}
+	// The connection survives server-side errors.
+	if err := cli.Ping(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	_, cli := startServer(t, nil)
+	ctx := ctxT(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			data := bytes.Repeat([]byte{byte(w)}, 1024)
+			path := fmt.Sprintf("f%d", w)
+			for i := 0; i < 10; i++ {
+				if _, err := cli.Do(ctx, &wire.Request{Op: wire.OpWrite, Path: path,
+					Extents: []wire.Extent{{Off: int64(i) * 1024, Len: 1024}}, Data: data}); err != nil {
+					errs <- err
+					return
+				}
+			}
+			resp, err := cli.Do(ctx, &wire.Request{Op: wire.OpRead, Path: path,
+				Extents: []wire.Extent{{Off: 3 * 1024, Len: 1024}}})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !bytes.Equal(resp.Data, data) {
+				errs <- fmt.Errorf("worker %d read wrong data", w)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestModelShapesService(t *testing.T) {
+	model := netsim.New(netsim.Params{RequestLatency: 20 * time.Millisecond})
+	_, cli := startServer(t, model)
+	start := time.Now()
+	if err := cli.Ping(ctxT(t)); err != nil { // ping is free
+		t.Fatal(err)
+	}
+	if _, err := cli.Do(ctxT(t), &wire.Request{Op: wire.OpRead, Path: "f",
+		Extents: []wire.Extent{{Off: 0, Len: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	if e := time.Since(start); e < 18*time.Millisecond {
+		t.Errorf("shaped read returned in %v, want >= ~20ms", e)
+	}
+	if _, reqs := model.Stats(); reqs != 1 {
+		t.Errorf("model charged %d requests, want 1", reqs)
+	}
+}
+
+func TestServerClose(t *testing.T) {
+	srv, err := Listen(Config{Root: t.TempDir()}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := NewClient(srv.Addr())
+	if err := cli.Ping(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := cli.Ping(ctx); err == nil {
+		t.Fatal("ping against closed server should fail")
+	}
+	cli.Close()
+	if err := cli.Ping(context.Background()); err == nil {
+		t.Fatal("ping on closed client should fail")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Listen(Config{}, ""); err == nil {
+		t.Fatal("empty root accepted")
+	}
+}
+
+func TestConnectionPoolReuse(t *testing.T) {
+	_, cli := startServer(t, nil)
+	ctx := ctxT(t)
+	for i := 0; i < 50; i++ {
+		if err := cli.Ping(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cli.mu.Lock()
+	idle := len(cli.idle)
+	cli.mu.Unlock()
+	if idle != 1 {
+		t.Errorf("sequential pings left %d idle conns, want 1 (reuse)", idle)
+	}
+}

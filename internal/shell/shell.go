@@ -1,0 +1,425 @@
+// Package shell implements the DPFS user interface of Section 7: a set
+// of UNIX-like commands (ls, pwd, cd, mkdir, rmdir, rm, stat, df, cp,
+// cat) operating on DPFS files and directories, including data
+// transfer between sequential (local) files and DPFS. The interactive
+// binary cmd/dpfs-sh wraps this package; keeping the command engine
+// here makes it testable.
+package shell
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dpfs"
+	"dpfs/internal/core"
+	"dpfs/internal/meta"
+	"dpfs/internal/stripe"
+)
+
+// Shell is one interactive session: a DPFS client plus a current
+// working directory.
+type Shell struct {
+	client *dpfs.Client
+	cwd    string
+}
+
+// New builds a shell rooted at /.
+func New(client *dpfs.Client) *Shell {
+	return &Shell{client: client, cwd: "/"}
+}
+
+// Cwd returns the current working directory.
+func (sh *Shell) Cwd() string { return sh.cwd }
+
+// Run executes one command line and returns its output.
+func (sh *Shell) Run(ctx context.Context, line string) (string, error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return "", nil
+	}
+	cmd, args := fields[0], fields[1:]
+	switch cmd {
+	case "help":
+		return helpText, nil
+	case "pwd":
+		return sh.cwd + "\n", nil
+	case "cd":
+		return sh.cd(args)
+	case "ls":
+		return sh.ls(args)
+	case "mkdir":
+		return sh.mkdir(args)
+	case "rmdir":
+		return sh.rmdir(args)
+	case "rm":
+		return sh.rm(ctx, args)
+	case "stat":
+		return sh.stat(args)
+	case "df":
+		return sh.df()
+	case "cp":
+		return sh.cp(ctx, args)
+	case "mv":
+		return sh.mv(ctx, args)
+	case "chmod":
+		return sh.chmod(args)
+	case "chown":
+		return sh.chown(args)
+	case "du":
+		return sh.du()
+	case "cat":
+		return sh.cat(ctx, args)
+	}
+	return "", fmt.Errorf("dpfs-sh: unknown command %q (try help)", cmd)
+}
+
+const helpText = `DPFS shell commands:
+  pwd                     print the working directory
+  cd DIR                  change the working directory
+  ls [PATH]               list a directory (d marks directories)
+  mkdir DIR               create a directory
+  rmdir DIR               remove an empty directory
+  rm FILE                 remove a DPFS file (catalog + all subfiles)
+  stat FILE               show a file's attributes and distribution
+  df                      show registered I/O servers
+  cp SRC DST              copy; prefix local files with local:
+                          (local:a.bin /b imports, /b local:a.bin exports,
+                           /a /b copies within DPFS)
+  mv OLD NEW              rename/move a DPFS file
+  chmod MODE FILE         set a file's permission (octal)
+  chown OWNER FILE        set a file's owner
+  du                      per-server file and brick usage
+  cat FILE                print a DPFS file's bytes
+  help                    this text
+`
+
+// resolve makes an argument absolute against the cwd.
+func (sh *Shell) resolve(p string) string {
+	if p == "" {
+		return sh.cwd
+	}
+	if !strings.HasPrefix(p, "/") {
+		p = path.Join(sh.cwd, p)
+	}
+	return path.Clean(p)
+}
+
+func one(args []string, usage string) (string, error) {
+	if len(args) != 1 {
+		return "", fmt.Errorf("dpfs-sh: usage: %s", usage)
+	}
+	return args[0], nil
+}
+
+func (sh *Shell) cd(args []string) (string, error) {
+	arg, err := one(args, "cd DIR")
+	if err != nil {
+		return "", err
+	}
+	p := sh.resolve(arg)
+	ok, err := sh.client.IsDir(p)
+	if err != nil {
+		return "", err
+	}
+	if !ok {
+		return "", fmt.Errorf("dpfs-sh: no such directory %s", p)
+	}
+	sh.cwd = p
+	return "", nil
+}
+
+func (sh *Shell) ls(args []string) (string, error) {
+	p := sh.cwd
+	if len(args) == 1 {
+		p = sh.resolve(args[0])
+	} else if len(args) > 1 {
+		return "", fmt.Errorf("dpfs-sh: usage: ls [PATH]")
+	}
+	dirs, files, err := sh.client.ReadDir(p)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	for _, d := range dirs {
+		fmt.Fprintf(&sb, "d %s/\n", d)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		fi, err := sh.client.Stat(path.Join(p, f))
+		if err != nil {
+			fmt.Fprintf(&sb, "- %s (?)\n", f)
+			continue
+		}
+		fmt.Fprintf(&sb, "- %s  %d bytes  %s  %d servers\n", f, fi.Size, fi.Geometry.Level, len(fi.Servers))
+	}
+	return sb.String(), nil
+}
+
+func (sh *Shell) mkdir(args []string) (string, error) {
+	arg, err := one(args, "mkdir DIR")
+	if err != nil {
+		return "", err
+	}
+	return "", sh.client.Mkdir(sh.resolve(arg))
+}
+
+func (sh *Shell) rmdir(args []string) (string, error) {
+	arg, err := one(args, "rmdir DIR")
+	if err != nil {
+		return "", err
+	}
+	return "", sh.client.Rmdir(sh.resolve(arg))
+}
+
+func (sh *Shell) rm(ctx context.Context, args []string) (string, error) {
+	arg, err := one(args, "rm FILE")
+	if err != nil {
+		return "", err
+	}
+	return "", sh.client.Remove(ctx, sh.resolve(arg))
+}
+
+func (sh *Shell) stat(args []string) (string, error) {
+	arg, err := one(args, "stat FILE")
+	if err != nil {
+		return "", err
+	}
+	p := sh.resolve(arg)
+	fi, err := sh.client.Stat(p)
+	if err != nil {
+		return "", err
+	}
+	g := fi.Geometry
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "file:      %s\n", fi.Path)
+	fmt.Fprintf(&sb, "owner:     %s\n", fi.Owner)
+	fmt.Fprintf(&sb, "perm:      %o\n", fi.Perm)
+	fmt.Fprintf(&sb, "size:      %d bytes\n", fi.Size)
+	fmt.Fprintf(&sb, "level:     %s\n", g.Level)
+	fmt.Fprintf(&sb, "dims:      %v (elem %d bytes)\n", g.Dims, g.ElemSize)
+	switch g.Level {
+	case stripe.LevelLinear:
+		fmt.Fprintf(&sb, "brick:     %d bytes\n", g.BrickBytes)
+	case stripe.LevelMultidim:
+		fmt.Fprintf(&sb, "tile:      %v\n", g.Tile)
+	case stripe.LevelArray:
+		pat := make([]string, len(g.Pattern))
+		for i, d := range g.Pattern {
+			pat[i] = d.String()
+		}
+		fmt.Fprintf(&sb, "pattern:   (%s) grid %v\n", strings.Join(pat, ","), g.Grid)
+	}
+	fmt.Fprintf(&sb, "bricks:    %d\n", g.NumBricks())
+	fmt.Fprintf(&sb, "placement: %s\n", fi.Placement)
+	return sb.String(), nil
+}
+
+func (sh *Shell) df() (string, error) {
+	servers, err := sh.client.Servers()
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-24s %-22s %10s %5s\n", "SERVER", "ADDR", "CAPACITY", "PERF")
+	for _, s := range servers {
+		fmt.Fprintf(&sb, "%-24s %-22s %10d %5d\n", s.Name, s.Addr, s.Capacity, s.Performance)
+	}
+	return sb.String(), nil
+}
+
+const localPrefix = "local:"
+
+func (sh *Shell) cp(ctx context.Context, args []string) (string, error) {
+	if len(args) != 2 {
+		return "", fmt.Errorf("dpfs-sh: usage: cp SRC DST (prefix local files with %q)", localPrefix)
+	}
+	src, dst := args[0], args[1]
+	srcLocal := strings.HasPrefix(src, localPrefix)
+	dstLocal := strings.HasPrefix(dst, localPrefix)
+	switch {
+	case srcLocal && dstLocal:
+		return "", fmt.Errorf("dpfs-sh: at least one side of cp must be a DPFS path")
+	case srcLocal:
+		return sh.importFile(ctx, strings.TrimPrefix(src, localPrefix), sh.resolve(dst))
+	case dstLocal:
+		return sh.exportFile(ctx, sh.resolve(src), strings.TrimPrefix(dst, localPrefix))
+	default:
+		return sh.copyWithin(ctx, sh.resolve(src), sh.resolve(dst))
+	}
+}
+
+func (sh *Shell) importFile(ctx context.Context, local, dpfsPath string) (string, error) {
+	f, err := os.Open(local)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return "", err
+	}
+	if err := sh.client.Import(ctx, f, dpfsPath, st.Size(), core.Hint{}); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("imported %d bytes to %s\n", st.Size(), dpfsPath), nil
+}
+
+func (sh *Shell) exportFile(ctx context.Context, dpfsPath, local string) (string, error) {
+	f, err := os.Create(local)
+	if err != nil {
+		return "", err
+	}
+	if err := sh.client.Export(ctx, f, dpfsPath); err != nil {
+		f.Close()
+		os.Remove(local)
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	fi, err := sh.client.Stat(dpfsPath)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("exported %d bytes to %s\n", fi.Size, local), nil
+}
+
+// copyWithin copies a DPFS file to a new DPFS file with the same
+// geometry (level, brick shape, HPF pattern), moving data in row-block
+// sections.
+func (sh *Shell) copyWithin(ctx context.Context, src, dst string) (string, error) {
+	fi, err := sh.client.Stat(src)
+	if err != nil {
+		return "", err
+	}
+	g := fi.Geometry
+	srcF, err := sh.client.Open(src)
+	if err != nil {
+		return "", err
+	}
+	defer srcF.Close()
+	dstF, err := sh.client.Create(dst, g.ElemSize, g.Dims, core.Hint{
+		Level:      g.Level,
+		BrickBytes: g.BrickBytes,
+		Tile:       g.Tile,
+		Pattern:    g.Pattern,
+		Grid:       g.Grid,
+	})
+	if err != nil {
+		return "", err
+	}
+	defer dstF.Close()
+
+	rows := g.Dims[0]
+	rowBytes := g.Size() / rows
+	step := rows
+	if rowBytes > 0 {
+		if step = (1 << 20) / rowBytes; step < 1 {
+			step = 1
+		}
+	}
+	for r0 := int64(0); r0 < rows; r0 += step {
+		n := step
+		if rem := rows - r0; rem < n {
+			n = rem
+		}
+		sec := stripe.FullSection(g.Dims)
+		sec.Start[0] = r0
+		sec.Count[0] = n
+		buf := make([]byte, sec.Bytes(g.ElemSize))
+		if err := srcF.ReadSection(ctx, sec, buf); err != nil {
+			return "", err
+		}
+		if err := dstF.WriteSection(ctx, sec, buf); err != nil {
+			return "", err
+		}
+	}
+	return fmt.Sprintf("copied %d bytes to %s\n", fi.Size, dst), nil
+}
+
+func (sh *Shell) mv(ctx context.Context, args []string) (string, error) {
+	if len(args) != 2 {
+		return "", fmt.Errorf("dpfs-sh: usage: mv OLD NEW")
+	}
+	oldP, newP := sh.resolve(args[0]), sh.resolve(args[1])
+	if err := sh.client.Rename(ctx, oldP, newP); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("renamed %s -> %s\n", oldP, newP), nil
+}
+
+func (sh *Shell) chmod(args []string) (string, error) {
+	if len(args) != 2 {
+		return "", fmt.Errorf("dpfs-sh: usage: chmod MODE FILE")
+	}
+	mode, err := strconv.ParseInt(args[0], 8, 32)
+	if err != nil {
+		return "", fmt.Errorf("dpfs-sh: bad octal mode %q", args[0])
+	}
+	return "", sh.client.Chmod(sh.resolve(args[1]), int(mode))
+}
+
+func (sh *Shell) chown(args []string) (string, error) {
+	if len(args) != 2 {
+		return "", fmt.Errorf("dpfs-sh: usage: chown OWNER FILE")
+	}
+	return "", sh.client.Chown(sh.resolve(args[1]), args[0])
+}
+
+func (sh *Shell) du() (string, error) {
+	usage, err := sh.client.Usage()
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-24s %8s %8s %10s %5s\n", "SERVER", "FILES", "BRICKS", "CAPACITY", "PERF")
+	for _, u := range usage {
+		fmt.Fprintf(&sb, "%-24s %8d %8d %10d %5d\n", u.Name, u.Files, u.Bricks, u.Capacity, u.Performance)
+	}
+	return sb.String(), nil
+}
+
+func (sh *Shell) cat(ctx context.Context, args []string) (string, error) {
+	arg, err := one(args, "cat FILE")
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	if err := sh.client.Export(ctx, &sb, sh.resolve(arg)); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}
+
+// EnsureDirs makes every directory on path (mkdir -p), ignoring
+// already-existing components.
+func EnsureDirs(client *dpfs.Client, p string) error {
+	clean, err := meta.CleanPath(p)
+	if err != nil {
+		return err
+	}
+	if clean == "/" {
+		return nil
+	}
+	parts := strings.Split(strings.TrimPrefix(clean, "/"), "/")
+	cur := ""
+	for _, part := range parts {
+		cur += "/" + part
+		ok, err := client.IsDir(cur)
+		if err != nil {
+			return err
+		}
+		if ok {
+			continue
+		}
+		if err := client.Mkdir(cur); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package stripe
+
+import "sort"
+
+// Request is one network request to a single server, carrying one or
+// more brick accesses. Without request combination every brick access
+// travels alone; with combination all of a client's brick accesses that
+// land on the same server are shipped together (Section 4.2).
+type Request struct {
+	Server int
+	Bricks []BrickIO
+}
+
+// Bytes returns the number of payload bytes the request moves.
+func (r *Request) Bytes() int64 {
+	var n int64
+	for i := range r.Bricks {
+		n += r.Bricks[i].Bytes()
+	}
+	return n
+}
+
+// PerBrick turns a plan into the paper's "general approach": one
+// request per brick, in ascending brick order. assign maps brick id to
+// server.
+func PerBrick(plan []BrickIO, assign []int) []Request {
+	out := make([]Request, 0, len(plan))
+	for _, b := range plan {
+		out = append(out, Request{Server: assign[b.Brick], Bricks: []BrickIO{b}})
+	}
+	return out
+}
+
+// Combine implements request combination: all bricks of the plan that
+// reside on the same server are grouped into a single request. Requests
+// come out ordered by server index; bricks within a request keep
+// ascending brick order.
+func Combine(plan []BrickIO, assign []int) []Request {
+	byServer := make(map[int]*Request)
+	var servers []int
+	for _, b := range plan {
+		s := assign[b.Brick]
+		r, ok := byServer[s]
+		if !ok {
+			r = &Request{Server: s}
+			byServer[s] = r
+			servers = append(servers, s)
+		}
+		r.Bricks = append(r.Bricks, b)
+	}
+	sort.Ints(servers)
+	out := make([]Request, 0, len(servers))
+	for _, s := range servers {
+		out = append(out, *byServer[s])
+	}
+	return out
+}
+
+// Stagger reorders combined requests so that client rank starts its
+// sweep at server (rank mod numServers) and proceeds cyclically. This
+// is the scheduling optimization of Section 4.2: when all clients
+// access all servers, staggering keeps them from convoying on the same
+// device. Requests for servers the client does not touch are simply
+// absent.
+func Stagger(reqs []Request, rank, numServers int) []Request {
+	if numServers <= 0 || len(reqs) <= 1 {
+		return reqs
+	}
+	start := rank % numServers
+	out := make([]Request, len(reqs))
+	copy(out, reqs)
+	sort.Slice(out, func(i, j int) bool {
+		return rotOrder(out[i].Server, start, numServers) < rotOrder(out[j].Server, start, numServers)
+	})
+	return out
+}
+
+// rotOrder maps server s to its position in the cyclic order starting
+// at start.
+func rotOrder(s, start, n int) int {
+	return ((s-start)%n + n) % n
+}
+
+// WholeBricks widens every brick access in the plan to cover the entire
+// stored brick, mirroring the paper's model in which the brick is the
+// basic accessing unit: a read fetches whole bricks and the client
+// discards the unneeded parts ("only the first two elements of each
+// brick are really useful, the second half will be discarded", Sec.
+// 3.2). The original segments are retained so the caller can scatter
+// the useful bytes; the widened extent is recorded per brick.
+//
+// It returns, aligned with the plan, the byte count to transfer for
+// each brick when whole-brick fetching is used.
+func WholeBricks(g *Geometry, plan []BrickIO) []int64 {
+	out := make([]int64, len(plan))
+	for i := range plan {
+		out[i] = g.BrickBytesOf(plan[i].Brick)
+	}
+	return out
+}

@@ -1,0 +1,339 @@
+package stripe
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Segment describes one contiguous byte run to move between a brick's
+// storage and the caller's packed buffer.
+type Segment struct {
+	// BrickOff is the byte offset within the brick's stored bytes.
+	BrickOff int64
+	// MemOff is the byte offset within the caller's packed buffer.
+	MemOff int64
+	// Len is the run length in bytes.
+	Len int64
+}
+
+// BrickIO is the complete set of segments an access touches within one
+// brick. Plans list bricks in ascending brick-id order and each brick's
+// segments in ascending MemOff order.
+type BrickIO struct {
+	Brick int
+	Segs  []Segment
+}
+
+// Bytes returns the number of payload bytes the brick access moves.
+func (b *BrickIO) Bytes() int64 {
+	var n int64
+	for _, s := range b.Segs {
+		n += s.Len
+	}
+	return n
+}
+
+// Extent is a contiguous byte range of a linear file.
+type Extent struct {
+	Off int64
+	Len int64
+}
+
+// PlanSection computes, for an access to the given array section, the
+// bricks touched and the byte segments within each. It supports all
+// three file levels; for linear files the array is assumed stored
+// row-major in the byte stream.
+func (g *Geometry) PlanSection(sec Section) ([]BrickIO, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if err := sec.Validate(g.Dims); err != nil {
+		return nil, err
+	}
+	switch g.Level {
+	case LevelLinear:
+		return g.planLinearSection(sec)
+	case LevelMultidim:
+		return g.planTiledSection(sec, multidimTiles{g})
+	case LevelArray:
+		return g.planTiledSection(sec, arrayChunks{g})
+	}
+	return nil, fmt.Errorf("stripe: unknown level %d", g.Level)
+}
+
+// PlanExtents computes the bricks touched by a raw byte access to a
+// linear file. MemOff values index the concatenation of the extents in
+// order.
+func (g *Geometry) PlanExtents(exts []Extent) ([]BrickIO, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if g.Level != LevelLinear {
+		return nil, fmt.Errorf("stripe: PlanExtents requires a linear file, have %v", g.Level)
+	}
+	sz := g.Size()
+	pl := newPlanner()
+	mem := int64(0)
+	for _, e := range exts {
+		if e.Off < 0 || e.Len < 0 || e.Off+e.Len > sz {
+			return nil, fmt.Errorf("stripe: extent [%d,%d) outside file of %d bytes", e.Off, e.Off+e.Len, sz)
+		}
+		g.splitRun(pl, e.Off, mem, e.Len)
+		mem += e.Len
+	}
+	return pl.finish(), nil
+}
+
+// planLinearSection maps an array section onto a linear (row-major
+// flattened) file: every run along the last dimension is a contiguous
+// byte range, split across brick boundaries.
+func (g *Geometry) planLinearSection(sec Section) ([]BrickIO, error) {
+	pl := newPlanner()
+	nd := len(g.Dims)
+	runBytes := sec.Count[nd-1] * g.ElemSize
+	mem := int64(0)
+	abs := make([]int64, nd)
+	err := iterOuter(sec.Count, func(pos []int64) error {
+		for d := 0; d < nd; d++ {
+			abs[d] = sec.Start[d] + pos[d]
+		}
+		fileOff := rowMajorOffset(abs, g.Dims) * g.ElemSize
+		g.splitRun(pl, fileOff, mem, runBytes)
+		mem += runBytes
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pl.finish(), nil
+}
+
+// splitRun splits the contiguous file range [fileOff, fileOff+n) across
+// linear bricks and records the pieces.
+func (g *Geometry) splitRun(pl *planner, fileOff, memOff, n int64) {
+	for n > 0 {
+		b := fileOff / g.BrickBytes
+		inOff := fileOff - b*g.BrickBytes
+		take := min64(n, g.BrickBytes-inOff)
+		pl.add(int(b), Segment{BrickOff: inOff, MemOff: memOff, Len: take})
+		fileOff += take
+		memOff += take
+		n -= take
+	}
+}
+
+// tileSource abstracts "the file is covered by disjoint rectangular
+// bricks": multidim tiles (uniform shape, full-tile storage layout) and
+// array chunks (HPF blocks, actual-shape storage layout).
+type tileSource interface {
+	// overlapping returns the brick ids whose extent intersects the
+	// section, in ascending order.
+	overlapping(sec Section) []int
+	// extent returns brick b's origin in the array and the shape used
+	// for its in-brick storage layout, plus the shape actually stored
+	// (clip of layout shape against the array); for multidim tiles
+	// layout is the full tile shape even at edges.
+	extent(b int) (origin, layout, clipped []int64)
+}
+
+type multidimTiles struct{ g *Geometry }
+
+func (m multidimTiles) overlapping(sec Section) []int {
+	g := m.g
+	grid := g.tileGrid()
+	nd := len(g.Dims)
+	lo := make([]int64, nd)
+	cnt := make([]int64, nd)
+	for d := 0; d < nd; d++ {
+		lo[d] = sec.Start[d] / g.Tile[d]
+		hi := (sec.Start[d] + sec.Count[d] - 1) / g.Tile[d]
+		cnt[d] = hi - lo[d] + 1
+	}
+	var ids []int
+	pos := make([]int64, nd)
+	for {
+		id := int64(0)
+		for d := 0; d < nd; d++ {
+			id = id*grid[d] + lo[d] + pos[d]
+		}
+		ids = append(ids, int(id))
+		d := nd - 1
+		for d >= 0 {
+			pos[d]++
+			if pos[d] < cnt[d] {
+				break
+			}
+			pos[d] = 0
+			d--
+		}
+		if d < 0 {
+			break
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+func (m multidimTiles) extent(b int) (origin, layout, clipped []int64) {
+	g := m.g
+	grid := g.tileGrid()
+	nd := len(g.Dims)
+	coord := make([]int64, nd)
+	rem := int64(b)
+	for d := nd - 1; d >= 0; d-- {
+		coord[d] = rem % grid[d]
+		rem /= grid[d]
+	}
+	origin = make([]int64, nd)
+	layout = make([]int64, nd)
+	clipped = make([]int64, nd)
+	for d := 0; d < nd; d++ {
+		origin[d] = coord[d] * g.Tile[d]
+		layout[d] = g.Tile[d]
+		end := min64(origin[d]+g.Tile[d], g.Dims[d])
+		clipped[d] = end - origin[d]
+	}
+	return origin, layout, clipped
+}
+
+type arrayChunks struct{ g *Geometry }
+
+func (a arrayChunks) overlapping(sec Section) []int {
+	g := a.g
+	nd := len(g.Dims)
+	lo := make([]int64, nd)
+	cnt := make([]int64, nd)
+	counts := make([]int64, nd)
+	for d := 0; d < nd; d++ {
+		counts[d] = g.chunkCount(d)
+		blk := ceilDiv(g.Dims[d], counts[d])
+		lo[d] = sec.Start[d] / blk
+		hi := (sec.Start[d] + sec.Count[d] - 1) / blk
+		cnt[d] = hi - lo[d] + 1
+	}
+	var ids []int
+	pos := make([]int64, nd)
+	for {
+		id := int64(0)
+		for d := 0; d < nd; d++ {
+			id = id*counts[d] + lo[d] + pos[d]
+		}
+		ids = append(ids, int(id))
+		d := nd - 1
+		for d >= 0 {
+			pos[d]++
+			if pos[d] < cnt[d] {
+				break
+			}
+			pos[d] = 0
+			d--
+		}
+		if d < 0 {
+			break
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+func (a arrayChunks) extent(b int) (origin, layout, clipped []int64) {
+	origin, shape := a.g.chunkExtent(b)
+	return origin, shape, shape
+}
+
+// planTiledSection enumerates, for each brick overlapping the section,
+// the contiguous runs (along the last dimension) of the intersection,
+// with offsets in both brick storage space and the packed section
+// buffer.
+func (g *Geometry) planTiledSection(sec Section, src tileSource) ([]BrickIO, error) {
+	nd := len(g.Dims)
+	var out []BrickIO
+	relBrick := make([]int64, nd)
+	relMem := make([]int64, nd)
+	for _, b := range src.overlapping(sec) {
+		origin, layout, _ := src.extent(b)
+		iStart, iCount, ok := intersect(sec.Start, sec.Count, origin, layoutClip(origin, layout, g.Dims))
+		if !ok {
+			continue
+		}
+		bio := BrickIO{Brick: b}
+		runBytes := iCount[nd-1] * g.ElemSize
+		err := iterOuter(iCount, func(pos []int64) error {
+			for d := 0; d < nd; d++ {
+				abs := iStart[d] + pos[d]
+				relBrick[d] = abs - origin[d]
+				relMem[d] = abs - sec.Start[d]
+			}
+			bio.Segs = append(bio.Segs, Segment{
+				BrickOff: rowMajorOffset(relBrick, layout) * g.ElemSize,
+				MemOff:   rowMajorOffset(relMem, sec.Count) * g.ElemSize,
+				Len:      runBytes,
+			})
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		sort.Slice(bio.Segs, func(i, j int) bool { return bio.Segs[i].MemOff < bio.Segs[j].MemOff })
+		bio.Segs = coalesce(bio.Segs)
+		out = append(out, bio)
+	}
+	return out, nil
+}
+
+// coalesce merges segments that are contiguous in both brick storage
+// and the packed buffer. Whole-chunk array accesses collapse to a
+// single segment; tile rows spanning a full tile width merge likewise.
+// Segs must be sorted by MemOff.
+func coalesce(segs []Segment) []Segment {
+	if len(segs) < 2 {
+		return segs
+	}
+	out := segs[:1]
+	for _, s := range segs[1:] {
+		last := &out[len(out)-1]
+		if s.MemOff == last.MemOff+last.Len && s.BrickOff == last.BrickOff+last.Len {
+			last.Len += s.Len
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// layoutClip clips a brick layout shape at origin against the array
+// dims, yielding the count of valid elements per dimension.
+func layoutClip(origin, layout, dims []int64) []int64 {
+	out := make([]int64, len(layout))
+	for d := range layout {
+		out[d] = min64(layout[d], dims[d]-origin[d])
+	}
+	return out
+}
+
+// planner accumulates segments per brick id.
+type planner struct {
+	byBrick map[int]*BrickIO
+}
+
+func newPlanner() *planner { return &planner{byBrick: make(map[int]*BrickIO)} }
+
+func (p *planner) add(brick int, s Segment) {
+	b, ok := p.byBrick[brick]
+	if !ok {
+		b = &BrickIO{Brick: brick}
+		p.byBrick[brick] = b
+	}
+	b.Segs = append(b.Segs, s)
+}
+
+func (p *planner) finish() []BrickIO {
+	out := make([]BrickIO, 0, len(p.byBrick))
+	for _, b := range p.byBrick {
+		sort.Slice(b.Segs, func(i, j int) bool { return b.Segs[i].MemOff < b.Segs[j].MemOff })
+		b.Segs = coalesce(b.Segs)
+		out = append(out, *b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Brick < out[j].Brick })
+	return out
+}

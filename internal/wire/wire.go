@@ -1,0 +1,311 @@
+// Package wire defines the binary protocol between DPFS clients and
+// DPFS I/O servers. The paper's servers receive brick requests over
+// TCP sockets and perform the actual I/O with the local file system API
+// (Section 2); this package is the message layer of that path.
+//
+// A message is a 4-byte magic+version header, a 4-byte little-endian
+// payload length, and the payload. Requests name an operation, a
+// subfile path and a list of byte extents; WRITE requests carry the
+// concatenated extent data, READ responses return it. A combined
+// request (Section 4.2) is simply one message whose extent list covers
+// many bricks.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Op enumerates the server operations.
+type Op uint8
+
+const (
+	// OpPing checks liveness.
+	OpPing Op = iota + 1
+	// OpRead returns the bytes of each extent of a subfile.
+	OpRead
+	// OpWrite stores the carried bytes at each extent of a subfile.
+	OpWrite
+	// OpRemove deletes a subfile.
+	OpRemove
+	// OpStat returns a subfile's current size.
+	OpStat
+	// OpUsage returns the server's total stored bytes.
+	OpUsage
+	// OpTruncate cuts a subfile to a length.
+	OpTruncate
+	// OpRename moves a subfile: Path is the old name, Data carries the
+	// new name.
+	OpRename
+)
+
+// String names the op.
+func (o Op) String() string {
+	switch o {
+	case OpPing:
+		return "PING"
+	case OpRead:
+		return "READ"
+	case OpWrite:
+		return "WRITE"
+	case OpRemove:
+		return "REMOVE"
+	case OpStat:
+		return "STAT"
+	case OpUsage:
+		return "USAGE"
+	case OpTruncate:
+		return "TRUNCATE"
+	case OpRename:
+		return "RENAME"
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Extent is one contiguous byte range of a subfile.
+type Extent struct {
+	Off int64
+	Len int64
+}
+
+// Request is one client→server message.
+type Request struct {
+	Op      Op
+	Path    string
+	Extents []Extent
+	// Data carries the concatenated payload of all extents for
+	// OpWrite; its length must equal the sum of extent lengths. For
+	// OpTruncate, Extents[0].Len holds the new size.
+	Data []byte
+}
+
+// Response is one server→client message.
+type Response struct {
+	// Err is non-empty when the operation failed.
+	Err string
+	// Data carries the concatenated extent payload for OpRead.
+	Data []byte
+	// N returns a scalar: bytes written, subfile size for OpStat,
+	// stored bytes for OpUsage.
+	N int64
+}
+
+const (
+	magic     = 0xD9
+	version   = 1
+	headerLen = 8
+)
+
+// MaxMessage bounds a message payload; both sides reject bigger frames
+// to avoid unbounded allocations from corrupt peers.
+const MaxMessage = 1 << 30
+
+// DataBytes sums the extent lengths.
+func DataBytes(exts []Extent) int64 {
+	var n int64
+	for _, e := range exts {
+		n += e.Len
+	}
+	return n
+}
+
+// WriteRequest frames and sends a request.
+func WriteRequest(w io.Writer, req *Request) error {
+	n := 2 + len(req.Path) + 4 + 16*len(req.Extents) + 4 + len(req.Data)
+	buf := make([]byte, headerLen, headerLen+n)
+	buf[0] = magic
+	buf[1] = version
+	buf[2] = byte(req.Op)
+	// buf[3] reserved
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(n))
+
+	if len(req.Path) > 0xFFFF {
+		return errors.New("wire: path too long")
+	}
+	var tmp [16]byte
+	binary.LittleEndian.PutUint16(tmp[:2], uint16(len(req.Path)))
+	buf = append(buf, tmp[:2]...)
+	buf = append(buf, req.Path...)
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(req.Extents)))
+	buf = append(buf, tmp[:4]...)
+	for _, e := range req.Extents {
+		binary.LittleEndian.PutUint64(tmp[:8], uint64(e.Off))
+		binary.LittleEndian.PutUint64(tmp[8:16], uint64(e.Len))
+		buf = append(buf, tmp[:16]...)
+	}
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(req.Data)))
+	buf = append(buf, tmp[:4]...)
+	if _, err := w.Write(buf); err != nil {
+		return err
+	}
+	if len(req.Data) > 0 {
+		if _, err := w.Write(req.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadRequest reads one framed request.
+func ReadRequest(r io.Reader) (*Request, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	if hdr[0] != magic || hdr[1] != version {
+		return nil, fmt.Errorf("wire: bad magic %#x version %d", hdr[0], hdr[1])
+	}
+	n := binary.LittleEndian.Uint32(hdr[4:8])
+	if n > MaxMessage {
+		return nil, fmt.Errorf("wire: request of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	req := &Request{Op: Op(hdr[2])}
+	p := 0
+	get := func(k int) ([]byte, error) {
+		if p+k > len(body) {
+			return nil, errors.New("wire: truncated request")
+		}
+		b := body[p : p+k]
+		p += k
+		return b, nil
+	}
+	b, err := get(2)
+	if err != nil {
+		return nil, err
+	}
+	plen := int(binary.LittleEndian.Uint16(b))
+	b, err = get(plen)
+	if err != nil {
+		return nil, err
+	}
+	req.Path = string(b)
+	b, err = get(4)
+	if err != nil {
+		return nil, err
+	}
+	ne := int(binary.LittleEndian.Uint32(b))
+	if ne > 1<<24 {
+		return nil, fmt.Errorf("wire: %d extents exceeds limit", ne)
+	}
+	req.Extents = make([]Extent, ne)
+	for i := 0; i < ne; i++ {
+		b, err = get(16)
+		if err != nil {
+			return nil, err
+		}
+		req.Extents[i].Off = int64(binary.LittleEndian.Uint64(b[:8]))
+		req.Extents[i].Len = int64(binary.LittleEndian.Uint64(b[8:16]))
+	}
+	b, err = get(4)
+	if err != nil {
+		return nil, err
+	}
+	dlen := int(binary.LittleEndian.Uint32(b))
+	b, err = get(dlen)
+	if err != nil {
+		return nil, err
+	}
+	if dlen > 0 {
+		req.Data = b
+	}
+	if p != len(body) {
+		return nil, errors.New("wire: trailing bytes in request")
+	}
+	return req, nil
+}
+
+// WriteResponse frames and sends a response.
+func WriteResponse(w io.Writer, resp *Response) error {
+	if len(resp.Err) > 0xFFFF {
+		resp = &Response{Err: resp.Err[:0xFFFF]}
+	}
+	n := 2 + len(resp.Err) + 8 + 4 + len(resp.Data)
+	buf := make([]byte, headerLen, headerLen+n-len(resp.Data))
+	buf[0] = magic
+	buf[1] = version
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(n))
+
+	var tmp [8]byte
+	binary.LittleEndian.PutUint16(tmp[:2], uint16(len(resp.Err)))
+	buf = append(buf, tmp[:2]...)
+	buf = append(buf, resp.Err...)
+	binary.LittleEndian.PutUint64(tmp[:8], uint64(resp.N))
+	buf = append(buf, tmp[:8]...)
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(resp.Data)))
+	buf = append(buf, tmp[:4]...)
+	if _, err := w.Write(buf); err != nil {
+		return err
+	}
+	if len(resp.Data) > 0 {
+		if _, err := w.Write(resp.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadResponse reads one framed response.
+func ReadResponse(r io.Reader) (*Response, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	if hdr[0] != magic || hdr[1] != version {
+		return nil, fmt.Errorf("wire: bad magic %#x version %d", hdr[0], hdr[1])
+	}
+	n := binary.LittleEndian.Uint32(hdr[4:8])
+	if n > MaxMessage {
+		return nil, fmt.Errorf("wire: response of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	resp := &Response{}
+	p := 0
+	get := func(k int) ([]byte, error) {
+		if p+k > len(body) {
+			return nil, errors.New("wire: truncated response")
+		}
+		b := body[p : p+k]
+		p += k
+		return b, nil
+	}
+	b, err := get(2)
+	if err != nil {
+		return nil, err
+	}
+	elen := int(binary.LittleEndian.Uint16(b))
+	b, err = get(elen)
+	if err != nil {
+		return nil, err
+	}
+	resp.Err = string(b)
+	b, err = get(8)
+	if err != nil {
+		return nil, err
+	}
+	resp.N = int64(binary.LittleEndian.Uint64(b))
+	b, err = get(4)
+	if err != nil {
+		return nil, err
+	}
+	dlen := int(binary.LittleEndian.Uint32(b))
+	b, err = get(dlen)
+	if err != nil {
+		return nil, err
+	}
+	if dlen > 0 {
+		resp.Data = b
+	}
+	if p != len(body) {
+		return nil, errors.New("wire: trailing bytes in response")
+	}
+	return resp, nil
+}
