@@ -1,0 +1,15 @@
+.PHONY: build test check bench
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# The full verification gate: tier-1 build+test, vet, and the
+# race-enabled suite. See scripts/check.sh.
+check:
+	sh scripts/check.sh
+
+bench:
+	go run ./cmd/dpfs-bench

@@ -44,16 +44,17 @@ func main() {
 	emit := func(ms []bench.Measurement) {
 		for _, m := range ms {
 			if *csvOut {
-				fmt.Printf("%s,%s,%s,%.3f,%d,%d,%.3f,%.3f\n",
+				fmt.Printf("%s,%s,%s,%.3f,%d,%d,%.3f,%.3f,%d,%d,%d\n",
 					m.Figure, m.Class, m.Label, m.MBps, m.Elapsed.Microseconds(),
-					m.Requests, m.MovedMB, m.UsefulMB)
+					m.Requests, m.MovedMB, m.UsefulMB,
+					m.Lat50.Microseconds(), m.Lat95.Microseconds(), m.Lat99.Microseconds())
 			} else {
 				fmt.Println(m)
 			}
 		}
 	}
 	if *csvOut {
-		fmt.Println("figure,class,variant,mbps,elapsed_us,requests,moved_mb,useful_mb")
+		fmt.Println("figure,class,variant,mbps,elapsed_us,requests,moved_mb,useful_mb,p50_us,p95_us,p99_us")
 	}
 
 	if *ablation != "" {

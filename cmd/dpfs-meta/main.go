@@ -6,6 +6,9 @@
 // Usage:
 //
 //	dpfs-meta -addr :7700 -dir /var/lib/dpfs-meta
+//
+// With -debug-addr the daemon also serves /metrics (JSON), /healthz
+// and /debug/vars over HTTP for scraping and debugging.
 package main
 
 import (
@@ -18,12 +21,14 @@ import (
 	"dpfs/internal/meta"
 	"dpfs/internal/metadb"
 	"dpfs/internal/metadb/mdbnet"
+	"dpfs/internal/obs"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7700", "TCP listen address")
 	dir := flag.String("dir", "", "durable storage directory (empty = in-memory)")
 	sync := flag.Bool("sync", false, "fsync the write-ahead log on every commit")
+	debugAddr := flag.String("debug-addr", "", "HTTP address for /metrics, /healthz and /debug/vars (default: disabled)")
 	flag.Parse()
 
 	db, err := metadb.Open(metadb.Options{Dir: *dir, Sync: *sync})
@@ -44,6 +49,25 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("dpfs-meta: serving DPFS metadata on %s (dir=%q sync=%v)\n", srv.Addr(), *dir, *sync)
+
+	if *debugAddr != "" {
+		regs := map[string]*obs.Registry{"db": db.Metrics(), "net": srv.Metrics()}
+		obs.PublishExpvar("dpfs", regs)
+		h := obs.Handler(regs, func() obs.Health {
+			return obs.Health{Status: "ok", Detail: map[string]any{
+				"addr":   srv.Addr(),
+				"dir":    *dir,
+				"sync":   *sync,
+				"tables": len(db.TableNames()),
+			}}
+		})
+		dbg, err := obs.StartDebug(*debugAddr, h)
+		if err != nil {
+			fatal(fmt.Errorf("debug server: %w", err))
+		}
+		defer dbg.Close()
+		fmt.Printf("dpfs-meta: debug endpoints on http://%s/metrics\n", dbg.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

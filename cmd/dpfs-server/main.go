@@ -8,6 +8,9 @@
 //
 //	dpfs-server -addr :7801 -root /data/dpfs -name io0 -meta 127.0.0.1:7700
 //	dpfs-server -addr :7802 -root /tmp/s2 -name io1 -meta ... -class class3
+//
+// With -debug-addr the server also serves /metrics (JSON), /healthz
+// and /debug/vars over HTTP for scraping and debugging.
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"dpfs/internal/meta"
 	"dpfs/internal/metadb/mdbnet"
 	"dpfs/internal/netsim"
+	"dpfs/internal/obs"
 	"dpfs/internal/server"
 )
 
@@ -31,6 +35,7 @@ func main() {
 	className := flag.String("class", "", "simulated storage class: class1, class2 or class3 (default: native speed)")
 	capacity := flag.Int64("capacity", 1<<30, "advertised capacity in bytes")
 	advertise := flag.String("advertise", "", "address to advertise in the catalog (default: the listen address)")
+	debugAddr := flag.String("debug-addr", "", "HTTP address for /metrics, /healthz and /debug/vars (default: disabled)")
 	flag.Parse()
 
 	if *root == "" {
@@ -61,6 +66,7 @@ func main() {
 		adv = srv.Addr()
 	}
 
+	registered := false
 	if *metaAddr != "" {
 		cli, err := mdbnet.Dial(*metaAddr)
 		if err != nil {
@@ -77,9 +83,30 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("register: %w", err))
 		}
+		registered = true
 		fmt.Printf("dpfs-server: registered as %q (perf %d) with %s\n", serverName, perf, *metaAddr)
 	}
 	fmt.Printf("dpfs-server: %q serving %s on %s\n", serverName, *root, srv.Addr())
+
+	if *debugAddr != "" {
+		regs := map[string]*obs.Registry{"server": srv.Metrics()}
+		obs.PublishExpvar("dpfs", regs)
+		h := obs.Handler(regs, func() obs.Health {
+			return obs.Health{Status: "ok", Detail: map[string]any{
+				"name":       serverName,
+				"addr":       srv.Addr(),
+				"root":       *root,
+				"meta":       *metaAddr,
+				"registered": registered,
+			}}
+		})
+		dbg, err := obs.StartDebug(*debugAddr, h)
+		if err != nil {
+			fatal(fmt.Errorf("debug server: %w", err))
+		}
+		defer dbg.Close()
+		fmt.Printf("dpfs-server: debug endpoints on http://%s/metrics\n", dbg.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -1,7 +1,9 @@
 // Command dpfs-sh is the DPFS user interface of Section 7: an
 // interactive shell with UNIX-like commands (ls, pwd, cd, mkdir,
-// rmdir, rm, stat, df, cp, cat) over a DPFS deployment, including data
-// transfer between sequential files and DPFS (cp with local: paths).
+// rmdir, rm, stat, df, cp, cat, stats) over a DPFS deployment,
+// including data transfer between sequential files and DPFS (cp with
+// local: paths). The stats command prints the session's own traffic
+// counters and request-latency percentiles.
 //
 // Usage:
 //

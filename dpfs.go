@@ -153,6 +153,11 @@ func (c *Client) Close() error {
 // Engine exposes the underlying client engine.
 func (c *Client) Engine() *core.FS { return c.fs }
 
+// Stats returns this client's own traffic counters, isolated from
+// other clients in the process (unlike the package-level ReadStats
+// aggregate).
+func (c *Client) Stats() Stats { return c.fs.Stats() }
+
 // Create makes and opens a new DPFS file holding an array of the given
 // element size and dimensions, striped according to the hint
 // (DPFS-Open for writing, Section 6).

@@ -24,6 +24,7 @@ import (
 	"dpfs/internal/cluster"
 	"dpfs/internal/core"
 	"dpfs/internal/netsim"
+	"dpfs/internal/obs"
 	"dpfs/internal/stripe"
 )
 
@@ -75,12 +76,16 @@ type Measurement struct {
 	Requests int64
 	MovedMB  float64 // bytes transferred (incl. discarded brick parts)
 	UsefulMB float64
+	// Per-request latency percentiles across all ranks of the phase,
+	// from the ranks' shared metric registry.
+	Lat50, Lat95, Lat99 time.Duration
 }
 
 // String renders one row.
 func (m Measurement) String() string {
-	return fmt.Sprintf("%-8s %-8s %-22s %8.2f MB/s  %10v  %6d reqs  %8.2f MB moved",
-		m.Figure, m.Class, m.Label, m.MBps, m.Elapsed.Round(time.Microsecond), m.Requests, m.MovedMB)
+	return fmt.Sprintf("%-8s %-8s %-22s %8.2f MB/s  %10v  %6d reqs  %8.2f MB moved  p50/p95/p99 %v/%v/%v",
+		m.Figure, m.Class, m.Label, m.MBps, m.Elapsed.Round(time.Microsecond), m.Requests, m.MovedMB,
+		m.Lat50.Round(time.Microsecond), m.Lat95.Round(time.Microsecond), m.Lat99.Round(time.Microsecond))
 }
 
 // LevelCase is one bar group of Figs. 11/12.
@@ -157,6 +162,11 @@ func sortMeasurements(ms []Measurement) {
 func measureOnce(ctx context.Context, c *cluster.Cluster, np int, opts core.Options,
 	path string, secFor func(rank int) stripe.Section, write bool) (Measurement, error) {
 
+	// All ranks of this phase share one registry, so the counters below
+	// are this run's traffic only: concurrent measurements elsewhere in
+	// the process no longer bleed in (unlike the package-wide
+	// core.ReadStats aggregate).
+	reg := obs.NewRegistry()
 	fss := make([]*core.FS, np)
 	files := make([]*core.File, np)
 	bufs := make([][]byte, np)
@@ -166,6 +176,7 @@ func measureOnce(ctx context.Context, c *cluster.Cluster, np int, opts core.Opti
 		if err != nil {
 			return Measurement{}, err
 		}
+		fs.SetMetrics(reg)
 		fss[p] = fs
 		f, err := fs.Open(path)
 		if err != nil {
@@ -192,7 +203,6 @@ func measureOnce(ctx context.Context, c *cluster.Cluster, np int, opts core.Opti
 		}
 	}()
 
-	core.ResetStats()
 	start := time.Now()
 	var wg sync.WaitGroup
 	errs := make(chan error, np)
@@ -218,13 +228,17 @@ func measureOnce(ctx context.Context, c *cluster.Cluster, np int, opts core.Opti
 		return Measurement{}, err
 	}
 
-	st := core.ReadStats()
+	snap := reg.Snapshot()
+	lat := snap.Histograms[core.MetricRequestLatency]
 	return Measurement{
 		Elapsed:  elapsed,
 		MBps:     float64(useful) / (1 << 20) / elapsed.Seconds(),
-		Requests: st.Requests,
-		MovedMB:  float64(st.BytesTransferred) / (1 << 20),
+		Requests: snap.Counters[core.MetricRequests],
+		MovedMB:  float64(snap.Counters[core.MetricBytesMoved]) / (1 << 20),
 		UsefulMB: float64(useful) / (1 << 20),
+		Lat50:    time.Duration(lat.P50) * time.Microsecond,
+		Lat95:    time.Duration(lat.P95) * time.Microsecond,
+		Lat99:    time.Duration(lat.P99) * time.Microsecond,
 	}, nil
 }
 

@@ -27,14 +27,28 @@ import (
 	"sync"
 
 	"dpfs/internal/core"
+	"dpfs/internal/obs"
 	"dpfs/internal/stripe"
+)
+
+// Collective metric names. The fan-in histograms record, per collective
+// call, how much work the shuffle phase folded together: contributing
+// ranks, merged bricks, pre-merge segments, and aggregators used.
+const (
+	MetricCalls       = "collective_calls_total"
+	MetricStagedBytes = "collective_staged_bytes_total"
+	MetricFaninRanks  = "collective_fanin_ranks"
+	MetricFaninBricks = "collective_fanin_bricks"
+	MetricFaninSegs   = "collective_fanin_segments"
+	MetricAggregators = "collective_aggregators"
 )
 
 // Group coordinates NP ranks' collective operations. Create one per
 // logical communicator; every rank must call each collective exactly
 // once and in the same order, like MPI collectives.
 type Group struct {
-	np int
+	np  int
+	reg *obs.Registry
 
 	mu    sync.Mutex
 	calls map[string]*call // op signature -> in-flight call
@@ -46,11 +60,14 @@ func NewGroup(np int) (*Group, error) {
 	if np <= 0 {
 		return nil, errors.New("collective: group size must be positive")
 	}
-	return &Group{np: np, calls: make(map[string]*call)}, nil
+	return &Group{np: np, reg: obs.NewRegistry(), calls: make(map[string]*call)}, nil
 }
 
 // Size returns the number of ranks.
 func (g *Group) Size() int { return g.np }
+
+// Metrics returns the group's collective fan-in metrics.
+func (g *Group) Metrics() *obs.Registry { return g.reg }
 
 // contrib is one rank's part of a collective operation.
 type contrib struct {
@@ -214,6 +231,18 @@ func (g *Group) execute(ctx context.Context, c *call) error {
 		agg := assign[i] % g.np
 		perAgg[agg] = append(perAgg[agg], bio)
 	}
+
+	var segs int64
+	for _, w := range bricks {
+		segs += int64(len(w.segs))
+	}
+	g.reg.Counter(MetricCalls).Inc()
+	g.reg.Counter(MetricStagedBytes).Add(total)
+	g.reg.Histogram(MetricFaninRanks).Record(int64(len(c.contribs)))
+	g.reg.Histogram(MetricFaninBricks).Record(int64(len(bricks)))
+	g.reg.Histogram(MetricFaninSegs).Record(segs)
+	g.reg.Histogram(MetricAggregators).Record(int64(len(perAgg)))
+
 	var wg sync.WaitGroup
 	errs := make(chan error, len(perAgg))
 	for agg, subPlan := range perAgg {

@@ -1,0 +1,60 @@
+package collective
+
+import (
+	"sync"
+	"testing"
+
+	"dpfs/internal/core"
+	"dpfs/internal/stripe"
+)
+
+func TestCollectiveFaninMetrics(t *testing.T) {
+	const np = 4
+	c := startCluster(t, 4)
+	ctx := ctxT(t)
+	dims := []int64{64, 64}
+	hint := core.Hint{Level: stripe.LevelMultidim, Tile: []int64{16, 16}}
+	files := openRankFiles(t, c, np, "/fanin.dat", hint, dims)
+
+	g, err := NewGroup(np)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every rank writes one (BLOCK, *) row slab: 16 rows of 64 elems.
+	var wg sync.WaitGroup
+	for r := 0; r < np; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			sec := stripe.NewSection([]int64{int64(r) * 16, 0}, []int64{16, 64})
+			buf := make([]byte, sec.Bytes(8))
+			if err := g.WriteAll(ctx, r, files[r], sec, buf); err != nil {
+				t.Error(err)
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	s := g.Metrics().Snapshot()
+	if got := s.Counters[MetricCalls]; got != 1 {
+		t.Fatalf("collective_calls_total = %d, want 1", got)
+	}
+	// The whole 64x64 float64 array was staged: 32 KiB.
+	if got := s.Counters[MetricStagedBytes]; got != 64*64*8 {
+		t.Fatalf("collective_staged_bytes_total = %d, want %d", got, 64*64*8)
+	}
+	if got := s.Histograms[MetricFaninRanks]; got.Count != 1 || got.Max != np {
+		t.Fatalf("fanin_ranks = %+v, want one sample of %d", got, np)
+	}
+	// 4x4 tile grid = 16 bricks, each a whole (16,64) slab covers 4.
+	if got := s.Histograms[MetricFaninBricks]; got.Count != 1 || got.Max != 16 {
+		t.Fatalf("fanin_bricks = %+v, want one sample of 16", got)
+	}
+	if got := s.Histograms[MetricFaninSegs]; got.Count != 1 || got.Max == 0 {
+		t.Fatalf("fanin_segments = %+v", got)
+	}
+	if got := s.Histograms[MetricAggregators]; got.Count != 1 || got.Max == 0 || got.Max > np {
+		t.Fatalf("aggregators = %+v", got)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"dpfs/internal/meta"
+	"dpfs/internal/obs"
 	"dpfs/internal/server"
 	"dpfs/internal/stripe"
 	"dpfs/internal/wire"
@@ -43,11 +44,23 @@ type Options struct {
 	Owner string
 }
 
+// Client-engine metric names (in the engine's obs.Registry). Latency
+// histograms record microseconds.
+const (
+	MetricRequests       = "client_requests_total"
+	MetricBytesMoved     = "client_bytes_moved_total"
+	MetricBytesUseful    = "client_bytes_useful_total"
+	MetricRequestLatency = "client_request_latency_us"
+)
+
 // FS is one compute node's DPFS client instance.
 type FS struct {
 	cat  *meta.Catalog
 	rank int
 	opts Options
+
+	reg    *obs.Registry
+	traces *obs.TraceLog // nil unless EnableTracing was called
 
 	mu      sync.Mutex
 	clients map[string]*server.Client // server name -> I/O client
@@ -65,8 +78,47 @@ func NewFS(cat *meta.Catalog, rank int, opts Options) *FS {
 		cat:     cat,
 		rank:    rank,
 		opts:    opts,
+		reg:     obs.NewRegistry(),
 		clients: make(map[string]*server.Client),
 		addrs:   make(map[string]string),
+	}
+}
+
+// Metrics returns the engine's metric registry (per-Client counters
+// and the request latency histogram).
+func (fs *FS) Metrics() *obs.Registry { return fs.reg }
+
+// SetMetrics replaces the engine's registry, letting several clients
+// aggregate into one (the bench harness shares a registry across all
+// compute ranks). Call before issuing I/O.
+func (fs *FS) SetMetrics(reg *obs.Registry) {
+	if reg != nil {
+		fs.reg = reg
+	}
+}
+
+// EnableTracing starts recording request traces into a ring of the
+// given capacity and returns the log. Each traced client request
+// carries one child span per contacted server with its brick count and
+// byte total — the observable form of Section 4.2's request
+// combination.
+func (fs *FS) EnableTracing(capacity int) *obs.TraceLog {
+	fs.traces = obs.NewTraceLog(capacity)
+	return fs.traces
+}
+
+// TraceLog returns the engine's trace log (nil when tracing is off).
+func (fs *FS) TraceLog() *obs.TraceLog { return fs.traces }
+
+// Stats returns this engine's own traffic counters. Unlike the
+// package-level ReadStats (a process-wide aggregate kept for
+// compatibility), these cannot be corrupted by other clients in the
+// same process.
+func (fs *FS) Stats() Stats {
+	return Stats{
+		Requests:         fs.reg.Counter(MetricRequests).Value(),
+		BytesTransferred: fs.reg.Counter(MetricBytesMoved).Value(),
+		BytesUseful:      fs.reg.Counter(MetricBytesUseful).Value(),
 	}
 }
 
@@ -172,11 +224,21 @@ type File struct {
 	info     meta.FileInfo
 	assign   []int   // brick -> server index
 	localIdx []int64 // brick -> index within its server's bricklist
+	stats    fileStats
 	closed   bool
 }
 
 // Info returns the file's meta data.
 func (f *File) Info() meta.FileInfo { return f.info }
+
+// Stats returns the traffic this handle generated.
+func (f *File) Stats() Stats {
+	return Stats{
+		Requests:         f.stats.requests.Load(),
+		BytesTransferred: f.stats.transferred.Load(),
+		BytesUseful:      f.stats.useful.Load(),
+	}
+}
 
 // Geometry returns the file's brick geometry.
 func (f *File) Geometry() *stripe.Geometry { return &f.info.Geometry }

@@ -6,8 +6,10 @@ import (
 	"io"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"dpfs/internal/datatype"
+	"dpfs/internal/obs"
 	"dpfs/internal/stripe"
 	"dpfs/internal/wire"
 )
@@ -26,13 +28,27 @@ type Stats struct {
 	BytesUseful int64
 }
 
+// fileStats are one handle's traffic counters.
+type fileStats struct {
+	requests    atomic.Int64
+	transferred atomic.Int64
+	useful      atomic.Int64
+}
+
+// The authoritative counters live on each FS (see FS.Stats) and File
+// (File.Stats); these process-wide atomics remain as a compatibility
+// aggregate behind the package-level ReadStats/ResetStats shims.
+// Single-client callers see identical numbers; multi-client processes
+// should prefer the per-engine accessors, which cannot be corrupted by
+// another client's traffic.
 var (
 	statRequests    atomic.Int64
 	statTransferred atomic.Int64
 	statUseful      atomic.Int64
 )
 
-// ReadStats returns engine-wide traffic counters.
+// ReadStats returns process-wide aggregate traffic counters
+// (compatibility shim; prefer FS.Stats for per-client numbers).
 func ReadStats() Stats {
 	return Stats{
 		Requests:         statRequests.Load(),
@@ -41,7 +57,8 @@ func ReadStats() Stats {
 	}
 }
 
-// ResetStats zeroes the traffic counters.
+// ResetStats zeroes the process-wide aggregate counters. Per-engine
+// registries are unaffected.
 func ResetStats() {
 	statRequests.Store(0)
 	statTransferred.Store(0)
@@ -232,20 +249,57 @@ func (f *File) execute(ctx context.Context, plan []stripe.BrickIO, buf []byte, w
 		reqs = stripe.PerBrick(plan, f.assign)
 	}
 
+	var useful int64
 	for _, bio := range plan {
-		statUseful.Add(bio.Bytes())
+		useful += bio.Bytes()
+	}
+	statUseful.Add(useful)
+	f.fs.reg.Counter(MetricBytesUseful).Add(useful)
+	f.stats.useful.Add(useful)
+
+	opName := "read"
+	if write {
+		opName = "write"
+	}
+	var root *obs.Span
+	if f.fs.traces != nil {
+		root = obs.NewSpan("client.request")
+		root.Op = opName
+		root.Path = f.info.Path
+		root.Bricks = len(plan)
+		root.Bytes = useful
 	}
 
 	for i := range reqs {
-		if err := f.doRequest(ctx, &reqs[i], buf, write); err != nil {
+		var sp *obs.Span
+		if root != nil {
+			sp = root.Child("server.rpc")
+			sp.Op = opName
+			sp.Server = f.info.Servers[reqs[i].Server]
+			sp.Bricks = len(reqs[i].Bricks)
+		}
+		err := f.doRequest(ctx, &reqs[i], buf, write, sp)
+		if sp != nil {
+			sp.End()
+		}
+		if err != nil {
+			if root != nil {
+				root.End()
+				f.fs.traces.Add(&obs.Trace{Root: root})
+			}
 			return err
 		}
+	}
+	if root != nil {
+		root.End()
+		f.fs.traces.Add(&obs.Trace{Root: root})
 	}
 	return nil
 }
 
 // doRequest performs one server exchange covering all bricks of r.
-func (f *File) doRequest(ctx context.Context, r *stripe.Request, buf []byte, write bool) error {
+// sp, when non-nil, is the trace span covering this exchange.
+func (f *File) doRequest(ctx context.Context, r *stripe.Request, buf []byte, write bool, sp *obs.Span) error {
 	g := &f.info.Geometry
 	slot := g.SlotBytes()
 	wholeBrick := !write && !f.fs.opts.ExactReads
@@ -284,13 +338,23 @@ func (f *File) doRequest(ctx context.Context, r *stripe.Request, buf []byte, wri
 	if err != nil {
 		return err
 	}
+	start := time.Now()
 	resp, err := client.Do(ctx, &wire.Request{Op: op, Path: f.info.Path, Extents: exts, Data: payload})
+	f.fs.reg.Histogram(MetricRequestLatency).Record(time.Since(start).Microseconds())
 	if err != nil {
 		return fmt.Errorf("dpfs: %s: %w", f.info.Path, err)
 	}
-	statRequests.Add(1)
 	moved := wire.DataBytes(exts)
+	statRequests.Add(1)
 	statTransferred.Add(moved)
+	f.fs.reg.Counter(MetricRequests).Inc()
+	f.fs.reg.Counter(MetricBytesMoved).Add(moved)
+	f.stats.requests.Add(1)
+	f.stats.transferred.Add(moved)
+	if sp != nil {
+		sp.Extents = len(exts)
+		sp.Bytes = moved
+	}
 	if write {
 		return nil
 	}

@@ -1,0 +1,106 @@
+package core_test
+
+import (
+	"testing"
+
+	"dpfs/internal/core"
+	"dpfs/internal/stripe"
+)
+
+// TestPerClientStatsIsolation is the regression test for the old
+// global-counter bug: two clients in one process used to share the
+// package-wide atomics, so one client's traffic corrupted another's
+// measurements. FS.Stats and File.Stats must count only their owner's
+// traffic.
+func TestPerClientStatsIsolation(t *testing.T) {
+	c := startCluster(t, 4)
+	ctx := ctxT(t)
+	busy := newFS(t, c, 0, core.Options{Combine: true})
+	idle := newFS(t, c, 1, core.Options{Combine: true})
+
+	f, err := busy.Create("/iso.bin", 1, []int64{1 << 16}, core.Hint{Level: stripe.LevelLinear, BrickBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	data := pattern(1 << 16)
+	if err := f.WriteAt(ctx, data, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	st := busy.Stats()
+	if st.Requests == 0 || st.BytesUseful != 1<<16 {
+		t.Fatalf("busy client stats = %+v", st)
+	}
+	if got := idle.Stats(); got != (core.Stats{}) {
+		t.Fatalf("idle client picked up traffic: %+v", got)
+	}
+	if fst := f.Stats(); fst.Requests != st.Requests || fst.BytesUseful != st.BytesUseful {
+		t.Fatalf("file stats %+v != fs stats %+v", fst, st)
+	}
+	// The request latency histogram recorded one sample per request.
+	snap := busy.Metrics().Snapshot()
+	lat := snap.Histograms[core.MetricRequestLatency]
+	if lat.Count != st.Requests {
+		t.Fatalf("latency samples = %d, requests = %d", lat.Count, st.Requests)
+	}
+}
+
+// TestRequestTraceSpans checks that a traced combined request records
+// one server.rpc child span per contacted server, each carrying its
+// brick count.
+func TestRequestTraceSpans(t *testing.T) {
+	const servers = 4
+	c := startCluster(t, servers)
+	ctx := ctxT(t)
+	fs := newFS(t, c, 0, core.Options{Combine: true})
+	log := fs.EnableTracing(16)
+
+	// 8 bricks round-robin over 4 servers: every server is contacted.
+	f, err := fs.Create("/traced.bin", 1, []int64{8 * 4096},
+		core.Hint{Level: stripe.LevelLinear, BrickBytes: 4096, Placement: stripe.RoundRobin{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.WriteAt(ctx, pattern(8*4096), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	tr := log.Last()
+	if tr == nil {
+		t.Fatal("no trace recorded")
+	}
+	root := tr.Root
+	if root.Name != "client.request" || root.Op != "write" || root.Path != "/traced.bin" {
+		t.Fatalf("root span = %+v", root)
+	}
+	if root.Duration <= 0 {
+		t.Fatal("root span not ended")
+	}
+	kids := root.Children()
+	if len(kids) != servers {
+		t.Fatalf("got %d server.rpc spans, want %d:\n%s", len(kids), servers, tr)
+	}
+	seen := map[string]bool{}
+	var bricks int
+	for _, sp := range kids {
+		if sp.Name != "server.rpc" {
+			t.Fatalf("child span named %q", sp.Name)
+		}
+		if sp.Server == "" || seen[sp.Server] {
+			t.Fatalf("bad or duplicate server in span %+v", sp)
+		}
+		seen[sp.Server] = true
+		if sp.Bricks != 2 { // 8 bricks round-robin over 4 servers
+			t.Fatalf("span for %s has %d bricks, want 2", sp.Server, sp.Bricks)
+		}
+		if sp.Bytes == 0 || sp.Duration <= 0 {
+			t.Fatalf("span not filled in: %+v", sp)
+		}
+		bricks += sp.Bricks
+	}
+	if bricks != 8 || root.Bricks != 8 {
+		t.Fatalf("brick totals: children %d, root %d, want 8", bricks, root.Bricks)
+	}
+}

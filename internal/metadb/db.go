@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
+
+	"dpfs/internal/obs"
 )
 
 // Result is the outcome of one statement.
@@ -37,15 +40,31 @@ type DB struct {
 	tables map[string]*Table
 	closed bool
 
+	reg *obs.Registry
+
 	walMu sync.Mutex // serializes WAL appends and checkpoints (under mu)
 	wal   *walFile
 	opts  Options
 }
 
+// Metadata database metric names. Per-statement-kind latency
+// histograms are named "query_<kind>_us" (query_select_us,
+// query_insert_us, ...), in microseconds.
+const (
+	MetricQueries        = "queries_total"
+	MetricWALAppends     = "wal_appends_total"
+	MetricWALBytes       = "wal_bytes_total"
+	MetricWALFsyncs      = "wal_fsyncs_total"
+	MetricWALCheckpoints = "wal_checkpoints_total"
+)
+
+// QueryMetric names the latency histogram for a statement kind.
+func QueryMetric(kind string) string { return "query_" + kind + "_us" }
+
 // Open creates or reopens a database. With a non-empty Options.Dir any
 // existing snapshot and write-ahead log are recovered first.
 func Open(opts Options) (*DB, error) {
-	db := &DB{tables: make(map[string]*Table), opts: opts}
+	db := &DB{tables: make(map[string]*Table), opts: opts, reg: obs.NewRegistry()}
 	if opts.CheckpointBytes == 0 {
 		db.opts.CheckpointBytes = 4 << 20
 	}
@@ -54,6 +73,7 @@ func Open(opts Options) (*DB, error) {
 		if err != nil {
 			return nil, err
 		}
+		w.reg = db.reg
 		db.wal = w
 		if err := db.recover(); err != nil {
 			w.close()
@@ -98,6 +118,10 @@ func (db *DB) Checkpoint() error {
 	}
 	return db.checkpointLocked()
 }
+
+// Metrics returns the database's metric registry: queries_total, the
+// query_<kind>_us latency histograms, and the wal_* counters.
+func (db *DB) Metrics() *obs.Registry { return db.reg }
 
 // Session opens a new client session. Sessions are not themselves safe
 // for concurrent use; open one per goroutine or connection.
@@ -169,8 +193,48 @@ func (s *Session) Exec(sql string) (*Result, error) {
 	return s.ExecStmt(st)
 }
 
+// stmtKind labels a statement for metrics.
+func stmtKind(st Statement) string {
+	switch st.(type) {
+	case Begin:
+		return "begin"
+	case Commit:
+		return "commit"
+	case Rollback:
+		return "rollback"
+	case Select:
+		return "select"
+	case Explain:
+		return "explain"
+	case CreateTable:
+		return "createtable"
+	case DropTable:
+		return "droptable"
+	case CreateIndex:
+		return "createindex"
+	case DropIndex:
+		return "dropindex"
+	case Insert:
+		return "insert"
+	case Update:
+		return "update"
+	case Delete:
+		return "delete"
+	}
+	return "other"
+}
+
 // ExecStmt executes a parsed statement.
 func (s *Session) ExecStmt(st Statement) (*Result, error) {
+	start := time.Now()
+	res, err := s.execStmt(st)
+	reg := s.db.reg
+	reg.Counter(MetricQueries).Inc()
+	reg.Histogram(QueryMetric(stmtKind(st))).Record(time.Since(start).Microseconds())
+	return res, err
+}
+
+func (s *Session) execStmt(st Statement) (*Result, error) {
 	switch st := st.(type) {
 	case Begin:
 		if s.tx != nil {

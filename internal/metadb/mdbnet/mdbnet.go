@@ -18,6 +18,16 @@ import (
 	"time"
 
 	"dpfs/internal/metadb"
+	"dpfs/internal/obs"
+)
+
+// Metadata network server metric names. Latencies are microseconds.
+const (
+	MetricActiveConns = "active_conns"
+	MetricConnsTotal  = "conns_total"
+	MetricRequests    = "requests_total"
+	MetricErrors      = "errors_total"
+	MetricRequestUS   = "request_us"
 )
 
 // request is one SQL statement from client to server.
@@ -37,6 +47,7 @@ type response struct {
 type Server struct {
 	db  *metadb.DB
 	lis net.Listener
+	reg *obs.Registry
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -47,11 +58,14 @@ type Server struct {
 // NewServer starts serving db on lis. It returns immediately; use
 // Close to stop.
 func NewServer(db *metadb.DB, lis net.Listener) *Server {
-	s := &Server{db: db, lis: lis, conns: make(map[net.Conn]struct{})}
+	s := &Server{db: db, lis: lis, reg: obs.NewRegistry(), conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
 }
+
+// Metrics returns the server's connection and request metrics.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
 
 // Listen starts a server on the given TCP address ("" or ":0" picks an
 // ephemeral port).
@@ -114,7 +128,10 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
+	s.reg.Counter(MetricConnsTotal).Inc()
+	s.reg.Gauge(MetricActiveConns).Inc()
 	defer func() {
+		s.reg.Gauge(MetricActiveConns).Dec()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
@@ -132,8 +149,12 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 		var resp response
+		start := time.Now()
 		res, err := sess.Exec(req.SQL)
+		s.reg.Counter(MetricRequests).Inc()
+		s.reg.Histogram(MetricRequestUS).Record(time.Since(start).Microseconds())
 		if err != nil {
+			s.reg.Counter(MetricErrors).Inc()
 			resp.Err = err.Error()
 		} else {
 			resp.Cols = res.Cols

@@ -1,0 +1,37 @@
+package mdbnet
+
+import (
+	"testing"
+)
+
+func TestServerMetrics(t *testing.T) {
+	srv, _ := startServer(t)
+	cli := dial(t, srv)
+
+	if _, err := cli.Exec("CREATE TABLE t (id INTEGER PRIMARY KEY)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Exec("INSERT INTO t (id) VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Exec("NOT SQL"); err == nil {
+		t.Fatal("expected error")
+	}
+
+	s := srv.Metrics().Snapshot()
+	if got := s.Counters[MetricRequests]; got != 3 {
+		t.Fatalf("requests_total = %d, want 3", got)
+	}
+	if got := s.Counters[MetricErrors]; got != 1 {
+		t.Fatalf("errors_total = %d, want 1", got)
+	}
+	if got := s.Histograms[MetricRequestUS].Count; got != 3 {
+		t.Fatalf("request_us count = %d, want 3", got)
+	}
+	if got := s.Counters[MetricConnsTotal]; got != 1 {
+		t.Fatalf("conns_total = %d, want 1", got)
+	}
+	if got := s.Gauges[MetricActiveConns]; got != 1 {
+		t.Fatalf("active_conns = %d, want 1 while the client is connected", got)
+	}
+}

@@ -1,0 +1,65 @@
+package metadb
+
+import (
+	"testing"
+)
+
+func TestQueryMetrics(t *testing.T) {
+	db := Memory()
+	defer db.Close()
+	if _, err := db.Exec("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO t (id, v) VALUES (1, 'a')"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("SELECT v FROM t WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("SELEKT"); err == nil {
+		t.Fatal("expected parse error")
+	}
+
+	s := db.Metrics().Snapshot()
+	// The parse error never reaches ExecStmt, so only the three valid
+	// statements count.
+	if got := s.Counters[MetricQueries]; got != 3 {
+		t.Fatalf("queries_total = %d, want 3", got)
+	}
+	for _, kind := range []string{"createtable", "insert", "select"} {
+		if got := s.Histograms[QueryMetric(kind)].Count; got != 1 {
+			t.Fatalf("%s count = %d, want 1", QueryMetric(kind), got)
+		}
+	}
+}
+
+func TestWALMetrics(t *testing.T) {
+	db, err := Open(Options{Dir: t.TempDir(), Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec("CREATE TABLE t (id INTEGER PRIMARY KEY)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO t (id) VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	s := db.Metrics().Snapshot()
+	if got := s.Counters[MetricWALAppends]; got != 2 {
+		t.Fatalf("wal_appends_total = %d, want 2", got)
+	}
+	if s.Counters[MetricWALBytes] == 0 {
+		t.Fatal("wal_bytes_total = 0")
+	}
+	if got := s.Counters[MetricWALFsyncs]; got != 2 {
+		t.Fatalf("wal_fsyncs_total = %d, want 2 (Sync: true)", got)
+	}
+	if got := s.Counters[MetricWALCheckpoints]; got != 1 {
+		t.Fatalf("wal_checkpoints_total = %d, want 1", got)
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+
+	"dpfs/internal/obs"
 )
 
 // Durable storage layout:
@@ -49,6 +51,8 @@ type walFile struct {
 	f    *os.File
 	sync bool
 	size int64
+
+	reg *obs.Registry // owning DB's registry; nil only in unit tests
 }
 
 func openWAL(dir string, sync bool) (*walFile, error) {
@@ -87,9 +91,16 @@ func (w *walFile) append(rec commitRecord) error {
 		return err
 	}
 	w.size += 8 + int64(buf.Len())
+	if w.reg != nil {
+		w.reg.Counter(MetricWALAppends).Inc()
+		w.reg.Counter(MetricWALBytes).Add(8 + int64(buf.Len()))
+	}
 	if w.sync {
 		if err := w.f.Sync(); err != nil {
 			return err
+		}
+		if w.reg != nil {
+			w.reg.Counter(MetricWALFsyncs).Inc()
 		}
 	}
 	return nil
@@ -214,6 +225,7 @@ func (db *DB) snapshotLocked() error {
 	if err := os.Rename(tmp, filepath.Join(db.wal.dir, "snapshot")); err != nil {
 		return err
 	}
+	db.reg.Counter(MetricWALCheckpoints).Inc()
 	return db.wal.reset()
 }
 

@@ -19,6 +19,8 @@ import (
 	"context"
 	"sync"
 	"time"
+
+	"dpfs/internal/obs"
 )
 
 // Params describe one storage device and its network link.
@@ -126,10 +128,22 @@ type Model struct {
 
 	busy time.Duration // accumulated service time (for utilization)
 	reqs int64
+
+	wait *obs.Histogram // per-request queued+service time, microseconds
 }
 
 // New builds a shaper for the given parameters.
-func New(p Params) *Model { return &Model{p: p} }
+func New(p Params) *Model { return &Model{p: p, wait: obs.NewHistogram()} }
+
+// WaitHistogram returns the model's per-request wait (queue + service)
+// histogram in microseconds; servers adopt it into their registry. Nil
+// for a nil model.
+func (m *Model) WaitHistogram() *obs.Histogram {
+	if m == nil {
+		return nil
+	}
+	return m.wait
+}
 
 // Params returns the model's parameters.
 func (m *Model) Params() Params {
@@ -161,13 +175,17 @@ func (m *Model) Delay(ctx context.Context, extents int, n int64) (time.Duration,
 
 	wait := time.Until(end)
 	if wait <= 0 {
-		return time.Since(now), nil
+		d := time.Since(now)
+		m.wait.Record(d.Microseconds())
+		return d, nil
 	}
 	t := time.NewTimer(wait)
 	defer t.Stop()
 	select {
 	case <-t.C:
-		return time.Since(now), nil
+		d := time.Since(now)
+		m.wait.Record(d.Microseconds())
+		return d, nil
 	case <-ctx.Done():
 		return time.Since(now), ctx.Err()
 	}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+)
+
+// Health is the /healthz payload. Status "ok" maps to HTTP 200,
+// anything else to 503; Detail carries component-specific state such
+// as catalog registration status.
+type Health struct {
+	Status string         `json:"status"`
+	Detail map[string]any `json:"detail,omitempty"`
+}
+
+// Handler builds the debug endpoint: /metrics returns a JSON snapshot
+// of every registry group, /healthz evaluates health (nil means always
+// ok), and /debug/vars serves the process expvar map (see
+// PublishExpvar).
+func Handler(regs map[string]*Registry, health func() Health) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(snapshotAll(regs))
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		h := Health{Status: "ok"}
+		if health != nil {
+			h = health()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if h.Status != "ok" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		_ = json.NewEncoder(w).Encode(h)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+func snapshotAll(regs map[string]*Registry) map[string]Snapshot {
+	out := make(map[string]Snapshot, len(regs))
+	for name, reg := range regs {
+		if reg != nil {
+			out[name] = reg.Snapshot()
+		}
+	}
+	return out
+}
+
+var expvarMu sync.Mutex
+
+// PublishExpvar exposes the registry groups under one expvar name so
+// standard expvar tooling sees the same numbers as /metrics.
+// Idempotent: re-publishing an existing name is a no-op (expvar itself
+// panics on duplicates).
+func PublishExpvar(name string, regs map[string]*Registry) {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return snapshotAll(regs) }))
+}
+
+// DebugServer is a running debug HTTP listener.
+type DebugServer struct {
+	lis net.Listener
+	srv *http.Server
+}
+
+// StartDebug serves h on addr (":0" picks an ephemeral port) in a
+// background goroutine.
+func StartDebug(addr string, h http.Handler) (*DebugServer, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listen %s: %w", addr, err)
+	}
+	d := &DebugServer{lis: lis, srv: &http.Server{Handler: h}}
+	go func() { _ = d.srv.Serve(lis) }()
+	return d, nil
+}
+
+// Addr returns the bound address.
+func (d *DebugServer) Addr() string { return d.lis.Addr().String() }
+
+// Close stops the listener and in-flight handlers.
+func (d *DebugServer) Close() error { return d.srv.Close() }

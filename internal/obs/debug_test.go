@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestMetricsEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("requests_total").Add(7)
+	reg.Gauge("active_conns").Set(2)
+	reg.Histogram("op_read_us").Record(100)
+
+	h := Handler(map[string]*Registry{"server": reg, "nil": nil}, nil)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d", rr.Code)
+	}
+	var got map[string]Snapshot
+	if err := json.Unmarshal(rr.Body.Bytes(), &got); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rr.Body.String())
+	}
+	srv, ok := got["server"]
+	if !ok {
+		t.Fatalf("no server group in %v", got)
+	}
+	if srv.Counters["requests_total"] != 7 || srv.Gauges["active_conns"] != 2 {
+		t.Fatalf("snapshot = %+v", srv)
+	}
+	if srv.Histograms["op_read_us"].Count != 1 {
+		t.Fatalf("histogram = %+v", srv.Histograms)
+	}
+	if _, ok := got["nil"]; ok {
+		t.Fatal("nil registry appeared in output")
+	}
+}
+
+func TestHealthzStatusCodes(t *testing.T) {
+	for _, tc := range []struct {
+		health func() Health
+		code   int
+	}{
+		{nil, http.StatusOK},
+		{func() Health { return Health{Status: "ok", Detail: map[string]any{"registered": true}} }, http.StatusOK},
+		{func() Health { return Health{Status: "degraded"} }, http.StatusServiceUnavailable},
+	} {
+		h := Handler(nil, tc.health)
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest("GET", "/healthz", nil))
+		if rr.Code != tc.code {
+			t.Fatalf("status = %d, want %d", rr.Code, tc.code)
+		}
+		var body Health
+		if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
+			t.Fatalf("bad JSON: %v", err)
+		}
+	}
+}
+
+func TestDebugVarsEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c").Inc()
+	PublishExpvar("dpfs_test_vars", map[string]*Registry{"g": reg})
+	PublishExpvar("dpfs_test_vars", map[string]*Registry{"g": reg}) // idempotent
+
+	h := Handler(nil, nil)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/vars", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d", rr.Code)
+	}
+	var got map[string]json.RawMessage
+	if err := json.Unmarshal(rr.Body.Bytes(), &got); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if _, ok := got["dpfs_test_vars"]; !ok {
+		t.Fatal("published var missing from /debug/vars")
+	}
+}
+
+func TestStartDebug(t *testing.T) {
+	d, err := StartDebug("127.0.0.1:0", Handler(nil, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	resp, err := http.Get("http://" + d.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}

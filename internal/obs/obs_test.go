@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // negative deltas are ignored
+	c.Add(0)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Inc()
+	g.Dec()
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 || s.Min != 0 || s.Max != 0 {
+		t.Fatalf("empty snapshot = %+v, want zeros", s)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	h := NewHistogram()
+	h.Record(137)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Sum != 137 || s.Min != 137 || s.Max != 137 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	// Every quantile of a single observation is that observation: the
+	// bucket upper bound (255) clamps to the observed max.
+	for _, q := range []float64{0.01, 0.5, 0.95, 0.99, 1} {
+		if got := h.Quantile(q); got != 137 {
+			t.Fatalf("Quantile(%v) = %d, want 137", q, got)
+		}
+	}
+}
+
+func TestHistogramZeroAndNegative(t *testing.T) {
+	h := NewHistogram()
+	h.Record(0)
+	h.Record(-5)
+	s := h.Snapshot()
+	if s.Count != 2 {
+		t.Fatalf("count = %d, want 2", s.Count)
+	}
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("Quantile = %d, want 0 (bucket 0)", got)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := NewHistogram()
+	huge := int64(1) << 62 // far past the last regular bucket
+	h.Record(huge)
+	if s := h.Snapshot(); s.Max != huge {
+		t.Fatalf("max = %d, want %d", s.Max, huge)
+	}
+	// The overflow bucket reports the observed max, not an unbounded
+	// power of two.
+	if got := h.Quantile(0.99); got != huge {
+		t.Fatalf("Quantile = %d, want %d", got, huge)
+	}
+}
+
+func TestHistogramQuantileOrdering(t *testing.T) {
+	h := NewHistogram()
+	for v := int64(1); v <= 1000; v++ {
+		h.Record(v)
+	}
+	s := h.Snapshot()
+	if !(s.Min <= s.P50 && s.P50 <= s.P95 && s.P95 <= s.P99 && s.P99 <= s.Max) {
+		t.Fatalf("quantiles out of order: %+v", s)
+	}
+	// Power-of-two buckets bound each quantile from above within 2x.
+	if s.P50 < 500 || s.P50 > 1000 {
+		t.Fatalf("p50 = %d, want within [500,1000]", s.P50)
+	}
+	if s.Max != 1000 || s.Min != 1 {
+		t.Fatalf("min/max = %d/%d, want 1/1000", s.Min, s.Max)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Record(42)
+	h.Reset()
+	if s := h.Snapshot(); s.Count != 0 || s.Min != 0 || s.Max != 0 {
+		t.Fatalf("after reset: %+v", s)
+	}
+	h.Record(7)
+	if s := h.Snapshot(); s.Min != 7 || s.Max != 7 {
+		t.Fatalf("after reset+record: %+v", s)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("counter identity not stable")
+	}
+	if r.Gauge("a") != r.Gauge("a") {
+		t.Fatal("gauge identity not stable")
+	}
+	if r.Histogram("a") != r.Histogram("a") {
+		t.Fatal("histogram identity not stable")
+	}
+	want := []string{"a", "a", "a"}
+	got := r.Names()
+	if len(got) != len(want) {
+		t.Fatalf("names = %v", got)
+	}
+}
+
+func TestRegistryAdoptHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := NewHistogram()
+	h.Record(9)
+	r.RegisterHistogram("adopted", h)
+	r.RegisterHistogram("ignored", nil)
+	if got := r.Histogram("adopted"); got != h {
+		t.Fatal("adopted histogram not returned by name")
+	}
+	if s := r.Snapshot(); s.Histograms["adopted"].Count != 1 {
+		t.Fatalf("snapshot = %+v", s.Histograms)
+	}
+	if _, ok := r.Snapshot().Histograms["ignored"]; ok {
+		t.Fatal("nil histogram was registered")
+	}
+}
+
+// TestRegistryConcurrency hammers one registry from many goroutines;
+// run with -race to check the synchronization.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	names := []string{"x", "y", "z"}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				n := names[i%len(names)]
+				r.Counter(n).Inc()
+				r.Gauge(n).Add(1)
+				r.Histogram(n).Record(int64(i))
+				if i%100 == 0 {
+					_ = r.Snapshot()
+					_ = r.Names()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// 8 goroutines, i in [0,1000): i%3==0 hits 334 times, 1 and 2 hit
+	// 333 times each.
+	s := r.Snapshot()
+	for i, n := range names {
+		want := int64(8 * 333)
+		if i == 0 {
+			want = 8 * 334
+		}
+		if got := s.Counters[n]; got != want {
+			t.Fatalf("counter %s = %d, want %d", n, got, want)
+		}
+		if got := s.Histograms[n].Count; got != want {
+			t.Fatalf("histogram %s count = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestRegistryReset(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(3)
+	r.Gauge("g").Set(5)
+	r.Histogram("h").Record(7)
+	r.Reset()
+	s := r.Snapshot()
+	if s.Counters["c"] != 0 || s.Gauges["g"] != 0 || s.Histograms["h"].Count != 0 {
+		t.Fatalf("after reset: %+v", s)
+	}
+}

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one timed step of a request. Spans form a tree: the client
+// request is the root, each per-server combined RPC is a child, and a
+// server handler may nest its subfile I/O below that. Field writes
+// happen single-threaded in the owning goroutine before End; child
+// creation is safe from concurrent goroutines (collective aggregators
+// fan out under one root).
+type Span struct {
+	Name     string        `json:"name"`
+	Op       string        `json:"op,omitempty"`
+	Path     string        `json:"path,omitempty"`
+	Server   string        `json:"server,omitempty"`
+	Bricks   int           `json:"bricks,omitempty"`
+	Extents  int           `json:"extents,omitempty"`
+	Bytes    int64         `json:"bytes,omitempty"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration"`
+
+	mu       sync.Mutex
+	children []*Span
+}
+
+// NewSpan starts a root span.
+func NewSpan(name string) *Span {
+	return &Span{Name: name, Start: time.Now()}
+}
+
+// Child starts a sub-span.
+func (s *Span) Child(name string) *Span {
+	c := NewSpan(name)
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End stamps the duration (idempotent: the first End wins).
+func (s *Span) End() {
+	if s.Duration == 0 {
+		s.Duration = time.Since(s.Start)
+	}
+}
+
+// Children returns a copy of the child spans.
+func (s *Span) Children() []*Span {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Trace is one recorded request tree.
+type Trace struct {
+	Root *Span
+}
+
+// Spans flattens the tree depth-first (root first).
+func (t *Trace) Spans() []*Span {
+	if t == nil || t.Root == nil {
+		return nil
+	}
+	var out []*Span
+	var walk func(*Span)
+	walk = func(s *Span) {
+		out = append(out, s)
+		for _, c := range s.Children() {
+			walk(c)
+		}
+	}
+	walk(t.Root)
+	return out
+}
+
+// String renders the trace as an indented tree, one span per line.
+func (t *Trace) String() string {
+	if t == nil || t.Root == nil {
+		return "(empty trace)"
+	}
+	var sb strings.Builder
+	var walk func(s *Span, depth int)
+	walk = func(s *Span, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(s.Name)
+		if s.Op != "" {
+			fmt.Fprintf(&sb, " op=%s", s.Op)
+		}
+		if s.Path != "" {
+			fmt.Fprintf(&sb, " path=%s", s.Path)
+		}
+		if s.Server != "" {
+			fmt.Fprintf(&sb, " server=%s", s.Server)
+		}
+		if s.Bricks > 0 {
+			fmt.Fprintf(&sb, " bricks=%d", s.Bricks)
+		}
+		if s.Extents > 0 {
+			fmt.Fprintf(&sb, " extents=%d", s.Extents)
+		}
+		if s.Bytes > 0 {
+			fmt.Fprintf(&sb, " bytes=%d", s.Bytes)
+		}
+		fmt.Fprintf(&sb, " dur=%v\n", s.Duration.Round(time.Microsecond))
+		for _, c := range s.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(t.Root, 0)
+	return sb.String()
+}
+
+// TraceLog is a bounded ring of recent traces. Adding is cheap and
+// safe from any goroutine; readers get copies.
+type TraceLog struct {
+	mu  sync.Mutex
+	cap int
+	buf []*Trace
+}
+
+// NewTraceLog builds a log keeping the most recent capacity traces
+// (minimum 1).
+func NewTraceLog(capacity int) *TraceLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TraceLog{cap: capacity}
+}
+
+// Add appends a trace, evicting the oldest past capacity.
+func (l *TraceLog) Add(t *Trace) {
+	if t == nil {
+		return
+	}
+	l.mu.Lock()
+	l.buf = append(l.buf, t)
+	if len(l.buf) > l.cap {
+		l.buf = append([]*Trace(nil), l.buf[len(l.buf)-l.cap:]...)
+	}
+	l.mu.Unlock()
+}
+
+// Traces returns the recorded traces, oldest first.
+func (l *TraceLog) Traces() []*Trace {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]*Trace(nil), l.buf...)
+}
+
+// Last returns the most recent trace, or nil.
+func (l *TraceLog) Last() *Trace {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.buf) == 0 {
+		return nil
+	}
+	return l.buf[len(l.buf)-1]
+}
+
+// Len reports how many traces are held.
+func (l *TraceLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buf)
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanTree(t *testing.T) {
+	root := NewSpan("client.request")
+	root.Op = "read"
+	root.Path = "/a"
+	c1 := root.Child("server.rpc")
+	c1.Server = "io0"
+	c1.Bricks = 3
+	c2 := root.Child("server.rpc")
+	c2.Server = "io1"
+	c1.End()
+	c2.End()
+	root.End()
+
+	tr := &Trace{Root: root}
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	if spans[0] != root || spans[1] != c1 || spans[2] != c2 {
+		t.Fatal("depth-first order wrong")
+	}
+	for _, s := range spans {
+		if s.Duration <= 0 {
+			t.Fatalf("span %s has duration %v", s.Name, s.Duration)
+		}
+	}
+
+	out := tr.String()
+	for _, want := range []string{"client.request", "op=read", "server=io0", "bricks=3", "server=io1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	s := NewSpan("x")
+	s.End()
+	d := s.Duration
+	time.Sleep(time.Millisecond)
+	s.End()
+	if s.Duration != d {
+		t.Fatal("second End overwrote duration")
+	}
+}
+
+func TestTraceLogRing(t *testing.T) {
+	l := NewTraceLog(2)
+	l.Add(nil) // ignored
+	t1 := &Trace{Root: NewSpan("1")}
+	t2 := &Trace{Root: NewSpan("2")}
+	t3 := &Trace{Root: NewSpan("3")}
+	l.Add(t1)
+	l.Add(t2)
+	l.Add(t3)
+	if l.Len() != 2 {
+		t.Fatalf("len = %d, want 2", l.Len())
+	}
+	got := l.Traces()
+	if got[0] != t2 || got[1] != t3 {
+		t.Fatal("ring kept wrong traces")
+	}
+	if l.Last() != t3 {
+		t.Fatal("Last != newest")
+	}
+}
+
+func TestTraceLogMinCapacity(t *testing.T) {
+	l := NewTraceLog(0)
+	l.Add(&Trace{Root: NewSpan("a")})
+	l.Add(&Trace{Root: NewSpan("b")})
+	if l.Len() != 1 {
+		t.Fatalf("len = %d, want 1", l.Len())
+	}
+	if l.Last().Root.Name != "b" {
+		t.Fatal("kept the wrong trace")
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	var tr *Trace
+	if tr.Spans() != nil {
+		t.Fatal("nil trace should flatten to nil")
+	}
+	if s := (&Trace{}).String(); s != "(empty trace)" {
+		t.Fatalf("empty trace renders %q", s)
+	}
+}

@@ -1,0 +1,83 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"dpfs/internal/netsim"
+	"dpfs/internal/wire"
+)
+
+func TestServerMetrics(t *testing.T) {
+	srv, cli := startServer(t, nil)
+	ctx := ctxT(t)
+
+	data := []byte("metrics payload")
+	if _, err := cli.Do(ctx, &wire.Request{
+		Op: wire.OpWrite, Path: "m/sub.f",
+		Extents: []wire.Extent{{Off: 0, Len: int64(len(data))}},
+		Data:    data,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Do(ctx, &wire.Request{
+		Op: wire.OpRead, Path: "m/sub.f",
+		Extents: []wire.Extent{{Off: 0, Len: int64(len(data))}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// An invalid request must bump the error counter, not just fail.
+	if _, err := cli.Do(ctx, &wire.Request{Op: wire.OpRead, Path: "../escape"}); err == nil {
+		t.Fatal("expected error for escaping path")
+	}
+
+	s := srv.Metrics().Snapshot()
+	if got := s.Counters[MetricRequests]; got != 3 {
+		t.Fatalf("requests_total = %d, want 3", got)
+	}
+	if got := s.Counters[MetricErrors]; got != 1 {
+		t.Fatalf("errors_total = %d, want 1", got)
+	}
+	if s.Counters[MetricBytesIn] < int64(len(data)) {
+		t.Fatalf("bytes_in_total = %d", s.Counters[MetricBytesIn])
+	}
+	if s.Counters[MetricBytesOut] < int64(len(data)) {
+		t.Fatalf("bytes_out_total = %d", s.Counters[MetricBytesOut])
+	}
+	if got := s.Histograms[OpMetric(wire.OpWrite)].Count; got != 1 {
+		t.Fatalf("op_write_us count = %d, want 1", got)
+	}
+	if got := s.Histograms[OpMetric(wire.OpRead)].Count; got != 2 {
+		t.Fatalf("op_read_us count = %d, want 2", got)
+	}
+	if got := s.Histograms[MetricSubfileIO].Count; got != 2 {
+		t.Fatalf("subfile_io_us count = %d, want 2 (write + good read)", got)
+	}
+	if got := s.Counters[MetricConnsTotal]; got < 1 {
+		t.Fatalf("conns_total = %d", got)
+	}
+	if got := s.Gauges[MetricActiveConns]; got < 1 {
+		t.Fatalf("active_conns = %d, want >= 1 while client holds its connection", got)
+	}
+}
+
+func TestServerAdoptsNetsimWait(t *testing.T) {
+	model := netsim.New(netsim.Params{Name: "t", RequestLatency: time.Millisecond})
+	srv, cli := startServer(t, model)
+	data := []byte("shaped")
+	if _, err := cli.Do(ctxT(t), &wire.Request{
+		Op: wire.OpWrite, Path: "n/sub.f",
+		Extents: []wire.Extent{{Off: 0, Len: int64(len(data))}},
+		Data:    data,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s := srv.Metrics().Snapshot()
+	h, ok := s.Histograms[MetricNetsimWait]
+	if !ok {
+		t.Fatal("netsim wait histogram not adopted into server registry")
+	}
+	if h.Count == 0 {
+		t.Fatal("netsim wait histogram empty after a shaped request")
+	}
+}

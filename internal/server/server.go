@@ -18,8 +18,10 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 
 	"dpfs/internal/netsim"
+	"dpfs/internal/obs"
 	"dpfs/internal/wire"
 )
 
@@ -33,10 +35,30 @@ type Config struct {
 	Name string
 }
 
+// Server metric names (in the server's obs.Registry). Latency
+// histograms record microseconds; the per-op handler histograms are
+// named "op_<name>_us" (op_read_us, op_write_us, ...).
+const (
+	MetricActiveConns = "active_conns"
+	MetricConnsTotal  = "conns_total"
+	MetricRequests    = "requests_total"
+	MetricErrors      = "errors_total"
+	MetricBytesIn     = "bytes_in_total"
+	MetricBytesOut    = "bytes_out_total"
+	MetricSubfileIO   = "subfile_io_us"
+	MetricNetsimWait  = "netsim_wait_us"
+)
+
+// OpMetric names the handler latency histogram for an op.
+func OpMetric(op wire.Op) string {
+	return "op_" + strings.ToLower(op.String()) + "_us"
+}
+
 // Server is one DPFS I/O server instance.
 type Server struct {
 	cfg Config
 	lis net.Listener
+	reg *obs.Registry
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -80,10 +102,14 @@ func New(cfg Config, lis net.Listener) (*Server, error) {
 	s := &Server{
 		cfg:    cfg,
 		lis:    lis,
+		reg:    obs.NewRegistry(),
 		conns:  make(map[net.Conn]struct{}),
 		files:  make(map[string]*subfile),
 		ctx:    ctx,
 		cancel: cancel,
+	}
+	if cfg.Model != nil {
+		s.reg.RegisterHistogram(MetricNetsimWait, cfg.Model.WaitHistogram())
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -95,6 +121,11 @@ func (s *Server) Addr() string { return s.lis.Addr().String() }
 
 // Model returns the server's performance model (may be nil).
 func (s *Server) Model() *netsim.Model { return s.cfg.Model }
+
+// Metrics returns the server's metric registry: connection and session
+// gauges, per-op handler latency histograms, bytes in/out, subfile I/O
+// time and (when a model is attached) the netsim wait histogram.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
 
 // Close stops the server, drops connections and closes cached subfile
 // handles.
@@ -149,7 +180,10 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) handleConn(conn net.Conn) {
 	defer s.wg.Done()
+	s.reg.Counter(MetricConnsTotal).Inc()
+	s.reg.Gauge(MetricActiveConns).Inc()
 	defer func() {
+		s.reg.Gauge(MetricActiveConns).Dec()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
@@ -168,10 +202,16 @@ func (s *Server) handleConn(conn net.Conn) {
 }
 
 func (s *Server) dispatch(req *wire.Request) *wire.Response {
+	start := time.Now()
+	s.reg.Counter(MetricRequests).Inc()
+	s.reg.Counter(MetricBytesIn).Add(int64(len(req.Data)))
 	resp, err := s.serve(req)
 	if err != nil {
-		return &wire.Response{Err: fmt.Sprintf("%s: %v", s.cfg.Name, err)}
+		s.reg.Counter(MetricErrors).Inc()
+		resp = &wire.Response{Err: fmt.Sprintf("%s: %v", s.cfg.Name, err)}
 	}
+	s.reg.Histogram(OpMetric(req.Op)).Record(time.Since(start).Microseconds())
+	s.reg.Counter(MetricBytesOut).Add(int64(len(resp.Data)))
 	return resp
 }
 
@@ -273,6 +313,7 @@ func (s *Server) opRead(req *wire.Request) (*wire.Response, error) {
 	}
 	buf := make([]byte, total)
 	pos := int64(0)
+	ioStart := time.Now()
 	for _, e := range req.Extents {
 		if e.Len < 0 || e.Off < 0 {
 			return nil, fmt.Errorf("invalid extent [%d,%d)", e.Off, e.Off+e.Len)
@@ -287,6 +328,7 @@ func (s *Server) opRead(req *wire.Request) (*wire.Response, error) {
 		}
 		pos += e.Len
 	}
+	s.reg.Histogram(MetricSubfileIO).Record(time.Since(ioStart).Microseconds())
 	return &wire.Response{Data: buf, N: total}, nil
 }
 
@@ -303,6 +345,7 @@ func (s *Server) opWrite(req *wire.Request) (*wire.Response, error) {
 		return nil, err
 	}
 	pos := int64(0)
+	ioStart := time.Now()
 	for _, e := range req.Extents {
 		if e.Len < 0 || e.Off < 0 {
 			return nil, fmt.Errorf("invalid extent [%d,%d)", e.Off, e.Off+e.Len)
@@ -312,6 +355,7 @@ func (s *Server) opWrite(req *wire.Request) (*wire.Response, error) {
 		}
 		pos += e.Len
 	}
+	s.reg.Histogram(MetricSubfileIO).Record(time.Since(ioStart).Microseconds())
 	return &wire.Response{N: total}, nil
 }
 

@@ -1,0 +1,42 @@
+package shell
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestStatsCommand(t *testing.T) {
+	sh, _ := newShell(t)
+
+	// A fresh session has no traffic and no latency samples.
+	out := run(t, sh, "stats")
+	if !strings.Contains(out, "requests:     0") || !strings.Contains(out, "no samples") {
+		t.Fatalf("fresh stats output:\n%s", out)
+	}
+
+	// Import a file (client I/O), then stats must show the traffic.
+	local := filepath.Join(t.TempDir(), "in.bin")
+	if err := os.WriteFile(local, make([]byte, 8192), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	run(t, sh, "cp local:"+local+" /data.bin")
+
+	out = run(t, sh, "stats")
+	if strings.Contains(out, "requests:     0") {
+		t.Fatalf("stats still zero after import:\n%s", out)
+	}
+	for _, want := range []string{"moved:", "useful:       8192 bytes", "p50", "p95", "p99"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stats output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHelpMentionsStats(t *testing.T) {
+	sh, _ := newShell(t)
+	if out := run(t, sh, "help"); !strings.Contains(out, "stats") {
+		t.Fatalf("help does not mention stats:\n%s", out)
+	}
+}

@@ -74,6 +74,8 @@ func (sh *Shell) Run(ctx context.Context, line string) (string, error) {
 		return sh.du()
 	case "cat":
 		return sh.cat(ctx, args)
+	case "stats":
+		return sh.stats()
 	}
 	return "", fmt.Errorf("dpfs-sh: unknown command %q (try help)", cmd)
 }
@@ -95,6 +97,7 @@ const helpText = `DPFS shell commands:
   chown OWNER FILE        set a file's owner
   du                      per-server file and brick usage
   cat FILE                print a DPFS file's bytes
+  stats                   this client's traffic counters and latencies
   help                    this text
 `
 
@@ -392,6 +395,25 @@ func (sh *Shell) cat(ctx context.Context, args []string) (string, error) {
 	var sb strings.Builder
 	if err := sh.client.Export(ctx, &sb, sh.resolve(arg)); err != nil {
 		return "", err
+	}
+	return sb.String(), nil
+}
+
+// stats reports this client's own traffic counters and request
+// latency distribution (Section 4.2's combined requests in action:
+// moved vs. useful bytes shows the combination overhead).
+func (sh *Shell) stats() (string, error) {
+	st := sh.client.Stats()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "requests:     %d\n", st.Requests)
+	fmt.Fprintf(&sb, "moved:        %d bytes\n", st.BytesTransferred)
+	fmt.Fprintf(&sb, "useful:       %d bytes\n", st.BytesUseful)
+	snap := sh.client.Engine().Metrics().Snapshot()
+	if h, ok := snap.Histograms[core.MetricRequestLatency]; ok && h.Count > 0 {
+		fmt.Fprintf(&sb, "latency:      p50 %dus  p95 %dus  p99 %dus  (n=%d)\n",
+			h.P50, h.P95, h.P99, h.Count)
+	} else {
+		fmt.Fprintf(&sb, "latency:      no samples\n")
 	}
 	return sb.String(), nil
 }

@@ -1,0 +1,296 @@
+package dpfs_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"dpfs"
+	"dpfs/internal/cluster"
+	"dpfs/internal/collective"
+	"dpfs/internal/core"
+	"dpfs/internal/obs"
+	"dpfs/internal/server"
+	"dpfs/internal/stripe"
+	"dpfs/internal/wire"
+)
+
+// TestDebugEndpointE2E boots real dpfs-meta and dpfs-server processes
+// with -debug-addr, performs a striped combined write and read through
+// the public client, and checks that each daemon's /metrics and
+// /healthz endpoints report the traffic.
+func TestDebugEndpointE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and launches subprocesses")
+	}
+	bin := t.TempDir()
+	build := func(name string) string {
+		out := filepath.Join(bin, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, msg)
+		}
+		return out
+	}
+	metaBin := build("dpfs-meta")
+	srvBin := build("dpfs-server")
+
+	work := t.TempDir()
+	metaAddr := freePortAddr(t)
+	metaDebug := freePortAddr(t)
+	procs := []*exec.Cmd{}
+	start := func(path string, args ...string) {
+		cmd := exec.Command(path, args...)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start %s: %v", path, err)
+		}
+		procs = append(procs, cmd)
+	}
+	t.Cleanup(func() {
+		for _, p := range procs {
+			if p.Process != nil {
+				p.Process.Kill()
+				p.Wait()
+			}
+		}
+	})
+
+	start(metaBin, "-addr", metaAddr, "-dir", filepath.Join(work, "meta"), "-debug-addr", metaDebug)
+	waitTCP(t, metaAddr)
+
+	srvAddrs := []string{freePortAddr(t), freePortAddr(t)}
+	srvDebug := []string{freePortAddr(t), freePortAddr(t)}
+	for i := range srvAddrs {
+		start(srvBin, "-addr", srvAddrs[i], "-root", filepath.Join(work, fmt.Sprintf("s%d", i)),
+			"-name", fmt.Sprintf("io-%d", i), "-meta", metaAddr,
+			"-class", "class1", "-debug-addr", srvDebug[i])
+	}
+	for _, a := range append(append([]string{}, srvAddrs...), srvDebug...) {
+		waitTCP(t, a)
+	}
+	waitTCP(t, metaDebug)
+
+	// Wait for both registrations to land in the catalog.
+	waitRegistered := func() {
+		deadline := time.Now().Add(15 * time.Second)
+		for time.Now().Before(deadline) {
+			c, err := dpfs.Connect(metaAddr, 0, dpfs.Options{})
+			if err == nil {
+				servers, err := c.Servers()
+				c.Close()
+				if err == nil && len(servers) == 2 {
+					return
+				}
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		t.Fatal("servers never registered")
+	}
+	waitRegistered()
+
+	client, err := dpfs.Connect(metaAddr, 0, dpfs.Options{Combine: true, Stagger: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	// 8 bricks round-robin over the 2 servers: one combined request per
+	// server for the write, one for the read.
+	f, err := client.Create("/metrics.bin", 1, []int64{8 * 4096},
+		dpfs.Hint{Level: dpfs.Linear, BrickBytes: 4096, Placement: dpfs.RoundRobin{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	data := make([]byte, 8*4096)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := f.WriteAt(ctx, data, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.ReadAt(ctx, make([]byte, len(data)), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	getJSON := func(url string, into any) int {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+		defer resp.Body.Close()
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("GET %s: bad JSON: %v", url, err)
+		}
+		return resp.StatusCode
+	}
+
+	for i, dbg := range srvDebug {
+		var m map[string]obs.Snapshot
+		if code := getJSON("http://"+dbg+"/metrics", &m); code != http.StatusOK {
+			t.Fatalf("server %d /metrics status %d", i, code)
+		}
+		s, ok := m["server"]
+		if !ok {
+			t.Fatalf("server %d /metrics missing server group: %v", i, m)
+		}
+		// One combined write and one combined read reached each server.
+		if got := s.Histograms[server.OpMetric(wire.OpWrite)].Count; got != 1 {
+			t.Fatalf("server %d op_write_us count = %d, want 1 (combined)", i, got)
+		}
+		if got := s.Histograms[server.OpMetric(wire.OpRead)].Count; got != 1 {
+			t.Fatalf("server %d op_read_us count = %d, want 1 (combined)", i, got)
+		}
+		// class1 charges >= 800us per request, so the handler latency
+		// histogram cannot be empty or all-zero.
+		if h := s.Histograms[server.OpMetric(wire.OpWrite)]; h.Max == 0 {
+			t.Fatalf("server %d handler latency all zero: %+v", i, h)
+		}
+		if got := s.Counters[server.MetricRequests]; got != 2 {
+			t.Fatalf("server %d requests_total = %d, want 2", i, got)
+		}
+		if s.Counters[server.MetricBytesIn] < 4*4096 {
+			t.Fatalf("server %d bytes_in_total = %d", i, s.Counters[server.MetricBytesIn])
+		}
+
+		var h obs.Health
+		if code := getJSON("http://"+dbg+"/healthz", &h); code != http.StatusOK {
+			t.Fatalf("server %d /healthz status %d", i, code)
+		}
+		if h.Status != "ok" || h.Detail["registered"] != true {
+			t.Fatalf("server %d health = %+v", i, h)
+		}
+	}
+
+	// The metadata daemon counted the catalog queries behind all of the
+	// above and reports healthy with the DPFS schema loaded.
+	var mm map[string]obs.Snapshot
+	if code := getJSON("http://"+metaDebug+"/metrics", &mm); code != http.StatusOK {
+		t.Fatalf("meta /metrics status %d", code)
+	}
+	if mm["db"].Counters["queries_total"] == 0 {
+		t.Fatalf("meta queries_total = 0: %+v", mm["db"])
+	}
+	if mm["net"].Counters["requests_total"] == 0 {
+		t.Fatalf("meta net requests_total = 0: %+v", mm["net"])
+	}
+	var mh obs.Health
+	if code := getJSON("http://"+metaDebug+"/healthz", &mh); code != http.StatusOK {
+		t.Fatalf("meta /healthz status %d", code)
+	}
+}
+
+func freePortAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	return l.Addr().String()
+}
+
+// TestCollectiveReadTraceSpans runs a collective read over an
+// in-process cluster with tracing enabled on every rank and checks
+// that the union of aggregator traces holds exactly one server.rpc
+// span per contacted server, each carrying that server's brick count.
+func TestCollectiveReadTraceSpans(t *testing.T) {
+	const np, io = 4, 4
+	c, err := cluster.Start(cluster.Config{Servers: cluster.Uniform(io), Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// 64x64 float64 array in 16x16 tiles: 16 bricks round-robin over 4
+	// servers, 4 bricks each.
+	dims := []int64{64, 64}
+	admin, err := c.NewFS(0, core.Options{Combine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	af, err := admin.Create("/trace.dat", 8, dims, core.Hint{
+		Level: stripe.LevelMultidim, Tile: []int64{16, 16}, Placement: stripe.RoundRobin{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	af.Close()
+	admin.Close()
+
+	files := make([]*core.File, np)
+	logs := make([]*obs.TraceLog, np)
+	for r := 0; r < np; r++ {
+		fs, err := c.NewFS(r, core.Options{Combine: true, Stagger: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer fs.Close()
+		logs[r] = fs.EnableTracing(8)
+		if files[r], err = fs.Open("/trace.dat"); err != nil {
+			t.Fatal(err)
+		}
+		defer files[r].Close()
+	}
+
+	g, err := collective.NewGroup(np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for r := 0; r < np; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			sec := stripe.NewSection([]int64{int64(r) * 16, 0}, []int64{16, 64})
+			if err := g.ReadAll(ctx, r, files[r], sec, make([]byte, sec.Bytes(8))); err != nil {
+				t.Error(err)
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	// Collect every server.rpc span recorded by the aggregators.
+	bricksPerServer := map[string]int{}
+	spans := 0
+	for r := 0; r < np; r++ {
+		for _, tr := range logs[r].Traces() {
+			for _, sp := range tr.Spans() {
+				if sp.Name != "server.rpc" {
+					continue
+				}
+				spans++
+				if sp.Server == "" || sp.Duration <= 0 {
+					t.Fatalf("incomplete span %+v in\n%s", sp, tr)
+				}
+				bricksPerServer[sp.Server] += sp.Bricks
+			}
+		}
+	}
+	if spans != io {
+		t.Fatalf("got %d server.rpc spans, want exactly one per contacted server (%d)", spans, io)
+	}
+	if len(bricksPerServer) != io {
+		t.Fatalf("contacted servers = %v, want %d distinct", bricksPerServer, io)
+	}
+	for srvName, n := range bricksPerServer {
+		if n != 4 { // 16 bricks round-robin over 4 servers
+			t.Fatalf("server %s saw %d bricks in spans, want 4", srvName, n)
+		}
+	}
+}
