@@ -141,6 +141,13 @@ func BenchmarkAblationCollective(b *testing.B) {
 	runAblation(b, "collective")
 }
 
+// BenchmarkDispatch contrasts the paper's sequential per-server sweep
+// with parallel dispatch on class-1 shaped servers
+// (scripts/bench_smoke.sh runs this one as the quick regression gate).
+func BenchmarkDispatch(b *testing.B) {
+	runAblation(b, "parallel")
+}
+
 func runAblation(b *testing.B, name string) {
 	b.Helper()
 	cfg := benchConfig(b)

@@ -12,6 +12,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,14 +20,32 @@ import (
 	"dpfs/internal/bench"
 )
 
+// jsonRow is one measurement in -json output (BENCH_dispatch.json and
+// friends).
+type jsonRow struct {
+	Figure    string  `json:"figure"`
+	Class     string  `json:"class"`
+	Variant   string  `json:"variant"`
+	MBps      float64 `json:"mbps"`
+	ElapsedUS int64   `json:"elapsed_us"`
+	Requests  int64   `json:"requests"`
+	MovedMB   float64 `json:"moved_mb"`
+	UsefulMB  float64 `json:"useful_mb"`
+	P50US     int64   `json:"p50_us"`
+	P95US     int64   `json:"p95_us"`
+	P99US     int64   `json:"p99_us"`
+}
+
 func main() {
 	fig := flag.Int("fig", 0, "figure to regenerate (11-14; 0 = all)")
-	ablation := flag.String("ablation", "", "run an ablation instead: stagger, shape, servers, exact, or all")
+	ablation := flag.String("ablation", "", "run an ablation instead: stagger, shape, servers, exact, collective, parallel, or all")
 	n := flag.Int64("n", 512, "array edge in elements (paper: 32768)")
 	tile := flag.Int64("tile", 0, "multidim tile edge (default n/8; paper: 256)")
 	reps := flag.Int("reps", 3, "repetitions per bar (median reported)")
 	dir := flag.String("dir", "", "scratch directory (default: a temp dir)")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	jsonOut := flag.Bool("json", false, "emit a JSON array instead of aligned text")
+	parallel := flag.Bool("parallel", false, "dispatch each access's per-server requests concurrently")
 	flag.Parse()
 
 	scratch := *dir
@@ -38,22 +57,46 @@ func main() {
 		}
 		defer os.RemoveAll(scratch)
 	}
-	cfg := bench.Config{N: *n, Tile: *tile, Dir: scratch, Reps: *reps}
+	cfg := bench.Config{N: *n, Tile: *tile, Dir: scratch, Reps: *reps, Parallel: *parallel}
 	ctxAbl := context.Background()
 
+	var rows []jsonRow
 	emit := func(ms []bench.Measurement) {
 		for _, m := range ms {
-			if *csvOut {
+			switch {
+			case *jsonOut:
+				rows = append(rows, jsonRow{
+					Figure: m.Figure, Class: m.Class, Variant: m.Label,
+					MBps: m.MBps, ElapsedUS: m.Elapsed.Microseconds(),
+					Requests: m.Requests, MovedMB: m.MovedMB, UsefulMB: m.UsefulMB,
+					P50US: m.Lat50.Microseconds(), P95US: m.Lat95.Microseconds(), P99US: m.Lat99.Microseconds(),
+				})
+			case *csvOut:
 				fmt.Printf("%s,%s,%s,%.3f,%d,%d,%.3f,%.3f,%d,%d,%d\n",
 					m.Figure, m.Class, m.Label, m.MBps, m.Elapsed.Microseconds(),
 					m.Requests, m.MovedMB, m.UsefulMB,
 					m.Lat50.Microseconds(), m.Lat95.Microseconds(), m.Lat99.Microseconds())
-			} else {
+			default:
 				fmt.Println(m)
 			}
 		}
 	}
-	if *csvOut {
+	banner := func(format string, args ...any) {
+		if !*jsonOut {
+			fmt.Printf(format, args...)
+		}
+	}
+	flush := func() {
+		if !*jsonOut {
+			return
+		}
+		out, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(out))
+	}
+	if *csvOut && !*jsonOut {
 		fmt.Println("figure,class,variant,mbps,elapsed_us,requests,moved_mb,useful_mb,p50_us,p95_us,p99_us")
 	}
 
@@ -63,14 +106,15 @@ func main() {
 			names = bench.AblationNames()
 		}
 		for _, name := range names {
-			fmt.Printf("== Ablation: %s ==\n", name)
+			banner("== Ablation: %s ==\n", name)
 			ms, err := bench.Ablation(ctxAbl, cfg, name)
 			if err != nil {
 				fatal(err)
 			}
 			emit(ms)
-			fmt.Println()
+			banner("\n")
 		}
+		flush()
 		return
 	}
 
@@ -80,14 +124,15 @@ func main() {
 	}
 	ctx := context.Background()
 	for _, f := range figs {
-		fmt.Printf("== Figure %d ==\n", f)
+		banner("== Figure %d ==\n", f)
 		ms, err := bench.Figure(ctx, cfg, f)
 		if err != nil {
 			fatal(err)
 		}
 		emit(ms)
-		fmt.Println()
+		banner("\n")
 	}
+	flush()
 }
 
 func fatal(err error) {

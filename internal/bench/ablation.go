@@ -69,7 +69,7 @@ func runStaggerCase(ctx context.Context, cfg Config, c *cluster.Cluster, np int,
 	if err := fill(ctx, c, path, dims); err != nil {
 		return Measurement{}, err
 	}
-	opts := core.Options{Combine: true, Stagger: stagger}
+	opts := cfg.withDispatch(core.Options{Combine: true, Stagger: stagger})
 	return measure(ctx, cfg, c, np, opts, path,
 		func(rank int) stripe.Section { return colSection(cfg.N, np, rank) }, false)
 }
@@ -132,7 +132,7 @@ func runShapeCase(ctx context.Context, cfg Config, c *cluster.Cluster, np int, t
 	if err := fill(ctx, c, path, dims); err != nil {
 		return Measurement{}, err
 	}
-	opts := core.Options{Combine: true, Stagger: true}
+	opts := cfg.withDispatch(core.Options{Combine: true, Stagger: true})
 	return measure(ctx, cfg, c, np, opts, path,
 		func(rank int) stripe.Section { return colSection(cfg.N, np, rank) }, false)
 }
@@ -210,7 +210,7 @@ func runExactCase(ctx context.Context, cfg Config, c *cluster.Cluster, np int, e
 	if err := fill(ctx, c, path, dims); err != nil {
 		return Measurement{}, err
 	}
-	opts := core.Options{Combine: true, Stagger: true, ExactReads: exact}
+	opts := cfg.withDispatch(core.Options{Combine: true, Stagger: true, ExactReads: exact})
 	return measure(ctx, cfg, c, np, opts, path,
 		func(rank int) stripe.Section { return colSection(cfg.N, np, rank) }, false)
 }
@@ -282,7 +282,7 @@ func measureCollective(ctx context.Context, c *cluster.Cluster, cfg Config, np i
 	files := make([]*core.File, np)
 	fss := make([]*core.FS, np)
 	for r := 0; r < np; r++ {
-		fs, err := c.NewFS(r, core.Options{Combine: true, Stagger: true})
+		fs, err := c.NewFS(r, cfg.withDispatch(core.Options{Combine: true, Stagger: true}))
 		if err != nil {
 			return Measurement{}, err
 		}
@@ -354,6 +354,70 @@ func measureCollective(ctx context.Context, c *cluster.Cluster, cfg Config, np i
 	}, nil
 }
 
+// AblationParallel isolates the client's dispatch loop: a combined
+// multidim row read where every rank's combined requests cover all
+// servers, shipped sequentially (the paper's model) versus in
+// parallel. Staggering is off in both variants — its scheduling effect
+// has its own ablation, and disabling it here makes the sequential
+// convoy deterministic: all np ranks sweep the servers in the same
+// order, so the sweep drains in (np+S-1) service times, while parallel
+// dispatch keeps every device queue full and drains in np. At np=S=4
+// that is a 7:4 (1.75x) aggregate bandwidth gap on the class-1 shaped
+// cluster.
+func AblationParallel(ctx context.Context, cfg Config, np, io int) ([]Measurement, error) {
+	cfg = cfg.WithDefaults()
+	var out []Measurement
+	for _, par := range []bool{false, true} {
+		c, err := cluster.Start(cluster.Config{
+			Servers:       cluster.UniformClass(io, netsim.Class1()),
+			Dir:           caseDir(cfg.Dir),
+			RefBrickBytes: cfg.Tile * cfg.Tile * elemSize,
+		})
+		if err != nil {
+			return nil, err
+		}
+		runCfg := cfg
+		runCfg.Parallel = par
+		m, err := runParallelCase(ctx, runCfg, c, np)
+		c.Close()
+		if err != nil {
+			return nil, err
+		}
+		m.Figure = "AblParallel"
+		m.Class = "class1"
+		if par {
+			m.Label = "Parallel dispatch"
+		} else {
+			m.Label = "Sequential dispatch"
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+func runParallelCase(ctx context.Context, cfg Config, c *cluster.Cluster, np int) (Measurement, error) {
+	dims := []int64{cfg.N, cfg.N}
+	path := "/abl-parallel.dat"
+	fs, err := c.NewFS(0, core.Options{Combine: true})
+	if err != nil {
+		return Measurement{}, err
+	}
+	f, err := fs.Create(path, elemSize, dims,
+		core.Hint{Level: stripe.LevelMultidim, Tile: []int64{cfg.Tile, cfg.Tile}})
+	if err != nil {
+		fs.Close()
+		return Measurement{}, err
+	}
+	f.Close()
+	fs.Close()
+	if err := fill(ctx, c, path, dims); err != nil {
+		return Measurement{}, err
+	}
+	opts := cfg.withDispatch(core.Options{Combine: true})
+	return measure(ctx, cfg, c, np, opts, path,
+		func(rank int) stripe.Section { return rowSection(cfg.N, np, rank) }, false)
+}
+
 // Ablation dispatches an ablation by name.
 func Ablation(ctx context.Context, cfg Config, name string) ([]Measurement, error) {
 	switch name {
@@ -367,11 +431,13 @@ func Ablation(ctx context.Context, cfg Config, name string) ([]Measurement, erro
 		return AblationExactReads(ctx, cfg, 8, 4)
 	case "collective":
 		return AblationCollective(ctx, cfg, 8, 4)
+	case "parallel":
+		return AblationParallel(ctx, cfg, 4, 4)
 	}
-	return nil, fmt.Errorf("bench: unknown ablation %q (stagger, shape, servers, exact, collective)", name)
+	return nil, fmt.Errorf("bench: unknown ablation %q (stagger, shape, servers, exact, collective, parallel)", name)
 }
 
 // AblationNames lists the available ablations.
 func AblationNames() []string {
-	return []string{"stagger", "shape", "servers", "exact", "collective"}
+	return []string{"stagger", "shape", "servers", "exact", "collective", "parallel"}
 }

@@ -40,6 +40,17 @@ type Config struct {
 	// Reps repeats each measurement and reports the median (default
 	// 3), damping host scheduling noise.
 	Reps int
+	// Parallel dispatches each access's per-server requests
+	// concurrently (core.Options.ParallelDispatch) instead of the
+	// paper's sequential sweep.
+	Parallel bool
+}
+
+// withDispatch applies the configured dispatch mode to a measurement's
+// engine options.
+func (c Config) withDispatch(opts core.Options) core.Options {
+	opts.ParallelDispatch = c.Parallel
+	return opts
 }
 
 // WithDefaults fills unset fields.
@@ -335,7 +346,7 @@ func runLevelCase(ctx context.Context, cfg Config, c *cluster.Cluster, lc LevelC
 	if err := fill(ctx, c, path, dims); err != nil {
 		return Measurement{}, err
 	}
-	opts := core.Options{Combine: lc.Combine, Stagger: lc.Combine}
+	opts := cfg.withDispatch(core.Options{Combine: lc.Combine, Stagger: lc.Combine})
 	return measure(ctx, cfg, c, np, opts, path,
 		func(rank int) stripe.Section { return colSection(cfg.N, np, rank) }, false)
 }
@@ -436,7 +447,7 @@ func runAlgoCase(ctx context.Context, cfg Config, c *cluster.Cluster, algo strin
 			return Measurement{}, err
 		}
 	}
-	opts := core.Options{Combine: ac.Combine, Stagger: ac.Combine}
+	opts := cfg.withDispatch(core.Options{Combine: ac.Combine, Stagger: ac.Combine})
 	return measure(ctx, cfg, c, np, opts, path,
 		func(rank int) stripe.Section { return rowSection(cfg.N, np, rank) }, ac.Write)
 }

@@ -217,6 +217,14 @@ func TestAblationShapes(t *testing.T) {
 		m := byLabel(ms)
 		return m["Collective (two-phase)"].MBps, m["Independent"].MBps, nil
 	})
+	retryRatio(t, "parallel dispatch beats the sequential sweep", 1.5, func() (float64, float64, error) {
+		ms, err := AblationParallel(ctx, cfg, 4, 4)
+		if err != nil {
+			return 0, 0, err
+		}
+		m := byLabel(ms)
+		return m["Parallel dispatch"].MBps, m["Sequential dispatch"].MBps, nil
+	})
 }
 
 // TestFigureDispatch covers the Figure() entry points and unknown
@@ -239,7 +247,7 @@ func TestFigureDispatch(t *testing.T) {
 	if _, err := Ablation(ctx, cfg, "nosuch"); err == nil {
 		t.Fatal("unknown ablation should be rejected")
 	}
-	if len(AblationNames()) != 5 {
+	if len(AblationNames()) != 6 {
 		t.Fatalf("ablations = %v", AblationNames())
 	}
 	// Measurement renders.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -226,14 +227,16 @@ func (f *File) ExecutePlan(ctx context.Context, plan []stripe.BrickIO, buf []byt
 	return f.execute(ctx, plan, buf, write)
 }
 
-// execute ships a plan to the servers. Each compute process issues its
-// requests one at a time, exactly as in the paper: the general
-// approach sends one request per brick in brick order; combination
-// groups all of a server's bricks into one request and (with Stagger)
-// starts the sweep at server rank mod S so concurrent clients do not
-// convoy on the same device (Section 4.2). Parallelism comes from
-// multiple compute processes and multiple servers, not from a single
-// client multi-threading its own access.
+// execute ships a plan to the servers. By default each compute process
+// issues its requests one at a time, exactly as in the paper: the
+// general approach sends one request per brick in brick order;
+// combination groups all of a server's bricks into one request and
+// (with Stagger) starts the sweep at server rank mod S so concurrent
+// clients do not convoy on the same device (Section 4.2). With
+// Options.ParallelDispatch the per-server requests instead launch
+// concurrently (still in Stagger order, bounded by MaxInflight),
+// overlapping the independent server exchanges; the sequential mode
+// remains the paper-faithful baseline.
 func (f *File) execute(ctx context.Context, plan []stripe.BrickIO, buf []byte, write bool) error {
 	if len(plan) == 0 {
 		return nil
@@ -270,31 +273,135 @@ func (f *File) execute(ctx context.Context, plan []stripe.BrickIO, buf []byte, w
 		root.Bytes = useful
 	}
 
-	for i := range reqs {
-		var sp *obs.Span
-		if root != nil {
-			sp = root.Child("server.rpc")
-			sp.Op = opName
-			sp.Server = f.info.Servers[reqs[i].Server]
-			sp.Bricks = len(reqs[i].Bricks)
-		}
-		err := f.doRequest(ctx, &reqs[i], buf, write, sp)
-		if sp != nil {
-			sp.End()
-		}
-		if err != nil {
-			if root != nil {
-				root.End()
-				f.fs.traces.Add(&obs.Trace{Root: root})
-			}
-			return err
-		}
+	var err error
+	if opts.ParallelDispatch && len(reqs) > 1 {
+		err = f.dispatchParallel(ctx, reqs, buf, write, opName, root)
+	} else {
+		err = f.dispatchSequential(ctx, reqs, buf, write, opName, root)
 	}
 	if root != nil {
 		root.End()
 		f.fs.traces.Add(&obs.Trace{Root: root})
 	}
+	return err
+}
+
+// rpcSpan starts the per-server trace span for one request; nil when
+// tracing is off.
+func (f *File) rpcSpan(root *obs.Span, r *stripe.Request, opName string) *obs.Span {
+	if root == nil {
+		return nil
+	}
+	sp := root.Child("server.rpc")
+	sp.Op = opName
+	sp.Server = f.info.Servers[r.Server]
+	sp.Bricks = len(r.Bricks)
+	return sp
+}
+
+// dispatchSequential is the paper's execution model: one server
+// exchange at a time, stopping at the first error.
+func (f *File) dispatchSequential(ctx context.Context, reqs []stripe.Request, buf []byte, write bool, opName string, root *obs.Span) error {
+	gauge := f.fs.reg.Gauge(MetricInflight)
+	for i := range reqs {
+		sp := f.rpcSpan(root, &reqs[i], opName)
+		gauge.Inc()
+		err := f.doRequest(ctx, &reqs[i], buf, write, sp)
+		gauge.Dec()
+		if sp != nil {
+			sp.End()
+		}
+		if err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// dispatchParallel overlaps the per-server exchanges of one access:
+// each request runs in its own goroutine, at most max in flight.
+// Launch order follows the (possibly staggered) request order — slots
+// are acquired in order, so under a tight MaxInflight the sweep still
+// starts at rank mod S. The first error wins and cancels the
+// remaining exchanges. Requests of one plan cover disjoint bricks, so
+// the concurrent scatters into buf touch disjoint regions.
+func (f *File) dispatchParallel(ctx context.Context, reqs []stripe.Request, buf []byte, write bool, opName string, root *obs.Span) error {
+	max := f.fs.opts.MaxInflight
+	if max <= 0 {
+		max = len(f.info.Servers)
+	}
+	if max > len(reqs) {
+		max = len(reqs)
+	}
+	if max < 1 {
+		max = 1
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	sem := make(chan struct{}, max)
+	gauge := f.fs.reg.Gauge(MetricInflight)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+launch:
+	for i := range reqs {
+		select {
+		case sem <- struct{}{}:
+		case <-cctx.Done():
+			break launch // error or caller cancellation: stop launching
+		}
+		sp := f.rpcSpan(root, &reqs[i], opName) // created here: span order = launch order
+		gauge.Inc()
+		wg.Add(1)
+		go func(r *stripe.Request, sp *obs.Span) {
+			defer wg.Done()
+			defer gauge.Dec()
+			defer func() { <-sem }()
+			err := f.doRequest(cctx, r, buf, write, sp)
+			if sp != nil {
+				sp.End()
+			}
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+					cancel()
+				}
+				mu.Unlock()
+			}
+		}(&reqs[i], sp)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if firstErr == nil && ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return firstErr
+}
+
+// scratchPool recycles response scratch buffers across read exchanges
+// so a steady-state engine reads without per-request body allocations.
+var scratchPool sync.Pool
+
+func getScratch(n int64) []byte {
+	if p, ok := scratchPool.Get().(*[]byte); ok {
+		if int64(cap(*p)) >= n {
+			return (*p)[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+func putScratch(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	scratchPool.Put(&b)
 }
 
 // doRequest performs one server exchange covering all bricks of r.
@@ -304,12 +411,27 @@ func (f *File) doRequest(ctx context.Context, r *stripe.Request, buf []byte, wri
 	slot := g.SlotBytes()
 	wholeBrick := !write && !f.fs.opts.ExactReads
 
-	// Segments are packed in brick-offset order: runs contiguous in
+	// Size the extent list up front: one extent per brick in
+	// whole-brick mode, at most one per segment otherwise.
+	nSegs := 0
+	for bi := range r.Bricks {
+		nSegs += len(r.Bricks[bi].Segs)
+	}
+	extCap := nSegs
+	if wholeBrick {
+		extCap = len(r.Bricks)
+	}
+
+	// Extents are built in brick-offset order: runs contiguous in
 	// brick storage travel as one extent even when they gather from
-	// scattered memory (the client packs each brick before shipping
-	// it, so a whole-tile write is a single piece).
-	var exts []wire.Extent
-	var payload []byte
+	// scattered memory. Write payloads are not packed into an
+	// intermediate buffer — each memory run rides as a scatter
+	// segment that the wire layer flushes with vectored I/O.
+	exts := make([]wire.Extent, 0, extCap)
+	var segs [][]byte
+	if write {
+		segs = make([][]byte, 0, nSegs)
+	}
 	for bi := range r.Bricks {
 		b := &r.Bricks[bi]
 		base := f.localIdx[b.Brick] * slot
@@ -325,7 +447,7 @@ func (f *File) doRequest(ctx context.Context, r *stripe.Request, buf []byte, wri
 				exts = append(exts, wire.Extent{Off: base + seg.BrickOff, Len: seg.Len})
 			}
 			if write {
-				payload = append(payload, buf[seg.MemOff:seg.MemOff+seg.Len]...)
+				segs = append(segs, buf[seg.MemOff:seg.MemOff+seg.Len])
 			}
 		}
 	}
@@ -338,8 +460,14 @@ func (f *File) doRequest(ctx context.Context, r *stripe.Request, buf []byte, wri
 	if err != nil {
 		return err
 	}
+	req := &wire.Request{Op: op, Path: f.info.Path, Extents: exts, Segments: segs}
+	var scratch []byte
+	if !write {
+		scratch = getScratch(wire.DataBytes(exts) + wire.RespOverhead)
+		defer putScratch(scratch)
+	}
 	start := time.Now()
-	resp, err := client.Do(ctx, &wire.Request{Op: op, Path: f.info.Path, Extents: exts, Data: payload})
+	resp, err := client.DoScratch(ctx, req, scratch)
 	f.fs.reg.Histogram(MetricRequestLatency).Record(time.Since(start).Microseconds())
 	if err != nil {
 		return fmt.Errorf("dpfs: %s: %w", f.info.Path, err)

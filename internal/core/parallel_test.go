@@ -1,0 +1,276 @@
+package core_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"dpfs/internal/core"
+	"dpfs/internal/stripe"
+)
+
+// TestParallelDispatchConcurrentClients runs several goroutine clients
+// with parallel dispatch against one cluster: every roundtrip must be
+// byte-exact, and the per-file counters must sum to exactly the
+// process-wide aggregate delta (run under -race this also exercises the
+// engine's concurrent scatter path).
+func TestParallelDispatchConcurrentClients(t *testing.T) {
+	const np = 4
+	const size = 8 * 4096
+	c := startCluster(t, 4)
+	ctx := ctxT(t)
+
+	before := core.ReadStats()
+	files := make([]*core.File, np)
+	for r := 0; r < np; r++ {
+		fs := newFS(t, c, r, core.Options{Combine: true, Stagger: true, ParallelDispatch: true})
+		f, err := fs.Create(fmt.Sprintf("/par-%d.bin", r), 1, []int64{size},
+			core.Hint{Level: stripe.LevelLinear, BrickBytes: 4096, Placement: stripe.RoundRobin{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[r] = f
+	}
+	t.Cleanup(func() {
+		for _, f := range files {
+			f.Close()
+		}
+	})
+
+	var wg sync.WaitGroup
+	errs := make(chan error, np)
+	for r := 0; r < np; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			data := make([]byte, size)
+			for i := range data {
+				data[i] = byte(i*7 + r)
+			}
+			if err := files[r].WriteAt(ctx, data, 0); err != nil {
+				errs <- err
+				return
+			}
+			got := make([]byte, size)
+			if err := files[r].ReadAt(ctx, got, 0); err != nil {
+				errs <- err
+				return
+			}
+			if !bytes.Equal(got, data) {
+				errs <- fmt.Errorf("rank %d: roundtrip mismatch", r)
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	after := core.ReadStats()
+	var perFile core.Stats
+	for _, f := range files {
+		st := f.Stats()
+		perFile.Requests += st.Requests
+		perFile.BytesTransferred += st.BytesTransferred
+		perFile.BytesUseful += st.BytesUseful
+	}
+	delta := core.Stats{
+		Requests:         after.Requests - before.Requests,
+		BytesTransferred: after.BytesTransferred - before.BytesTransferred,
+		BytesUseful:      after.BytesUseful - before.BytesUseful,
+	}
+	if perFile != delta {
+		t.Fatalf("per-file sum %+v != process-wide delta %+v", perFile, delta)
+	}
+	if perFile.BytesUseful != np*2*size {
+		t.Fatalf("useful bytes = %d, want %d", perFile.BytesUseful, np*2*size)
+	}
+}
+
+// TestParallelStaggerLaunchOrder pins MaxInflight to 1 so the launch
+// loop is fully deterministic: with Stagger, the per-server spans of a
+// traced access must appear in rotation order starting at rank mod S.
+func TestParallelStaggerLaunchOrder(t *testing.T) {
+	const servers = 4
+	c := startCluster(t, servers)
+	ctx := ctxT(t)
+	names := c.ServerNames()
+
+	for rank := 0; rank < servers; rank++ {
+		fs := newFS(t, c, rank, core.Options{
+			Combine: true, Stagger: true,
+			ParallelDispatch: true, MaxInflight: 1,
+		})
+		log := fs.EnableTracing(4)
+		f, err := fs.Create(fmt.Sprintf("/stag-%d.bin", rank), 1, []int64{8 * 4096},
+			core.Hint{Level: stripe.LevelLinear, BrickBytes: 4096, Placement: stripe.RoundRobin{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.WriteAt(ctx, pattern(8*4096), 0); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+
+		tr := log.Last()
+		if tr == nil {
+			t.Fatal("no trace recorded")
+		}
+		kids := tr.Root.Children()
+		if len(kids) != servers {
+			t.Fatalf("rank %d: got %d server.rpc spans, want %d", rank, len(kids), servers)
+		}
+		for i, sp := range kids {
+			want := names[(rank+i)%servers]
+			if sp.Server != want {
+				t.Fatalf("rank %d: launch %d hit %s, want %s", rank, i, sp.Server, want)
+			}
+		}
+	}
+}
+
+// TestParallelSequentialByteIdentical is the equivalence quickcheck:
+// for random sections of a 2-D file, writes dispatched in parallel and
+// reads dispatched sequentially (and vice versa) must observe exactly
+// the same bytes as an in-memory reference array.
+func TestParallelSequentialByteIdentical(t *testing.T) {
+	const n = 64
+	c := startCluster(t, 4)
+	ctx := ctxT(t)
+	seqFS := newFS(t, c, 0, core.Options{Combine: true, Stagger: true})
+	parFS := newFS(t, c, 1, core.Options{Combine: true, Stagger: true, ParallelDispatch: true})
+
+	mk := newFS(t, c, 2, core.Options{Combine: true})
+	f0, err := mk.Create("/equiv", 4, []int64{n, n}, core.Hint{Level: stripe.LevelMultidim, Tile: []int64{8, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f0.Close()
+	seqF, err := seqFS.Open("/equiv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seqF.Close()
+	parF, err := parFS.Open("/equiv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer parF.Close()
+
+	ref := make([]byte, n*n*4)
+	rng := rand.New(rand.NewSource(42))
+	randSection := func() stripe.Section {
+		r0 := rng.Int63n(n)
+		c0 := rng.Int63n(n)
+		return stripe.Section{
+			Start: []int64{r0, c0},
+			Count: []int64{1 + rng.Int63n(n-r0), 1 + rng.Int63n(n-c0)},
+		}
+	}
+	extract := func(sec stripe.Section) []byte {
+		out := make([]byte, sec.Bytes(4))
+		pos := 0
+		for r := sec.Start[0]; r < sec.Start[0]+sec.Count[0]; r++ {
+			off := (r*n + sec.Start[1]) * 4
+			rowLen := int(sec.Count[1] * 4)
+			copy(out[pos:pos+rowLen], ref[off:])
+			pos += rowLen
+		}
+		return out
+	}
+	embed := func(sec stripe.Section, data []byte) {
+		pos := 0
+		for r := sec.Start[0]; r < sec.Start[0]+sec.Count[0]; r++ {
+			off := (r*n + sec.Start[1]) * 4
+			rowLen := int(sec.Count[1] * 4)
+			copy(ref[off:], data[pos:pos+rowLen])
+			pos += rowLen
+		}
+	}
+
+	for iter := 0; iter < 25; iter++ {
+		wsec := randSection()
+		data := make([]byte, wsec.Bytes(4))
+		rng.Read(data)
+		writer, reader := parF, seqF
+		if iter%2 == 1 {
+			writer, reader = seqF, parF
+		}
+		if err := writer.WriteSection(ctx, wsec, data); err != nil {
+			t.Fatal(err)
+		}
+		embed(wsec, data)
+
+		rsec := randSection()
+		got := make([]byte, rsec.Bytes(4))
+		if err := reader.ReadSection(ctx, rsec, got); err != nil {
+			t.Fatal(err)
+		}
+		if want := extract(rsec); !bytes.Equal(got, want) {
+			t.Fatalf("iter %d: section %v read mismatch (wrote %v via parallel=%v)",
+				iter, rsec, wsec, iter%2 == 0)
+		}
+	}
+}
+
+// TestParallelDispatchCancellation: a cancelled context must fail the
+// access with a context error, and the engine must stay usable for the
+// next call.
+func TestParallelDispatchCancellation(t *testing.T) {
+	c := startCluster(t, 4)
+	fs := newFS(t, c, 0, core.Options{Combine: true, ParallelDispatch: true})
+
+	f, err := fs.Create("/cancel.bin", 1, []int64{8 * 4096},
+		core.Hint{Level: stripe.LevelLinear, BrickBytes: 4096, Placement: stripe.RoundRobin{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := f.WriteAt(dead, pattern(8*4096), 0); err == nil {
+		t.Fatal("write with cancelled context succeeded")
+	}
+
+	ctx := ctxT(t)
+	data := pattern(8 * 4096)
+	if err := f.WriteAt(ctx, data, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := f.ReadAt(ctx, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("roundtrip after cancellation mismatch")
+	}
+}
+
+// TestParallelDispatchFirstError: when every server is gone, a parallel
+// access must report an error (the first one observed) rather than
+// succeed or hang.
+func TestParallelDispatchFirstError(t *testing.T) {
+	c := startCluster(t, 4)
+	ctx := ctxT(t)
+	fs := newFS(t, c, 0, core.Options{Combine: true, ParallelDispatch: true})
+
+	f, err := fs.Create("/err.bin", 1, []int64{8 * 4096},
+		core.Hint{Level: stripe.LevelLinear, BrickBytes: 4096, Placement: stripe.RoundRobin{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.WriteAt(ctx, pattern(8*4096), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	c.Close() // servers down: every in-flight exchange now fails
+	if err := f.ReadAt(ctx, make([]byte, 8*4096), 0); err == nil {
+		t.Fatal("read against closed cluster succeeded")
+	}
+}

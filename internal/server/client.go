@@ -15,42 +15,79 @@ import (
 // requests each use their own TCP connection (mirroring the paper's
 // server spawning a handler per request); idle connections are reused.
 type Client struct {
-	addr string
+	addr    string
+	maxIdle int
 
 	mu     sync.Mutex
 	idle   []net.Conn
 	closed bool
 }
 
-// maxIdleConns bounds pooled connections per server.
-const maxIdleConns = 16
+// DefaultMaxIdleConns is the idle-connection bound used when
+// ClientConfig does not specify one.
+const DefaultMaxIdleConns = 16
 
-// NewClient creates a lazy client for the server at addr; no connection
-// is made until the first request.
-func NewClient(addr string) *Client { return &Client{addr: addr} }
+// ClientConfig tunes a Client.
+type ClientConfig struct {
+	// MaxIdleConns bounds pooled idle connections per server (default
+	// DefaultMaxIdleConns). Raise it to at least the expected dispatch
+	// fan-out so a concurrent burst does not thrash dials when the
+	// burst's connections come back to the pool.
+	MaxIdleConns int
+}
+
+// NewClient creates a lazy client for the server at addr with default
+// configuration; no connection is made until the first request.
+func NewClient(addr string) *Client { return NewClientWith(addr, ClientConfig{}) }
+
+// NewClientWith creates a lazy client with explicit configuration.
+func NewClientWith(addr string, cfg ClientConfig) *Client {
+	if cfg.MaxIdleConns <= 0 {
+		cfg.MaxIdleConns = DefaultMaxIdleConns
+	}
+	return &Client{addr: addr, maxIdle: cfg.MaxIdleConns}
+}
 
 // Addr returns the server address the client targets.
 func (c *Client) Addr() string { return c.addr }
 
 // Do performs one request/response exchange.
 func (c *Client) Do(ctx context.Context, req *wire.Request) (*wire.Response, error) {
+	return c.do(ctx, req, nil)
+}
+
+// DoScratch is Do with a caller-supplied response-body buffer: when
+// scratch is large enough (expected data + wire.RespOverhead) the
+// response's Data aliases it instead of a fresh allocation, so the
+// caller must consume Data before reusing scratch. This is the
+// allocation-free read path; see wire.ReadResponseInto.
+func (c *Client) DoScratch(ctx context.Context, req *wire.Request, scratch []byte) (*wire.Response, error) {
+	return c.do(ctx, req, scratch)
+}
+
+func (c *Client) do(ctx context.Context, req *wire.Request, scratch []byte) (*wire.Response, error) {
 	conn, err := c.get(ctx)
 	if err != nil {
 		return nil, err
 	}
-	if d, ok := ctx.Deadline(); ok {
-		_ = conn.SetDeadline(d)
-	} else {
-		_ = conn.SetDeadline(time.Time{})
+	deadline, hasDeadline := ctx.Deadline()
+	if hasDeadline {
+		_ = conn.SetDeadline(deadline)
 	}
 	if err := wire.WriteRequest(conn, req); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("dpfs server %s: send: %w", c.addr, err)
 	}
-	resp, err := wire.ReadResponse(conn)
+	resp, err := wire.ReadResponseInto(conn, scratch)
 	if err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("dpfs server %s: receive: %w", c.addr, err)
+	}
+	// Clear the deadline before pooling so an idle connection never
+	// sits armed with an expired deadline (conns only carry a deadline
+	// while a request with one is in flight).
+	if hasDeadline {
+		_ = conn.SetDeadline(time.Time{})
 	}
 	c.put(conn)
 	if resp.Err != "" {
@@ -89,7 +126,7 @@ func (c *Client) get(ctx context.Context) (net.Conn, error) {
 func (c *Client) put(conn net.Conn) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.closed || len(c.idle) >= maxIdleConns {
+	if c.closed || len(c.idle) >= c.maxIdle {
 		conn.Close()
 		return
 	}

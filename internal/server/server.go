@@ -195,10 +195,39 @@ func (s *Server) handleConn(conn net.Conn) {
 			return // disconnect or framing error
 		}
 		resp := s.dispatch(req)
-		if err := wire.WriteResponse(conn, resp); err != nil {
+		err = wire.WriteResponse(conn, resp)
+		if req.Op == wire.OpRead && resp.Data != nil {
+			// Read responses carry a pooled buffer; it is ours again
+			// once the frame is flushed (or failed).
+			putReadBuf(resp.Data)
+		}
+		if err != nil {
 			return
 		}
 	}
+}
+
+// readBufPool recycles read-path extent buffers across requests:
+// opRead draws from it and handleConn returns the buffer after the
+// response frame is flushed, so steady-state reads allocate nothing
+// per request.
+var readBufPool sync.Pool
+
+func getReadBuf(n int64) []byte {
+	if p, ok := readBufPool.Get().(*[]byte); ok {
+		if int64(cap(*p)) >= n {
+			return (*p)[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+func putReadBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	readBufPool.Put(&b)
 }
 
 func (s *Server) dispatch(req *wire.Request) *wire.Response {
@@ -307,11 +336,15 @@ func (s *Server) opRead(req *wire.Request) (*wire.Response, error) {
 			// Reading a never-written subfile returns zeros, matching
 			// hole semantics (client-side geometry guarantees the
 			// extents are within the file's logical size).
-			return &wire.Response{Data: make([]byte, total), N: total}, nil
+			zeros := getReadBuf(total)
+			for i := range zeros {
+				zeros[i] = 0
+			}
+			return &wire.Response{Data: zeros, N: total}, nil
 		}
 		return nil, err
 	}
-	buf := make([]byte, total)
+	buf := getReadBuf(total)
 	pos := int64(0)
 	ioStart := time.Now()
 	for _, e := range req.Extents {

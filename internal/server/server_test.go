@@ -289,3 +289,96 @@ func TestConnectionPoolReuse(t *testing.T) {
 		t.Errorf("sequential pings left %d idle conns, want 1 (reuse)", idle)
 	}
 }
+
+func TestClientConfigMaxIdleConns(t *testing.T) {
+	srv, _ := startServer(t, nil)
+	cli := NewClientWith(srv.Addr(), ClientConfig{MaxIdleConns: 2})
+	defer cli.Close()
+	ctx := ctxT(t)
+
+	// Burst of concurrent requests, then check the pool respects the
+	// configured bound.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := cli.Ping(ctx); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	cli.mu.Lock()
+	idle := len(cli.idle)
+	cli.mu.Unlock()
+	if idle > 2 {
+		t.Errorf("pool holds %d idle conns, configured max 2", idle)
+	}
+
+	if def := NewClient(srv.Addr()); def.maxIdle != DefaultMaxIdleConns {
+		t.Errorf("NewClient maxIdle = %d, want %d", def.maxIdle, DefaultMaxIdleConns)
+	}
+}
+
+// A pooled connection must not keep the previous request's deadline:
+// after a deadline-bearing request completes and its deadline passes, a
+// later deadline-free request reusing the conn must still succeed.
+func TestPooledConnDeadlineCleared(t *testing.T) {
+	_, cli := startServer(t, nil)
+	dctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	if err := cli.Ping(dctx); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	time.Sleep(400 * time.Millisecond) // let the old deadline expire
+	cli.mu.Lock()
+	pooled := len(cli.idle)
+	cli.mu.Unlock()
+	if pooled != 1 {
+		t.Fatalf("expected the conn back in the pool, have %d", pooled)
+	}
+	if err := cli.Ping(context.Background()); err != nil {
+		t.Fatalf("reused conn failed after old deadline expired: %v", err)
+	}
+}
+
+// Read responses draw their buffers from a pool; back-to-back reads
+// must stay byte-correct (no stale pooled bytes leaking through) even
+// when sizes shrink between requests.
+func TestReadBufferPoolCorrectness(t *testing.T) {
+	_, cli := startServer(t, nil)
+	ctx := ctxT(t)
+	big := bytes.Repeat([]byte{0xAB}, 8192)
+	if _, err := cli.Do(ctx, &wire.Request{Op: wire.OpWrite, Path: "f",
+		Extents: []wire.Extent{{Off: 0, Len: 8192}}, Data: big}); err != nil {
+		t.Fatal(err)
+	}
+	// Large read primes the pool with a dirty buffer.
+	if _, err := cli.Do(ctx, &wire.Request{Op: wire.OpRead, Path: "f",
+		Extents: []wire.Extent{{Off: 0, Len: 8192}}}); err != nil {
+		t.Fatal(err)
+	}
+	// Smaller read past EOF must come back zero-filled, not 0xAB.
+	resp, err := cli.Do(ctx, &wire.Request{Op: wire.OpRead, Path: "f",
+		Extents: []wire.Extent{{Off: 8192, Len: 100}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range resp.Data {
+		if b != 0 {
+			t.Fatalf("EOF read byte %d = %#x, want 0 (stale pooled data)", i, b)
+		}
+	}
+	// Missing subfile read is all zeros too.
+	resp, err = cli.Do(ctx, &wire.Request{Op: wire.OpRead, Path: "nope",
+		Extents: []wire.Extent{{Off: 0, Len: 4096}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range resp.Data {
+		if b != 0 {
+			t.Fatalf("missing-subfile read byte %d = %#x, want 0", i, b)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 )
 
 // Op enumerates the server operations.
@@ -79,6 +80,26 @@ type Request struct {
 	// OpWrite; its length must equal the sum of extent lengths. For
 	// OpTruncate, Extents[0].Len holds the new size.
 	Data []byte
+	// Segments, when non-nil, carries the OpWrite payload as a
+	// scatter list instead of Data: WriteRequest flushes the pieces
+	// with vectored I/O (net.Buffers / writev) so the sender never
+	// packs them into one intermediate buffer. The concatenation of
+	// the segments must equal the sum of extent lengths. Senders set
+	// exactly one of Data and Segments; receivers always see Data.
+	Segments [][]byte
+}
+
+// PayloadLen returns the number of payload bytes the request carries
+// (len(Data), or the total of Segments when the scatter form is used).
+func (req *Request) PayloadLen() int {
+	if req.Segments != nil {
+		n := 0
+		for _, s := range req.Segments {
+			n += len(s)
+		}
+		return n
+	}
+	return len(req.Data)
 }
 
 // Response is one server→client message.
@@ -102,6 +123,12 @@ const (
 // to avoid unbounded allocations from corrupt peers.
 const MaxMessage = 1 << 30
 
+// RespOverhead is the fixed framing overhead of a successful response
+// body beyond its extent data (error length + scalar + data length).
+// Callers of ReadResponseInto add it to the expected data size when
+// sizing a scratch buffer.
+const RespOverhead = 2 + 8 + 4
+
 // DataBytes sums the extent lengths.
 func DataBytes(exts []Extent) int64 {
 	var n int64
@@ -111,10 +138,14 @@ func DataBytes(exts []Extent) int64 {
 	return n
 }
 
-// WriteRequest frames and sends a request.
+// WriteRequest frames and sends a request. The framing meta data is
+// packed into one buffer; the payload — Data or the scatter Segments —
+// is flushed behind it with vectored I/O, so scatter payloads reach the
+// socket without an intermediate packing copy.
 func WriteRequest(w io.Writer, req *Request) error {
-	n := 2 + len(req.Path) + 4 + 16*len(req.Extents) + 4 + len(req.Data)
-	buf := make([]byte, headerLen, headerLen+n)
+	dlen := req.PayloadLen()
+	n := 2 + len(req.Path) + 4 + 16*len(req.Extents) + 4 + dlen
+	buf := make([]byte, headerLen, headerLen+n-dlen)
 	buf[0] = magic
 	buf[1] = version
 	buf[2] = byte(req.Op)
@@ -135,8 +166,19 @@ func WriteRequest(w io.Writer, req *Request) error {
 		binary.LittleEndian.PutUint64(tmp[8:16], uint64(e.Len))
 		buf = append(buf, tmp[:16]...)
 	}
-	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(req.Data)))
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(dlen))
 	buf = append(buf, tmp[:4]...)
+	if req.Segments != nil {
+		bufs := make(net.Buffers, 0, 1+len(req.Segments))
+		bufs = append(bufs, buf)
+		for _, s := range req.Segments {
+			if len(s) > 0 {
+				bufs = append(bufs, s)
+			}
+		}
+		_, err := bufs.WriteTo(w)
+		return err
+	}
 	if _, err := w.Write(buf); err != nil {
 		return err
 	}
@@ -252,6 +294,16 @@ func WriteResponse(w io.Writer, resp *Response) error {
 
 // ReadResponse reads one framed response.
 func ReadResponse(r io.Reader) (*Response, error) {
+	return ReadResponseInto(r, nil)
+}
+
+// ReadResponseInto reads one framed response, using scratch as the
+// body buffer when its capacity suffices (the returned Response's Data
+// then aliases scratch, so the caller must consume it before reusing
+// the buffer). A nil or short scratch falls back to allocating; the
+// response body carries a small fixed overhead beyond the extent data,
+// so callers should size scratch with RespOverhead slack.
+func ReadResponseInto(r io.Reader, scratch []byte) (*Response, error) {
 	var hdr [headerLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
@@ -263,7 +315,12 @@ func ReadResponse(r io.Reader) (*Response, error) {
 	if n > MaxMessage {
 		return nil, fmt.Errorf("wire: response of %d bytes exceeds limit", n)
 	}
-	body := make([]byte, n)
+	var body []byte
+	if uint64(cap(scratch)) >= uint64(n) {
+		body = scratch[:n]
+	} else {
+		body = make([]byte, n)
+	}
 	if _, err := io.ReadFull(r, body); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,17 @@
+#!/bin/sh
+# bench_smoke.sh — quick dispatch-path regression gate.
+#
+# Runs the dispatch benchmark once (sequential vs parallel per-server
+# dispatch on the class-1 shaped cluster) and records the full ablation
+# table — bandwidth plus p50/p95/p99 request latency per variant — in
+# BENCH_dispatch.json at the repo root. Wired into `make check`; run it
+# alone after touching the client engine's dispatch or wire paths.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== bench smoke: go test -bench=Dispatch -benchtime=1x =="
+go test -run='^$' -bench=Dispatch -benchtime=1x .
+
+echo "== bench smoke: writing BENCH_dispatch.json =="
+go run ./cmd/dpfs-bench -ablation parallel -json > BENCH_dispatch.json
+cat BENCH_dispatch.json

@@ -3,6 +3,7 @@
 #   1. tier-1: go build ./... && go test ./...
 #   2. go vet ./...
 #   3. race-enabled test suite
+#   4. dispatch bench smoke (scripts/bench_smoke.sh -> BENCH_dispatch.json)
 # Run from the repo root (or anywhere inside it).
 set -eu
 cd "$(dirname "$0")/.."
@@ -15,4 +16,5 @@ echo "== go vet ./... =="
 go vet ./...
 echo "== go test -race ./... =="
 go test -race ./...
+sh scripts/bench_smoke.sh
 echo "== all checks passed =="
