@@ -1,4 +1,4 @@
-.PHONY: build test check bench
+.PHONY: build test check bench chaos
 
 build:
 	go build ./...
@@ -13,3 +13,9 @@ check:
 
 bench:
 	go run ./cmd/dpfs-bench
+
+# Extended chaos run: the full seeded fault-injection suite plus a
+# 25-seed sweep of the cluster workload, all under the race detector.
+chaos:
+	go test -race -count=1 -run Chaos -v .
+	DPFS_CHAOS_SWEEP=25 go test -race -count=1 -run Chaos -v ./internal/fault

@@ -16,8 +16,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"dpfs/internal/bench"
+	"dpfs/internal/fault"
+	"dpfs/internal/server"
 )
 
 // jsonRow is one measurement in -json output (BENCH_dispatch.json and
@@ -46,6 +49,8 @@ func main() {
 	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	jsonOut := flag.Bool("json", false, "emit a JSON array instead of aligned text")
 	parallel := flag.Bool("parallel", false, "dispatch each access's per-server requests concurrently")
+	faultSpec := flag.String("fault-spec", "", "fault schedule for measured traffic, e.g. 'drop:prob=0.02;delay:prob=0.05,ms=2' (see internal/fault)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for probabilistic fault rules (deterministic per seed)")
 	flag.Parse()
 
 	scratch := *dir
@@ -58,6 +63,16 @@ func main() {
 		defer os.RemoveAll(scratch)
 	}
 	cfg := bench.Config{N: *n, Tile: *tile, Dir: scratch, Reps: *reps, Parallel: *parallel}
+	if *faultSpec != "" {
+		inj, err := fault.Parse(*faultSpec, *faultSeed)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Fault = inj
+		// A fault run needs headroom to retry through its own schedule.
+		cfg.Retry = server.RetryPolicy{MaxRetries: 8,
+			BackoffBase: time.Millisecond, BackoffMax: 50 * time.Millisecond}
+	}
 	ctxAbl := context.Background()
 
 	var rows []jsonRow

@@ -16,10 +16,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"syscall"
 
+	"dpfs/internal/fault"
 	"dpfs/internal/meta"
 	"dpfs/internal/metadb/mdbnet"
 	"dpfs/internal/netsim"
@@ -36,6 +38,8 @@ func main() {
 	capacity := flag.Int64("capacity", 1<<30, "advertised capacity in bytes")
 	advertise := flag.String("advertise", "", "address to advertise in the catalog (default: the listen address)")
 	debugAddr := flag.String("debug-addr", "", "HTTP address for /metrics, /healthz and /debug/vars (default: disabled)")
+	faultSpec := flag.String("fault-spec", "", "inject faults on accepted connections, e.g. 'drop:prob=0.01;delay:prob=0.05,ms=2' (see internal/fault)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for probabilistic fault rules (deterministic per seed)")
 	flag.Parse()
 
 	if *root == "" {
@@ -53,7 +57,23 @@ func main() {
 		perf = netsim.NormalizedPerf([]netsim.Params{netsim.Class1(), params}, 512<<10)[1]
 	}
 
-	srv, err := server.Listen(server.Config{Root: *root, Model: model, Name: *name}, *addr)
+	lisAddr := *addr
+	if lisAddr == "" {
+		lisAddr = "127.0.0.1:0"
+	}
+	lis, err := net.Listen("tcp", lisAddr)
+	if err != nil {
+		fatal(err)
+	}
+	if *faultSpec != "" {
+		inj, err := fault.Parse(*faultSpec, *faultSeed)
+		if err != nil {
+			fatal(err)
+		}
+		lis = inj.Listener(lis, *name)
+		fmt.Printf("dpfs-server: injecting faults %q (seed %d)\n", *faultSpec, *faultSeed)
+	}
+	srv, err := server.New(server.Config{Root: *root, Model: model, Name: *name}, lis)
 	if err != nil {
 		fatal(err)
 	}

@@ -23,8 +23,10 @@ import (
 
 	"dpfs/internal/cluster"
 	"dpfs/internal/core"
+	"dpfs/internal/fault"
 	"dpfs/internal/netsim"
 	"dpfs/internal/obs"
+	"dpfs/internal/server"
 	"dpfs/internal/stripe"
 )
 
@@ -44,12 +46,24 @@ type Config struct {
 	// concurrently (core.Options.ParallelDispatch) instead of the
 	// paper's sequential sweep.
 	Parallel bool
+	// Fault, when non-nil, injects the configured fault schedule into
+	// every measured engine's server connections (setup/fill traffic
+	// stays fault-free). Pair it with a Retry policy that can absorb
+	// the schedule, or measurements will error out.
+	Fault *fault.Injector
+	// Retry tunes the measured engines' per-RPC timeout/retry/breaker
+	// behavior; the zero value uses the server package defaults.
+	Retry server.RetryPolicy
 }
 
-// withDispatch applies the configured dispatch mode to a measurement's
-// engine options.
+// withDispatch applies the configured dispatch mode (and any fault
+// schedule) to a measurement's engine options.
 func (c Config) withDispatch(opts core.Options) core.Options {
 	opts.ParallelDispatch = c.Parallel
+	opts.Retry = c.Retry
+	if c.Fault != nil {
+		opts.Dial = c.Fault.DialContext
+	}
 	return opts
 }
 

@@ -55,6 +55,13 @@ type Options struct {
 	MaxInflight int
 	// Owner names the creating user in DPFS-FILE-ATTR.
 	Owner string
+	// Dial overrides how I/O-server connections are established (fault
+	// injection, alternate transports). Nil uses plain TCP.
+	Dial server.DialFunc
+	// Retry tunes per-RPC timeouts, the retry/backoff ladder and the
+	// per-server breaker of every I/O client this engine creates. The
+	// zero value applies the server package defaults.
+	Retry server.RetryPolicy
 }
 
 // Client-engine metric names (in the engine's obs.Registry). Latency
@@ -196,7 +203,12 @@ func (fs *FS) client(name string) (*server.Client, error) {
 	if n := fs.opts.MaxInflight; n > idle {
 		idle = n
 	}
-	c := server.NewClientWith(addr, server.ClientConfig{MaxIdleConns: idle})
+	c := server.NewClientWith(addr, server.ClientConfig{
+		MaxIdleConns: idle,
+		Dial:         fs.opts.Dial,
+		Retry:        fs.opts.Retry,
+		Metrics:      fs.reg,
+	})
 	fs.clients[name] = c
 	return c, nil
 }

@@ -1,0 +1,371 @@
+// Chaos tests: the full client/server stack runs under a seeded fault
+// schedule — connection drops, latency spikes, torn frames — and must
+// produce byte-identical results to a fault-free run. This is the
+// harness the paper's setting demands: DPFS aggregates idle
+// workstation storage, where flaky links are the common case, and the
+// client's retry/eviction machinery has to make that invisible.
+package fault_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"dpfs/internal/cluster"
+	"dpfs/internal/collective"
+	"dpfs/internal/core"
+	"dpfs/internal/fault"
+	"dpfs/internal/obs"
+	"dpfs/internal/server"
+	"dpfs/internal/stripe"
+)
+
+const (
+	chaosN    = 256 // array edge (bytes; elemSize 1)
+	chaosTile = 64  // multidim tile edge -> 16 bricks
+)
+
+// chaosRetry absorbs the storm: with drop prob 0.02 and 8 retries the
+// chance of one request exhausting its budget is ~2e-14.
+func chaosRetry() server.RetryPolicy {
+	return server.RetryPolicy{
+		MaxRetries:     8,
+		RequestTimeout: 5 * time.Second,
+		BackoffBase:    time.Millisecond,
+		BackoffMax:     10 * time.Millisecond,
+	}
+}
+
+// chaosRules is the standard storm: probabilistic drops and latency
+// spikes everywhere, plus deterministic nth-op faults that guarantee
+// the schedule fires (and with it, client retries) on every run. The
+// nth values must exceed the conn ops of any single exchange (a
+// combined request is a handful of vectored writes plus the response
+// reads): a retry runs on a fresh conn whose op counter restarts, so
+// an nth within one exchange's span would re-fire identically on
+// every attempt and no retry budget could ever escape it.
+func chaosRules() []fault.Rule {
+	return []fault.Rule{
+		{Kind: fault.KindPartial, Nth: 17},
+		{Kind: fault.KindDrop, Nth: 29},
+		{Kind: fault.KindDrop, Prob: 0.02},
+		{Kind: fault.KindDelay, Prob: 0.05, Delay: 2 * time.Millisecond},
+	}
+}
+
+// startChaosCluster launches io unshaped servers and registers their
+// catalog names with the injector, so per-server rules can match.
+func startChaosCluster(t *testing.T, io int, inj *fault.Injector) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.Start(cluster.Config{Servers: cluster.Uniform(io), Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	for i, srv := range c.IOServers {
+		inj.SetLabel(srv.Addr(), c.Specs[i].Name)
+	}
+	return c
+}
+
+// colSection is rank r's (*, BLOCK) slice of the chaosN x chaosN array.
+func colSection(np, rank int) stripe.Section {
+	w := int64(chaosN) / int64(np)
+	return stripe.NewSection([]int64{0, int64(rank) * w}, []int64{chaosN, w})
+}
+
+// rankBytes is the deterministic payload rank r contributes.
+func rankBytes(rank, n int) []byte {
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = byte(rank*31 + i)
+	}
+	return buf
+}
+
+// runChaosWorkload writes the array under faults (np ranks, column
+// sections, concurrently), reads it back under the same fault schedule,
+// and asserts both phases are byte-identical to the fault-free truth.
+// It returns the engines' shared registry for counter assertions.
+func runChaosWorkload(t *testing.T, c *cluster.Cluster, inj *fault.Injector, np int, parallel bool) *obs.Registry {
+	t.Helper()
+	ctx := context.Background()
+	reg := obs.NewRegistry()
+	opts := core.Options{
+		Combine: true, Stagger: true, ParallelDispatch: parallel,
+		Dial: inj.DialContext, Retry: chaosRetry(),
+	}
+
+	path := fmt.Sprintf("/chaos-%v.dat", parallel)
+	fs0, err := c.NewFS(0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs0.SetMetrics(reg)
+	f0, err := fs0.Create(path, 1, []int64{chaosN, chaosN}, core.Hint{
+		Level: stripe.LevelMultidim, Tile: []int64{chaosTile, chaosTile},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f0.Close()
+	fs0.Close()
+
+	// Faulty write phase: every rank through its own engine, at once,
+	// in row chunks. Chunking keeps each rank's pooled connection busy
+	// across many exchanges, so its op counter walks through the
+	// deterministic nth-fault schedule.
+	const chunks = 8
+	chunkRows := int64(chaosN) / chunks
+	var wg sync.WaitGroup
+	errs := make(chan error, np)
+	for p := 0; p < np; p++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			fs, err := c.NewFS(rank, opts)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer fs.Close()
+			fs.SetMetrics(reg)
+			f, err := fs.Open(path)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer f.Close()
+			sec := colSection(np, rank)
+			data := rankBytes(rank, int(sec.Bytes(1)))
+			rowBytes := sec.Count[1]
+			for i := int64(0); i < chunks; i++ {
+				sub := stripe.NewSection(
+					[]int64{i * chunkRows, sec.Start[1]},
+					[]int64{chunkRows, sec.Count[1]})
+				chunk := data[i*chunkRows*rowBytes : (i+1)*chunkRows*rowBytes]
+				if err := f.WriteSection(ctx, sub, chunk); err != nil {
+					errs <- fmt.Errorf("rank %d write chunk %d: %w", rank, i, err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Faulty read phase: fresh engines, same schedule still running,
+	// chunked the same way.
+	for p := 0; p < np; p++ {
+		fs, err := c.NewFS(p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs.SetMetrics(reg)
+		f, err := fs.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sec := colSection(np, p)
+		want := rankBytes(p, int(sec.Bytes(1)))
+		rowBytes := sec.Count[1]
+		for i := int64(0); i < chunks; i++ {
+			sub := stripe.NewSection(
+				[]int64{i * chunkRows, sec.Start[1]},
+				[]int64{chunkRows, sec.Count[1]})
+			got := make([]byte, chunkRows*rowBytes)
+			if err := f.ReadSection(ctx, sub, got); err != nil {
+				t.Fatalf("rank %d faulty read chunk %d: %v", p, i, err)
+			}
+			if !bytes.Equal(got, want[i*chunkRows*rowBytes:(i+1)*chunkRows*rowBytes]) {
+				t.Fatalf("rank %d chunk %d: faulty read diverges from fault-free truth", p, i)
+			}
+		}
+		f.Close()
+		fs.Close()
+	}
+
+	// Fault-free read pass: what landed on the servers must match too
+	// (no torn frame half-applied, no retry double-applied).
+	cleanFS, err := c.NewFS(0, core.Options{Combine: true, Stagger: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanFS.Close()
+	f, err := cleanFS.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for p := 0; p < np; p++ {
+		sec := colSection(np, p)
+		got := make([]byte, sec.Bytes(1))
+		if err := f.ReadSection(ctx, sec, got); err != nil {
+			t.Fatal(err)
+		}
+		if want := rankBytes(p, len(got)); !bytes.Equal(got, want) {
+			t.Fatalf("rank %d: stored bytes diverge from fault-free truth", p)
+		}
+	}
+	return reg
+}
+
+// TestChaosSequential runs the storm against the paper's sequential
+// per-server dispatch.
+func TestChaosSequential(t *testing.T) {
+	inj := fault.New(1, chaosRules()...)
+	c := startChaosCluster(t, 4, inj)
+	reg := runChaosWorkload(t, c, inj, 4, false)
+	if inj.Total() == 0 {
+		t.Fatal("the fault schedule never fired")
+	}
+	if got := reg.Counter(server.MetricClientRetries).Value(); got == 0 {
+		t.Fatal("client_retries = 0, want > 0 under the storm")
+	}
+	if got := reg.Counter(server.MetricConnEvictions).Value(); got == 0 {
+		t.Fatal("conn_evictions = 0, want > 0 (drops poison pooled conns)")
+	}
+	t.Logf("faults injected: %v; retries=%d evictions=%d", inj.Counts(),
+		reg.Counter(server.MetricClientRetries).Value(),
+		reg.Counter(server.MetricConnEvictions).Value())
+}
+
+// TestChaosParallelDispatch runs the same storm with each access's
+// per-server exchanges in flight concurrently.
+func TestChaosParallelDispatch(t *testing.T) {
+	inj := fault.New(2, chaosRules()...)
+	c := startChaosCluster(t, 4, inj)
+	reg := runChaosWorkload(t, c, inj, 4, true)
+	if inj.Total() == 0 {
+		t.Fatal("the fault schedule never fired")
+	}
+	if got := reg.Counter(server.MetricClientRetries).Value(); got == 0 {
+		t.Fatal("client_retries = 0, want > 0 under the storm")
+	}
+}
+
+// TestChaosPerServerRule confines the storm to one server by catalog
+// name and asserts the label routing held: only conns to that server
+// see faults.
+func TestChaosPerServerRule(t *testing.T) {
+	inj := fault.New(3,
+		fault.Rule{Kind: fault.KindDrop, Nth: 19, Label: "io1"},
+		fault.Rule{Kind: fault.KindDelay, Prob: 0.2, Delay: time.Millisecond, Label: "io1"},
+	)
+	c := startChaosCluster(t, 4, inj)
+	reg := runChaosWorkload(t, c, inj, 4, false)
+	if inj.Total() == 0 {
+		t.Fatal("the per-server schedule never fired")
+	}
+	if got := reg.Counter(server.MetricClientRetries).Value(); got == 0 {
+		t.Fatal("client_retries = 0, want > 0 (io1 drops every 7th op)")
+	}
+}
+
+// TestChaosCollective drives the two-phase collective I/O path (one
+// aggregator per server region, ranks exchange through shared memory)
+// through the same storm.
+func TestChaosCollective(t *testing.T) {
+	const np = 4
+	inj := fault.New(4, chaosRules()...)
+	c := startChaosCluster(t, 4, inj)
+	ctx := context.Background()
+	opts := core.Options{
+		Combine: true, Stagger: true,
+		Dial: inj.DialContext, Retry: chaosRetry(),
+	}
+
+	fs0, err := c.NewFS(0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f0, err := fs0.Create("/chaos-coll.dat", 1, []int64{chaosN, chaosN}, core.Hint{
+		Level: stripe.LevelMultidim, Tile: []int64{chaosTile, chaosTile},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f0.Close()
+	fs0.Close()
+
+	g, err := collective.NewGroup(np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(write bool) {
+		var wg sync.WaitGroup
+		errs := make(chan error, np)
+		for p := 0; p < np; p++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				fs, err := c.NewFS(rank, opts)
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer fs.Close()
+				f, err := fs.Open("/chaos-coll.dat")
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer f.Close()
+				sec := colSection(np, rank)
+				if write {
+					err = g.WriteAll(ctx, rank, f, sec, rankBytes(rank, int(sec.Bytes(1))))
+				} else {
+					got := make([]byte, sec.Bytes(1))
+					if err = g.ReadAll(ctx, rank, f, sec, got); err == nil {
+						if want := rankBytes(rank, len(got)); !bytes.Equal(got, want) {
+							err = fmt.Errorf("rank %d: collective read diverges", rank)
+						}
+					}
+				}
+				if err != nil {
+					errs <- fmt.Errorf("rank %d: %w", rank, err)
+				}
+			}(p)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+	}
+	run(true)
+	run(false)
+	if inj.Total() == 0 {
+		t.Fatal("the fault schedule never fired")
+	}
+}
+
+// TestChaosSweep re-runs the sequential workload across many seeds.
+// Gated on DPFS_CHAOS_SWEEP (a seed count) because each seed is a full
+// cluster launch; `make chaos` runs it at 25.
+func TestChaosSweep(t *testing.T) {
+	nStr := os.Getenv("DPFS_CHAOS_SWEEP")
+	if nStr == "" {
+		t.Skip("set DPFS_CHAOS_SWEEP=<seeds> to sweep")
+	}
+	n, err := strconv.Atoi(nStr)
+	if err != nil {
+		t.Fatalf("DPFS_CHAOS_SWEEP=%q: %v", nStr, err)
+	}
+	for seed := int64(1); seed <= int64(n); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			inj := fault.New(seed, chaosRules()...)
+			c := startChaosCluster(t, 4, inj)
+			runChaosWorkload(t, c, inj, 4, seed%2 == 0)
+		})
+	}
+}

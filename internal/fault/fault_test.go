@@ -1,0 +1,269 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestParseSpec(t *testing.T) {
+	rules, err := ParseSpec("drop:prob=0.02; delay:prob=0.05,ms=3 ;partial:nth=17,count=4,server=io1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 3 {
+		t.Fatalf("got %d rules, want 3", len(rules))
+	}
+	if rules[0].Kind != KindDrop || rules[0].Prob != 0.02 {
+		t.Fatalf("rule 0 = %+v", rules[0])
+	}
+	if rules[1].Kind != KindDelay || rules[1].Delay != 3*time.Millisecond {
+		t.Fatalf("rule 1 = %+v", rules[1])
+	}
+	if rules[2].Kind != KindPartial || rules[2].Nth != 17 || rules[2].Count != 4 || rules[2].Label != "io1" {
+		t.Fatalf("rule 2 = %+v", rules[2])
+	}
+	if _, err := ParseSpec(""); err != nil {
+		t.Fatalf("empty spec: %v", err)
+	}
+	for _, bad := range []string{
+		"explode:prob=0.1",    // unknown kind
+		"drop:frequency=2",    // unknown option
+		"drop:prob=1.5",       // out of range
+		"drop:nth=0",          // nth < 1
+		"drop",                // no trigger
+		"drop:prob",           // not key=value
+		"delay:ms=5",          // no trigger
+		"readerr:nth=banana",  // unparsable int
+		"writeerr:prob=maybe", // unparsable float
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted, want error", bad)
+		}
+	}
+}
+
+// pipeConn returns a wrapped client end and the raw server end of an
+// in-memory duplex connection.
+func pipeConn(t *testing.T, in *Injector, label string) (net.Conn, net.Conn) {
+	t.Helper()
+	cli, srv := net.Pipe()
+	t.Cleanup(func() { cli.Close(); srv.Close() })
+	return in.Conn(cli, label), srv
+}
+
+// echoServer copies everything it reads back to the writer.
+func echoServer(c net.Conn) {
+	go func() { _, _ = io.Copy(c, c) }()
+}
+
+func TestNthWriteFault(t *testing.T) {
+	in := New(1, Rule{Kind: KindWriteErr, Nth: 3})
+	cli, srv := pipeConn(t, in, "s")
+	echoServer(srv)
+	buf := make([]byte, 1)
+	// Ops alternate write, read, write, ... so the 3rd op is a write.
+	if _, err := cli.Write([]byte{1}); err != nil {
+		t.Fatalf("op 1 (write): %v", err)
+	}
+	if _, err := io.ReadFull(cli, buf); err != nil {
+		t.Fatalf("op 2 (read): %v", err)
+	}
+	_, err := cli.Write([]byte{2})
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Kind != KindWriteErr {
+		t.Fatalf("op 3 (write) err = %v, want injected writeerr", err)
+	}
+	// The conn survives a readerr/writeerr-style fault.
+	if _, err := cli.Write([]byte{3}); err != nil {
+		t.Fatalf("op 4 (write): %v", err)
+	}
+	if got := in.Total(); got != 1 {
+		t.Fatalf("Total = %d, want 1", got)
+	}
+	if got := in.Counts()["writeerr"]; got != 1 {
+		t.Fatalf("Counts[writeerr] = %d, want 1", got)
+	}
+}
+
+func TestDropClosesConn(t *testing.T) {
+	in := New(1, Rule{Kind: KindDrop, Nth: 1})
+	cli, _ := pipeConn(t, in, "s")
+	_, err := cli.Write([]byte{1})
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Kind != KindDrop {
+		t.Fatalf("err = %v, want injected drop", err)
+	}
+	// Underlying conn is closed: the next op fails organically.
+	if _, err := cli.Write([]byte{2}); err == nil {
+		t.Fatal("write on dropped conn succeeded")
+	}
+}
+
+func TestPartialWriteDeliversPrefix(t *testing.T) {
+	in := New(1, Rule{Kind: KindPartial, Nth: 1})
+	cli, srv := pipeConn(t, in, "s")
+	got := make(chan []byte, 1)
+	go func() {
+		b, _ := io.ReadAll(srv)
+		got <- b
+	}()
+	payload := []byte("0123456789")
+	n, err := cli.Write(payload)
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Kind != KindPartial {
+		t.Fatalf("err = %v, want injected partial", err)
+	}
+	if n != len(payload)/2 {
+		t.Fatalf("n = %d, want %d", n, len(payload)/2)
+	}
+	if b := <-got; string(b) != "01234" {
+		t.Fatalf("server saw %q, want the prefix %q", b, "01234")
+	}
+}
+
+func TestCountCapAndLabelMatch(t *testing.T) {
+	in := New(1,
+		Rule{Kind: KindWriteErr, Nth: 1, Count: 2, Label: "bad"},
+	)
+	good, gsrv := pipeConn(t, in, "good")
+	echoServer(gsrv)
+	bad, bsrv := pipeConn(t, in, "bad")
+	echoServer(bsrv)
+
+	// The rule never touches the other label.
+	if _, err := good.Write([]byte{1}); err != nil {
+		t.Fatalf("unlabeled conn faulted: %v", err)
+	}
+	// Two firings, then the cap stops it.
+	for i := 0; i < 2; i++ {
+		if _, err := bad.Write([]byte{1}); err == nil {
+			t.Fatalf("firing %d: no fault", i+1)
+		}
+	}
+	if _, err := bad.Write([]byte{1}); err != nil {
+		t.Fatalf("after cap: %v", err)
+	}
+	if got := in.Total(); got != 2 {
+		t.Fatalf("Total = %d, want 2", got)
+	}
+}
+
+func TestDelayStallsThenSucceeds(t *testing.T) {
+	in := New(1, Rule{Kind: KindDelay, Nth: 1, Delay: 30 * time.Millisecond})
+	cli, srv := pipeConn(t, in, "s")
+	echoServer(srv)
+	start := time.Now()
+	if _, err := cli.Write([]byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("write returned after %v, want >= 30ms stall", d)
+	}
+}
+
+// TestSeededDeterminism drives the same single-goroutine op sequence
+// against two injectors with the same seed and asserts identical fault
+// schedules, and a different schedule for a different seed.
+func TestSeededDeterminism(t *testing.T) {
+	schedule := func(seed int64) []int {
+		in := New(seed, Rule{Kind: KindWriteErr, Prob: 0.3})
+		cli, srv := net.Pipe()
+		defer cli.Close()
+		defer srv.Close()
+		go func() { _, _ = io.Copy(io.Discard, srv) }() // drain; net.Pipe is unbuffered
+		c := in.Conn(cli, "s")
+		var fired []int
+		for i := 0; i < 64; i++ {
+			if _, err := c.Write([]byte{byte(i)}); err != nil {
+				fired = append(fired, i)
+			}
+		}
+		return fired
+	}
+	a, b := schedule(42), schedule(42)
+	if len(a) == 0 {
+		t.Fatal("no faults fired at prob 0.3 over 64 ops")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different schedules: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different schedules: %v vs %v", a, b)
+		}
+	}
+	c := schedule(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatalf("seeds 42 and 43 produced the same schedule %v", a)
+	}
+}
+
+func TestListenerWrapsAccepted(t *testing.T) {
+	in := New(1, Rule{Kind: KindReadErr, Nth: 1})
+	base, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis := in.Listener(base, "srv")
+	defer lis.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := lis.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	cli, err := net.Dial("tcp", lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	sc := <-accepted
+	defer sc.Close()
+	var b [1]byte
+	_, rerr := sc.Read(b[:])
+	var fe *Error
+	if !errors.As(rerr, &fe) || fe.Kind != KindReadErr {
+		t.Fatalf("server-side read err = %v, want injected readerr", rerr)
+	}
+}
+
+func TestNoRulesIsTransparent(t *testing.T) {
+	in := New(7)
+	cli, srv := net.Pipe()
+	defer cli.Close()
+	defer srv.Close()
+	if c := in.Conn(cli, "s"); c != cli {
+		t.Fatal("rule-free injector wrapped the conn")
+	}
+	var nilIn *Injector
+	if c := nilIn.Conn(cli, "s"); c != cli {
+		t.Fatal("nil injector wrapped the conn")
+	}
+	if l := nilIn.Listener(nil, "s"); l != nil {
+		t.Fatal("nil injector wrapped the listener")
+	}
+}
+
+func TestLabelRegistration(t *testing.T) {
+	in := New(1, Rule{Kind: KindDrop, Nth: 1})
+	in.SetLabel("127.0.0.1:9999", "io3")
+	if got := in.labelFor("127.0.0.1:9999"); got != "io3" {
+		t.Fatalf("labelFor = %q, want io3", got)
+	}
+	if got := in.labelFor("127.0.0.1:1"); got != "127.0.0.1:1" {
+		t.Fatalf("unregistered labelFor = %q, want the addr", got)
+	}
+}

@@ -156,6 +156,13 @@ func (m *Model) Params() Params {
 // Delay charges one request with the given extent count and byte total
 // and blocks until the device has serviced it (or ctx is done). It
 // returns the time the request spent queued + in service.
+//
+// A cancelled request gives its unserviced remainder back to the
+// device: the reservation window [now, end) is released so an aborted
+// client (timeout, retry against another server) does not leave the
+// simulated device busy. Requests already queued behind it keep their
+// computed finish times — only future arrivals see the freed time —
+// which mirrors a real disk queue draining an abandoned slot.
 func (m *Model) Delay(ctx context.Context, extents int, n int64) (time.Duration, error) {
 	if m == nil {
 		return 0, nil
@@ -187,6 +194,12 @@ func (m *Model) Delay(ctx context.Context, extents int, n int64) (time.Duration,
 		m.wait.Record(d.Microseconds())
 		return d, nil
 	case <-ctx.Done():
+		m.mu.Lock()
+		if rem := time.Until(end); rem > 0 {
+			m.free = m.free.Add(-rem)
+			m.busy -= rem
+		}
+		m.mu.Unlock()
 		return time.Since(now), ctx.Err()
 	}
 }

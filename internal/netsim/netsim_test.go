@@ -132,3 +132,32 @@ func TestDelayContextCancel(t *testing.T) {
 		t.Fatal("cancel did not interrupt the delay")
 	}
 }
+
+// TestDelayCancelReleasesDevice: a cancelled request must hand its
+// unserviced reservation back, so the device is not left busy for the
+// remainder of an abandoned transfer.
+func TestDelayCancelReleasesDevice(t *testing.T) {
+	// 1 MiB/s: a 2 MiB request reserves the device for ~2s.
+	m := New(Params{Bandwidth: 1 << 20})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := m.Delay(ctx, 1, 2<<20); err == nil {
+		t.Fatal("cancelled Delay returned nil error")
+	}
+	// The next request must see a nearly idle device, not a 2s queue.
+	start := time.Now()
+	if _, err := m.Delay(context.Background(), 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 500*time.Millisecond {
+		t.Fatalf("request after cancellation queued %v, want ~0 (reservation not released)", d)
+	}
+	// Accounting: busy time reflects only the serviced part.
+	busy, reqs := m.Stats()
+	if reqs != 2 {
+		t.Fatalf("reqs = %d, want 2", reqs)
+	}
+	if busy > time.Second {
+		t.Fatalf("busy = %v, want well under the 2s aborted cost", busy)
+	}
+}

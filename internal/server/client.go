@@ -4,28 +4,178 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
 
+	"dpfs/internal/obs"
 	"dpfs/internal/wire"
 )
 
 // Client is a pooled connection to one DPFS I/O server. Concurrent
 // requests each use their own TCP connection (mirroring the paper's
 // server spawning a handler per request); idle connections are reused.
+//
+// The client survives the flaky substrate DPFS targets (idle
+// workstation disks on shared links, Section 1 of the paper): each RPC
+// gets a per-attempt deadline and a bounded number of retries with
+// exponential backoff + jitter, failed connections are evicted instead
+// of pooled, pooled connections are liveness-checked before reuse, and
+// a per-server breaker fails fast once a server has been failing
+// consecutively, so a dead server degrades throughput instead of
+// convoying every caller on full timeout ladders. Retrying a DPFS
+// exchange is safe: every wire op is an idempotent replay (reads and
+// extent writes are absolute-offset, remove/rename/truncate tolerate
+// re-application).
 type Client struct {
 	addr    string
 	maxIdle int
+	dial    DialFunc
+	retry   RetryPolicy
+	reg     *obs.Registry
 
 	mu     sync.Mutex
-	idle   []net.Conn
+	idle   []idleConn
 	closed bool
+
+	// Breaker state (guarded by mu): fails counts consecutive failed
+	// attempts; once it reaches the threshold the breaker is open and
+	// requests fail fast until openUntil, when one half-open probe may
+	// go through.
+	fails     int
+	openUntil time.Time
+	probing   bool
 }
+
+// idleConn is a pooled connection and the instant it went idle.
+type idleConn struct {
+	c     net.Conn
+	since time.Time
+}
+
+// DialFunc opens a transport connection to a server address. The
+// default is a plain TCP dial; tests and chaos tooling substitute a
+// fault-injecting dialer (internal/fault).
+type DialFunc func(ctx context.Context, addr string) (net.Conn, error)
 
 // DefaultMaxIdleConns is the idle-connection bound used when
 // ClientConfig does not specify one.
 const DefaultMaxIdleConns = 16
+
+// Client recovery metric names. These live in the registry passed via
+// ClientConfig.Metrics (the client engine shares its own), so recovery
+// is visible in /metrics next to the traffic counters.
+const (
+	// MetricClientRetries counts re-attempted exchanges.
+	MetricClientRetries = "client_retries"
+	// MetricConnEvictions counts connections discarded as poisoned
+	// (failed mid-exchange, failed the liveness probe, or idled past
+	// the age cap).
+	MetricConnEvictions = "conn_evictions"
+	// MetricServerUnhealthy counts breaker openings.
+	MetricServerUnhealthy = "server_unhealthy"
+)
+
+// ErrUnhealthy is wrapped into fail-fast errors while a server's
+// breaker is open.
+var ErrUnhealthy = errors.New("server unhealthy (breaker open)")
+
+// RetryPolicy tunes the client's recovery machinery. The zero value
+// selects the defaults below; set a field negative to disable that
+// mechanism.
+type RetryPolicy struct {
+	// MaxRetries bounds re-attempts after the first failed exchange
+	// (default 2; negative disables retries). Only transport failures
+	// are retried — an error the server itself returned means the
+	// exchange completed and is surfaced as-is.
+	MaxRetries int
+	// RequestTimeout is the per-attempt deadline. It combines with any
+	// context deadline (the earlier wins); zero applies no per-attempt
+	// bound beyond the context's.
+	RequestTimeout time.Duration
+	// BackoffBase and BackoffMax shape the exponential backoff between
+	// attempts: attempt n sleeps a uniformly jittered duration in
+	// (0, min(BackoffBase * 2^(n-1), BackoffMax)] (defaults 2ms and
+	// 100ms).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// BreakerThreshold opens the per-server breaker after this many
+	// consecutive failed attempts (default 16; negative disables the
+	// breaker). While open, requests fail fast with ErrUnhealthy.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker fails fast before
+	// letting one half-open probe through (default 250ms).
+	BreakerCooldown time.Duration
+	// ProbeIdle liveness-checks a pooled connection that has been idle
+	// at least this long before reusing it (default 1s; negative
+	// disables probing). The probe is a one-byte read under a short
+	// deadline: a healthy idle conn times out quietly, a conn killed
+	// mid-idle reports EOF/reset and is evicted instead of failing the
+	// next RPC.
+	ProbeIdle time.Duration
+	// MaxIdleAge discards pooled connections that have been idle
+	// longer than this without probing (default 2m; negative disables
+	// the cap).
+	MaxIdleAge time.Duration
+}
+
+// Default retry policy values.
+const (
+	DefaultMaxRetries       = 2
+	DefaultBackoffBase      = 2 * time.Millisecond
+	DefaultBackoffMax       = 100 * time.Millisecond
+	DefaultBreakerThreshold = 16
+	DefaultBreakerCooldown  = 250 * time.Millisecond
+	DefaultProbeIdle        = time.Second
+	DefaultMaxIdleAge       = 2 * time.Minute
+)
+
+// probeWindow is the read deadline of the pooled-conn liveness probe:
+// long enough for a delivered FIN/RST to surface, short enough to be
+// invisible next to a network round trip.
+const probeWindow = time.Millisecond
+
+// withDefaults resolves the policy's zero values.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	switch {
+	case p.MaxRetries == 0:
+		p.MaxRetries = DefaultMaxRetries
+	case p.MaxRetries < 0:
+		p.MaxRetries = 0
+	}
+	if p.BackoffBase == 0 {
+		p.BackoffBase = DefaultBackoffBase
+	}
+	if p.BackoffMax == 0 {
+		p.BackoffMax = DefaultBackoffMax
+	}
+	switch {
+	case p.BreakerThreshold == 0:
+		p.BreakerThreshold = DefaultBreakerThreshold
+	case p.BreakerThreshold < 0:
+		p.BreakerThreshold = 0 // disabled
+	}
+	if p.BreakerCooldown == 0 {
+		p.BreakerCooldown = DefaultBreakerCooldown
+	}
+	switch {
+	case p.ProbeIdle == 0:
+		p.ProbeIdle = DefaultProbeIdle
+	case p.ProbeIdle < 0:
+		p.ProbeIdle = 0 // disabled
+	}
+	switch {
+	case p.MaxIdleAge == 0:
+		p.MaxIdleAge = DefaultMaxIdleAge
+	case p.MaxIdleAge < 0:
+		p.MaxIdleAge = 0 // disabled
+	}
+	if p.RequestTimeout < 0 {
+		p.RequestTimeout = 0
+	}
+	return p
+}
 
 // ClientConfig tunes a Client.
 type ClientConfig struct {
@@ -34,6 +184,14 @@ type ClientConfig struct {
 	// fan-out so a concurrent burst does not thrash dials when the
 	// burst's connections come back to the pool.
 	MaxIdleConns int
+	// Dial overrides the transport dialer (fault injection, tests).
+	Dial DialFunc
+	// Retry tunes timeouts, retries, the liveness probe and the
+	// breaker; the zero value applies the documented defaults.
+	Retry RetryPolicy
+	// Metrics receives the recovery counters (client_retries,
+	// conn_evictions, server_unhealthy). Nil gets a private registry.
+	Metrics *obs.Registry
 }
 
 // NewClient creates a lazy client for the server at addr with default
@@ -45,13 +203,32 @@ func NewClientWith(addr string, cfg ClientConfig) *Client {
 	if cfg.MaxIdleConns <= 0 {
 		cfg.MaxIdleConns = DefaultMaxIdleConns
 	}
-	return &Client{addr: addr, maxIdle: cfg.MaxIdleConns}
+	if cfg.Dial == nil {
+		cfg.Dial = func(ctx context.Context, addr string) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", addr)
+		}
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	return &Client{
+		addr:    addr,
+		maxIdle: cfg.MaxIdleConns,
+		dial:    cfg.Dial,
+		retry:   cfg.Retry.withDefaults(),
+		reg:     cfg.Metrics,
+	}
 }
 
 // Addr returns the server address the client targets.
 func (c *Client) Addr() string { return c.addr }
 
-// Do performs one request/response exchange.
+// Metrics returns the registry holding the client's recovery counters.
+func (c *Client) Metrics() *obs.Registry { return c.reg }
+
+// Do performs one request/response exchange, retrying transport
+// failures per the client's RetryPolicy.
 func (c *Client) Do(ctx context.Context, req *wire.Request) (*wire.Response, error) {
 	return c.do(ctx, req, nil)
 }
@@ -66,21 +243,59 @@ func (c *Client) DoScratch(ctx context.Context, req *wire.Request, scratch []byt
 }
 
 func (c *Client) do(ctx context.Context, req *wire.Request, scratch []byte) (*wire.Response, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if err := c.backoff(ctx, attempt); err != nil {
+				return nil, lastErr
+			}
+			c.reg.Counter(MetricClientRetries).Inc()
+		}
+		probe, err := c.breakerAllow()
+		if err != nil {
+			return nil, fmt.Errorf("dpfs server %s: %w", c.addr, err)
+		}
+		resp, err := c.attempt(ctx, req, scratch)
+		if err == nil {
+			c.breakerResult(probe, true)
+			if resp.Err != "" {
+				// The server answered; its error is an application
+				// outcome, not a transport failure — never retried.
+				return nil, fmt.Errorf("dpfs server %s: %s", c.addr, resp.Err)
+			}
+			return resp, nil
+		}
+		c.breakerResult(probe, false)
+		lastErr = err
+		if ctx.Err() != nil || attempt >= c.retry.MaxRetries {
+			return nil, lastErr
+		}
+	}
+}
+
+// attempt performs a single exchange: checkout (or dial), send,
+// receive, return to pool. Any transport failure evicts the conn.
+func (c *Client) attempt(ctx context.Context, req *wire.Request, scratch []byte) (*wire.Response, error) {
 	conn, err := c.get(ctx)
 	if err != nil {
 		return nil, err
 	}
 	deadline, hasDeadline := ctx.Deadline()
+	if t := c.retry.RequestTimeout; t > 0 {
+		if d := time.Now().Add(t); !hasDeadline || d.Before(deadline) {
+			deadline, hasDeadline = d, true
+		}
+	}
 	if hasDeadline {
 		_ = conn.SetDeadline(deadline)
 	}
 	if err := wire.WriteRequest(conn, req); err != nil {
-		conn.Close()
+		c.evict(conn)
 		return nil, fmt.Errorf("dpfs server %s: send: %w", c.addr, err)
 	}
 	resp, err := wire.ReadResponseInto(conn, scratch)
 	if err != nil {
-		conn.Close()
+		c.evict(conn)
 		return nil, fmt.Errorf("dpfs server %s: receive: %w", c.addr, err)
 	}
 	// Clear the deadline before pooling so an idle connection never
@@ -90,10 +305,70 @@ func (c *Client) do(ctx context.Context, req *wire.Request, scratch []byte) (*wi
 		_ = conn.SetDeadline(time.Time{})
 	}
 	c.put(conn)
-	if resp.Err != "" {
-		return nil, fmt.Errorf("dpfs server %s: %s", c.addr, resp.Err)
-	}
 	return resp, nil
+}
+
+// backoff sleeps the jittered exponential delay before retry number
+// attempt (1-based), or returns early when ctx is done.
+func (c *Client) backoff(ctx context.Context, attempt int) error {
+	max := c.retry.BackoffBase << uint(attempt-1)
+	if max > c.retry.BackoffMax || max <= 0 {
+		max = c.retry.BackoffMax
+	}
+	// Full jitter: uniform in (0, max]. rand's global source is
+	// goroutine-safe; determinism here does not matter (the fault
+	// schedule, not the backoff, is the reproducible part).
+	d := time.Duration(rand.Int63n(int64(max))) + 1
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// breakerAllow gates an attempt on the breaker. It returns probe=true
+// when the attempt is the single half-open trial of an open breaker.
+func (c *Client) breakerAllow() (probe bool, err error) {
+	if c.retry.BreakerThreshold == 0 {
+		return false, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.fails < c.retry.BreakerThreshold {
+		return false, nil
+	}
+	if time.Now().Before(c.openUntil) || c.probing {
+		return false, ErrUnhealthy
+	}
+	c.probing = true
+	return true, nil
+}
+
+// breakerResult records an attempt outcome.
+func (c *Client) breakerResult(probe, ok bool) {
+	if c.retry.BreakerThreshold == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if probe {
+		c.probing = false
+	}
+	if ok {
+		c.fails = 0
+		c.openUntil = time.Time{}
+		return
+	}
+	c.fails++
+	if probe || c.fails == c.retry.BreakerThreshold {
+		// Opening (or re-opening after a failed probe): fail fast for
+		// a cooldown instead of convoying every caller on timeouts.
+		c.openUntil = time.Now().Add(c.retry.BreakerCooldown)
+		c.reg.Counter(MetricServerUnhealthy).Inc()
+	}
 }
 
 // Ping checks the server is reachable.
@@ -102,25 +377,69 @@ func (c *Client) Ping(ctx context.Context) error {
 	return err
 }
 
+// get returns a live connection: a pooled one that passes the age cap
+// and liveness probe, or a fresh dial.
 func (c *Client) get(ctx context.Context) (net.Conn, error) {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return nil, errors.New("dpfs: client closed")
-	}
-	if n := len(c.idle); n > 0 {
-		conn := c.idle[n-1]
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return nil, errors.New("dpfs: client closed")
+		}
+		n := len(c.idle)
+		if n == 0 {
+			c.mu.Unlock()
+			break
+		}
+		ic := c.idle[n-1]
 		c.idle = c.idle[:n-1]
 		c.mu.Unlock()
-		return conn, nil
+		idle := time.Since(ic.since)
+		if c.retry.MaxIdleAge > 0 && idle > c.retry.MaxIdleAge {
+			c.evict(ic.c)
+			continue
+		}
+		if c.retry.ProbeIdle > 0 && idle >= c.retry.ProbeIdle && !probeAlive(ic.c) {
+			c.evict(ic.c)
+			continue
+		}
+		// Defensive: a pooled conn must never carry a stale read or
+		// write deadline into the next exchange.
+		_ = ic.c.SetDeadline(time.Time{})
+		return ic.c, nil
 	}
-	c.mu.Unlock()
-	var d net.Dialer
-	conn, err := d.DialContext(ctx, "tcp", c.addr)
+	conn, err := c.dial(ctx, c.addr)
 	if err != nil {
 		return nil, fmt.Errorf("dpfs server %s: dial: %w", c.addr, err)
 	}
 	return conn, nil
+}
+
+// probeAlive liveness-checks an idle connection with a one-byte read
+// under a short deadline. No request is in flight, so a healthy conn
+// has nothing to deliver and times out; readable data means a poisoned
+// stream (a stray response fragment) and an immediate error means the
+// peer closed it mid-idle.
+func probeAlive(conn net.Conn) bool {
+	if err := conn.SetReadDeadline(time.Now().Add(probeWindow)); err != nil {
+		return false
+	}
+	var b [1]byte
+	n, err := conn.Read(b[:])
+	if n > 0 {
+		return false
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		return false
+	}
+	return conn.SetReadDeadline(time.Time{}) == nil
+}
+
+// evict closes a connection that must not be reused.
+func (c *Client) evict(conn net.Conn) {
+	conn.Close()
+	c.reg.Counter(MetricConnEvictions).Inc()
 }
 
 func (c *Client) put(conn net.Conn) {
@@ -130,7 +449,7 @@ func (c *Client) put(conn net.Conn) {
 		conn.Close()
 		return
 	}
-	c.idle = append(c.idle, conn)
+	c.idle = append(c.idle, idleConn{c: conn, since: time.Now()})
 }
 
 // Close drops all pooled connections.
@@ -138,8 +457,8 @@ func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.closed = true
-	for _, conn := range c.idle {
-		conn.Close()
+	for _, ic := range c.idle {
+		ic.c.Close()
 	}
 	c.idle = nil
 	return nil

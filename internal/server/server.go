@@ -182,6 +182,11 @@ func (s *Server) handleConn(conn net.Conn) {
 	defer s.wg.Done()
 	s.reg.Counter(MetricConnsTotal).Inc()
 	s.reg.Gauge(MetricActiveConns).Inc()
+	// connCtx scopes every op of this connection: it dies with the
+	// server, and (while an op is in flight on a shaped server) with
+	// the peer — see watchPeer.
+	connCtx, cancel := context.WithCancel(s.ctx)
+	defer cancel()
 	defer func() {
 		s.reg.Gauge(MetricActiveConns).Dec()
 		s.mu.Lock()
@@ -194,16 +199,64 @@ func (s *Server) handleConn(conn net.Conn) {
 		if err != nil {
 			return // disconnect or framing error
 		}
-		resp := s.dispatch(req)
+		var resp *wire.Response
+		poisoned := false
+		if s.cfg.Model != nil {
+			// Shaped servers hold the simulated device for the op's
+			// whole service time; watch the peer so a client that
+			// gave up (timeout, retry elsewhere) releases the device
+			// instead of leaving it busy.
+			reqCtx, reqCancel := context.WithCancel(connCtx)
+			stop := s.watchPeer(conn, reqCancel)
+			resp = s.dispatch(reqCtx, req)
+			poisoned = stop()
+			reqCancel()
+		} else {
+			resp = s.dispatch(connCtx, req)
+		}
 		err = wire.WriteResponse(conn, resp)
 		if req.Op == wire.OpRead && resp.Data != nil {
 			// Read responses carry a pooled buffer; it is ours again
 			// once the frame is flushed (or failed).
 			putReadBuf(resp.Data)
 		}
-		if err != nil {
+		if err != nil || poisoned {
 			return
 		}
+	}
+}
+
+// watchPeer watches conn for disconnection while one op is in flight.
+// The protocol is strictly request/response — the client sends nothing
+// until it has our reply — so any readability mid-op means the peer
+// closed or reset the connection, and the op's context is cancelled.
+// The returned stop function unblocks the watcher and reports whether
+// the stream is poisoned (unexpected bytes arrived mid-op, so the
+// connection must be dropped after the in-flight response). Call it
+// BEFORE writing the response, or the watcher could swallow the first
+// byte of the next request.
+func (s *Server) watchPeer(conn net.Conn, cancel context.CancelFunc) (stop func() (poisoned bool)) {
+	done := make(chan struct{})
+	var sawData bool
+	go func() {
+		defer close(done)
+		var b [1]byte
+		n, err := conn.Read(b[:])
+		if n > 0 {
+			sawData = true
+			return
+		}
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			return // stop() poked the deadline: the op finished first
+		}
+		cancel() // peer closed/reset mid-op: free the device
+	}()
+	return func() bool {
+		_ = conn.SetReadDeadline(time.Now()) // unblock the watcher
+		<-done
+		_ = conn.SetReadDeadline(time.Time{})
+		return sawData
 	}
 }
 
@@ -230,11 +283,11 @@ func putReadBuf(b []byte) {
 	readBufPool.Put(&b)
 }
 
-func (s *Server) dispatch(req *wire.Request) *wire.Response {
+func (s *Server) dispatch(ctx context.Context, req *wire.Request) *wire.Response {
 	start := time.Now()
 	s.reg.Counter(MetricRequests).Inc()
 	s.reg.Counter(MetricBytesIn).Add(int64(len(req.Data)))
-	resp, err := s.serve(req)
+	resp, err := s.serve(ctx, req)
 	if err != nil {
 		s.reg.Counter(MetricErrors).Inc()
 		resp = &wire.Response{Err: fmt.Sprintf("%s: %v", s.cfg.Name, err)}
@@ -244,14 +297,14 @@ func (s *Server) dispatch(req *wire.Request) *wire.Response {
 	return resp
 }
 
-func (s *Server) serve(req *wire.Request) (*wire.Response, error) {
+func (s *Server) serve(ctx context.Context, req *wire.Request) (*wire.Response, error) {
 	switch req.Op {
 	case wire.OpPing:
 		return &wire.Response{}, nil
 	case wire.OpRead:
-		return s.opRead(req)
+		return s.opRead(ctx, req)
 	case wire.OpWrite:
-		return s.opWrite(req)
+		return s.opWrite(ctx, req)
 	case wire.OpRemove:
 		return s.opRemove(req)
 	case wire.OpStat:
@@ -322,12 +375,12 @@ func (s *Server) drop(local string) {
 	s.mu.Unlock()
 }
 
-func (s *Server) opRead(req *wire.Request) (*wire.Response, error) {
+func (s *Server) opRead(ctx context.Context, req *wire.Request) (*wire.Response, error) {
 	total := wire.DataBytes(req.Extents)
 	if total < 0 || total > wire.MaxMessage {
 		return nil, fmt.Errorf("read of %d bytes out of range", total)
 	}
-	if _, err := s.cfg.Model.Delay(s.ctx, len(req.Extents), total); err != nil {
+	if _, err := s.cfg.Model.Delay(ctx, len(req.Extents), total); err != nil {
 		return nil, err
 	}
 	sf, err := s.open(req.Path, false)
@@ -365,12 +418,12 @@ func (s *Server) opRead(req *wire.Request) (*wire.Response, error) {
 	return &wire.Response{Data: buf, N: total}, nil
 }
 
-func (s *Server) opWrite(req *wire.Request) (*wire.Response, error) {
+func (s *Server) opWrite(ctx context.Context, req *wire.Request) (*wire.Response, error) {
 	total := wire.DataBytes(req.Extents)
 	if total != int64(len(req.Data)) {
 		return nil, fmt.Errorf("write carries %d bytes for %d bytes of extents", len(req.Data), total)
 	}
-	if _, err := s.cfg.Model.Delay(s.ctx, len(req.Extents), total); err != nil {
+	if _, err := s.cfg.Model.Delay(ctx, len(req.Extents), total); err != nil {
 		return nil, err
 	}
 	sf, err := s.open(req.Path, true)

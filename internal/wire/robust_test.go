@@ -1,0 +1,197 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+)
+
+// encodeRequest returns the full frame of req.
+func encodeRequest(t testing.TB, req *Request) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteRequest(&buf, req); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func encodeResponse(t testing.TB, resp *Response) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteResponse(&buf, resp); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestRequestEveryPrefixTruncation feeds the decoder every proper
+// prefix of a valid frame: each one must produce an error, never a
+// short-read panic or a silently truncated request.
+func TestRequestEveryPrefixTruncation(t *testing.T) {
+	full := encodeRequest(t, &Request{
+		Op: OpWrite, Path: "/sub/file",
+		Extents: []Extent{{Off: 0, Len: 4}, {Off: 100, Len: 4}},
+		Data:    []byte("12345678"),
+	})
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := ReadRequest(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("prefix of %d/%d bytes decoded without error", cut, len(full))
+		}
+	}
+	if _, err := ReadRequest(bytes.NewReader(full)); err != nil {
+		t.Fatalf("full frame rejected: %v", err)
+	}
+}
+
+// TestResponseEveryPrefixTruncation is the response-side mirror.
+func TestResponseEveryPrefixTruncation(t *testing.T) {
+	full := encodeResponse(t, &Response{Err: "boom", N: 42, Data: []byte("payload")})
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := ReadResponse(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("prefix of %d/%d bytes decoded without error", cut, len(full))
+		}
+	}
+	if _, err := ReadResponse(bytes.NewReader(full)); err != nil {
+		t.Fatalf("full frame rejected: %v", err)
+	}
+}
+
+// TestCorruptRequestFrames mutates individual frame fields of a valid
+// request; every mutation must be rejected. Offsets follow the layout
+// in WriteRequest: 8-byte header, 2-byte path length, path, 4-byte
+// extent count, 16 bytes per extent, 4-byte data length, data.
+func TestCorruptRequestFrames(t *testing.T) {
+	base := &Request{
+		Op: OpWrite, Path: "/s",
+		Extents: []Extent{{Off: 8, Len: 4}},
+		Data:    []byte("abcd"),
+	}
+	pathOff := headerLen
+	extCountOff := pathOff + 2 + len(base.Path)
+	dataLenOff := extCountOff + 4 + 16*len(base.Extents)
+
+	cases := []struct {
+		name   string
+		mutate func(b []byte)
+	}{
+		{"bad magic", func(b []byte) { b[0] = 0x00 }},
+		{"bad version", func(b []byte) { b[1] = version + 1 }},
+		{"payload length over MaxMessage", func(b []byte) {
+			binary.LittleEndian.PutUint32(b[4:8], MaxMessage+1)
+		}},
+		{"path length beyond body", func(b []byte) {
+			binary.LittleEndian.PutUint16(b[pathOff:], 0xFFFF)
+		}},
+		{"extent count beyond limit", func(b []byte) {
+			binary.LittleEndian.PutUint32(b[extCountOff:], 1<<24+1)
+		}},
+		{"extent count beyond body", func(b []byte) {
+			binary.LittleEndian.PutUint32(b[extCountOff:], 1000)
+		}},
+		{"data length beyond body", func(b []byte) {
+			binary.LittleEndian.PutUint32(b[dataLenOff:], 1<<20)
+		}},
+		{"data length leaves trailing bytes", func(b []byte) {
+			binary.LittleEndian.PutUint32(b[dataLenOff:], 2)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			frame := encodeRequest(t, base)
+			tc.mutate(frame)
+			if _, err := ReadRequest(bytes.NewReader(frame)); err == nil {
+				t.Fatal("corrupt frame decoded without error")
+			}
+		})
+	}
+}
+
+// TestCorruptResponseFrames is the response-side mirror. Layout:
+// 8-byte header, 2-byte error length, error, 8-byte scalar, 4-byte
+// data length, data.
+func TestCorruptResponseFrames(t *testing.T) {
+	base := &Response{Err: "e", N: 7, Data: []byte("abcd")}
+	errOff := headerLen
+	dataLenOff := errOff + 2 + len(base.Err) + 8
+
+	cases := []struct {
+		name   string
+		mutate func(b []byte)
+	}{
+		{"bad magic", func(b []byte) { b[0] = 0x00 }},
+		{"bad version", func(b []byte) { b[1] = version + 1 }},
+		{"payload length over MaxMessage", func(b []byte) {
+			binary.LittleEndian.PutUint32(b[4:8], MaxMessage+1)
+		}},
+		{"error length beyond body", func(b []byte) {
+			binary.LittleEndian.PutUint16(b[errOff:], 0xFFFF)
+		}},
+		{"data length beyond body", func(b []byte) {
+			binary.LittleEndian.PutUint32(b[dataLenOff:], 1<<20)
+		}},
+		{"data length leaves trailing bytes", func(b []byte) {
+			binary.LittleEndian.PutUint32(b[dataLenOff:], 1)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			frame := encodeResponse(t, base)
+			tc.mutate(frame)
+			if _, err := ReadResponse(bytes.NewReader(frame)); err == nil {
+				t.Fatal("corrupt frame decoded without error")
+			}
+		})
+	}
+}
+
+// FuzzReadRequest throws arbitrary bytes at the request decoder: it
+// must never panic, and anything it accepts must re-encode to a frame
+// that decodes to the same request (the decoder defines the format).
+func FuzzReadRequest(f *testing.F) {
+	f.Add(encodeRequest(f, &Request{Op: OpPing}))
+	f.Add(encodeRequest(f, &Request{Op: OpRead, Path: "/a", Extents: []Extent{{Off: 0, Len: 16}}}))
+	f.Add(encodeRequest(f, &Request{Op: OpWrite, Path: "/b",
+		Extents: []Extent{{Off: 4, Len: 2}, {Off: 32, Len: 2}}, Data: []byte("wxyz")}))
+	f.Add(encodeRequest(f, &Request{Op: OpRename, Path: "/old", Data: []byte("/new")}))
+	f.Add([]byte{magic, version, byte(OpPing), 0, 0xFF, 0xFF, 0xFF, 0x7F})
+	f.Add([]byte{magic, version + 1, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := ReadRequest(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		frame := encodeRequest(t, req)
+		again, err := ReadRequest(bytes.NewReader(frame))
+		if err != nil {
+			t.Fatalf("re-encoded accepted request rejected: %v", err)
+		}
+		if req.Op != again.Op || req.Path != again.Path ||
+			!reflect.DeepEqual(req.Extents, again.Extents) || !bytes.Equal(req.Data, again.Data) {
+			t.Fatalf("roundtrip mismatch: %+v vs %+v", req, again)
+		}
+	})
+}
+
+// FuzzReadResponse is the response-side mirror.
+func FuzzReadResponse(f *testing.F) {
+	f.Add(encodeResponse(f, &Response{}))
+	f.Add(encodeResponse(f, &Response{Err: "subfile missing"}))
+	f.Add(encodeResponse(f, &Response{N: 1 << 40, Data: []byte("data")}))
+	f.Add([]byte{magic, version, 0, 0, 0xFF, 0xFF, 0xFF, 0x7F})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		resp, err := ReadResponse(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		frame := encodeResponse(t, resp)
+		again, err := ReadResponse(bytes.NewReader(frame))
+		if err != nil {
+			t.Fatalf("re-encoded accepted response rejected: %v", err)
+		}
+		if resp.Err != again.Err || resp.N != again.N || !bytes.Equal(resp.Data, again.Data) {
+			t.Fatalf("roundtrip mismatch: %+v vs %+v", resp, again)
+		}
+	})
+}

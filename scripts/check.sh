@@ -3,7 +3,8 @@
 #   1. tier-1: go build ./... && go test ./...
 #   2. go vet ./...
 #   3. race-enabled test suite
-#   4. dispatch bench smoke (scripts/bench_smoke.sh -> BENCH_dispatch.json)
+#   4. seeded chaos suite under -race (fault injection e2e)
+#   5. dispatch bench smoke (scripts/bench_smoke.sh -> BENCH_dispatch.json)
 # Run from the repo root (or anywhere inside it).
 set -eu
 cd "$(dirname "$0")/.."
@@ -16,5 +17,7 @@ echo "== go vet ./... =="
 go vet ./...
 echo "== go test -race ./... =="
 go test -race ./...
+echo "== chaos: seeded fault-injection suite (-race) =="
+go test -race -count=1 -run Chaos . ./internal/fault
 sh scripts/bench_smoke.sh
 echo "== all checks passed =="
