@@ -1,4 +1,4 @@
-.PHONY: build test check bench chaos
+.PHONY: build test check bench chaos docs
 
 build:
 	go build ./...
@@ -19,3 +19,14 @@ bench:
 chaos:
 	go test -race -count=1 -run Chaos -v .
 	DPFS_CHAOS_SWEEP=25 go test -race -count=1 -run Chaos -v ./internal/fault
+
+# Documentation gate: vet, godoc coverage + markdown link lint
+# (scripts/doccheck), and a `go doc` smoke over the public surface.
+docs:
+	go vet ./...
+	go run ./scripts/doccheck
+	go doc . > /dev/null
+	go doc ./internal/cache > /dev/null
+	go doc ./internal/core > /dev/null
+	go doc ./internal/fault > /dev/null
+	go doc ./internal/obs > /dev/null

@@ -41,7 +41,7 @@ type jsonRow struct {
 
 func main() {
 	fig := flag.Int("fig", 0, "figure to regenerate (11-14; 0 = all)")
-	ablation := flag.String("ablation", "", "run an ablation instead: stagger, shape, servers, exact, collective, parallel, or all")
+	ablation := flag.String("ablation", "", "run an ablation instead: stagger, shape, servers, exact, collective, parallel, cache, or all")
 	n := flag.Int64("n", 512, "array edge in elements (paper: 32768)")
 	tile := flag.Int64("tile", 0, "multidim tile edge (default n/8; paper: 256)")
 	reps := flag.Int("reps", 3, "repetitions per bar (median reported)")
@@ -51,6 +51,9 @@ func main() {
 	parallel := flag.Bool("parallel", false, "dispatch each access's per-server requests concurrently")
 	faultSpec := flag.String("fault-spec", "", "fault schedule for measured traffic, e.g. 'drop:prob=0.02;delay:prob=0.05,ms=2' (see internal/fault)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for probabilistic fault rules (deterministic per seed)")
+	cacheMB := flag.Int64("cache-mb", 0, "client data-cache budget in MiB for measured engines (0 = cache off)")
+	metaTTL := flag.Duration("meta-ttl", 0, "client metadata-cache TTL for measured engines (0 = cache off)")
+	readahead := flag.Int("readahead", 0, "sequential readahead depth in bricks (needs -cache-mb)")
 	flag.Parse()
 
 	scratch := *dir
@@ -62,7 +65,8 @@ func main() {
 		}
 		defer os.RemoveAll(scratch)
 	}
-	cfg := bench.Config{N: *n, Tile: *tile, Dir: scratch, Reps: *reps, Parallel: *parallel}
+	cfg := bench.Config{N: *n, Tile: *tile, Dir: scratch, Reps: *reps, Parallel: *parallel,
+		CacheBytes: *cacheMB << 20, MetaTTL: *metaTTL, Readahead: *readahead}
 	if *faultSpec != "" {
 		inj, err := fault.Parse(*faultSpec, *faultSeed)
 		if err != nil {

@@ -26,9 +26,13 @@ func main() {
 	metaAddr := flag.String("meta", "127.0.0.1:7700", "metadata server address")
 	command := flag.String("c", "", "run one command and exit")
 	rank := flag.Int("rank", 0, "compute rank (drives staggered scheduling)")
+	cacheMB := flag.Int64("cache-mb", 0, "client data-cache budget in MiB (0 = cache off)")
+	metaTTL := flag.Duration("meta-ttl", 0, "client metadata-cache TTL (0 = cache off)")
+	readahead := flag.Int("readahead", 0, "sequential readahead depth in bricks (needs -cache-mb)")
 	flag.Parse()
 
-	client, err := dpfs.Connect(*metaAddr, *rank, dpfs.Options{Combine: true, Stagger: true})
+	client, err := dpfs.Connect(*metaAddr, *rank, dpfs.Options{Combine: true, Stagger: true,
+		CacheBytes: *cacheMB << 20, MetaTTL: *metaTTL, Readahead: *readahead})
 	if err != nil {
 		fatal(err)
 	}

@@ -178,10 +178,22 @@ func (c *Client) Rename(ctx context.Context, oldPath, newPath string) error {
 }
 
 // Chmod sets a file's permission bits in the catalog.
-func (c *Client) Chmod(path string, perm int) error { return c.fs.Catalog().SetPerm(path, perm) }
+func (c *Client) Chmod(path string, perm int) error {
+	if err := c.fs.Catalog().SetPerm(path, perm); err != nil {
+		return err
+	}
+	c.fs.InvalidateMeta(path)
+	return nil
+}
 
 // Chown sets a file's owner in the catalog.
-func (c *Client) Chown(path, owner string) error { return c.fs.Catalog().SetOwner(path, owner) }
+func (c *Client) Chown(path, owner string) error {
+	if err := c.fs.Catalog().SetOwner(path, owner); err != nil {
+		return err
+	}
+	c.fs.InvalidateMeta(path)
+	return nil
+}
 
 // Usage reports per-server file and brick counts from the catalog.
 func (c *Client) Usage() ([]meta.ServerUsage, error) { return c.fs.Catalog().Usage() }
@@ -191,8 +203,9 @@ func (c *Client) FilesOnServer(server string) ([]meta.FileOnServer, error) {
 	return c.fs.Catalog().FilesOnServer(server)
 }
 
-// Stat returns a file's catalog record.
-func (c *Client) Stat(path string) (FileInfo, error) { return c.fs.Catalog().Stat(path) }
+// Stat returns a file's catalog record, served from the client's
+// metadata cache when one is configured (Options.MetaTTL).
+func (c *Client) Stat(path string) (FileInfo, error) { return c.fs.Stat(path) }
 
 // Mkdir creates a DPFS directory.
 func (c *Client) Mkdir(path string) error { return c.fs.Catalog().Mkdir(path) }

@@ -25,18 +25,20 @@ func TestChaosE2E(t *testing.T) {
 	for _, mode := range []struct {
 		name     string
 		parallel bool
+		cached   bool
 		seed     int64
 	}{
-		{"sequential", false, 11},
-		{"parallel", true, 12},
+		{"sequential", false, false, 11},
+		{"parallel", true, false, 12},
+		{"cached", true, true, 13},
 	} {
 		t.Run(mode.name, func(t *testing.T) {
-			runChaosE2E(t, mode.parallel, mode.seed)
+			runChaosE2E(t, mode.parallel, mode.cached, mode.seed)
 		})
 	}
 }
 
-func runChaosE2E(t *testing.T, parallel bool, seed int64) {
+func runChaosE2E(t *testing.T, parallel, cached bool, seed int64) {
 	const (
 		np     = 4
 		size   = 16 * 4096
@@ -65,6 +67,13 @@ func runChaosE2E(t *testing.T, parallel bool, seed int64) {
 		Dial: inj.DialContext,
 		Retry: server.RetryPolicy{MaxRetries: 8, RequestTimeout: 5 * time.Second,
 			BackoffBase: time.Millisecond, BackoffMax: 10 * time.Millisecond},
+	}
+	if cached {
+		// Caching must be invisible under the same storm: hits, fills,
+		// write invalidations and readahead all race the fault schedule.
+		opts.CacheBytes = 64 << 20
+		opts.MetaTTL = time.Minute
+		opts.Readahead = 2
 	}
 	clients := make([]*dpfs.Client, np)
 	for r := 0; r < np; r++ {

@@ -418,6 +418,212 @@ func runParallelCase(ctx context.Context, cfg Config, c *cluster.Cluster, np int
 		func(rank int) stripe.Section { return rowSection(cfg.N, np, rank) }, false)
 }
 
+// AblationCache isolates the client-side cache (internal/cache): a
+// re-read workload (every rank reads its row slice twice; the second,
+// warm pass is timed) and an open-heavy workload (repeated Opens of
+// the same path; MBps reports opens per second, not bandwidth). Cache
+// off is the baseline engine; cache on enables the data cache,
+// metadata cache, and readahead together.
+func AblationCache(ctx context.Context, cfg Config, np, io int) ([]Measurement, error) {
+	cfg = cfg.WithDefaults()
+	var out []Measurement
+	for _, cached := range []bool{false, true} {
+		c, err := cluster.Start(cluster.Config{
+			Servers:       cluster.UniformClass(io, netsim.Class1()),
+			Dir:           caseDir(cfg.Dir),
+			RefBrickBytes: cfg.Tile * cfg.Tile * elemSize,
+		})
+		if err != nil {
+			return nil, err
+		}
+		m, err := runCacheReRead(ctx, cfg, c, np, cached)
+		if err == nil {
+			m.Figure = "AblCache"
+			m.Class = "class1"
+			if cached {
+				m.Label = "Re-read, cache on"
+			} else {
+				m.Label = "Re-read, cache off"
+			}
+			out = append(out, m)
+			m, err = runCacheOpens(ctx, cfg, c, cached)
+		}
+		c.Close()
+		if err != nil {
+			return nil, err
+		}
+		m.Figure = "AblCache"
+		m.Class = "class1"
+		if cached {
+			m.Label = "Open-heavy, cache on"
+		} else {
+			m.Label = "Open-heavy, cache off"
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// cacheOpts are the engine options of the cache-on ablation variants:
+// generous data budget, a TTL comfortably longer than a measurement,
+// and a modest readahead depth.
+func (c Config) cacheOpts(opts core.Options) core.Options {
+	opts = c.withDispatch(opts)
+	if opts.CacheBytes == 0 {
+		opts.CacheBytes = 256 << 20
+	}
+	if opts.MetaTTL == 0 {
+		opts.MetaTTL = time.Minute
+	}
+	if opts.Readahead == 0 {
+		opts.Readahead = 2
+	}
+	return opts
+}
+
+func runCacheReRead(ctx context.Context, cfg Config, c *cluster.Cluster, np int, cached bool) (Measurement, error) {
+	dims := []int64{cfg.N, cfg.N}
+	path := "/abl-cache.dat"
+	admin, err := c.NewFS(0, core.Options{Combine: true})
+	if err != nil {
+		return Measurement{}, err
+	}
+	f, err := admin.Create(path, elemSize, dims,
+		core.Hint{Level: stripe.LevelMultidim, Tile: []int64{cfg.Tile, cfg.Tile}})
+	if err != nil {
+		admin.Close()
+		return Measurement{}, err
+	}
+	f.Close()
+	admin.Close()
+	if err := fill(ctx, c, path, dims); err != nil {
+		return Measurement{}, err
+	}
+
+	opts := cfg.withDispatch(core.Options{Combine: true, Stagger: true})
+	if cached {
+		opts = cfg.cacheOpts(core.Options{Combine: true, Stagger: true})
+	}
+
+	// Unlike measure(), the engines persist across the warm and timed
+	// passes: the cache lives in the engine, and the point is the warm
+	// hit. Reps share the engines too — every timed pass after the first
+	// is equally warm, and the median damps scheduling noise.
+	runs := make([]Measurement, 0, cfg.Reps)
+	err = func() error {
+		fss := make([]*core.FS, np)
+		files := make([]*core.File, np)
+		bufs := make([][]byte, np)
+		var useful int64
+		defer func() {
+			for p := 0; p < np; p++ {
+				if files[p] != nil {
+					files[p].Close()
+				}
+				if fss[p] != nil {
+					fss[p].Close()
+				}
+			}
+		}()
+		for p := 0; p < np; p++ {
+			fs, err := c.NewFS(p, opts)
+			if err != nil {
+				return err
+			}
+			fss[p] = fs
+			f, err := fs.Open(path)
+			if err != nil {
+				return err
+			}
+			files[p] = f
+			sec := rowSection(cfg.N, np, p)
+			bufs[p] = make([]byte, sec.Bytes(elemSize))
+			useful += int64(len(bufs[p]))
+		}
+		pass := func() (time.Duration, error) {
+			start := time.Now()
+			var wg sync.WaitGroup
+			errs := make(chan error, np)
+			for p := 0; p < np; p++ {
+				wg.Add(1)
+				go func(rank int) {
+					defer wg.Done()
+					if err := files[rank].ReadSection(ctx, rowSection(cfg.N, np, rank), bufs[rank]); err != nil {
+						errs <- err
+					}
+				}(p)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				return 0, err
+			}
+			return time.Since(start), nil
+		}
+		if _, err := pass(); err != nil { // warm (fills caches when on)
+			return err
+		}
+		for rep := 0; rep < cfg.Reps; rep++ {
+			elapsed, err := pass()
+			if err != nil {
+				return err
+			}
+			runs = append(runs, Measurement{
+				Elapsed:  elapsed,
+				MBps:     float64(useful) / (1 << 20) / elapsed.Seconds(),
+				UsefulMB: float64(useful) / (1 << 20),
+			})
+		}
+		return nil
+	}()
+	if err != nil {
+		return Measurement{}, err
+	}
+	sortMeasurements(runs)
+	return runs[len(runs)/2], nil
+}
+
+// runCacheOpens times repeated Opens of one path through a single
+// engine. The returned Measurement abuses MBps to carry opens per
+// second (UsefulMB stays zero: no data moves).
+func runCacheOpens(ctx context.Context, cfg Config, c *cluster.Cluster, cached bool) (Measurement, error) {
+	_ = ctx
+	path := "/abl-cache.dat" // created by runCacheReRead on the same cluster
+	opts := cfg.withDispatch(core.Options{Combine: true})
+	if cached {
+		opts = cfg.cacheOpts(core.Options{Combine: true})
+	}
+	fs, err := c.NewFS(0, opts)
+	if err != nil {
+		return Measurement{}, err
+	}
+	defer fs.Close()
+	const opens = 200
+	f, err := fs.Open(path) // warm (fills the metadata cache when on)
+	if err != nil {
+		return Measurement{}, err
+	}
+	f.Close()
+	runs := make([]Measurement, 0, cfg.Reps)
+	for rep := 0; rep < cfg.Reps; rep++ {
+		start := time.Now()
+		for i := 0; i < opens; i++ {
+			f, err := fs.Open(path)
+			if err != nil {
+				return Measurement{}, err
+			}
+			f.Close()
+		}
+		elapsed := time.Since(start)
+		runs = append(runs, Measurement{
+			Elapsed: elapsed,
+			MBps:    float64(opens) / elapsed.Seconds(), // opens/s
+		})
+	}
+	sortMeasurements(runs)
+	return runs[len(runs)/2], nil
+}
+
 // Ablation dispatches an ablation by name.
 func Ablation(ctx context.Context, cfg Config, name string) ([]Measurement, error) {
 	switch name {
@@ -433,11 +639,13 @@ func Ablation(ctx context.Context, cfg Config, name string) ([]Measurement, erro
 		return AblationCollective(ctx, cfg, 8, 4)
 	case "parallel":
 		return AblationParallel(ctx, cfg, 4, 4)
+	case "cache":
+		return AblationCache(ctx, cfg, 4, 4)
 	}
-	return nil, fmt.Errorf("bench: unknown ablation %q (stagger, shape, servers, exact, collective, parallel)", name)
+	return nil, fmt.Errorf("bench: unknown ablation %q (stagger, shape, servers, exact, collective, parallel, cache)", name)
 }
 
 // AblationNames lists the available ablations.
 func AblationNames() []string {
-	return []string{"stagger", "shape", "servers", "exact", "collective", "parallel"}
+	return []string{"stagger", "shape", "servers", "exact", "collective", "parallel", "cache"}
 }

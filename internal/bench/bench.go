@@ -54,13 +54,25 @@ type Config struct {
 	// Retry tunes the measured engines' per-RPC timeout/retry/breaker
 	// behavior; the zero value uses the server package defaults.
 	Retry server.RetryPolicy
+	// CacheBytes, when > 0, gives every measured engine a client data
+	// cache with that byte budget (core.Options.CacheBytes).
+	CacheBytes int64
+	// MetaTTL, when > 0, gives every measured engine a metadata cache
+	// with that TTL (core.Options.MetaTTL).
+	MetaTTL time.Duration
+	// Readahead is the sequential prefetch depth in bricks
+	// (core.Options.Readahead); it needs CacheBytes > 0 to take effect.
+	Readahead int
 }
 
-// withDispatch applies the configured dispatch mode (and any fault
-// schedule) to a measurement's engine options.
+// withDispatch applies the configured dispatch mode, cache settings,
+// and any fault schedule to a measurement's engine options.
 func (c Config) withDispatch(opts core.Options) core.Options {
 	opts.ParallelDispatch = c.Parallel
 	opts.Retry = c.Retry
+	opts.CacheBytes = c.CacheBytes
+	opts.MetaTTL = c.MetaTTL
+	opts.Readahead = c.Readahead
 	if c.Fault != nil {
 		opts.Dial = c.Fault.DialContext
 	}

@@ -13,7 +13,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
+	"dpfs/internal/cache"
 	"dpfs/internal/meta"
 	"dpfs/internal/obs"
 	"dpfs/internal/server"
@@ -62,6 +64,26 @@ type Options struct {
 	// per-server breaker of every I/O client this engine creates. The
 	// zero value applies the server package defaults.
 	Retry server.RetryPolicy
+	// CacheBytes, when positive, enables the client-side brick data
+	// cache: whole bricks fetched by reads are kept (LRU, bounded to
+	// this many bytes) and repeated reads are served locally. The
+	// engine's own writes invalidate overlapping bricks; there is no
+	// cross-client coherence (see DESIGN.md §9). Zero disables caching
+	// (the default — the paper's client keeps nothing).
+	CacheBytes int64
+	// MetaTTL, when positive, enables the client-side metadata cache:
+	// Open and Stat serve file attributes, distribution rows and server
+	// registrations from memory for up to this long, skipping the
+	// metadata database on the hot path. The engine's own create,
+	// remove and rename invalidate eagerly; other clients' changes are
+	// seen after at most MetaTTL (and stale distributions are caught by
+	// the servers' generation check). Zero disables the cache.
+	MetaTTL time.Duration
+	// Readahead, when positive (and CacheBytes is set), prefetches up
+	// to this many bricks ahead of a detected sequential brick-access
+	// pattern, using the parallel dispatch path in the background so
+	// the next read finds its bricks already cached.
+	Readahead int
 }
 
 // Client-engine metric names (in the engine's obs.Registry). Latency
@@ -85,6 +107,15 @@ type FS struct {
 	reg    *obs.Registry
 	traces *obs.TraceLog // nil unless EnableTracing was called
 
+	metaCache *cache.Meta // nil unless Options.MetaTTL > 0
+	dataCache *cache.Data // nil unless Options.CacheBytes > 0
+
+	// Readahead lifecycle: prefetch goroutines run under raCtx and are
+	// tracked by raWG so Close can cancel and drain them.
+	raCtx    context.Context
+	raCancel context.CancelFunc
+	raWG     sync.WaitGroup
+
 	mu      sync.Mutex
 	clients map[string]*server.Client // server name -> I/O client
 	addrs   map[string]string         // server name -> address (cached)
@@ -97,7 +128,7 @@ func NewFS(cat *meta.Catalog, rank int, opts Options) *FS {
 	if opts.Owner == "" {
 		opts.Owner = "dpfs"
 	}
-	return &FS{
+	fs := &FS{
 		cat:     cat,
 		rank:    rank,
 		opts:    opts,
@@ -105,6 +136,14 @@ func NewFS(cat *meta.Catalog, rank int, opts Options) *FS {
 		clients: make(map[string]*server.Client),
 		addrs:   make(map[string]string),
 	}
+	if opts.MetaTTL > 0 {
+		fs.metaCache = cache.NewMeta(opts.MetaTTL, fs.reg)
+	}
+	if opts.CacheBytes > 0 {
+		fs.dataCache = cache.NewData(opts.CacheBytes, fs.reg)
+	}
+	fs.raCtx, fs.raCancel = context.WithCancel(context.Background())
+	return fs
 }
 
 // Metrics returns the engine's metric registry (per-Client counters
@@ -115,8 +154,15 @@ func (fs *FS) Metrics() *obs.Registry { return fs.reg }
 // aggregate into one (the bench harness shares a registry across all
 // compute ranks). Call before issuing I/O.
 func (fs *FS) SetMetrics(reg *obs.Registry) {
-	if reg != nil {
-		fs.reg = reg
+	if reg == nil {
+		return
+	}
+	fs.reg = reg
+	if fs.metaCache != nil {
+		fs.metaCache.SetMetrics(reg)
+	}
+	if fs.dataCache != nil {
+		fs.dataCache.SetMetrics(reg)
 	}
 }
 
@@ -155,8 +201,11 @@ func (fs *FS) Rank() int { return fs.rank }
 // Options returns the engine options.
 func (fs *FS) Options() Options { return fs.opts }
 
-// Close drops all pooled server connections.
+// Close cancels in-flight readahead and drops all pooled server
+// connections.
 func (fs *FS) Close() error {
+	fs.raCancel()
+	fs.raWG.Wait()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	fs.closed = true
@@ -181,10 +230,18 @@ func (fs *FS) client(name string) (*server.Client, error) {
 	}
 	addr, ok := fs.addrs[name]
 	fs.mu.Unlock()
+	if !ok && fs.metaCache != nil {
+		if si, hit := fs.metaCache.GetServer(name); hit {
+			addr, ok = si.Addr, true
+		}
+	}
 	if !ok {
 		si, err := fs.cat.Server(name)
 		if err != nil {
 			return nil, err
+		}
+		if fs.metaCache != nil {
+			fs.metaCache.PutServer(si)
 		}
 		addr = si.Addr
 	}
@@ -260,6 +317,27 @@ type File struct {
 	localIdx []int64 // brick -> index within its server's bricklist
 	stats    fileStats
 	closed   bool
+
+	// Readahead state (used only when the engine has a data cache and
+	// Options.Readahead > 0): the handle watches its own read pattern
+	// and prefetches ahead of a sequential brick walk.
+	raMu   sync.Mutex
+	raLast int  // last brick of the previous read; -1 = no reads yet
+	raHigh int  // highest brick already scheduled for prefetch
+	raBusy bool // one prefetch batch in flight at a time
+}
+
+// newFile builds a handle around a looked-up (or freshly created) file
+// record.
+func newFile(fs *FS, fi meta.FileInfo, assign []int) *File {
+	return &File{
+		fs:       fs,
+		info:     fi,
+		assign:   assign,
+		localIdx: stripe.LocalIndex(assign),
+		raLast:   -1,
+		raHigh:   -1,
+	}
 }
 
 // Info returns the file's meta data.
@@ -321,28 +399,122 @@ func (fs *FS) Create(path string, elemSize int64, dims []int64, hint Hint) (*Fil
 	if err != nil {
 		return nil, err
 	}
+	gen, err := fs.cat.NextGeneration()
+	if err != nil {
+		return nil, err
+	}
 	fi := meta.FileInfo{
-		Path:      clean,
-		Owner:     fs.opts.Owner,
-		Perm:      perm,
-		Size:      g.Size(),
-		Geometry:  *g,
-		Placement: placement.Name(),
-		Servers:   servers,
+		Path:       clean,
+		Owner:      fs.opts.Owner,
+		Perm:       perm,
+		Size:       g.Size(),
+		Geometry:   *g,
+		Placement:  placement.Name(),
+		Servers:    servers,
+		Generation: gen,
 	}
 	if err := fs.cat.CreateFile(fi, assign); err != nil {
 		return nil, err
 	}
-	return &File{fs: fs, info: fi, assign: assign, localIdx: stripe.LocalIndex(assign)}, nil
+	if err := fs.materialize(fi); err != nil {
+		// Leave no catalog entry for a file whose generation never
+		// reached the servers.
+		if _, rerr := fs.cat.RemoveFile(clean); rerr != nil {
+			return nil, fmt.Errorf("dpfs: create %s: %v (catalog rollback also failed: %v)", clean, err, rerr)
+		}
+		return nil, fmt.Errorf("dpfs: create %s: %w", clean, err)
+	}
+	if fs.metaCache != nil {
+		fs.metaCache.PutFile(fi, assign)
+	}
+	if fs.dataCache != nil {
+		// A path reuse (remove + create) must not serve the old
+		// incarnation's bricks; generations already prevent aliasing,
+		// this just frees the dead entries early.
+		fs.dataCache.InvalidatePath(clean)
+	}
+	return newFile(fs, fi, assign), nil
 }
 
-// Open opens an existing DPFS file.
+// materialize creates each server's (empty) generationed subfile at
+// create time. This arms the stale-generation check everywhere the
+// file lives: a later reader holding an older cached distribution of
+// the same path finds a newer generation on the server and errors,
+// instead of reading the missing old subfile as zeros.
+func (fs *FS) materialize(fi meta.FileInfo) error {
+	for _, name := range fi.Servers {
+		c, err := fs.client(name)
+		if err != nil {
+			return err
+		}
+		req := &wire.Request{
+			Op:      wire.OpTruncate,
+			Path:    fi.Path,
+			Gen:     fi.Generation,
+			Extents: []wire.Extent{{Len: 0}},
+		}
+		if _, err := c.Do(context.Background(), req); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Open opens an existing DPFS file, serving the lookup from the
+// metadata cache when one is enabled.
 func (fs *FS) Open(path string) (*File, error) {
-	fi, assign, err := fs.cat.LookupFile(path)
+	clean, err := meta.CleanPath(path)
 	if err != nil {
 		return nil, err
 	}
-	return &File{fs: fs, info: fi, assign: assign, localIdx: stripe.LocalIndex(assign)}, nil
+	if fs.metaCache != nil {
+		if fi, assign, ok := fs.metaCache.GetFile(clean); ok {
+			return newFile(fs, fi, assign), nil
+		}
+	}
+	fi, assign, err := fs.cat.LookupFile(clean)
+	if err != nil {
+		return nil, err
+	}
+	if fs.metaCache != nil {
+		fs.metaCache.PutFile(fi, assign)
+	}
+	return newFile(fs, fi, assign), nil
+}
+
+// Stat returns a file's attributes, served from the metadata cache
+// when one is enabled (a cache miss loads and caches the full record,
+// so a following Open is free too).
+func (fs *FS) Stat(path string) (meta.FileInfo, error) {
+	clean, err := meta.CleanPath(path)
+	if err != nil {
+		return meta.FileInfo{}, err
+	}
+	if fs.metaCache == nil {
+		return fs.cat.Stat(clean)
+	}
+	if fi, _, ok := fs.metaCache.GetFile(clean); ok {
+		return fi, nil
+	}
+	fi, assign, err := fs.cat.LookupFile(clean)
+	if err != nil {
+		return meta.FileInfo{}, err
+	}
+	fs.metaCache.PutFile(fi, assign)
+	return fi, nil
+}
+
+// InvalidateMeta drops a path from the metadata cache. Mutations that
+// go to the catalog directly (chmod, chown, size updates) call it so
+// cached attributes do not outlive the change by more than they must;
+// with no cache enabled it is a no-op.
+func (fs *FS) InvalidateMeta(path string) {
+	if fs.metaCache == nil {
+		return
+	}
+	if clean, err := meta.CleanPath(path); err == nil {
+		fs.metaCache.InvalidateFile(clean)
+	}
 }
 
 // Remove deletes a DPFS file: its catalog rows and every server's
@@ -352,11 +524,17 @@ func (fs *FS) Remove(ctx context.Context, path string) error {
 	if err != nil {
 		return err
 	}
+	if fs.metaCache != nil {
+		fs.metaCache.InvalidateFile(fi.Path)
+	}
+	if fs.dataCache != nil {
+		fs.dataCache.InvalidatePath(fi.Path)
+	}
 	var firstErr error
 	for _, name := range fi.Servers {
 		c, err := fs.client(name)
 		if err == nil {
-			_, err = c.Do(ctx, &wire.Request{Op: wire.OpRemove, Path: fi.Path})
+			_, err = c.Do(ctx, &wire.Request{Op: wire.OpRemove, Path: fi.Path, Gen: fi.Generation})
 		}
 		if err != nil && firstErr == nil {
 			firstErr = err
@@ -378,25 +556,33 @@ func (fs *FS) Rename(ctx context.Context, oldPath, newPath string) error {
 	if err != nil {
 		return err
 	}
-	servers, err := fs.cat.RenameFile(cleanOld, cleanNew)
+	servers, gen, err := fs.cat.RenameFile(cleanOld, cleanNew)
 	if err != nil {
 		return err
+	}
+	if fs.metaCache != nil {
+		fs.metaCache.InvalidateFile(cleanOld)
+		fs.metaCache.InvalidateFile(cleanNew)
+	}
+	if fs.dataCache != nil {
+		fs.dataCache.InvalidatePath(cleanOld)
+		fs.dataCache.InvalidatePath(cleanNew)
 	}
 	renamed := make([]string, 0, len(servers))
 	for _, name := range servers {
 		c, err := fs.client(name)
 		if err == nil {
-			_, err = c.Do(ctx, &wire.Request{Op: wire.OpRename, Path: cleanOld, Data: []byte(cleanNew)})
+			_, err = c.Do(ctx, &wire.Request{Op: wire.OpRename, Path: cleanOld, Gen: gen, Data: []byte(cleanNew)})
 		}
 		if err != nil {
 			// Roll back: subfiles already moved go back, then the
 			// catalog records.
 			for _, done := range renamed {
 				if c2, e2 := fs.client(done); e2 == nil {
-					_, _ = c2.Do(ctx, &wire.Request{Op: wire.OpRename, Path: cleanNew, Data: []byte(cleanOld)})
+					_, _ = c2.Do(ctx, &wire.Request{Op: wire.OpRename, Path: cleanNew, Gen: gen, Data: []byte(cleanOld)})
 				}
 			}
-			if _, rerr := fs.cat.RenameFile(cleanNew, cleanOld); rerr != nil {
+			if _, _, rerr := fs.cat.RenameFile(cleanNew, cleanOld); rerr != nil {
 				return fmt.Errorf("dpfs: rename %s: %v (catalog rollback also failed: %v)", cleanOld, err, rerr)
 			}
 			return fmt.Errorf("dpfs: rename %s: %w", cleanOld, err)
@@ -477,7 +663,7 @@ func (fs *FS) selectServers(hint *Hint) ([]meta.ServerInfo, error) {
 	if len(hint.Servers) > 0 {
 		out := make([]meta.ServerInfo, len(hint.Servers))
 		for i, n := range hint.Servers {
-			si, err := fs.cat.Server(n)
+			si, err := fs.serverInfo(n)
 			if err != nil {
 				return nil, err
 			}
@@ -485,9 +671,24 @@ func (fs *FS) selectServers(hint *Hint) ([]meta.ServerInfo, error) {
 		}
 		return out, nil
 	}
-	all, err := fs.cat.Servers()
-	if err != nil {
-		return nil, err
+	var all []meta.ServerInfo
+	if fs.metaCache != nil {
+		if cached, ok := fs.metaCache.GetServers(); ok {
+			// Copy: the cached slice is shared and the sort below
+			// mutates.
+			all = append([]meta.ServerInfo(nil), cached...)
+		}
+	}
+	if all == nil {
+		loaded, err := fs.cat.Servers()
+		if err != nil {
+			return nil, err
+		}
+		if fs.metaCache != nil {
+			fs.metaCache.PutServers(loaded)
+			loaded = append([]meta.ServerInfo(nil), loaded...)
+		}
+		all = loaded
 	}
 	if len(all) == 0 {
 		return nil, errors.New("dpfs: no I/O servers registered")
@@ -503,6 +704,24 @@ func (fs *FS) selectServers(hint *Hint) ([]meta.ServerInfo, error) {
 		n = len(all)
 	}
 	return all[:n], nil
+}
+
+// serverInfo loads one server's registration through the metadata
+// cache when enabled.
+func (fs *FS) serverInfo(name string) (meta.ServerInfo, error) {
+	if fs.metaCache != nil {
+		if si, ok := fs.metaCache.GetServer(name); ok {
+			return si, nil
+		}
+	}
+	si, err := fs.cat.Server(name)
+	if err != nil {
+		return meta.ServerInfo{}, err
+	}
+	if fs.metaCache != nil {
+		fs.metaCache.PutServer(si)
+	}
+	return si, nil
 }
 
 // checkCapacity rejects a creation that would push any chosen server

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dpfs/internal/cache"
 	"dpfs/internal/datatype"
 	"dpfs/internal/obs"
 	"dpfs/internal/stripe"
@@ -242,15 +243,6 @@ func (f *File) execute(ctx context.Context, plan []stripe.BrickIO, buf []byte, w
 		return nil
 	}
 	opts := f.fs.opts
-	var reqs []stripe.Request
-	if opts.Combine {
-		reqs = stripe.Combine(plan, f.assign)
-		if opts.Stagger {
-			reqs = stripe.Stagger(reqs, f.fs.rank, len(f.info.Servers))
-		}
-	} else {
-		reqs = stripe.PerBrick(plan, f.assign)
-	}
 
 	var useful int64
 	for _, bio := range plan {
@@ -259,6 +251,14 @@ func (f *File) execute(ctx context.Context, plan []stripe.BrickIO, buf []byte, w
 	statUseful.Add(useful)
 	f.fs.reg.Counter(MetricBytesUseful).Add(useful)
 	f.stats.useful.Add(useful)
+
+	// Serve read bricks held by the data cache locally; only the
+	// remainder travels. fullPlan keeps the original access for write
+	// invalidation and readahead pattern detection.
+	fullPlan := plan
+	if !write && f.fs.dataCache != nil {
+		plan = f.serveFromCache(plan, buf)
+	}
 
 	opName := "read"
 	if write {
@@ -269,21 +269,67 @@ func (f *File) execute(ctx context.Context, plan []stripe.BrickIO, buf []byte, w
 		root = obs.NewSpan("client.request")
 		root.Op = opName
 		root.Path = f.info.Path
-		root.Bricks = len(plan)
+		root.Bricks = len(fullPlan)
 		root.Bytes = useful
 	}
 
 	var err error
-	if opts.ParallelDispatch && len(reqs) > 1 {
-		err = f.dispatchParallel(ctx, reqs, buf, write, opName, root)
-	} else {
-		err = f.dispatchSequential(ctx, reqs, buf, write, opName, root)
+	if len(plan) > 0 {
+		var reqs []stripe.Request
+		if opts.Combine {
+			reqs = stripe.Combine(plan, f.assign)
+			if opts.Stagger {
+				reqs = stripe.Stagger(reqs, f.fs.rank, len(f.info.Servers))
+			}
+		} else {
+			reqs = stripe.PerBrick(plan, f.assign)
+		}
+		if opts.ParallelDispatch && len(reqs) > 1 {
+			err = f.dispatchParallel(ctx, reqs, buf, write, opName, root)
+		} else {
+			err = f.dispatchSequential(ctx, reqs, buf, write, opName, root)
+		}
 	}
 	if root != nil {
 		root.End()
 		f.fs.traces.Add(&obs.Trace{Root: root})
 	}
+	if write && f.fs.dataCache != nil {
+		// Invalidate overlapping bricks even on error: a failed
+		// dispatch may still have written some servers. Ordering with
+		// concurrent fills is safe — any fill whose bytes could predate
+		// this write also took its token before now, so it is poisoned.
+		gen := f.info.Generation
+		for _, bio := range fullPlan {
+			f.fs.dataCache.Invalidate(cache.BrickKey{Path: f.info.Path, Gen: gen, Brick: bio.Brick})
+		}
+	}
+	if err == nil && !write {
+		f.triggerReadahead(fullPlan)
+	}
 	return err
+}
+
+// serveFromCache copies cached whole bricks of a read plan into buf
+// and returns the plan's remainder (bricks that must travel). The
+// cache stores only whole bricks, so a hit serves every segment of its
+// brick regardless of read mode.
+func (f *File) serveFromCache(plan []stripe.BrickIO, buf []byte) []stripe.BrickIO {
+	dc := f.fs.dataCache
+	g := &f.info.Geometry
+	gen := f.info.Generation
+	rest := make([]stripe.BrickIO, 0, len(plan))
+	for _, bio := range plan {
+		data, ok := dc.Get(cache.BrickKey{Path: f.info.Path, Gen: gen, Brick: bio.Brick})
+		if !ok || int64(len(data)) != g.BrickBytesOf(bio.Brick) {
+			rest = append(rest, bio)
+			continue
+		}
+		for _, seg := range bio.Segs {
+			copy(buf[seg.MemOff:seg.MemOff+seg.Len], data[seg.BrickOff:seg.BrickOff+seg.Len])
+		}
+	}
+	return rest
 }
 
 // rpcSpan starts the per-server trace span for one request; nil when
@@ -460,11 +506,21 @@ func (f *File) doRequest(ctx context.Context, r *stripe.Request, buf []byte, wri
 	if err != nil {
 		return err
 	}
-	req := &wire.Request{Op: op, Path: f.info.Path, Extents: exts, Segments: segs}
+	req := &wire.Request{Op: op, Path: f.info.Path, Gen: f.info.Generation, Extents: exts, Segments: segs}
 	var scratch []byte
 	if !write {
 		scratch = getScratch(wire.DataBytes(exts) + wire.RespOverhead)
 		defer putScratch(scratch)
+	}
+	// Whole-brick read responses are eligible to fill the data cache.
+	// The fill token is taken before the network exchange: an
+	// invalidation that lands between here and Put poisons the fill, so
+	// a concurrent writer can never be overwritten by stale read bytes.
+	dc := f.fs.dataCache
+	fill := !write && wholeBrick && dc != nil
+	var fillTok uint64
+	if fill {
+		fillTok = dc.Token()
 	}
 	start := time.Now()
 	resp, err := client.DoScratch(ctx, req, scratch)
@@ -499,6 +555,10 @@ func (f *File) doRequest(ctx context.Context, r *stripe.Request, buf []byte, wri
 			brickData := resp.Data[pos : pos+blen]
 			for _, seg := range b.Segs {
 				copy(buf[seg.MemOff:seg.MemOff+seg.Len], brickData[seg.BrickOff:seg.BrickOff+seg.Len])
+			}
+			if fill {
+				// Put copies: brickData aliases the pooled scratch.
+				dc.Put(cache.BrickKey{Path: f.info.Path, Gen: f.info.Generation, Brick: b.Brick}, brickData, fillTok)
 			}
 			pos += blen
 			continue

@@ -92,13 +92,21 @@ func rankBytes(rank, n int) []byte {
 // sections, concurrently), reads it back under the same fault schedule,
 // and asserts both phases are byte-identical to the fault-free truth.
 // It returns the engines' shared registry for counter assertions.
-func runChaosWorkload(t *testing.T, c *cluster.Cluster, inj *fault.Injector, np int, parallel bool) *obs.Registry {
+func runChaosWorkload(t *testing.T, c *cluster.Cluster, inj *fault.Injector, np int, parallel, cached bool) *obs.Registry {
 	t.Helper()
 	ctx := context.Background()
 	reg := obs.NewRegistry()
 	opts := core.Options{
 		Combine: true, Stagger: true, ParallelDispatch: parallel,
 		Dial: inj.DialContext, Retry: chaosRetry(),
+	}
+	if cached {
+		// The client caches must be invisible under the storm: fills
+		// race retries, write invalidations race prefetches, and the
+		// byte-equality assertions below must hold unchanged.
+		opts.CacheBytes = 64 << 20
+		opts.MetaTTL = time.Minute
+		opts.Readahead = 2
 	}
 
 	path := fmt.Sprintf("/chaos-%v.dat", parallel)
@@ -223,7 +231,7 @@ func runChaosWorkload(t *testing.T, c *cluster.Cluster, inj *fault.Injector, np 
 func TestChaosSequential(t *testing.T) {
 	inj := fault.New(1, chaosRules()...)
 	c := startChaosCluster(t, 4, inj)
-	reg := runChaosWorkload(t, c, inj, 4, false)
+	reg := runChaosWorkload(t, c, inj, 4, false, false)
 	if inj.Total() == 0 {
 		t.Fatal("the fault schedule never fired")
 	}
@@ -243,7 +251,23 @@ func TestChaosSequential(t *testing.T) {
 func TestChaosParallelDispatch(t *testing.T) {
 	inj := fault.New(2, chaosRules()...)
 	c := startChaosCluster(t, 4, inj)
-	reg := runChaosWorkload(t, c, inj, 4, true)
+	reg := runChaosWorkload(t, c, inj, 4, true, false)
+	if inj.Total() == 0 {
+		t.Fatal("the fault schedule never fired")
+	}
+	if got := reg.Counter(server.MetricClientRetries).Value(); got == 0 {
+		t.Fatal("client_retries = 0, want > 0 under the storm")
+	}
+}
+
+// TestChaosCached runs the storm with the client caches on (data
+// cache, metadata cache, readahead): served-from-cache reads, poisoned
+// fills and prefetch traffic must leave every byte-equality assertion
+// of the workload intact.
+func TestChaosCached(t *testing.T) {
+	inj := fault.New(5, chaosRules()...)
+	c := startChaosCluster(t, 4, inj)
+	reg := runChaosWorkload(t, c, inj, 4, true, true)
 	if inj.Total() == 0 {
 		t.Fatal("the fault schedule never fired")
 	}
@@ -261,7 +285,7 @@ func TestChaosPerServerRule(t *testing.T) {
 		fault.Rule{Kind: fault.KindDelay, Prob: 0.2, Delay: time.Millisecond, Label: "io1"},
 	)
 	c := startChaosCluster(t, 4, inj)
-	reg := runChaosWorkload(t, c, inj, 4, false)
+	reg := runChaosWorkload(t, c, inj, 4, false, false)
 	if inj.Total() == 0 {
 		t.Fatal("the per-server schedule never fired")
 	}
@@ -365,7 +389,7 @@ func TestChaosSweep(t *testing.T) {
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
 			inj := fault.New(seed, chaosRules()...)
 			c := startChaosCluster(t, 4, inj)
-			runChaosWorkload(t, c, inj, 4, seed%2 == 0)
+			runChaosWorkload(t, c, inj, 4, seed%2 == 0, seed%3 != 0)
 		})
 	}
 }

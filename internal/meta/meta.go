@@ -53,6 +53,15 @@ type FileInfo struct {
 	// across which the file is striped; the brick→server assignment
 	// indexes into it.
 	Servers []string
+	// Generation is the distribution generation stamped into the
+	// file's DPFS-FILE-DISTRIBUTION rows at creation, allocated from
+	// the catalog-wide dpfs_generation counter. I/O servers key
+	// subfiles by (path, generation), so a client whose cached
+	// distribution predates a remove+recreate of the same path is
+	// detected (stale-generation error) instead of being served the
+	// wrong file's bricks. Zero means ungenerationed (legacy rows and
+	// direct catalog tests).
+	Generation int64
 }
 
 // Catalog performs DPFS catalog operations over a SQL connection. It
@@ -82,7 +91,11 @@ func (c *Catalog) Init() error {
 			filename TEXT NOT NULL,
 			srv_index INT NOT NULL,
 			brick_count INT NOT NULL,
-			bricklist TEXT NOT NULL)`,
+			bricklist TEXT NOT NULL,
+			gen INT NOT NULL)`,
+		`CREATE TABLE IF NOT EXISTS dpfs_generation (
+			id INT PRIMARY KEY,
+			next INT NOT NULL)`,
 		`CREATE INDEX IF NOT EXISTS dist_by_file ON dpfs_file_distribution (filename)`,
 		`CREATE INDEX IF NOT EXISTS dist_by_server ON dpfs_file_distribution (server)`,
 		`CREATE TABLE IF NOT EXISTS dpfs_directory (
@@ -120,7 +133,45 @@ func (c *Catalog) Init() error {
 			return err
 		}
 	}
+	// Seed the generation counter.
+	res, err = c.db.Exec(`SELECT next FROM dpfs_generation WHERE id = 0`)
+	if err != nil {
+		return err
+	}
+	if len(res.Rows) == 0 {
+		_, err = c.db.Exec(`INSERT INTO dpfs_generation VALUES (0, 0)`)
+		if err != nil && !strings.Contains(err.Error(), "duplicate") {
+			return err
+		}
+	}
 	return nil
+}
+
+// NextGeneration allocates a fresh distribution generation from the
+// catalog-wide counter. The UPDATE runs first so the transaction takes
+// its exclusive lock immediately (no shared→exclusive upgrade under
+// strict 2PL); concurrent allocators serialize on it and each sees a
+// distinct value. Generations only grow, which is what lets the I/O
+// servers order any two distributions of the same path.
+func (c *Catalog) NextGeneration() (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var gen int64
+	err := c.inTx(func() error {
+		if _, err := c.db.Exec(`UPDATE dpfs_generation SET next = next + 1 WHERE id = 0`); err != nil {
+			return err
+		}
+		res, err := c.db.Exec(`SELECT next FROM dpfs_generation WHERE id = 0`)
+		if err != nil {
+			return err
+		}
+		if len(res.Rows) == 0 {
+			return errors.New("meta: generation counter missing (Init not run?)")
+		}
+		gen = res.Rows[0][0].Int
+		return nil
+	})
+	return gen, err
 }
 
 // --- server registry --------------------------------------------------
@@ -356,9 +407,9 @@ func (c *Catalog) CreateFile(fi FileInfo, assign []int) error {
 		lists := stripe.BrickLists(assign, len(fi.Servers))
 		for si, list := range lists {
 			if _, err := c.db.Exec(fmt.Sprintf(
-				`INSERT INTO dpfs_file_distribution VALUES (%s, %s, %d, %d, %s)`,
+				`INSERT INTO dpfs_file_distribution VALUES (%s, %s, %d, %d, %s, %d)`,
 				quote(fi.Servers[si]), quote(path), si, len(list),
-				quote(stripe.FormatBrickList(list)))); err != nil {
+				quote(stripe.FormatBrickList(list)), fi.Generation)); err != nil {
 				return err
 			}
 		}
@@ -382,7 +433,7 @@ func (c *Catalog) LookupFile(path string) (FileInfo, []int, error) {
 		return FileInfo{}, nil, err
 	}
 	res, err := c.db.Exec(fmt.Sprintf(
-		`SELECT server, srv_index, bricklist FROM dpfs_file_distribution WHERE filename = %s ORDER BY srv_index`,
+		`SELECT server, srv_index, bricklist, gen FROM dpfs_file_distribution WHERE filename = %s ORDER BY srv_index`,
 		quote(path)))
 	if err != nil {
 		return FileInfo{}, nil, err
@@ -403,6 +454,7 @@ func (c *Catalog) LookupFile(path string) (FileInfo, []int, error) {
 			return FileInfo{}, nil, err
 		}
 		lists[si] = list
+		fi.Generation = r[3].Int
 	}
 	assign, err := stripe.AssignmentFromLists(lists, fi.Geometry.NumBricks())
 	if err != nil {
@@ -489,12 +541,13 @@ func (c *Catalog) RemoveFile(path string) (FileInfo, error) {
 			return err
 		}
 		res, err := c.db.Exec(fmt.Sprintf(
-			`SELECT server FROM dpfs_file_distribution WHERE filename = %s ORDER BY srv_index`, quote(path)))
+			`SELECT server, gen FROM dpfs_file_distribution WHERE filename = %s ORDER BY srv_index`, quote(path)))
 		if err != nil {
 			return err
 		}
 		for _, r := range res.Rows {
 			fi.Servers = append(fi.Servers, r[0].Str)
+			fi.Generation = r[1].Int
 		}
 		if _, err := c.db.Exec(fmt.Sprintf(`DELETE FROM dpfs_file_attr WHERE filename = %s`, quote(path))); err != nil {
 			return err
@@ -513,27 +566,27 @@ func (c *Catalog) RemoveFile(path string) (FileInfo, error) {
 
 // RenameFile atomically moves a file's catalog records to a new path
 // (attr row, distribution rows, and both directory entries) and
-// returns the server list so the caller can rename the subfiles. The
-// destination's parent directory must exist and the destination must
-// not.
-func (c *Catalog) RenameFile(oldPath, newPath string) (servers []string, err error) {
+// returns the server list and distribution generation so the caller
+// can rename the subfiles. The destination's parent directory must
+// exist and the destination must not.
+func (c *Catalog) RenameFile(oldPath, newPath string) (servers []string, gen int64, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	oldPath, err = CleanPath(oldPath)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	newPath, err = CleanPath(newPath)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if oldPath == newPath {
-		return nil, fmt.Errorf("meta: rename %s onto itself", oldPath)
+		return nil, 0, fmt.Errorf("meta: rename %s onto itself", oldPath)
 	}
 	oldParent, oldName := Split(oldPath)
 	newParent, newName := Split(newPath)
 	if err := validName(newName); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	err = c.inTx(func() error {
 		if _, err := c.statLocked(oldPath); err != nil {
@@ -547,12 +600,13 @@ func (c *Catalog) RenameFile(oldPath, newPath string) (servers []string, err err
 			return fmt.Errorf("meta: %s already exists", newPath)
 		}
 		res, err := c.db.Exec(fmt.Sprintf(
-			`SELECT server FROM dpfs_file_distribution WHERE filename = %s ORDER BY srv_index`, quote(oldPath)))
+			`SELECT server, gen FROM dpfs_file_distribution WHERE filename = %s ORDER BY srv_index`, quote(oldPath)))
 		if err != nil {
 			return err
 		}
 		for _, r := range res.Rows {
 			servers = append(servers, r[0].Str)
+			gen = r[1].Int
 		}
 		if _, err := c.db.Exec(fmt.Sprintf(
 			`UPDATE dpfs_file_attr SET filename = %s WHERE filename = %s`,
@@ -582,9 +636,9 @@ func (c *Catalog) RenameFile(oldPath, newPath string) (servers []string, err err
 		return c.writeDirList(newParent, "files", nfiles)
 	})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return servers, nil
+	return servers, gen, nil
 }
 
 // ServerUsage is one row of the catalog's per-server load report.

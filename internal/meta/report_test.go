@@ -20,7 +20,7 @@ func TestRenameFile(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	servers, err := c.RenameFile("/a/old", "/b/new")
+	servers, _, err := c.RenameFile("/a/old", "/b/new")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func TestRenameFile(t *testing.T) {
 	}
 
 	// Same-directory rename.
-	if _, err := c.RenameFile("/b/new", "/b/renamed"); err != nil {
+	if _, _, err := c.RenameFile("/b/new", "/b/renamed"); err != nil {
 		t.Fatal(err)
 	}
 	_, files, _ = c.ReadDir("/b")
@@ -65,20 +65,20 @@ func TestRenameFile(t *testing.T) {
 	}
 
 	// Error cases.
-	if _, err := c.RenameFile("/missing", "/b/x"); err == nil {
+	if _, _, err := c.RenameFile("/missing", "/b/x"); err == nil {
 		t.Fatal("renaming a missing file should fail")
 	}
-	if _, err := c.RenameFile("/b/renamed", "/b/renamed"); err == nil {
+	if _, _, err := c.RenameFile("/b/renamed", "/b/renamed"); err == nil {
 		t.Fatal("self-rename should fail")
 	}
-	if _, err := c.RenameFile("/b/renamed", "/nodir/x"); err == nil {
+	if _, _, err := c.RenameFile("/b/renamed", "/nodir/x"); err == nil {
 		t.Fatal("rename into missing directory should fail")
 	}
 	fi2 := testFileInfo("/b/other")
 	if err := c.CreateFile(fi2, assign); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.RenameFile("/b/renamed", "/b/other"); err == nil {
+	if _, _, err := c.RenameFile("/b/renamed", "/b/other"); err == nil {
 		t.Fatal("rename onto existing file should fail")
 	}
 	// Failed renames must leave everything intact (transactional).

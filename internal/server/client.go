@@ -28,6 +28,19 @@ import (
 // exchange is safe: every wire op is an idempotent replay (reads and
 // extent writes are absolute-offset, remove/rename/truncate tolerate
 // re-application).
+//
+// Idempotence alone does not cover metadata-dependent retries: a
+// request addresses the subfile named by the client's cached
+// distribution row, and if the file was removed and recreated while
+// the client backed off, a replayed read would land on a path the
+// server recreates on demand — and silently return zeros (missing
+// extents read as holes). Every request therefore carries the
+// distribution's generation (wire.Request.Gen): the server remembers
+// the newest generation it has seen per path and rejects older ones
+// with a "stale generation" error, so a stale cached distribution
+// fails loudly instead of serving the wrong file's bytes. See the
+// generation scheme in internal/server (checkGen) and the catalog's
+// generation counter (meta.Catalog.NextGeneration).
 type Client struct {
 	addr    string
 	maxIdle int

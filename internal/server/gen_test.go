@@ -1,0 +1,113 @@
+package server
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dpfs/internal/wire"
+)
+
+// TestGenerationStaleRejected exercises the stale-distribution guard: a
+// request carrying an older generation than the server has seen for a
+// path must error instead of silently answering from (or creating) an
+// outdated subfile.
+func TestGenerationStaleRejected(t *testing.T) {
+	_, cli := startServer(t, nil)
+	ctx := ctxT(t)
+
+	// g1 exists; a write at g2 advances the path and cleans up g1.
+	if _, err := cli.Do(ctx, &wire.Request{
+		Op: wire.OpWrite, Path: "f.dat", Gen: 1,
+		Extents: []wire.Extent{{Off: 0, Len: 3}}, Data: []byte("old"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Do(ctx, &wire.Request{
+		Op: wire.OpWrite, Path: "f.dat", Gen: 2,
+		Extents: []wire.Extent{{Off: 0, Len: 3}}, Data: []byte("new"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A read against the removed generation fails loudly.
+	_, err := cli.Do(ctx, &wire.Request{
+		Op: wire.OpRead, Path: "f.dat", Gen: 1,
+		Extents: []wire.Extent{{Off: 0, Len: 3}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "stale generation") {
+		t.Fatalf("stale read error = %v, want stale generation", err)
+	}
+
+	// The current generation still answers with its own bytes.
+	resp, err := cli.Do(ctx, &wire.Request{
+		Op: wire.OpRead, Path: "f.dat", Gen: 2,
+		Extents: []wire.Extent{{Off: 0, Len: 3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp.Data, []byte("new")) {
+		t.Fatalf("gen-2 read = %q, want %q", resp.Data, "new")
+	}
+}
+
+// TestGenerationMemorySurvivesRestart checks the server reseeds its
+// per-path generation memory from the on-disk subfile names, so stale
+// requests stay rejected after a crash or restart.
+func TestGenerationMemorySurvivesRestart(t *testing.T) {
+	root := t.TempDir()
+	srv, err := Listen(Config{Root: root, Name: "io-a"}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := NewClient(srv.Addr())
+	ctx := ctxT(t)
+	if _, err := cli.Do(ctx, &wire.Request{
+		Op: wire.OpWrite, Path: "f.dat", Gen: 5,
+		Extents: []wire.Extent{{Off: 0, Len: 1}}, Data: []byte("x"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cli.Close()
+	srv.Close()
+
+	srv2, err := Listen(Config{Root: root, Name: "io-a"}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	cli2 := NewClient(srv2.Addr())
+	defer cli2.Close()
+	_, err = cli2.Do(ctx, &wire.Request{
+		Op: wire.OpRead, Path: "f.dat", Gen: 4,
+		Extents: []wire.Extent{{Off: 0, Len: 1}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "stale generation") {
+		t.Fatalf("post-restart stale read error = %v, want stale generation", err)
+	}
+}
+
+// TestGenerationZeroLegacy checks that generation 0 (files created
+// before the scheme, and paths that never advanced) bypasses the guard
+// entirely — reads and writes behave as before.
+func TestGenerationZeroLegacy(t *testing.T) {
+	_, cli := startServer(t, nil)
+	ctx := ctxT(t)
+	if _, err := cli.Do(ctx, &wire.Request{
+		Op: wire.OpWrite, Path: "legacy.dat", Gen: 0,
+		Extents: []wire.Extent{{Off: 0, Len: 3}}, Data: []byte("abc"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cli.Do(ctx, &wire.Request{
+		Op: wire.OpRead, Path: "legacy.dat", Gen: 0,
+		Extents: []wire.Extent{{Off: 0, Len: 3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp.Data, []byte("abc")) {
+		t.Fatalf("legacy read = %q, want %q", resp.Data, "abc")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -63,6 +64,7 @@ type Server struct {
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	files  map[string]*subfile
+	gens   map[string]int64 // local base path → highest generation seen
 	closed bool
 	wg     sync.WaitGroup
 
@@ -105,6 +107,7 @@ func New(cfg Config, lis net.Listener) (*Server, error) {
 		reg:    obs.NewRegistry(),
 		conns:  make(map[net.Conn]struct{}),
 		files:  make(map[string]*subfile),
+		gens:   make(map[string]int64),
 		ctx:    ctx,
 		cancel: cancel,
 	}
@@ -319,6 +322,106 @@ func (s *Server) serve(ctx context.Context, req *wire.Request) (*wire.Response, 
 	return nil, fmt.Errorf("unknown op %v", req.Op)
 }
 
+// subfileName maps a DPFS path and distribution generation to the wire
+// subfile name. Generation 0 (legacy raw requests) addresses the bare
+// path; generationed files live beside it as path@g<gen>, so two
+// incarnations of the same DPFS path can never alias each other's
+// bytes.
+func subfileName(path string, gen int64) string {
+	if gen == 0 {
+		return path
+	}
+	return path + "@g" + strconv.FormatInt(gen, 10)
+}
+
+// checkGen enforces the monotonic-generation rule for a request, and is
+// what turns a stale cached distribution into an error instead of wrong
+// data. The server remembers, per subfile base, the highest generation
+// any request has named (seeded from the files on disk the first time a
+// base is touched — generations survive restarts through the @g names).
+// A request older than that memory is stale: the path was removed and
+// recreated after the client cached its distribution row, so the bricks
+// it would address no longer exist — and since a missing subfile
+// otherwise reads as zeros (hole semantics), without this check the
+// staleness would be silent. advance is set by ops that may create the
+// subfile (write, truncate): they also delete dead older-generation
+// files left behind by a failed remove.
+func (s *Server) checkGen(path string, gen int64, advance bool) error {
+	if gen == 0 {
+		return nil
+	}
+	base, err := s.localPath(path)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	seen, ok := s.gens[base]
+	if !ok {
+		seen = scanGens(base)
+	}
+	if gen > seen {
+		s.gens[base] = gen
+	} else {
+		s.gens[base] = seen
+	}
+	s.mu.Unlock()
+	if gen < seen {
+		return fmt.Errorf("stale generation: request addresses %s at g%d but the server has seen g%d (file removed and recreated; re-open it)", path, gen, seen)
+	}
+	if advance && gen > seen && seen > 0 {
+		// This generation supersedes older on-disk subfiles (a remove
+		// that failed mid-way can leave them); they are dead weight and
+		// must not be double-counted by usage.
+		s.removeOldGens(base, gen)
+	}
+	return nil
+}
+
+// scanGens returns the highest @g generation present on disk for base
+// (0 when none). Called once per base, under s.mu.
+func scanGens(base string) int64 {
+	entries, err := os.ReadDir(filepath.Dir(base))
+	if err != nil {
+		return 0
+	}
+	prefix := filepath.Base(base) + "@g"
+	var max int64
+	for _, e := range entries {
+		g, ok := parseGen(e.Name(), prefix)
+		if ok && g > max {
+			max = g
+		}
+	}
+	return max
+}
+
+func parseGen(name, prefix string) (int64, bool) {
+	if !strings.HasPrefix(name, prefix) {
+		return 0, false
+	}
+	g, err := strconv.ParseInt(name[len(prefix):], 10, 64)
+	if err != nil || g <= 0 {
+		return 0, false
+	}
+	return g, true
+}
+
+// removeOldGens deletes on-disk generations of base older than gen.
+func (s *Server) removeOldGens(base string, gen int64) {
+	entries, err := os.ReadDir(filepath.Dir(base))
+	if err != nil {
+		return
+	}
+	prefix := filepath.Base(base) + "@g"
+	for _, e := range entries {
+		if g, ok := parseGen(e.Name(), prefix); ok && g < gen {
+			local := filepath.Join(filepath.Dir(base), e.Name())
+			s.drop(local)
+			_ = os.Remove(local)
+		}
+	}
+}
+
 // localPath maps a DPFS subfile name to a path under Root, rejecting
 // escapes.
 func (s *Server) localPath(p string) (string, error) {
@@ -383,7 +486,10 @@ func (s *Server) opRead(ctx context.Context, req *wire.Request) (*wire.Response,
 	if _, err := s.cfg.Model.Delay(ctx, len(req.Extents), total); err != nil {
 		return nil, err
 	}
-	sf, err := s.open(req.Path, false)
+	if err := s.checkGen(req.Path, req.Gen, false); err != nil {
+		return nil, err
+	}
+	sf, err := s.open(subfileName(req.Path, req.Gen), false)
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
 			// Reading a never-written subfile returns zeros, matching
@@ -426,7 +532,10 @@ func (s *Server) opWrite(ctx context.Context, req *wire.Request) (*wire.Response
 	if _, err := s.cfg.Model.Delay(ctx, len(req.Extents), total); err != nil {
 		return nil, err
 	}
-	sf, err := s.open(req.Path, true)
+	if err := s.checkGen(req.Path, req.Gen, true); err != nil {
+		return nil, err
+	}
+	sf, err := s.open(subfileName(req.Path, req.Gen), true)
 	if err != nil {
 		return nil, err
 	}
@@ -446,7 +555,10 @@ func (s *Server) opWrite(ctx context.Context, req *wire.Request) (*wire.Response
 }
 
 func (s *Server) opRemove(req *wire.Request) (*wire.Response, error) {
-	local, err := s.localPath(req.Path)
+	if err := s.checkGen(req.Path, req.Gen, false); err != nil {
+		return nil, err
+	}
+	local, err := s.localPath(subfileName(req.Path, req.Gen))
 	if err != nil {
 		return nil, err
 	}
@@ -458,7 +570,10 @@ func (s *Server) opRemove(req *wire.Request) (*wire.Response, error) {
 }
 
 func (s *Server) opStat(req *wire.Request) (*wire.Response, error) {
-	local, err := s.localPath(req.Path)
+	if err := s.checkGen(req.Path, req.Gen, false); err != nil {
+		return nil, err
+	}
+	local, err := s.localPath(subfileName(req.Path, req.Gen))
 	if err != nil {
 		return nil, err
 	}
@@ -499,11 +614,19 @@ func (s *Server) opUsage() (*wire.Response, error) {
 // Renaming a subfile that does not exist yet succeeds: sparse DPFS
 // files may have no bricks on some servers.
 func (s *Server) opRename(req *wire.Request) (*wire.Response, error) {
-	oldLocal, err := s.localPath(req.Path)
+	if err := s.checkGen(req.Path, req.Gen, false); err != nil {
+		return nil, err
+	}
+	// The destination inherits the generation; advance its base so dead
+	// leftovers under the new name are cleared.
+	if err := s.checkGen(string(req.Data), req.Gen, true); err != nil {
+		return nil, err
+	}
+	oldLocal, err := s.localPath(subfileName(req.Path, req.Gen))
 	if err != nil {
 		return nil, err
 	}
-	newLocal, err := s.localPath(string(req.Data))
+	newLocal, err := s.localPath(subfileName(string(req.Data), req.Gen))
 	if err != nil {
 		return nil, err
 	}
@@ -525,7 +648,10 @@ func (s *Server) opTruncate(req *wire.Request) (*wire.Response, error) {
 	if len(req.Extents) != 1 {
 		return nil, errors.New("truncate needs exactly one extent")
 	}
-	sf, err := s.open(req.Path, true)
+	if err := s.checkGen(req.Path, req.Gen, true); err != nil {
+		return nil, err
+	}
+	sf, err := s.open(subfileName(req.Path, req.Gen), true)
 	if err != nil {
 		return nil, err
 	}

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"dpfs"
+	"dpfs/internal/cache"
 	"dpfs/internal/core"
 	"dpfs/internal/meta"
 	"dpfs/internal/stripe"
@@ -97,7 +98,7 @@ const helpText = `DPFS shell commands:
   chown OWNER FILE        set a file's owner
   du                      per-server file and brick usage
   cat FILE                print a DPFS file's bytes
-  stats                   this client's traffic counters and latencies
+  stats                   this client's traffic, cache and latency counters
   help                    this text
 `
 
@@ -414,6 +415,14 @@ func (sh *Shell) stats() (string, error) {
 			h.P50, h.P95, h.P99, h.Count)
 	} else {
 		fmt.Fprintf(&sb, "latency:      no samples\n")
+	}
+	if snap.Counters[cache.MetricDataHits]+snap.Counters[cache.MetricDataMisses]+
+		snap.Counters[cache.MetricMetaHits]+snap.Counters[cache.MetricMetaMisses] > 0 {
+		fmt.Fprintf(&sb, "cache data:   %d hits  %d misses  %d prefetched  %d bytes held\n",
+			snap.Counters[cache.MetricDataHits], snap.Counters[cache.MetricDataMisses],
+			snap.Counters[cache.MetricPrefetch], snap.Gauges[cache.MetricDataBytes])
+		fmt.Fprintf(&sb, "cache meta:   %d hits  %d misses\n",
+			snap.Counters[cache.MetricMetaHits], snap.Counters[cache.MetricMetaMisses])
 	}
 	return sb.String(), nil
 }

@@ -60,16 +60,17 @@ func TestResponseEveryPrefixTruncation(t *testing.T) {
 
 // TestCorruptRequestFrames mutates individual frame fields of a valid
 // request; every mutation must be rejected. Offsets follow the layout
-// in WriteRequest: 8-byte header, 2-byte path length, path, 4-byte
-// extent count, 16 bytes per extent, 4-byte data length, data.
+// in WriteRequest: 8-byte header, 2-byte path length, path, 8-byte
+// generation, 4-byte extent count, 16 bytes per extent, 4-byte data
+// length, data.
 func TestCorruptRequestFrames(t *testing.T) {
 	base := &Request{
-		Op: OpWrite, Path: "/s",
+		Op: OpWrite, Path: "/s", Gen: 3,
 		Extents: []Extent{{Off: 8, Len: 4}},
 		Data:    []byte("abcd"),
 	}
 	pathOff := headerLen
-	extCountOff := pathOff + 2 + len(base.Path)
+	extCountOff := pathOff + 2 + len(base.Path) + 8
 	dataLenOff := extCountOff + 4 + 16*len(base.Extents)
 
 	cases := []struct {
@@ -167,7 +168,7 @@ func FuzzReadRequest(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-encoded accepted request rejected: %v", err)
 		}
-		if req.Op != again.Op || req.Path != again.Path ||
+		if req.Op != again.Op || req.Path != again.Path || req.Gen != again.Gen ||
 			!reflect.DeepEqual(req.Extents, again.Extents) || !bytes.Equal(req.Data, again.Data) {
 			t.Fatalf("roundtrip mismatch: %+v vs %+v", req, again)
 		}

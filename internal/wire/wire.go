@@ -5,10 +5,10 @@
 //
 // A message is a 4-byte magic+version header, a 4-byte little-endian
 // payload length, and the payload. Requests name an operation, a
-// subfile path and a list of byte extents; WRITE requests carry the
-// concatenated extent data, READ responses return it. A combined
-// request (Section 4.2) is simply one message whose extent list covers
-// many bricks.
+// subfile path, the file's distribution generation and a list of byte
+// extents; WRITE requests carry the concatenated extent data, READ
+// responses return it. A combined request (Section 4.2) is simply one
+// message whose extent list covers many bricks.
 package wire
 
 import (
@@ -73,8 +73,17 @@ type Extent struct {
 
 // Request is one client→server message.
 type Request struct {
-	Op      Op
-	Path    string
+	Op   Op
+	Path string
+	// Gen is the file's distribution generation (the gen column of the
+	// file's dpfs_file_distribution rows). Servers key subfiles by
+	// (path, generation) and reject a request whose generation is older
+	// than what they hold, so a client acting on a stale cached
+	// distribution — e.g. a retried read after the file was removed and
+	// recreated — gets an error instead of silently wrong bricks. Gen 0
+	// means "ungenerationed" and addresses the bare path (the pre-cache
+	// wire behavior, still used by raw tools and tests).
+	Gen     int64
 	Extents []Extent
 	// Data carries the concatenated payload of all extents for
 	// OpWrite; its length must equal the sum of extent lengths. For
@@ -144,7 +153,7 @@ func DataBytes(exts []Extent) int64 {
 // socket without an intermediate packing copy.
 func WriteRequest(w io.Writer, req *Request) error {
 	dlen := req.PayloadLen()
-	n := 2 + len(req.Path) + 4 + 16*len(req.Extents) + 4 + dlen
+	n := 2 + len(req.Path) + 8 + 4 + 16*len(req.Extents) + 4 + dlen
 	buf := make([]byte, headerLen, headerLen+n-dlen)
 	buf[0] = magic
 	buf[1] = version
@@ -159,6 +168,8 @@ func WriteRequest(w io.Writer, req *Request) error {
 	binary.LittleEndian.PutUint16(tmp[:2], uint16(len(req.Path)))
 	buf = append(buf, tmp[:2]...)
 	buf = append(buf, req.Path...)
+	binary.LittleEndian.PutUint64(tmp[:8], uint64(req.Gen))
+	buf = append(buf, tmp[:8]...)
 	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(req.Extents)))
 	buf = append(buf, tmp[:4]...)
 	for _, e := range req.Extents {
@@ -227,6 +238,11 @@ func ReadRequest(r io.Reader) (*Request, error) {
 		return nil, err
 	}
 	req.Path = string(b)
+	b, err = get(8)
+	if err != nil {
+		return nil, err
+	}
+	req.Gen = int64(binary.LittleEndian.Uint64(b))
 	b, err = get(4)
 	if err != nil {
 		return nil, err

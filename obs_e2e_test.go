@@ -159,8 +159,10 @@ func TestDebugEndpointE2E(t *testing.T) {
 		if h := s.Histograms[server.OpMetric(wire.OpWrite)]; h.Max == 0 {
 			t.Fatalf("server %d handler latency all zero: %+v", i, h)
 		}
-		if got := s.Counters[server.MetricRequests]; got != 2 {
-			t.Fatalf("server %d requests_total = %d, want 2", i, got)
+		// Create materializes the subfile (truncate), then one combined
+		// write and one combined read arrive.
+		if got := s.Counters[server.MetricRequests]; got != 3 {
+			t.Fatalf("server %d requests_total = %d, want 3", i, got)
 		}
 		if s.Counters[server.MetricBytesIn] < 4*4096 {
 			t.Fatalf("server %d bytes_in_total = %d", i, s.Counters[server.MetricBytesIn])

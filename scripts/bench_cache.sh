@@ -1,0 +1,31 @@
+#!/bin/sh
+# bench_cache.sh — client-cache regression gate.
+#
+# Runs the cache ablation (re-read and open-heavy workloads, cache off
+# vs cache on; see bench.AblationCache) and records the table in
+# BENCH_cache.json at the repo root, then asserts the re-read speedup
+# the caching layer exists to deliver: cache-on must be at least 3x
+# cache-off. Run it after touching internal/cache or the engine's
+# read path.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== bench cache: writing BENCH_cache.json =="
+go run ./cmd/dpfs-bench -ablation cache -json > BENCH_cache.json
+cat BENCH_cache.json
+
+echo "== bench cache: asserting re-read speedup >= 3x =="
+python3 - <<'EOF'
+import json
+
+rows = json.load(open("BENCH_cache.json"))
+mbps = {r["variant"]: r["mbps"] for r in rows}
+off, on = mbps["Re-read, cache off"], mbps["Re-read, cache on"]
+speedup = on / off
+print(f"re-read: cache off {off:.2f} MB/s, cache on {on:.2f} MB/s -> {speedup:.1f}x")
+opens_off = mbps["Open-heavy, cache off"]
+opens_on = mbps["Open-heavy, cache on"]
+print(f"open-heavy: cache off {opens_off:.0f} opens/s, cache on {opens_on:.0f} opens/s")
+if speedup < 3:
+    raise SystemExit(f"re-read speedup {speedup:.1f}x < required 3x")
+EOF

@@ -5,6 +5,7 @@
 #   3. race-enabled test suite
 #   4. seeded chaos suite under -race (fault injection e2e)
 #   5. dispatch bench smoke (scripts/bench_smoke.sh -> BENCH_dispatch.json)
+#   6. documentation lint (godoc coverage + markdown links)
 # Run from the repo root (or anywhere inside it).
 set -eu
 cd "$(dirname "$0")/.."
@@ -15,6 +16,8 @@ echo "== tier-1: go test ./... =="
 go test ./...
 echo "== go vet ./... =="
 go vet ./...
+echo "== doccheck: godoc coverage + markdown links =="
+go run ./scripts/doccheck
 echo "== go test -race ./... =="
 go test -race ./...
 echo "== chaos: seeded fault-injection suite (-race) =="

@@ -1,0 +1,198 @@
+// Command doccheck is the repo's documentation lint, run by `make
+// docs` and scripts/check.sh. It enforces two things with only the
+// standard library:
+//
+//  1. Godoc coverage: every package under ./ and ./internal/... must
+//     have a package comment, and every exported top-level identifier
+//     (funcs, types, consts, vars, methods on exported types) must
+//     have a doc comment.
+//  2. Markdown link integrity: relative links in the repo's top-level
+//     markdown files must point at files that exist.
+//
+// Any violation is printed as file:line and the process exits 1.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var problems []string
+	problems = append(problems, checkGoDocs(root)...)
+	problems = append(problems, checkMarkdownLinks(root)...)
+	for _, p := range problems {
+		fmt.Println(p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("doccheck: ok")
+}
+
+// checkGoDocs walks every non-test Go file and reports missing package
+// and exported-symbol documentation.
+func checkGoDocs(root string) []string {
+	var problems []string
+	fset := token.NewFileSet()
+	seenPkgDoc := map[string]bool{} // dir -> some file had a package comment
+
+	var goFiles []string
+	_ = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name == "testdata" || strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			goFiles = append(goFiles, path)
+		}
+		return nil
+	})
+
+	dirs := map[string][]*ast.File{}
+	for _, path := range goFiles {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("%s: parse: %v", path, err))
+			continue
+		}
+		dir := filepath.Dir(path)
+		dirs[dir] = append(dirs[dir], f)
+		if f.Doc != nil {
+			seenPkgDoc[dir] = true
+		}
+		problems = append(problems, checkFileDocs(fset, path, f)...)
+	}
+	for dir, files := range dirs {
+		if !seenPkgDoc[dir] {
+			problems = append(problems,
+				fmt.Sprintf("%s: package %s has no package comment", dir, files[0].Name.Name))
+		}
+	}
+	return problems
+}
+
+// checkFileDocs reports exported top-level declarations of one file
+// that lack a doc comment.
+func checkFileDocs(fset *token.FileSet, path string, f *ast.File) []string {
+	if f.Name.Name == "main" {
+		// Commands document themselves at the package level; their
+		// internals are not godoc surface.
+		return nil
+	}
+	var problems []string
+	pos := func(n ast.Node) string {
+		p := fset.Position(n.Pos())
+		return fmt.Sprintf("%s:%d", path, p.Line)
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			if d.Recv != nil && !exportedRecv(d.Recv) {
+				continue // method on an unexported type
+			}
+			problems = append(problems, fmt.Sprintf("%s: exported %s is undocumented", pos(d), d.Name.Name))
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
+						problems = append(problems, fmt.Sprintf("%s: exported type %s is undocumented", pos(s), s.Name.Name))
+					}
+				case *ast.ValueSpec:
+					// A doc comment on the grouped decl covers the
+					// group (idiomatic for const/var blocks).
+					if d.Doc != nil || s.Doc != nil || s.Comment != nil {
+						continue
+					}
+					for _, n := range s.Names {
+						if n.IsExported() {
+							problems = append(problems, fmt.Sprintf("%s: exported %s is undocumented", pos(s), n.Name))
+						}
+					}
+				}
+			}
+		}
+	}
+	return problems
+}
+
+// exportedRecv reports whether a method receiver names an exported
+// type.
+func exportedRecv(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// mdLink matches inline markdown links; bare URLs and reference-style
+// links are out of scope.
+var mdLink = regexp.MustCompile(`\]\(([^)#]+)(#[^)]*)?\)`)
+
+// checkMarkdownLinks verifies that relative links in the top-level
+// markdown files resolve to existing files.
+func checkMarkdownLinks(root string) []string {
+	var problems []string
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v", root, err)}
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".md") {
+			continue
+		}
+		path := filepath.Join(root, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("%s: %v", path, err))
+			continue
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+				target := strings.TrimSpace(m[1])
+				if target == "" || strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+					continue
+				}
+				resolved := filepath.Join(root, filepath.FromSlash(target))
+				if _, err := os.Stat(resolved); err != nil {
+					problems = append(problems, fmt.Sprintf("%s:%d: broken link %q", path, i+1, target))
+				}
+			}
+		}
+	}
+	return problems
+}
