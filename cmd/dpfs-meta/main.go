@@ -12,11 +12,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"dpfs/internal/meta"
 	"dpfs/internal/metadb"
@@ -29,6 +31,7 @@ func main() {
 	dir := flag.String("dir", "", "durable storage directory (empty = in-memory)")
 	sync := flag.Bool("sync", false, "fsync the write-ahead log on every commit")
 	debugAddr := flag.String("debug-addr", "", "HTTP address for /metrics, /healthz and /debug/vars (default: disabled)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown bound: in-flight statements get this long to finish on SIGTERM/SIGINT")
 	flag.Parse()
 
 	db, err := metadb.Open(metadb.Options{Dir: *dir, Sync: *sync})
@@ -72,10 +75,19 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("dpfs-meta: shutting down")
-	if err := srv.Close(); err != nil {
-		fatal(err)
+	fmt.Printf("dpfs-meta: draining (up to %v; signal again to force)\n", *drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	go func() {
+		<-sig
+		cancel()
+	}()
+	err = srv.Shutdown(ctx)
+	cancel()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dpfs-meta: forced shutdown:", err)
+		os.Exit(1)
 	}
+	fmt.Println("dpfs-meta: drained")
 }
 
 func fatal(err error) {

@@ -14,12 +14,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"dpfs/internal/fault"
 	"dpfs/internal/meta"
@@ -40,6 +42,7 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "HTTP address for /metrics, /healthz and /debug/vars (default: disabled)")
 	faultSpec := flag.String("fault-spec", "", "inject faults on accepted connections, e.g. 'drop:prob=0.01;delay:prob=0.05,ms=2' (see internal/fault)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for probabilistic fault rules (deterministic per seed)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown bound: in-flight requests get this long to finish on SIGTERM/SIGINT")
 	flag.Parse()
 
 	if *root == "" {
@@ -112,12 +115,15 @@ func main() {
 		regs := map[string]*obs.Registry{"server": srv.Metrics()}
 		obs.PublishExpvar("dpfs", regs)
 		h := obs.Handler(regs, func() obs.Health {
-			return obs.Health{Status: "ok", Detail: map[string]any{
-				"name":       serverName,
-				"addr":       srv.Addr(),
-				"root":       *root,
-				"meta":       *metaAddr,
-				"registered": registered,
+			hs := srv.Health()
+			return obs.Health{Status: hs.Status, Detail: map[string]any{
+				"name":             serverName,
+				"addr":             srv.Addr(),
+				"root":             *root,
+				"meta":             *metaAddr,
+				"registered":       registered,
+				"disk_errors":      hs.DiskErrors,
+				"copy_peer_errors": hs.CopyPeerErrors,
 			}}
 		})
 		dbg, err := obs.StartDebug(*debugAddr, h)
@@ -131,10 +137,19 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("dpfs-server: shutting down")
-	if err := srv.Close(); err != nil {
-		fatal(err)
+	fmt.Printf("dpfs-server: draining (up to %v; signal again to force)\n", *drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	go func() {
+		<-sig
+		cancel()
+	}()
+	err = srv.Shutdown(ctx)
+	cancel()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dpfs-server: forced shutdown:", err)
+		os.Exit(1)
 	}
+	fmt.Println("dpfs-server: drained")
 }
 
 func fatal(err error) {

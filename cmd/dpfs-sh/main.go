@@ -29,6 +29,7 @@ func main() {
 	cacheMB := flag.Int64("cache-mb", 0, "client data-cache budget in MiB (0 = cache off)")
 	metaTTL := flag.Duration("meta-ttl", 0, "client metadata-cache TTL (0 = cache off)")
 	readahead := flag.Int("readahead", 0, "sequential readahead depth in bricks (needs -cache-mb)")
+	replicas := flag.Int("replicas", 0, "replication factor for files this shell creates (0 = engine default of 1)")
 	flag.Parse()
 
 	client, err := dpfs.Connect(*metaAddr, *rank, dpfs.Options{Combine: true, Stagger: true,
@@ -38,6 +39,7 @@ func main() {
 	}
 	defer client.Close()
 	sh := shell.New(client)
+	sh.SetReplicas(*replicas)
 	ctx := context.Background()
 
 	if *command != "" {

@@ -33,6 +33,7 @@ import (
 	"dpfs/internal/core"
 	"dpfs/internal/meta"
 	"dpfs/internal/metadb/mdbnet"
+	"dpfs/internal/repair"
 	"dpfs/internal/stripe"
 )
 
@@ -87,6 +88,12 @@ type (
 	FileInfo = meta.FileInfo
 	// ServerInfo is an I/O server's catalog registration.
 	ServerInfo = meta.ServerInfo
+	// HealthInfo is a server's row in the catalog health table.
+	HealthInfo = meta.HealthInfo
+	// RepairReport summarizes an online repair run.
+	RepairReport = repair.Report
+	// FileRepairInfo is one file's outcome in a repair run.
+	FileRepairInfo = repair.FileRepair
 )
 
 // AccessPattern describes expected file access for Advise.
@@ -226,6 +233,26 @@ func (c *Client) Servers() ([]ServerInfo, error) { return c.fs.Catalog().Servers
 
 // RegisterServer adds or updates an I/O server registration.
 func (c *Client) RegisterServer(si ServerInfo) error { return c.fs.Catalog().RegisterServer(si) }
+
+// ServerHealth returns the catalog's per-server health rows
+// (alive/suspect/dead, fed by client failure reports and probes).
+func (c *Client) ServerHealth() ([]HealthInfo, error) { return c.fs.Catalog().ServerHealth() }
+
+// Repair probes the registered I/O servers, records their health in
+// the catalog, and re-replicates under-replicated bricks of every
+// file onto healthy servers, rewriting each repaired file's replica
+// set under a fresh generation so copies on dead servers can never be
+// resurrected. See internal/repair for the protocol.
+func (c *Client) Repair(ctx context.Context) (*RepairReport, error) {
+	opts := c.fs.Options()
+	r := repair.New(c.fs.Catalog(), repair.Options{
+		Dial:    opts.Dial,
+		Retry:   opts.Retry,
+		Metrics: c.fs.Metrics(),
+	})
+	defer r.Close()
+	return r.Run(ctx)
+}
 
 // Import copies size bytes from r into a new linear DPFS file
 // (sequential file → DPFS, Section 7).

@@ -624,6 +624,88 @@ func runCacheOpens(ctx context.Context, cfg Config, c *cluster.Cluster, cached b
 	return runs[len(runs)/2], nil
 }
 
+// AblationReplica isolates brick replication: R=2 against the R=1
+// baseline on the same cluster. Three costs are measured. Write
+// amplification: every R=2 write fans out to both replicas, so moved
+// bytes double and write bandwidth drops. Healthy-read overhead: none
+// by construction (reads go to the preferred replica only), which the
+// R=2 read row demonstrates. Failover-read cost: with one server dead,
+// every read whose preferred replica lived there pays a failed attempt
+// (or an open-breaker short-circuit after the first few) before the
+// surviving copy serves it.
+func AblationReplica(ctx context.Context, cfg Config, np, io int) ([]Measurement, error) {
+	cfg = cfg.WithDefaults()
+	var out []Measurement
+	for _, rep := range []int{1, 2} {
+		c, err := cluster.Start(cluster.Config{
+			Servers:       cluster.UniformClass(io, netsim.Class1()),
+			Dir:           caseDir(cfg.Dir),
+			RefBrickBytes: cfg.Tile * cfg.Tile * elemSize,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ms, err := runReplicaCase(ctx, cfg, c, np, rep)
+		c.Close()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ms...)
+	}
+	return out, nil
+}
+
+func runReplicaCase(ctx context.Context, cfg Config, c *cluster.Cluster, np, rep int) ([]Measurement, error) {
+	dims := []int64{cfg.N, cfg.N}
+	path := "/abl-replica.dat"
+	fs, err := c.NewFS(0, core.Options{Combine: true})
+	if err != nil {
+		return nil, err
+	}
+	f, err := fs.Create(path, elemSize, dims,
+		core.Hint{Level: stripe.LevelMultidim, Tile: []int64{cfg.Tile, cfg.Tile}, Replicas: rep})
+	if err != nil {
+		fs.Close()
+		return nil, err
+	}
+	f.Close()
+	fs.Close()
+
+	opts := cfg.withDispatch(core.Options{Combine: true})
+	secs := func(rank int) stripe.Section { return rowSection(cfg.N, np, rank) }
+	tag := func(m Measurement, label string) Measurement {
+		m.Figure, m.Class, m.Label = "AblReplica", "class1", label
+		return m
+	}
+	var out []Measurement
+
+	w, err := measure(ctx, cfg, c, np, opts, path, secs, true)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, tag(w, fmt.Sprintf("R=%d write", rep)))
+
+	r, err := measure(ctx, cfg, c, np, opts, path, secs, false)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, tag(r, fmt.Sprintf("R=%d read", rep)))
+
+	if rep > 1 {
+		// Kill one server; reads whose preferred replica lived there
+		// now fail over to the surviving copy.
+		if err := c.IOServers[len(c.IOServers)-1].Close(); err != nil {
+			return nil, err
+		}
+		fo, err := measure(ctx, cfg, c, np, opts, path, secs, false)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tag(fo, fmt.Sprintf("R=%d read, 1 server dead", rep)))
+	}
+	return out, nil
+}
+
 // Ablation dispatches an ablation by name.
 func Ablation(ctx context.Context, cfg Config, name string) ([]Measurement, error) {
 	switch name {
@@ -641,11 +723,13 @@ func Ablation(ctx context.Context, cfg Config, name string) ([]Measurement, erro
 		return AblationParallel(ctx, cfg, 4, 4)
 	case "cache":
 		return AblationCache(ctx, cfg, 4, 4)
+	case "replica":
+		return AblationReplica(ctx, cfg, 4, 4)
 	}
-	return nil, fmt.Errorf("bench: unknown ablation %q (stagger, shape, servers, exact, collective, parallel, cache)", name)
+	return nil, fmt.Errorf("bench: unknown ablation %q (stagger, shape, servers, exact, collective, parallel, cache, replica)", name)
 }
 
 // AblationNames lists the available ablations.
 func AblationNames() []string {
-	return []string{"stagger", "shape", "servers", "exact", "collective", "parallel", "cache"}
+	return []string{"stagger", "shape", "servers", "exact", "collective", "parallel", "cache", "replica"}
 }

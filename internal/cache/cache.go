@@ -26,6 +26,7 @@ import (
 
 	"dpfs/internal/meta"
 	"dpfs/internal/obs"
+	"dpfs/internal/stripe"
 )
 
 // Cache metric names, registered in the owning engine's obs.Registry.
@@ -66,7 +67,7 @@ type Meta struct {
 
 type fileEntry struct {
 	fi      meta.FileInfo
-	assign  []int
+	rs      *stripe.ReplicaSet
 	expires time.Time
 }
 
@@ -106,10 +107,10 @@ func (m *Meta) SetMetrics(reg *obs.Registry) {
 	m.mu.Unlock()
 }
 
-// GetFile returns a cached file record. The FileInfo and assignment are
-// shared, not copied: callers must treat them as immutable, exactly as
-// they treat a catalog LookupFile result.
-func (m *Meta) GetFile(path string) (meta.FileInfo, []int, bool) {
+// GetFile returns a cached file record. The FileInfo and replica set
+// are shared, not copied: callers must treat them as immutable, exactly
+// as they treat a catalog LookupReplicated result.
+func (m *Meta) GetFile(path string) (meta.FileInfo, *stripe.ReplicaSet, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	e, ok := m.files[path]
@@ -121,14 +122,14 @@ func (m *Meta) GetFile(path string) (meta.FileInfo, []int, bool) {
 		return meta.FileInfo{}, nil, false
 	}
 	m.reg.Counter(MetricMetaHits).Inc()
-	return e.fi, e.assign, true
+	return e.fi, e.rs, true
 }
 
 // PutFile caches a file record under fi.Path.
-func (m *Meta) PutFile(fi meta.FileInfo, assign []int) {
+func (m *Meta) PutFile(fi meta.FileInfo, rs *stripe.ReplicaSet) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.files[fi.Path] = fileEntry{fi: fi, assign: assign, expires: m.now().Add(m.ttl)}
+	m.files[fi.Path] = fileEntry{fi: fi, rs: rs, expires: m.now().Add(m.ttl)}
 }
 
 // InvalidateFile drops a path's cached record (create, remove, rename,

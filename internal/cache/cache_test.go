@@ -9,7 +9,20 @@ import (
 
 	"dpfs/internal/meta"
 	"dpfs/internal/obs"
+	"dpfs/internal/stripe"
 )
+
+// testReplicaSet builds an unreplicated layout over two servers for
+// the four-brick test file.
+func testReplicaSet(t *testing.T) *stripe.ReplicaSet {
+	t.Helper()
+	lists := stripe.ReplicaLists([][]int{{0}, {1}, {0}, {1}}, 2)
+	rs, err := stripe.ReplicaSetFromLists(lists, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
 
 func TestMetaTTLAndInvalidation(t *testing.T) {
 	now := time.Unix(1000, 0)
@@ -17,12 +30,12 @@ func TestMetaTTLAndInvalidation(t *testing.T) {
 	m.now = func() time.Time { return now }
 
 	fi := meta.FileInfo{Path: "/a", Size: 42, Generation: 7}
-	assign := []int{0, 1, 0, 1}
-	m.PutFile(fi, assign)
+	rs := testReplicaSet(t)
+	m.PutFile(fi, rs)
 
-	got, gotAssign, ok := m.GetFile("/a")
-	if !ok || got.Size != 42 || got.Generation != 7 || len(gotAssign) != 4 {
-		t.Fatalf("GetFile = %+v %v %v, want cached entry", got, gotAssign, ok)
+	got, gotRS, ok := m.GetFile("/a")
+	if !ok || got.Size != 42 || got.Generation != 7 || gotRS == nil || len(gotRS.Primary()) != 4 {
+		t.Fatalf("GetFile = %+v %v %v, want cached entry", got, gotRS, ok)
 	}
 
 	// Not yet expired at exactly ttl.
@@ -36,7 +49,7 @@ func TestMetaTTLAndInvalidation(t *testing.T) {
 		t.Fatal("entry survived past ttl")
 	}
 
-	m.PutFile(fi, assign)
+	m.PutFile(fi, rs)
 	m.InvalidateFile("/a")
 	if _, _, ok := m.GetFile("/a"); ok {
 		t.Fatal("entry survived InvalidateFile")

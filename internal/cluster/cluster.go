@@ -9,6 +9,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -19,6 +20,7 @@ import (
 	"dpfs/internal/metadb"
 	"dpfs/internal/metadb/mdbnet"
 	"dpfs/internal/netsim"
+	"dpfs/internal/repair"
 	"dpfs/internal/server"
 )
 
@@ -165,6 +167,19 @@ func (c *Cluster) NewFS(rank int, opts core.Options) (*core.FS, error) {
 		return nil, err
 	}
 	return core.NewFS(cat, rank, opts), nil
+}
+
+// Repair runs one online-repair pass over the cluster's catalog:
+// servers are probed, their health recorded, and under-replicated
+// bricks re-replicated onto healthy servers (see internal/repair).
+func (c *Cluster) Repair(ctx context.Context, opts repair.Options) (*repair.Report, error) {
+	cat, err := c.NewCatalog()
+	if err != nil {
+		return nil, err
+	}
+	r := repair.New(cat, opts)
+	defer r.Close()
+	return r.Run(ctx)
 }
 
 // ServerNames returns the registered I/O server names in launch

@@ -96,6 +96,15 @@ const (
 	// MetricInflight gauges how many server exchanges the engine has
 	// in flight right now (only ever above 1 with ParallelDispatch).
 	MetricInflight = "client_inflight"
+	// MetricFailovers counts reads redirected to a backup replica after
+	// the preferred replica's server failed at the transport level.
+	MetricFailovers = "client_failovers"
+	// MetricDegradedWrites counts writes that succeeded with fewer than
+	// all replicas reachable (every brick still hit at least one).
+	MetricDegradedWrites = "client_degraded_writes"
+	// MetricFailureReports counts server failures reported to the
+	// catalog's health table.
+	MetricFailureReports = "client_failure_reports"
 )
 
 // FS is one compute node's DPFS client instance.
@@ -303,6 +312,11 @@ type Hint struct {
 	// NoCapacityCheck skips the DPFS-SERVER capacity admission check
 	// at create time.
 	NoCapacityCheck bool
+	// Replicas is the file's replication factor R: every brick is
+	// placed on R distinct servers, writes fan out to all replicas and
+	// reads fail over between them. 0 or 1 means unreplicated (the
+	// default, today's behavior); R must not exceed the server count.
+	Replicas int
 }
 
 // DefaultLinearBrick is the linear brick size used when the hint does
@@ -311,12 +325,12 @@ const DefaultLinearBrick = 64 << 10
 
 // File is an open DPFS file handle.
 type File struct {
-	fs       *FS
-	info     meta.FileInfo
-	assign   []int   // brick -> server index
-	localIdx []int64 // brick -> index within its server's bricklist
-	stats    fileStats
-	closed   bool
+	fs     *FS
+	info   meta.FileInfo
+	rs     *stripe.ReplicaSet // full replica layout, [brick][rank]
+	assign []int              // brick -> preferred (rank-0) server index
+	stats  fileStats
+	closed bool
 
 	// Readahead state (used only when the engine has a data cache and
 	// Options.Readahead > 0): the handle watches its own read pattern
@@ -329,14 +343,14 @@ type File struct {
 
 // newFile builds a handle around a looked-up (or freshly created) file
 // record.
-func newFile(fs *FS, fi meta.FileInfo, assign []int) *File {
+func newFile(fs *FS, fi meta.FileInfo, rs *stripe.ReplicaSet) *File {
 	return &File{
-		fs:       fs,
-		info:     fi,
-		assign:   assign,
-		localIdx: stripe.LocalIndex(assign),
-		raLast:   -1,
-		raHigh:   -1,
+		fs:     fs,
+		info:   fi,
+		rs:     rs,
+		assign: rs.Primary(),
+		raLast: -1,
+		raHigh: -1,
 	}
 }
 
@@ -355,9 +369,12 @@ func (f *File) Stats() Stats {
 // Geometry returns the file's brick geometry.
 func (f *File) Geometry() *stripe.Geometry { return &f.info.Geometry }
 
-// Assignment returns the file's brick→server-index assignment (do not
-// mutate).
+// Assignment returns the file's preferred (rank-0) brick→server-index
+// assignment (do not mutate).
 func (f *File) Assignment() []int { return f.assign }
+
+// Replicas returns the file's full replica layout (do not mutate).
+func (f *File) Replicas() *stripe.ReplicaSet { return f.rs }
 
 // Create makes a new DPFS file holding an array of the given element
 // size and dims, striped per the hint, and opens it.
@@ -381,12 +398,17 @@ func (fs *FS) Create(path string, elemSize int64, dims []int64, hint Hint) (*Fil
 	if placement == nil {
 		placement = defaultPlacement(perf)
 	}
-	assign, err := placement.Assign(g.NumBricks(), len(servers))
+	replicas := hint.Replicas
+	if replicas < 1 {
+		replicas = 1
+	}
+	assign, err := stripe.AssignReplicas(placement, g.NumBricks(), len(servers), replicas)
 	if err != nil {
 		return nil, err
 	}
+	lists := stripe.ReplicaLists(assign, len(servers))
 	if !hint.NoCapacityCheck {
-		if err := fs.checkCapacity(infos, g, assign); err != nil {
+		if err := fs.checkCapacity(infos, g, lists); err != nil {
 			return nil, err
 		}
 	}
@@ -412,8 +434,13 @@ func (fs *FS) Create(path string, elemSize int64, dims []int64, hint Hint) (*Fil
 		Placement:  placement.Name(),
 		Servers:    servers,
 		Generation: gen,
+		Replicas:   replicas,
 	}
-	if err := fs.cat.CreateFile(fi, assign); err != nil {
+	if err := fs.cat.CreateReplicated(fi, assign); err != nil {
+		return nil, err
+	}
+	rs, err := stripe.ReplicaSetFromLists(lists, g.NumBricks(), replicas)
+	if err != nil {
 		return nil, err
 	}
 	if err := fs.materialize(fi); err != nil {
@@ -425,7 +452,7 @@ func (fs *FS) Create(path string, elemSize int64, dims []int64, hint Hint) (*Fil
 		return nil, fmt.Errorf("dpfs: create %s: %w", clean, err)
 	}
 	if fs.metaCache != nil {
-		fs.metaCache.PutFile(fi, assign)
+		fs.metaCache.PutFile(fi, rs)
 	}
 	if fs.dataCache != nil {
 		// A path reuse (remove + create) must not serve the old
@@ -433,7 +460,7 @@ func (fs *FS) Create(path string, elemSize int64, dims []int64, hint Hint) (*Fil
 		// this just frees the dead entries early.
 		fs.dataCache.InvalidatePath(clean)
 	}
-	return newFile(fs, fi, assign), nil
+	return newFile(fs, fi, rs), nil
 }
 
 // materialize creates each server's (empty) generationed subfile at
@@ -468,18 +495,18 @@ func (fs *FS) Open(path string) (*File, error) {
 		return nil, err
 	}
 	if fs.metaCache != nil {
-		if fi, assign, ok := fs.metaCache.GetFile(clean); ok {
-			return newFile(fs, fi, assign), nil
+		if fi, rs, ok := fs.metaCache.GetFile(clean); ok {
+			return newFile(fs, fi, rs), nil
 		}
 	}
-	fi, assign, err := fs.cat.LookupFile(clean)
+	fi, rs, err := fs.cat.LookupReplicated(clean)
 	if err != nil {
 		return nil, err
 	}
 	if fs.metaCache != nil {
-		fs.metaCache.PutFile(fi, assign)
+		fs.metaCache.PutFile(fi, rs)
 	}
-	return newFile(fs, fi, assign), nil
+	return newFile(fs, fi, rs), nil
 }
 
 // Stat returns a file's attributes, served from the metadata cache
@@ -496,11 +523,11 @@ func (fs *FS) Stat(path string) (meta.FileInfo, error) {
 	if fi, _, ok := fs.metaCache.GetFile(clean); ok {
 		return fi, nil
 	}
-	fi, assign, err := fs.cat.LookupFile(clean)
+	fi, rs, err := fs.cat.LookupReplicated(clean)
 	if err != nil {
 		return meta.FileInfo{}, err
 	}
-	fs.metaCache.PutFile(fi, assign)
+	fs.metaCache.PutFile(fi, rs)
 	return fi, nil
 }
 
@@ -726,17 +753,17 @@ func (fs *FS) serverInfo(name string) (meta.ServerInfo, error) {
 
 // checkCapacity rejects a creation that would push any chosen server
 // past its DPFS-SERVER capacity, accounting existing files by bricks x
-// slot bytes through the catalog. Concurrent creations may both pass
-// the check (admission is advisory, like the paper's capacity
-// attribute); the subfile stores are sparse so an over-admitted file
-// degrades space, not correctness.
-func (fs *FS) checkCapacity(infos []meta.ServerInfo, g *stripe.Geometry, assign []int) error {
+// slot bytes through the catalog (replicas count once per copy, so the
+// admission check prices in write amplification). Concurrent creations
+// may both pass the check (admission is advisory, like the paper's
+// capacity attribute); the subfile stores are sparse so an
+// over-admitted file degrades space, not correctness.
+func (fs *FS) checkCapacity(infos []meta.ServerInfo, g *stripe.Geometry, lists [][]stripe.ReplicaEntry) error {
 	used, err := fs.cat.UsedBytes()
 	if err != nil {
 		return err
 	}
 	slot := g.SlotBytes()
-	lists := stripe.BrickLists(assign, len(infos))
 	for i, si := range infos {
 		need := int64(len(lists[i])) * slot
 		if used[si.Name]+need > si.Capacity {

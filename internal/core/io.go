@@ -12,6 +12,7 @@ import (
 	"dpfs/internal/cache"
 	"dpfs/internal/datatype"
 	"dpfs/internal/obs"
+	"dpfs/internal/server"
 	"dpfs/internal/stripe"
 	"dpfs/internal/wire"
 )
@@ -275,19 +276,23 @@ func (f *File) execute(ctx context.Context, plan []stripe.BrickIO, buf []byte, w
 
 	var err error
 	if len(plan) > 0 {
-		var reqs []stripe.Request
-		if opts.Combine {
-			reqs = stripe.Combine(plan, f.assign)
-			if opts.Stagger {
-				reqs = stripe.Stagger(reqs, f.fs.rank, len(f.info.Servers))
+		if write && f.rs.Replicas() > 1 {
+			err = f.writeReplicated(ctx, plan, buf, opName, root)
+		} else {
+			var reqs []stripe.Request
+			if opts.Combine {
+				reqs = stripe.Combine(plan, f.assign)
+				if opts.Stagger {
+					reqs = stripe.Stagger(reqs, f.fs.rank, len(f.info.Servers))
+				}
+			} else {
+				reqs = stripe.PerBrick(plan, f.assign)
 			}
-		} else {
-			reqs = stripe.PerBrick(plan, f.assign)
-		}
-		if opts.ParallelDispatch && len(reqs) > 1 {
-			err = f.dispatchParallel(ctx, reqs, buf, write, opName, root)
-		} else {
-			err = f.dispatchSequential(ctx, reqs, buf, write, opName, root)
+			if opts.ParallelDispatch && len(reqs) > 1 {
+				err = f.dispatchParallel(ctx, reqs, buf, write, opName, root)
+			} else {
+				err = f.dispatchSequential(ctx, reqs, buf, write, opName, root)
+			}
 		}
 	}
 	if root != nil {
@@ -352,7 +357,7 @@ func (f *File) dispatchSequential(ctx context.Context, reqs []stripe.Request, bu
 	for i := range reqs {
 		sp := f.rpcSpan(root, &reqs[i], opName)
 		gauge.Inc()
-		err := f.doRequest(ctx, &reqs[i], buf, write, sp)
+		err := f.doExchange(ctx, &reqs[i], buf, write, sp)
 		gauge.Dec()
 		if sp != nil {
 			sp.End()
@@ -406,7 +411,7 @@ launch:
 			defer wg.Done()
 			defer gauge.Dec()
 			defer func() { <-sem }()
-			err := f.doRequest(cctx, r, buf, write, sp)
+			err := f.doExchange(cctx, r, buf, write, sp)
 			if sp != nil {
 				sp.End()
 			}
@@ -427,6 +432,203 @@ launch:
 		return ctx.Err()
 	}
 	return firstErr
+}
+
+// transportFailure reports whether err is a transport-class failure
+// eligible for replica failover: the server could not be reached,
+// timed out, answered garbage, or its breaker is open — as opposed to
+// an application-level error the server itself returned (stale
+// generation, bad request), which every replica would repeat, or a
+// cancellation of the caller's own context.
+func transportFailure(ctx context.Context, err error) bool {
+	if err == nil || ctx.Err() != nil {
+		return false
+	}
+	return !server.IsServerError(err)
+}
+
+// reportFailure best-effort marks a server suspect in the catalog's
+// health table so probes and repair prioritize it. Catalog errors are
+// swallowed: health reporting must never fail an I/O that the replica
+// machinery already saved.
+func (f *File) reportFailure(name string) {
+	if ctx := f.fs.raCtx; ctx != nil && ctx.Err() != nil {
+		return
+	}
+	if err := f.fs.cat.ReportServerFailure(name); err == nil {
+		f.fs.reg.Counter(MetricFailureReports).Inc()
+	}
+}
+
+// doExchange performs one server exchange and, for reads of a
+// replicated file, fails over to backup replicas when the preferred
+// server fails at the transport level.
+func (f *File) doExchange(ctx context.Context, r *stripe.Request, buf []byte, write bool, sp *obs.Span) error {
+	err := f.doRequest(ctx, r, buf, write, sp)
+	if err == nil || write || f.rs.Replicas() == 1 || !transportFailure(ctx, err) {
+		return err
+	}
+	return f.failoverRead(ctx, r, buf, err)
+}
+
+// failoverRead retries the bricks of a failed read exchange on their
+// remaining replicas, rank by rank: the bricks are regrouped by their
+// rank-k server into fresh combined requests, and a retry that itself
+// fails at the transport level pushes its bricks on to rank k+1.
+// Application errors propagate immediately; exhausting all R ranks
+// returns the last transport error.
+func (f *File) failoverRead(ctx context.Context, failed *stripe.Request, buf []byte, cause error) error {
+	f.reportFailure(f.info.Servers[failed.Server])
+	pending := failed.Bricks
+	lastErr := cause
+	for rank := 1; rank < f.rs.Replicas() && len(pending) > 0; rank++ {
+		reqs := stripe.Combine(pending, f.rs.RankAssignment(rank))
+		var next []stripe.BrickIO
+		for i := range reqs {
+			f.fs.reg.Counter(MetricFailovers).Inc()
+			err := f.doRequest(ctx, &reqs[i], buf, false, nil)
+			if err == nil {
+				continue
+			}
+			if !transportFailure(ctx, err) {
+				return err
+			}
+			f.reportFailure(f.info.Servers[reqs[i].Server])
+			next = append(next, reqs[i].Bricks...)
+			lastErr = err
+		}
+		pending = next
+	}
+	if len(pending) > 0 {
+		return lastErr
+	}
+	return nil
+}
+
+// writeReplicated fans a write access out to every replica rank: rank
+// k's bricks are grouped into per-server requests exactly like the
+// primary copy's, and all ranks' requests run through the configured
+// sequential or parallel dispatch without stopping at the first
+// failure. A brick's write succeeds when at least one replica accepted
+// it; transport failures on other replicas degrade the write (counted
+// in client_degraded_writes and reported to the health table) instead
+// of failing it. Application errors — which every replica would repeat
+// — and bricks with zero surviving copies fail the access; the caller
+// invalidates the cache either way, so a partially landed write can
+// never be served stale.
+func (f *File) writeReplicated(ctx context.Context, plan []stripe.BrickIO, buf []byte, opName string, root *obs.Span) error {
+	opts := f.fs.opts
+	var reqs []stripe.Request
+	for rank := 0; rank < f.rs.Replicas(); rank++ {
+		var rr []stripe.Request
+		if opts.Combine {
+			rr = stripe.Combine(plan, f.rs.RankAssignment(rank))
+			if opts.Stagger {
+				rr = stripe.Stagger(rr, f.fs.rank, len(f.info.Servers))
+			}
+		} else {
+			rr = stripe.PerBrick(plan, f.rs.RankAssignment(rank))
+		}
+		reqs = append(reqs, rr...)
+	}
+
+	errs := make([]error, len(reqs))
+	if opts.ParallelDispatch && len(reqs) > 1 {
+		f.dispatchCollectParallel(ctx, reqs, buf, opName, root, errs)
+	} else {
+		f.dispatchCollectSequential(ctx, reqs, buf, opName, root, errs)
+	}
+
+	okCopies := make(map[int]int, len(plan))
+	var appErr, transErr error
+	for i := range reqs {
+		err := errs[i]
+		if err == nil {
+			for _, b := range reqs[i].Bricks {
+				okCopies[b.Brick]++
+			}
+			continue
+		}
+		if !transportFailure(ctx, err) {
+			if appErr == nil {
+				appErr = err
+			}
+			continue
+		}
+		transErr = err
+		f.reportFailure(f.info.Servers[reqs[i].Server])
+	}
+	if appErr != nil {
+		return appErr
+	}
+	for _, bio := range plan {
+		if okCopies[bio.Brick] == 0 {
+			if transErr != nil {
+				return transErr
+			}
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			return fmt.Errorf("dpfs: %s: brick %d: every replica write failed", f.info.Path, bio.Brick)
+		}
+	}
+	if transErr != nil {
+		f.fs.reg.Counter(MetricDegradedWrites).Inc()
+	}
+	return nil
+}
+
+// dispatchCollectSequential runs every request to completion in order,
+// recording each outcome in errs (parallel to reqs) instead of
+// stopping at the first error — replicated writes need every replica's
+// verdict to tell a degraded write from a lost brick.
+func (f *File) dispatchCollectSequential(ctx context.Context, reqs []stripe.Request, buf []byte, opName string, root *obs.Span, errs []error) {
+	gauge := f.fs.reg.Gauge(MetricInflight)
+	for i := range reqs {
+		sp := f.rpcSpan(root, &reqs[i], opName)
+		gauge.Inc()
+		errs[i] = f.doRequest(ctx, &reqs[i], buf, true, sp)
+		gauge.Dec()
+		if sp != nil {
+			sp.End()
+		}
+	}
+}
+
+// dispatchCollectParallel is dispatchCollectSequential's concurrent
+// form: requests launch in order bounded by MaxInflight, all run to
+// completion, and no error cancels the rest (a replica that can still
+// accept the write must get the chance to).
+func (f *File) dispatchCollectParallel(ctx context.Context, reqs []stripe.Request, buf []byte, opName string, root *obs.Span, errs []error) {
+	max := f.fs.opts.MaxInflight
+	if max <= 0 {
+		max = len(f.info.Servers)
+	}
+	if max > len(reqs) {
+		max = len(reqs)
+	}
+	if max < 1 {
+		max = 1
+	}
+	sem := make(chan struct{}, max)
+	gauge := f.fs.reg.Gauge(MetricInflight)
+	var wg sync.WaitGroup
+	for i := range reqs {
+		sem <- struct{}{}
+		sp := f.rpcSpan(root, &reqs[i], opName)
+		gauge.Inc()
+		wg.Add(1)
+		go func(i int, sp *obs.Span) {
+			defer wg.Done()
+			defer gauge.Dec()
+			defer func() { <-sem }()
+			errs[i] = f.doRequest(ctx, &reqs[i], buf, true, sp)
+			if sp != nil {
+				sp.End()
+			}
+		}(i, sp)
+	}
+	wg.Wait()
 }
 
 // scratchPool recycles response scratch buffers across read exchanges
@@ -480,7 +682,12 @@ func (f *File) doRequest(ctx context.Context, r *stripe.Request, buf []byte, wri
 	}
 	for bi := range r.Bricks {
 		b := &r.Bricks[bi]
-		base := f.localIdx[b.Brick] * slot
+		ls := f.rs.SlotOn(b.Brick, r.Server)
+		if ls < 0 {
+			return fmt.Errorf("dpfs: %s: brick %d has no replica on server %s",
+				f.info.Path, b.Brick, f.info.Servers[r.Server])
+		}
+		base := ls * slot
 		if wholeBrick {
 			exts = append(exts, wire.Extent{Off: base, Len: g.BrickBytesOf(b.Brick)})
 			continue

@@ -276,6 +276,173 @@ func TestChaosCached(t *testing.T) {
 	}
 }
 
+// runReplicaChaosWorkload drives an R=2 file through the storm plus a
+// mid-workload server kill: one healthy write/read round, then one of
+// the io servers dies and a second round runs degraded — writes land
+// on one replica short, reads fail over to the surviving copy — with
+// every byte still checked against the fault-free truth.
+func runReplicaChaosWorkload(t *testing.T, c *cluster.Cluster, inj *fault.Injector, np int, parallel, cached bool) *obs.Registry {
+	t.Helper()
+	ctx := context.Background()
+	reg := obs.NewRegistry()
+	opts := core.Options{
+		Combine: true, Stagger: true, ParallelDispatch: parallel,
+		Dial: inj.DialContext, Retry: chaosRetry(),
+	}
+	if cached {
+		opts.CacheBytes = 64 << 20
+		opts.MetaTTL = time.Minute
+		opts.Readahead = 2
+	}
+
+	const path = "/chaos-replica.dat"
+	fs0, err := c.NewFS(0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs0.SetMetrics(reg)
+	f0, err := fs0.Create(path, 1, []int64{chaosN, chaosN}, core.Hint{
+		Level: stripe.LevelMultidim, Tile: []int64{chaosTile, chaosTile},
+		Replicas: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f0.Close()
+	fs0.Close()
+
+	roundData := func(rank, round, n int) []byte {
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = byte(rank*31 + i + round*101)
+		}
+		return buf
+	}
+
+	const chunks = 8
+	chunkRows := int64(chaosN) / chunks
+	writePhase := func(round int) {
+		var wg sync.WaitGroup
+		errs := make(chan error, np)
+		for p := 0; p < np; p++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				fs, err := c.NewFS(rank, opts)
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer fs.Close()
+				fs.SetMetrics(reg)
+				f, err := fs.Open(path)
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer f.Close()
+				sec := colSection(np, rank)
+				data := roundData(rank, round, int(sec.Bytes(1)))
+				rowBytes := sec.Count[1]
+				for i := int64(0); i < chunks; i++ {
+					sub := stripe.NewSection(
+						[]int64{i * chunkRows, sec.Start[1]},
+						[]int64{chunkRows, sec.Count[1]})
+					chunk := data[i*chunkRows*rowBytes : (i+1)*chunkRows*rowBytes]
+					if err := f.WriteSection(ctx, sub, chunk); err != nil {
+						errs <- fmt.Errorf("rank %d round %d write chunk %d: %w", rank, round, i, err)
+						return
+					}
+				}
+			}(p)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+	}
+	readPhase := func(round int) {
+		for p := 0; p < np; p++ {
+			fs, err := c.NewFS(p, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fs.SetMetrics(reg)
+			f, err := fs.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sec := colSection(np, p)
+			want := roundData(p, round, int(sec.Bytes(1)))
+			got := make([]byte, sec.Bytes(1))
+			if err := f.ReadSection(ctx, sec, got); err != nil {
+				t.Fatalf("rank %d round %d faulty read: %v", p, round, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("rank %d round %d: faulty read diverges from fault-free truth", p, round)
+			}
+			f.Close()
+			fs.Close()
+		}
+	}
+
+	writePhase(0)
+	readPhase(0)
+	// Kill one server mid-workload: the second round runs degraded.
+	if err := c.IOServers[len(c.IOServers)-1].Close(); err != nil {
+		t.Fatal(err)
+	}
+	writePhase(1)
+	readPhase(1)
+
+	// Fault-free verification with the server still dead: a clean
+	// client (no storm) reads the final bytes through failover alone.
+	cleanFS, err := c.NewFS(0, core.Options{Combine: true, Stagger: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanFS.Close()
+	f, err := cleanFS.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for p := 0; p < np; p++ {
+		sec := colSection(np, p)
+		got := make([]byte, sec.Bytes(1))
+		if err := f.ReadSection(ctx, sec, got); err != nil {
+			t.Fatal(err)
+		}
+		if want := roundData(p, 1, len(got)); !bytes.Equal(got, want) {
+			t.Fatalf("rank %d: stored bytes diverge from fault-free truth", p)
+		}
+	}
+	return reg
+}
+
+// TestChaosReplicaFailover runs the replica-failover mode once under
+// the standard storm: R=2, one of four servers killed mid-workload,
+// byte-identical results, and the failover/degraded-write machinery
+// demonstrably doing the absorbing.
+func TestChaosReplicaFailover(t *testing.T) {
+	inj := fault.New(6, chaosRules()...)
+	c := startChaosCluster(t, 4, inj)
+	reg := runReplicaChaosWorkload(t, c, inj, 4, true, false)
+	if inj.Total() == 0 {
+		t.Fatal("the fault schedule never fired")
+	}
+	if got := reg.Counter(core.MetricFailovers).Value(); got == 0 {
+		t.Fatal("client_failovers = 0, want > 0 with a dead preferred replica")
+	}
+	if got := reg.Counter(core.MetricDegradedWrites).Value(); got == 0 {
+		t.Fatal("client_degraded_writes = 0, want > 0 with a dead replica target")
+	}
+	t.Logf("faults=%v failovers=%d degraded=%d", inj.Counts(),
+		reg.Counter(core.MetricFailovers).Value(),
+		reg.Counter(core.MetricDegradedWrites).Value())
+}
+
 // TestChaosPerServerRule confines the storm to one server by catalog
 // name and asserts the label routing held: only conns to that server
 // see faults.
@@ -390,6 +557,11 @@ func TestChaosSweep(t *testing.T) {
 			inj := fault.New(seed, chaosRules()...)
 			c := startChaosCluster(t, 4, inj)
 			runChaosWorkload(t, c, inj, 4, seed%2 == 0, seed%3 != 0)
+		})
+		t.Run(fmt.Sprintf("seed%d-replica", seed), func(t *testing.T) {
+			inj := fault.New(seed+1000, chaosRules()...)
+			c := startChaosCluster(t, 4, inj)
+			runReplicaChaosWorkload(t, c, inj, 4, seed%2 == 0, seed%3 == 0)
 		})
 	}
 }

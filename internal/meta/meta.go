@@ -62,6 +62,10 @@ type FileInfo struct {
 	// wrong file's bricks. Zero means ungenerationed (legacy rows and
 	// direct catalog tests).
 	Generation int64
+	// Replicas is the file's replication factor R: every brick is
+	// stored on R distinct servers. 1 (or 0, normalized to 1) is the
+	// unreplicated layout.
+	Replicas int
 }
 
 // Catalog performs DPFS catalog operations over a SQL connection. It
@@ -115,7 +119,12 @@ func (c *Catalog) Init() error {
 			pattern TEXT NOT NULL,
 			grid TEXT NOT NULL,
 			placement TEXT NOT NULL,
-			slot_bytes INT NOT NULL)`,
+			slot_bytes INT NOT NULL,
+			replicas INT NOT NULL)`,
+		`CREATE TABLE IF NOT EXISTS dpfs_server_health (
+			server_name TEXT PRIMARY KEY,
+			state TEXT NOT NULL,
+			fails INT NOT NULL)`,
 	}
 	for _, s := range stmts {
 		if _, err := c.db.Exec(s); err != nil {
@@ -255,6 +264,107 @@ func (c *Catalog) Server(name string) (ServerInfo, error) {
 	return ServerInfo{Name: r[0].Str, Capacity: r[1].Int, Performance: int(r[2].Int), Addr: r[3].Str}, nil
 }
 
+// --- server health -----------------------------------------------------
+
+// Server health states tracked in dpfs_server_health. Clients report
+// transport failures (alive → suspect); the repair probe loop settles
+// suspects into alive or dead by actually dialing them.
+const (
+	StateAlive   = "alive"
+	StateSuspect = "suspect"
+	StateDead    = "dead"
+)
+
+// HealthInfo is one row of DPFS-SERVER-HEALTH.
+type HealthInfo struct {
+	Name  string
+	State string
+	// Fails counts consecutive reported transport failures since the
+	// last success.
+	Fails int64
+}
+
+// ReportServerFailure records a client-observed transport failure
+// against a server: its consecutive-failure count grows and an alive
+// server becomes suspect. Only a probe (SetServerState) declares death;
+// a burst of client reports alone cannot, since the fault may be on the
+// client's side of the network.
+func (c *Catalog) ReportServerFailure(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inTx(func() error {
+		res, err := c.db.Exec(fmt.Sprintf(
+			`SELECT state, fails FROM dpfs_server_health WHERE server_name = %s`, quote(name)))
+		if err != nil {
+			return err
+		}
+		if len(res.Rows) == 0 {
+			_, err = c.db.Exec(fmt.Sprintf(`INSERT INTO dpfs_server_health VALUES (%s, %s, 1)`,
+				quote(name), quote(StateSuspect)))
+			return err
+		}
+		state := res.Rows[0][0].Str
+		if state == StateAlive {
+			state = StateSuspect
+		}
+		_, err = c.db.Exec(fmt.Sprintf(
+			`UPDATE dpfs_server_health SET state = %s, fails = %d WHERE server_name = %s`,
+			quote(state), res.Rows[0][1].Int+1, quote(name)))
+		return err
+	})
+}
+
+// ReportServerOK records a successful exchange with a server, resetting
+// it to alive with zero consecutive failures.
+func (c *Catalog) ReportServerOK(name string) error {
+	return c.SetServerState(name, StateAlive)
+}
+
+// SetServerState pins a server's health state (the probe loop's
+// verdict). Alive resets the failure count.
+func (c *Catalog) SetServerState(name, state string) error {
+	switch state {
+	case StateAlive, StateSuspect, StateDead:
+	default:
+		return fmt.Errorf("meta: unknown server state %q", state)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inTx(func() error {
+		fails := ""
+		if state == StateAlive {
+			fails = ", fails = 0"
+		}
+		res, err := c.db.Exec(fmt.Sprintf(
+			`UPDATE dpfs_server_health SET state = %s%s WHERE server_name = %s`,
+			quote(state), fails, quote(name)))
+		if err != nil {
+			return err
+		}
+		if res.RowsAffected == 0 {
+			_, err = c.db.Exec(fmt.Sprintf(`INSERT INTO dpfs_server_health VALUES (%s, %s, 0)`,
+				quote(name), quote(state)))
+		}
+		return err
+	})
+}
+
+// ServerHealth lists the tracked health rows ordered by server name.
+// Servers never reported on have no row and are presumed alive.
+func (c *Catalog) ServerHealth() ([]HealthInfo, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	res, err := c.db.Exec(`SELECT server_name, state, fails FROM dpfs_server_health ORDER BY server_name`)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]HealthInfo, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		out = append(out, HealthInfo{Name: r[0].Str, State: r[1].Str, Fails: r[2].Int})
+	}
+	return out, nil
+}
+
 // --- directories -------------------------------------------------------
 
 // Mkdir creates a directory; the parent must exist.
@@ -366,10 +476,23 @@ func (c *Catalog) writeDirList(path, col string, list []string) error {
 
 // --- files -------------------------------------------------------------
 
-// CreateFile atomically records a new file: its DPFS-FILE-ATTR row, one
-// DPFS-FILE-DISTRIBUTION row per server, and the parent directory
-// update. assign maps brick id to an index into fi.Servers.
+// CreateFile atomically records a new unreplicated file: its
+// DPFS-FILE-ATTR row, one DPFS-FILE-DISTRIBUTION row per server, and
+// the parent directory update. assign maps brick id to an index into
+// fi.Servers.
 func (c *Catalog) CreateFile(fi FileInfo, assign []int) error {
+	rep := make([][]int, len(assign))
+	for b, s := range assign {
+		rep[b] = []int{s}
+	}
+	fi.Replicas = 1
+	return c.CreateReplicated(fi, rep)
+}
+
+// CreateReplicated atomically records a new file whose bricks carry
+// fi.Replicas replicas each; assign maps [brick][rank] to an index into
+// fi.Servers. CreateFile is the replicas == 1 special case.
+func (c *Catalog) CreateReplicated(fi FileInfo, assign [][]int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	path, err := CleanPath(fi.Path)
@@ -387,6 +510,14 @@ func (c *Catalog) CreateFile(fi FileInfo, assign []int) error {
 	if err := fi.Geometry.Validate(); err != nil {
 		return err
 	}
+	if fi.Replicas < 1 {
+		fi.Replicas = 1
+	}
+	for b, set := range assign {
+		if len(set) != fi.Replicas {
+			return fmt.Errorf("meta: brick %d has %d replicas, want %d", b, len(set), fi.Replicas)
+		}
+	}
 	return c.inTx(func() error {
 		subs, files, err := c.readDirLocked(parent)
 		if err != nil {
@@ -397,19 +528,19 @@ func (c *Catalog) CreateFile(fi FileInfo, assign []int) error {
 		}
 		g := &fi.Geometry
 		if _, err := c.db.Exec(fmt.Sprintf(
-			`INSERT INTO dpfs_file_attr VALUES (%s, %s, %d, %d, %s, %d, %s, %d, %s, %s, %s, %s, %d)`,
+			`INSERT INTO dpfs_file_attr VALUES (%s, %s, %d, %d, %s, %d, %s, %d, %s, %s, %s, %s, %d, %d)`,
 			quote(path), quote(fi.Owner), fi.Perm, fi.Size, quote(g.Level.String()),
 			g.ElemSize, quote(joinInts(g.Dims)), g.BrickBytes, quote(joinInts(g.Tile)),
 			quote(joinPattern(g.Pattern)), quote(joinInts(g.Grid)), quote(fi.Placement),
-			g.SlotBytes())); err != nil {
+			g.SlotBytes(), fi.Replicas)); err != nil {
 			return err
 		}
-		lists := stripe.BrickLists(assign, len(fi.Servers))
+		lists := stripe.ReplicaLists(assign, len(fi.Servers))
 		for si, list := range lists {
 			if _, err := c.db.Exec(fmt.Sprintf(
 				`INSERT INTO dpfs_file_distribution VALUES (%s, %s, %d, %d, %s, %d)`,
 				quote(fi.Servers[si]), quote(path), si, len(list),
-				quote(stripe.FormatBrickList(list)), fi.Generation)); err != nil {
+				quote(stripe.FormatReplicaList(list)), fi.Generation)); err != nil {
 				return err
 			}
 		}
@@ -420,8 +551,19 @@ func (c *Catalog) CreateFile(fi FileInfo, assign []int) error {
 }
 
 // LookupFile loads a file's meta data and reconstructs the brick →
-// server assignment from the stored brick lists.
+// server assignment of replica rank 0 (the preferred copies) from the
+// stored brick lists. Replica-aware callers use LookupReplicated.
 func (c *Catalog) LookupFile(path string) (FileInfo, []int, error) {
+	fi, rs, err := c.LookupReplicated(path)
+	if err != nil {
+		return FileInfo{}, nil, err
+	}
+	return fi, rs.Primary(), nil
+}
+
+// LookupReplicated loads a file's meta data and reconstructs the full
+// replica layout from the stored brick lists.
+func (c *Catalog) LookupReplicated(path string) (FileInfo, *stripe.ReplicaSet, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	path, err := CleanPath(path)
@@ -441,7 +583,7 @@ func (c *Catalog) LookupFile(path string) (FileInfo, []int, error) {
 	if len(res.Rows) == 0 {
 		return FileInfo{}, nil, fmt.Errorf("meta: file %s has no distribution rows", path)
 	}
-	lists := make([][]int, len(res.Rows))
+	lists := make([][]stripe.ReplicaEntry, len(res.Rows))
 	fi.Servers = make([]string, len(res.Rows))
 	for _, r := range res.Rows {
 		si := int(r[1].Int)
@@ -449,18 +591,68 @@ func (c *Catalog) LookupFile(path string) (FileInfo, []int, error) {
 			return FileInfo{}, nil, fmt.Errorf("meta: file %s has corrupt srv_index %d", path, si)
 		}
 		fi.Servers[si] = r[0].Str
-		list, err := stripe.ParseBrickList(r[2].Str)
+		list, err := stripe.ParseReplicaList(r[2].Str)
 		if err != nil {
 			return FileInfo{}, nil, err
 		}
 		lists[si] = list
 		fi.Generation = r[3].Int
 	}
-	assign, err := stripe.AssignmentFromLists(lists, fi.Geometry.NumBricks())
+	rs, err := stripe.ReplicaSetFromLists(lists, fi.Geometry.NumBricks(), fi.Replicas)
 	if err != nil {
 		return FileInfo{}, nil, fmt.Errorf("meta: file %s: %w", path, err)
 	}
-	return fi, assign, nil
+	return fi, rs, nil
+}
+
+// UpdateDistribution atomically replaces a file's distribution rows
+// with a new replica layout under a new generation — the repair path's
+// commit point. servers and lists are aligned by srv_index; gen must
+// come from NextGeneration so stale subfiles order below the new ones.
+func (c *Catalog) UpdateDistribution(path string, servers []string, lists [][]stripe.ReplicaEntry, gen int64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	path, err := CleanPath(path)
+	if err != nil {
+		return err
+	}
+	if len(servers) != len(lists) {
+		return fmt.Errorf("meta: %d servers for %d brick lists", len(servers), len(lists))
+	}
+	return c.inTx(func() error {
+		if _, err := c.statLocked(path); err != nil {
+			return err
+		}
+		if _, err := c.db.Exec(fmt.Sprintf(
+			`DELETE FROM dpfs_file_distribution WHERE filename = %s`, quote(path))); err != nil {
+			return err
+		}
+		for si, list := range lists {
+			if _, err := c.db.Exec(fmt.Sprintf(
+				`INSERT INTO dpfs_file_distribution VALUES (%s, %s, %d, %d, %s, %d)`,
+				quote(servers[si]), quote(path), si, len(list),
+				quote(stripe.FormatReplicaList(list)), gen)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// Files lists every file path in the catalog, sorted — the enumeration
+// repair sweeps.
+func (c *Catalog) Files() ([]string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	res, err := c.db.Exec(`SELECT filename FROM dpfs_file_attr ORDER BY filename`)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		out = append(out, r[0].Str)
+	}
+	return out, nil
 }
 
 // Stat returns a file's attributes without its distribution.
@@ -476,7 +668,7 @@ func (c *Catalog) Stat(path string) (FileInfo, error) {
 
 func (c *Catalog) statLocked(path string) (FileInfo, error) {
 	res, err := c.db.Exec(fmt.Sprintf(
-		`SELECT owner, permission, size, filelevel, elem_size, dims, brick_bytes, tile, pattern, grid, placement
+		`SELECT owner, permission, size, filelevel, elem_size, dims, brick_bytes, tile, pattern, grid, placement, replicas
 		 FROM dpfs_file_attr WHERE filename = %s`, quote(path)))
 	if err != nil {
 		return FileInfo{}, err
@@ -505,6 +697,10 @@ func (c *Catalog) statLocked(path string) (FileInfo, error) {
 	if err != nil {
 		return FileInfo{}, err
 	}
+	replicas := int(r[11].Int)
+	if replicas < 1 {
+		replicas = 1
+	}
 	return FileInfo{
 		Path:  path,
 		Owner: r[0].Str,
@@ -520,6 +716,7 @@ func (c *Catalog) statLocked(path string) (FileInfo, error) {
 			Grid:       grid,
 		},
 		Placement: r[10].Str,
+		Replicas:  replicas,
 	}, nil
 }
 

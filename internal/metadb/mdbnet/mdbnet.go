@@ -10,6 +10,7 @@
 package mdbnet
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -49,16 +50,23 @@ type Server struct {
 	lis net.Listener
 	reg *obs.Registry
 
-	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
-	closed bool
-	wg     sync.WaitGroup
+	mu       sync.Mutex
+	conns    map[net.Conn]*connState
+	closed   bool
+	draining bool
+	wg       sync.WaitGroup
+}
+
+// connState tracks whether a connection is mid-statement, so a drain
+// can let it flush its response before closing.
+type connState struct {
+	busy bool
 }
 
 // NewServer starts serving db on lis. It returns immediately; use
 // Close to stop.
 func NewServer(db *metadb.DB, lis net.Listener) *Server {
-	s := &Server{db: db, lis: lis, reg: obs.NewRegistry(), conns: make(map[net.Conn]struct{})}
+	s := &Server{db: db, lis: lis, reg: obs.NewRegistry(), conns: make(map[net.Conn]*connState)}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -106,6 +114,48 @@ func (s *Server) Close() error {
 	return err
 }
 
+// Shutdown drains the server: it stops accepting, closes idle
+// connections immediately, and lets connections that are mid-statement
+// finish and flush their response before closing. ctx bounds the
+// wait — on expiry the remaining connections are cut and ctx's error
+// returned. The underlying database is not closed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.draining = true
+	for c, st := range s.conns {
+		if !st.busy {
+			c.Close()
+		}
+	}
+	s.mu.Unlock()
+
+	err := s.lis.Close()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
+	return err
+}
+
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
 	for {
@@ -119,7 +169,7 @@ func (s *Server) acceptLoop() {
 			conn.Close()
 			return
 		}
-		s.conns[conn] = struct{}{}
+		s.conns[conn] = &connState{}
 		s.mu.Unlock()
 		s.wg.Add(1)
 		go s.handle(conn)
@@ -148,6 +198,14 @@ func (s *Server) handle(conn net.Conn) {
 		if err := dec.Decode(&req); err != nil {
 			return
 		}
+		s.mu.Lock()
+		st := s.conns[conn]
+		if st == nil || s.draining {
+			s.mu.Unlock()
+			return
+		}
+		st.busy = true
+		s.mu.Unlock()
 		var resp response
 		start := time.Now()
 		res, err := sess.Exec(req.SQL)
@@ -161,7 +219,12 @@ func (s *Server) handle(conn net.Conn) {
 			resp.Rows = res.Rows
 			resp.RowsAffected = res.RowsAffected
 		}
-		if err := enc.Encode(&resp); err != nil {
+		err = enc.Encode(&resp)
+		s.mu.Lock()
+		st.busy = false
+		drain := s.draining
+		s.mu.Unlock()
+		if err != nil || drain {
 			return
 		}
 	}

@@ -1,9 +1,11 @@
 package mdbnet
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"dpfs/internal/metadb"
 )
@@ -225,5 +227,48 @@ func TestServerClose(t *testing.T) {
 func TestDialFailure(t *testing.T) {
 	if _, err := Dial("127.0.0.1:1"); err == nil {
 		t.Fatal("dial to dead port should fail")
+	}
+}
+
+// TestShutdownDrains races concurrent writers against a graceful
+// Shutdown: every statement either completes fully or fails cleanly
+// on a closed connection, Shutdown returns without hanging, and the
+// server refuses work afterwards.
+func TestShutdownDrains(t *testing.T) {
+	srv, _ := startServer(t)
+	c := dial(t, srv)
+	if _, err := c.Exec(`CREATE TABLE d (id INT PRIMARY KEY)`); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cl, err := Dial(srv.Addr())
+			if err != nil {
+				return
+			}
+			defer cl.Close()
+			for i := 0; ; i++ {
+				if _, err := cl.Exec(fmt.Sprintf(`INSERT INTO d VALUES (%d)`, g*1000000+i)); err != nil {
+					return // drained away mid-stream: expected
+				}
+			}
+		}(g)
+	}
+	time.Sleep(20 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	wg.Wait()
+	if _, err := c.Exec(`SELECT id FROM d`); err == nil {
+		t.Fatal("exec after shutdown succeeded")
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("double shutdown: %v", err)
 	}
 }

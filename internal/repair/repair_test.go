@@ -1,0 +1,185 @@
+package repair_test
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"dpfs/internal/cluster"
+	"dpfs/internal/core"
+	"dpfs/internal/meta"
+	"dpfs/internal/repair"
+	"dpfs/internal/stripe"
+)
+
+func ctxT(t *testing.T) context.Context {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// TestProbeEscalation: a non-responding server walks alive -> suspect
+// -> dead one step per missed probe, so a single missed probe never
+// declares a server dead; a responding server stays alive.
+func TestProbeEscalation(t *testing.T) {
+	c, err := cluster.Start(cluster.Config{Servers: cluster.Uniform(2), Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.IOServers[1].Close(); err != nil {
+		t.Fatal(err)
+	}
+	cat, err := c.NewCatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := repair.New(cat, repair.Options{PingTimeout: 500 * time.Millisecond})
+	defer r.Close()
+
+	states := func() map[string]string {
+		t.Helper()
+		hs, err := cat.ServerHealth()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := map[string]string{}
+		for _, h := range hs {
+			m[h.Name] = h.State
+		}
+		return m
+	}
+
+	alive, err := r.Probe(ctxT(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !alive["io0"] || alive["io1"] {
+		t.Fatalf("probe alive = %v, want io0 only", alive)
+	}
+	if st := states(); st["io0"] != meta.StateAlive || st["io1"] != meta.StateSuspect {
+		t.Fatalf("after one probe: %v, want io0 alive, io1 suspect", st)
+	}
+	if _, err := r.Probe(ctxT(t)); err != nil {
+		t.Fatal(err)
+	}
+	if st := states(); st["io1"] != meta.StateDead {
+		t.Fatalf("after two probes: %v, want io1 dead", st)
+	}
+	if st := states(); st["io0"] != meta.StateAlive {
+		t.Fatalf("responding server drifted to %q", st["io0"])
+	}
+}
+
+// TestRepairRereplicates: an R=2 file loses one server's replicas and
+// is rebuilt onto the survivors under a fresh generation; an R=1 file
+// with bricks on the dead server is reported unrepairable and left
+// untouched. A second run finds the R=2 file intact (idempotence).
+func TestRepairRereplicates(t *testing.T) {
+	const size = 16 * 4096
+	c, err := cluster.Start(cluster.Config{Servers: cluster.Uniform(4), Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := ctxT(t)
+
+	fs, err := c.NewFS(0, core.Options{Combine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pattern := make([]byte, size)
+	for i := range pattern {
+		pattern[i] = byte(i*3 + 1)
+	}
+	for _, f := range []struct {
+		path string
+		rep  int
+	}{{"/a.dat", 2}, {"/b.dat", 1}} {
+		fh, err := fs.Create(f.path, 1, []int64{size}, core.Hint{
+			Level: stripe.LevelLinear, BrickBytes: 4096, Replicas: f.rep,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fh.WriteAt(ctx, pattern, 0); err != nil {
+			t.Fatal(err)
+		}
+		fh.Close()
+	}
+	fs.Close()
+
+	if err := c.IOServers[3].Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadName := c.Specs[3].Name
+
+	rep, err := c.Repair(ctx, repair.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Repaired != 1 || rep.Failed != 1 || rep.Checked != 2 {
+		t.Fatalf("repair = %d repaired / %d failed / %d checked, want 1/1/2", rep.Repaired, rep.Failed, rep.Checked)
+	}
+	for _, fr := range rep.Files {
+		switch fr.Path {
+		case "/a.dat":
+			if fr.Err != "" || fr.CopiedBricks == 0 {
+				t.Fatalf("/a.dat: %+v, want copied bricks and no error", fr)
+			}
+		case "/b.dat":
+			if !strings.Contains(fr.Err, "every replica is on a dead server") {
+				t.Fatalf("/b.dat err = %q, want unrepairable", fr.Err)
+			}
+		}
+	}
+
+	// The repaired file is fully replicated on live servers and reads
+	// back byte-identical with the dead server still down.
+	cat, err := c.NewCatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, rs, err := cat.LookupReplicated("/a.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b, reps := range rs.Servers {
+		if len(reps) != 2 {
+			t.Fatalf("brick %d: %d replicas, want 2", b, len(reps))
+		}
+		for _, s := range reps {
+			if fi.Servers[s] == deadName {
+				t.Fatalf("brick %d still on dead server", b)
+			}
+		}
+	}
+	fs2, err := c.NewFS(1, core.Options{Combine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Close()
+	fh, err := fs2.Open("/a.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, size)
+	if err := fh.ReadAt(ctx, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	fh.Close()
+	if !bytes.Equal(got, pattern) {
+		t.Fatal("repaired file diverges from the original bytes")
+	}
+
+	// Idempotence: a second pass repairs nothing new.
+	rep2, err := c.Repair(ctx, repair.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Repaired != 0 || rep2.Intact != 1 || rep2.Failed != 1 {
+		t.Fatalf("second repair = %d repaired / %d intact / %d failed, want 0/1/1", rep2.Repaired, rep2.Intact, rep2.Failed)
+	}
+}

@@ -94,6 +94,29 @@ const (
 // breaker is open.
 var ErrUnhealthy = errors.New("server unhealthy (breaker open)")
 
+// ServerError wraps an error string the server itself returned: the
+// exchange completed, the operation failed as an application outcome.
+// Transport-class failures (dial errors, timeouts, broken connections,
+// ErrUnhealthy fail-fasts) are NOT ServerErrors — that distinction is
+// what read failover keys on: a replica is only worth trying when the
+// previous one was unreachable, not when it answered with an error
+// every replica would repeat (e.g. "stale generation").
+type ServerError struct {
+	Addr string
+	Msg  string
+}
+
+// Error implements error, preserving the historical message shape.
+func (e *ServerError) Error() string { return fmt.Sprintf("dpfs server %s: %s", e.Addr, e.Msg) }
+
+// IsServerError reports whether err (anywhere in its chain) is an
+// application error returned by a server rather than a transport
+// failure.
+func IsServerError(err error) bool {
+	var se *ServerError
+	return errors.As(err, &se)
+}
+
 // RetryPolicy tunes the client's recovery machinery. The zero value
 // selects the defaults below; set a field negative to disable that
 // mechanism.
@@ -274,7 +297,7 @@ func (c *Client) do(ctx context.Context, req *wire.Request, scratch []byte) (*wi
 			if resp.Err != "" {
 				// The server answered; its error is an application
 				// outcome, not a transport failure — never retried.
-				return nil, fmt.Errorf("dpfs server %s: %s", c.addr, resp.Err)
+				return nil, &ServerError{Addr: c.addr, Msg: resp.Err}
 			}
 			return resp, nil
 		}

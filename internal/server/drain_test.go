@@ -1,0 +1,131 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"dpfs/internal/netsim"
+	"dpfs/internal/wire"
+)
+
+// TestShutdownDrainsInflight: a request occupying the simulated device
+// when Shutdown begins must run to completion and get its response
+// before the server exits — the graceful half of the SIGTERM path.
+func TestShutdownDrainsInflight(t *testing.T) {
+	// 1 MiB/s: a 512 KiB write reserves ~0.5s of device time.
+	model := netsim.New(netsim.Params{Bandwidth: 1 << 20})
+	srv, err := Listen(Config{Root: t.TempDir(), Model: model, Name: "drain"}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := NewClient(srv.Addr())
+	defer cli.Close()
+
+	data := make([]byte, 512<<10)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := cli.Do(context.Background(), &wire.Request{
+			Op: wire.OpWrite, Path: "drain.dat",
+			Extents: []wire.Extent{{Off: 0, Len: int64(len(data))}}, Data: data,
+		})
+		done <- err
+	}()
+	time.Sleep(100 * time.Millisecond) // let the write reach the device
+	if srv.Draining() {
+		t.Fatal("draining before Shutdown was called")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	shErr := make(chan error, 1)
+	go func() { shErr <- srv.Shutdown(ctx) }()
+
+	// Mid-drain the server must report itself draining.
+	for i := 0; !srv.Draining(); i++ {
+		if i > 100 {
+			t.Fatal("server never entered the draining state")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := srv.Health().Status; st != "draining" {
+		t.Fatalf("mid-drain health = %q, want draining", st)
+	}
+
+	if err := <-shErr; err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("in-flight write during drain: %v", err)
+	}
+	if conn, err := net.Dial("tcp", srv.Addr()); err == nil {
+		conn.Close()
+		t.Fatal("dial succeeded after shutdown closed the listener")
+	}
+}
+
+// TestShutdownDeadlineForces: when in-flight work outlives the drain
+// deadline, Shutdown force-closes the remaining connections and
+// returns the context error instead of hanging.
+func TestShutdownDeadlineForces(t *testing.T) {
+	// 1 MiB/s: a 4 MiB write reserves ~4s, far past the 200ms deadline.
+	model := netsim.New(netsim.Params{Bandwidth: 1 << 20})
+	srv, err := Listen(Config{Root: t.TempDir(), Model: model, Name: "force"}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := NewClientWith(srv.Addr(), ClientConfig{Retry: RetryPolicy{MaxRetries: -1}})
+	defer cli.Close()
+
+	data := make([]byte, 4<<20)
+	done := make(chan error, 1)
+	go func() {
+		_, err := cli.Do(context.Background(), &wire.Request{
+			Op: wire.OpWrite, Path: "force.dat",
+			Extents: []wire.Extent{{Off: 0, Len: int64(len(data))}}, Data: data,
+		})
+		done <- err
+	}()
+	time.Sleep(100 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = srv.Shutdown(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("forced shutdown error = %v, want DeadlineExceeded", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("forced shutdown took %v, want well under the write's 4s reservation", d)
+	}
+	if err := <-done; err == nil {
+		t.Fatal("in-flight write survived a forced shutdown, want an error")
+	}
+}
+
+// TestShutdownIdle: with nothing in flight, Shutdown closes idle
+// pooled connections immediately and returns nil.
+func TestShutdownIdle(t *testing.T) {
+	srv, err := Listen(Config{Root: t.TempDir(), Name: "idle"}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := NewClient(srv.Addr())
+	defer cli.Close()
+	if err := cli.Ping(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("idle shutdown: %v", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("double shutdown: %v", err)
+	}
+}

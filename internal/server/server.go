@@ -40,14 +40,17 @@ type Config struct {
 // histograms record microseconds; the per-op handler histograms are
 // named "op_<name>_us" (op_read_us, op_write_us, ...).
 const (
-	MetricActiveConns = "active_conns"
-	MetricConnsTotal  = "conns_total"
-	MetricRequests    = "requests_total"
-	MetricErrors      = "errors_total"
-	MetricBytesIn     = "bytes_in_total"
-	MetricBytesOut    = "bytes_out_total"
-	MetricSubfileIO   = "subfile_io_us"
-	MetricNetsimWait  = "netsim_wait_us"
+	MetricActiveConns    = "active_conns"
+	MetricConnsTotal     = "conns_total"
+	MetricRequests       = "requests_total"
+	MetricErrors         = "errors_total"
+	MetricBytesIn        = "bytes_in_total"
+	MetricBytesOut       = "bytes_out_total"
+	MetricSubfileIO      = "subfile_io_us"
+	MetricNetsimWait     = "netsim_wait_us"
+	MetricCopyBytes      = "copy_bytes_total"
+	MetricCopyPeerErrors = "copy_peer_errors_total"
+	MetricDiskErrors     = "disk_errors_total"
 )
 
 // OpMetric names the handler latency histogram for an op.
@@ -61,15 +64,23 @@ type Server struct {
 	lis net.Listener
 	reg *obs.Registry
 
-	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
-	files  map[string]*subfile
-	gens   map[string]int64 // local base path → highest generation seen
-	closed bool
-	wg     sync.WaitGroup
+	mu       sync.Mutex
+	conns    map[net.Conn]*connState
+	files    map[string]*subfile
+	gens     map[string]int64 // local base path → highest generation seen
+	closed   bool
+	draining bool
+	wg       sync.WaitGroup
 
 	ctx    context.Context
 	cancel context.CancelFunc
+}
+
+// connState tracks whether a connection is mid-request, which is what
+// Shutdown drains: busy connections finish and flush their current
+// response, idle ones are closed immediately.
+type connState struct {
+	busy bool
 }
 
 // subfile is an open local file with a reference to keep handle reuse
@@ -105,7 +116,7 @@ func New(cfg Config, lis net.Listener) (*Server, error) {
 		cfg:    cfg,
 		lis:    lis,
 		reg:    obs.NewRegistry(),
-		conns:  make(map[net.Conn]struct{}),
+		conns:  make(map[net.Conn]*connState),
 		files:  make(map[string]*subfile),
 		gens:   make(map[string]int64),
 		ctx:    ctx,
@@ -130,8 +141,9 @@ func (s *Server) Model() *netsim.Model { return s.cfg.Model }
 // time and (when a model is attached) the netsim wait histogram.
 func (s *Server) Metrics() *obs.Registry { return s.reg }
 
-// Close stops the server, drops connections and closes cached subfile
-// handles.
+// Close stops the server immediately: the listener and every
+// connection are torn down without waiting for in-flight requests. Use
+// Shutdown for a graceful drain.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -151,14 +163,97 @@ func (s *Server) Close() error {
 		c.Close()
 	}
 	s.wg.Wait()
+	s.closeFiles()
+	return err
+}
 
+// Shutdown drains the server: it stops accepting connections, lets
+// every request already being served finish and flush its response,
+// closes idle connections immediately, and refuses requests that arrive
+// after the drain began (their connections drop, so clients retry or
+// fail over). When ctx expires first, the remaining connections are
+// torn down Close-style. Either way the listener is closed and all
+// handler goroutines have exited on return.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.draining = true
+	for c, st := range s.conns {
+		if !st.busy {
+			c.Close()
+		}
+	}
+	s.mu.Unlock()
+
+	err := s.lis.Close()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Deadline: abandon the drain and force-close what remains.
+		s.cancel()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
+	s.cancel()
+	s.closeFiles()
+	return err
+}
+
+func (s *Server) closeFiles() {
 	s.mu.Lock()
 	for _, sf := range s.files {
 		sf.f.Close()
 	}
-	s.files = make(map[string]*subfile)
+	s.files = nil // open() refuses from here on
 	s.mu.Unlock()
-	return err
+}
+
+// Draining reports whether a graceful Shutdown is in progress or done.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// HealthState summarizes the server's degraded-state signals for a
+// health endpoint: cumulative local disk I/O failures and failures
+// reaching copy-source peers during repair.
+type HealthState struct {
+	Status         string `json:"status"` // "ok", "degraded" or "draining"
+	DiskErrors     int64  `json:"disk_errors"`
+	CopyPeerErrors int64  `json:"copy_peer_errors"`
+}
+
+// Health reports the server's current health classification.
+func (s *Server) Health() HealthState {
+	h := HealthState{
+		Status:         "ok",
+		DiskErrors:     s.reg.Counter(MetricDiskErrors).Value(),
+		CopyPeerErrors: s.reg.Counter(MetricCopyPeerErrors).Value(),
+	}
+	if h.DiskErrors > 0 || h.CopyPeerErrors > 0 {
+		h.Status = "degraded"
+	}
+	if s.Draining() {
+		h.Status = "draining"
+	}
+	return h
 }
 
 func (s *Server) acceptLoop() {
@@ -174,7 +269,7 @@ func (s *Server) acceptLoop() {
 			conn.Close()
 			return
 		}
-		s.conns[conn] = struct{}{}
+		s.conns[conn] = &connState{}
 		s.mu.Unlock()
 		s.wg.Add(1)
 		go s.handleConn(conn)
@@ -202,6 +297,22 @@ func (s *Server) handleConn(conn net.Conn) {
 		if err != nil {
 			return // disconnect or framing error
 		}
+		// Claim the request against a concurrent drain: once draining,
+		// new requests are refused (the connection drops and the client
+		// retries or fails over); requests claimed before the drain run
+		// to completion and their responses flush.
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			return
+		}
+		st := s.conns[conn]
+		if st == nil {
+			s.mu.Unlock()
+			return
+		}
+		st.busy = true
+		s.mu.Unlock()
 		var resp *wire.Response
 		poisoned := false
 		if s.cfg.Model != nil {
@@ -223,7 +334,11 @@ func (s *Server) handleConn(conn net.Conn) {
 			// once the frame is flushed (or failed).
 			putReadBuf(resp.Data)
 		}
-		if err != nil || poisoned {
+		s.mu.Lock()
+		st.busy = false
+		drain := s.draining
+		s.mu.Unlock()
+		if err != nil || poisoned || drain {
 			return
 		}
 	}
@@ -318,8 +433,116 @@ func (s *Server) serve(ctx context.Context, req *wire.Request) (*wire.Response, 
 		return s.opTruncate(req)
 	case wire.OpRename:
 		return s.opRename(req)
+	case wire.OpCopy:
+		return s.opCopy(ctx, req)
 	}
 	return nil, fmt.Errorf("unknown op %v", req.Op)
+}
+
+// opCopy materializes brick slots of a subfile by copying bytes from a
+// source subfile — the repair primitive. Extents pair up as (dst, src);
+// the source descriptor in Data names a peer server (pull over the
+// wire) or, with an empty address, this server itself (a local
+// generation bump). The destination generation is recorded before any
+// byte moves so a stale writer racing the repair is already fenced, but
+// older on-disk generations are only removed after the copy succeeded —
+// the local source may BE such an older generation.
+func (s *Server) opCopy(ctx context.Context, req *wire.Request) (*wire.Response, error) {
+	srcAddr, srcPath, srcGen, err := wire.ParseCopySource(req.Data)
+	if err != nil {
+		return nil, err
+	}
+	if len(req.Extents)%2 != 0 {
+		return nil, fmt.Errorf("copy needs (dst, src) extent pairs, got %d extents", len(req.Extents))
+	}
+	dst := make([]wire.Extent, 0, len(req.Extents)/2)
+	src := make([]wire.Extent, 0, len(req.Extents)/2)
+	for i := 0; i+1 < len(req.Extents); i += 2 {
+		d, sr := req.Extents[i], req.Extents[i+1]
+		if d.Len != sr.Len {
+			return nil, fmt.Errorf("copy extent pair %d: dst %d bytes vs src %d bytes", i/2, d.Len, sr.Len)
+		}
+		dst = append(dst, d)
+		src = append(src, sr)
+	}
+	total := wire.DataBytes(dst)
+	if total < 0 || total > wire.MaxMessage {
+		return nil, fmt.Errorf("copy of %d bytes out of range", total)
+	}
+	if err := s.checkGen(req.Path, req.Gen, false); err != nil {
+		return nil, err
+	}
+	if srcAddr == "" && srcPath == "" {
+		// Cleanup form: no bytes move; superseded generations of
+		// req.Path are cleared. Repair sends this only after the new
+		// generation is committed to the catalog, so the old copies are
+		// no longer anyone's read source or crash-recovery state.
+		if len(req.Extents) != 0 {
+			return nil, errors.New("copy cleanup form takes no extents")
+		}
+		if base, err := s.localPath(req.Path); err == nil {
+			s.removeOldGens(base, req.Gen)
+		}
+		return &wire.Response{}, nil
+	}
+	var data []byte
+	if srcAddr == "" {
+		// Local generation bump: the source is a superseded generation
+		// of this same subfile, so the read must bypass the generation
+		// check that the entry checkGen above just advanced.
+		data, err = s.readLocal(srcPath, srcGen, src, wire.DataBytes(src))
+		if err != nil {
+			return nil, fmt.Errorf("copy local source: %w", err)
+		}
+		defer putReadBuf(data)
+	} else {
+		data, err = s.pullFrom(ctx, srcAddr, srcPath, srcGen, src)
+		if err != nil {
+			s.reg.Counter(MetricCopyPeerErrors).Inc()
+			return nil, fmt.Errorf("copy from %s: %w", srcAddr, err)
+		}
+	}
+	wreq := &wire.Request{Op: wire.OpWrite, Path: req.Path, Gen: req.Gen, Extents: dst, Data: data}
+	if _, err := s.opWrite(ctx, wreq); err != nil {
+		return nil, err
+	}
+	// Superseded generations are deliberately NOT removed here: repair
+	// commits the new generation to the catalog only after every copy
+	// landed, so the old generation must stay readable as the copy
+	// source (and as the crash-recovery state) until then. The next
+	// ordinary advancing write at the new generation cleans them.
+	s.reg.Counter(MetricCopyBytes).Add(total)
+	return &wire.Response{N: total}, nil
+}
+
+// pullFrom fetches extents of a subfile from a peer server over a
+// dedicated connection.
+func (s *Server) pullFrom(ctx context.Context, addr, path string, gen int64, exts []wire.Extent) ([]byte, error) {
+	d := net.Dialer{Timeout: 10 * time.Second}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if dl, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(dl)
+	} else {
+		_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
+	}
+	if err := wire.WriteRequest(conn, &wire.Request{Op: wire.OpRead, Path: path, Gen: gen, Extents: exts}); err != nil {
+		return nil, err
+	}
+	resp, err := wire.ReadResponse(conn)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	if int64(len(resp.Data)) != wire.DataBytes(exts) {
+		return nil, fmt.Errorf("source returned %d bytes for %d requested", len(resp.Data), wire.DataBytes(exts))
+	}
+	return resp.Data, nil
 }
 
 // subfileName maps a DPFS path and distribution generation to the wire
@@ -446,7 +669,10 @@ func (s *Server) open(p string, create bool) (*subfile, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	// Gate on the file table, not the closed flag: a draining server
+	// is closed to new requests but must still serve the ones it
+	// claimed; only after closeFiles has run is the table gone.
+	if s.files == nil {
 		return nil, errors.New("server closed")
 	}
 	if sf, ok := s.files[local]; ok {
@@ -489,39 +715,51 @@ func (s *Server) opRead(ctx context.Context, req *wire.Request) (*wire.Response,
 	if err := s.checkGen(req.Path, req.Gen, false); err != nil {
 		return nil, err
 	}
-	sf, err := s.open(subfileName(req.Path, req.Gen), false)
+	buf, err := s.readLocal(req.Path, req.Gen, req.Extents, total)
+	if err != nil {
+		return nil, err
+	}
+	return &wire.Response{Data: buf, N: total}, nil
+}
+
+// readLocal reads extents of one generationed subfile into a pooled
+// buffer (return it with putReadBuf), bypassing the generation check:
+// the caller has already enforced it, or is opCopy deliberately
+// reading a superseded generation as its local copy source. A missing
+// subfile and bytes past EOF read as zeros, matching hole semantics
+// (client-side geometry guarantees the extents are within the file's
+// logical size).
+func (s *Server) readLocal(path string, gen int64, exts []wire.Extent, total int64) ([]byte, error) {
+	sf, err := s.open(subfileName(path, gen), false)
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
-			// Reading a never-written subfile returns zeros, matching
-			// hole semantics (client-side geometry guarantees the
-			// extents are within the file's logical size).
 			zeros := getReadBuf(total)
 			for i := range zeros {
 				zeros[i] = 0
 			}
-			return &wire.Response{Data: zeros, N: total}, nil
+			return zeros, nil
 		}
 		return nil, err
 	}
 	buf := getReadBuf(total)
 	pos := int64(0)
 	ioStart := time.Now()
-	for _, e := range req.Extents {
+	for _, e := range exts {
 		if e.Len < 0 || e.Off < 0 {
 			return nil, fmt.Errorf("invalid extent [%d,%d)", e.Off, e.Off+e.Len)
 		}
 		n, err := sf.f.ReadAt(buf[pos:pos+e.Len], e.Off)
 		if err != nil && err != io.EOF {
+			s.reg.Counter(MetricDiskErrors).Inc()
 			return nil, err
 		}
-		// Bytes past EOF (sparse slots not yet written) read as zeros.
 		for i := pos + int64(n); i < pos+e.Len; i++ {
 			buf[i] = 0
 		}
 		pos += e.Len
 	}
 	s.reg.Histogram(MetricSubfileIO).Record(time.Since(ioStart).Microseconds())
-	return &wire.Response{Data: buf, N: total}, nil
+	return buf, nil
 }
 
 func (s *Server) opWrite(ctx context.Context, req *wire.Request) (*wire.Response, error) {
@@ -546,6 +784,7 @@ func (s *Server) opWrite(ctx context.Context, req *wire.Request) (*wire.Response
 			return nil, fmt.Errorf("invalid extent [%d,%d)", e.Off, e.Off+e.Len)
 		}
 		if _, err := sf.f.WriteAt(req.Data[pos:pos+e.Len], e.Off); err != nil {
+			s.reg.Counter(MetricDiskErrors).Inc()
 			return nil, err
 		}
 		pos += e.Len
@@ -605,6 +844,7 @@ func (s *Server) opUsage() (*wire.Response, error) {
 		return nil
 	})
 	if err != nil {
+		s.reg.Counter(MetricDiskErrors).Inc()
 		return nil, err
 	}
 	return &wire.Response{N: total}, nil

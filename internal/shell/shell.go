@@ -19,20 +19,26 @@ import (
 	"dpfs/internal/cache"
 	"dpfs/internal/core"
 	"dpfs/internal/meta"
+	"dpfs/internal/repair"
 	"dpfs/internal/stripe"
 )
 
 // Shell is one interactive session: a DPFS client plus a current
 // working directory.
 type Shell struct {
-	client *dpfs.Client
-	cwd    string
+	client   *dpfs.Client
+	cwd      string
+	replicas int
 }
 
 // New builds a shell rooted at /.
 func New(client *dpfs.Client) *Shell {
 	return &Shell{client: client, cwd: "/"}
 }
+
+// SetReplicas sets the replication factor for files this shell
+// creates (cp into DPFS). 0 keeps the engine default of one copy.
+func (sh *Shell) SetReplicas(n int) { sh.replicas = n }
 
 // Cwd returns the current working directory.
 func (sh *Shell) Cwd() string { return sh.cwd }
@@ -77,6 +83,10 @@ func (sh *Shell) Run(ctx context.Context, line string) (string, error) {
 		return sh.cat(ctx, args)
 	case "stats":
 		return sh.stats()
+	case "repair":
+		return sh.repair(ctx)
+	case "health":
+		return sh.health()
 	}
 	return "", fmt.Errorf("dpfs-sh: unknown command %q (try help)", cmd)
 }
@@ -99,6 +109,8 @@ const helpText = `DPFS shell commands:
   du                      per-server file and brick usage
   cat FILE                print a DPFS file's bytes
   stats                   this client's traffic, cache and latency counters
+  repair                  probe servers and re-replicate lost brick copies
+  health                  per-server health states from the catalog
   help                    this text
 `
 
@@ -220,6 +232,7 @@ func (sh *Shell) stat(args []string) (string, error) {
 	}
 	fmt.Fprintf(&sb, "bricks:    %d\n", g.NumBricks())
 	fmt.Fprintf(&sb, "placement: %s\n", fi.Placement)
+	fmt.Fprintf(&sb, "replicas:  %d\n", fi.Replicas)
 	return sb.String(), nil
 }
 
@@ -267,7 +280,7 @@ func (sh *Shell) importFile(ctx context.Context, local, dpfsPath string) (string
 	if err != nil {
 		return "", err
 	}
-	if err := sh.client.Import(ctx, f, dpfsPath, st.Size(), core.Hint{}); err != nil {
+	if err := sh.client.Import(ctx, f, dpfsPath, st.Size(), core.Hint{Replicas: sh.replicas}); err != nil {
 		return "", err
 	}
 	return fmt.Sprintf("imported %d bytes to %s\n", st.Size(), dpfsPath), nil
@@ -307,12 +320,17 @@ func (sh *Shell) copyWithin(ctx context.Context, src, dst string) (string, error
 		return "", err
 	}
 	defer srcF.Close()
+	rep := sh.replicas
+	if rep == 0 {
+		rep = fi.Replicas // copies keep the source's replication
+	}
 	dstF, err := sh.client.Create(dst, g.ElemSize, g.Dims, core.Hint{
 		Level:      g.Level,
 		BrickBytes: g.BrickBytes,
 		Tile:       g.Tile,
 		Pattern:    g.Pattern,
 		Grid:       g.Grid,
+		Replicas:   rep,
 	})
 	if err != nil {
 		return "", err
@@ -423,6 +441,64 @@ func (sh *Shell) stats() (string, error) {
 			snap.Counters[cache.MetricPrefetch], snap.Gauges[cache.MetricDataBytes])
 		fmt.Fprintf(&sb, "cache meta:   %d hits  %d misses\n",
 			snap.Counters[cache.MetricMetaHits], snap.Counters[cache.MetricMetaMisses])
+	}
+	fmt.Fprintf(&sb, "replication:  %d failovers  %d degraded writes  %d failure reports\n",
+		snap.Counters[core.MetricFailovers], snap.Counters[core.MetricDegradedWrites],
+		snap.Counters[core.MetricFailureReports])
+	if snap.Counters[repair.MetricFilesRepaired]+snap.Counters[repair.MetricFilesFailed] > 0 {
+		fmt.Fprintf(&sb, "repair:       %d files repaired  %d brick copies  %d files failed\n",
+			snap.Counters[repair.MetricFilesRepaired], snap.Counters[repair.MetricBricksCopied],
+			snap.Counters[repair.MetricFilesFailed])
+	}
+	return sb.String(), nil
+}
+
+// repair runs one online-repair pass: probe every server, record
+// health, and re-replicate bricks that lost copies to dead servers.
+func (sh *Shell) repair(ctx context.Context) (string, error) {
+	rep, err := sh.client.Repair(ctx)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	names := make([]string, 0, len(rep.Alive))
+	for n := range rep.Alive {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		state := "alive"
+		if !rep.Alive[n] {
+			state = "DOWN"
+		}
+		fmt.Fprintf(&sb, "server %-24s %s\n", n, state)
+	}
+	fmt.Fprintf(&sb, "files: %d checked  %d intact  %d repaired  %d failed\n",
+		rep.Checked, rep.Intact, rep.Repaired, rep.Failed)
+	for _, f := range rep.Files {
+		if f.Err != "" {
+			fmt.Fprintf(&sb, "  %s: FAILED: %s\n", f.Path, f.Err)
+			continue
+		}
+		fmt.Fprintf(&sb, "  %s: %d lost copies, %d re-replicated (gen %d)\n",
+			f.Path, f.LostReplicas, f.CopiedBricks, f.NewGen)
+	}
+	return sb.String(), nil
+}
+
+// health prints the catalog's per-server health table.
+func (sh *Shell) health() (string, error) {
+	rows, err := sh.client.ServerHealth()
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-24s %-8s %5s\n", "SERVER", "STATE", "FAILS")
+	for _, h := range rows {
+		fmt.Fprintf(&sb, "%-24s %-8s %5d\n", h.Name, h.State, h.Fails)
+	}
+	if len(rows) == 0 {
+		sb.WriteString("(no health records; run repair or report a failure first)\n")
 	}
 	return sb.String(), nil
 }

@@ -12,11 +12,13 @@
 package wire
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"strconv"
 )
 
 // Op enumerates the server operations.
@@ -40,6 +42,17 @@ const (
 	// OpRename moves a subfile: Path is the old name, Data carries the
 	// new name.
 	OpRename
+	// OpCopy tells a server to materialize brick slots of a subfile by
+	// copying from another server (online repair). Path names the
+	// destination subfile, Gen its generation, Extents pair up as
+	// (dst, src): extent 2i is the destination slot range and extent
+	// 2i+1 the matching source range. Data carries the copy source as
+	// "srcAddr\nsrcPath\nsrcGen"; an empty srcAddr means the source is
+	// this server itself (a local generation bump). An empty srcAddr
+	// AND srcPath with no extents is the cleanup form: superseded
+	// on-disk generations of Path are deleted (sent by repair after the
+	// new generation is committed to the catalog).
+	OpCopy
 )
 
 // String names the op.
@@ -61,6 +74,8 @@ func (o Op) String() string {
 		return "TRUNCATE"
 	case OpRename:
 		return "RENAME"
+	case OpCopy:
+		return "COPY"
 	}
 	return fmt.Sprintf("Op(%d)", uint8(o))
 }
@@ -137,6 +152,25 @@ const MaxMessage = 1 << 30
 // Callers of ReadResponseInto add it to the expected data size when
 // sizing a scratch buffer.
 const RespOverhead = 2 + 8 + 4
+
+// FormatCopySource encodes the OpCopy source descriptor carried in
+// Request.Data.
+func FormatCopySource(addr, path string, gen int64) []byte {
+	return []byte(addr + "\n" + path + "\n" + fmt.Sprintf("%d", gen))
+}
+
+// ParseCopySource decodes an OpCopy source descriptor.
+func ParseCopySource(data []byte) (addr, path string, gen int64, err error) {
+	parts := bytes.SplitN(data, []byte("\n"), 3)
+	if len(parts) != 3 {
+		return "", "", 0, errors.New("wire: malformed copy source")
+	}
+	g, err := strconv.ParseInt(string(parts[2]), 10, 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("wire: bad copy source generation: %w", err)
+	}
+	return string(parts[0]), string(parts[1]), g, nil
+}
 
 // DataBytes sums the extent lengths.
 func DataBytes(exts []Extent) int64 {

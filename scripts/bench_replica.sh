@@ -1,0 +1,36 @@
+#!/bin/sh
+# bench_replica.sh — replication regression gate.
+#
+# Runs the replica ablation (R=1 baseline vs R=2: write amplification,
+# healthy reads, and failover reads with one server dead; see
+# bench.AblationReplica) and records the table in BENCH_replica.json
+# at the repo root, then asserts the two invariants replication is
+# built on: R=2 writes move ~2x the bytes of R=1 writes (fan-out to
+# both replicas), and the one-server-dead read still completes with
+# nonzero bandwidth (failover works under load). Run it after touching
+# the replicated write path, read failover, or repair.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== bench replica: writing BENCH_replica.json =="
+go run ./cmd/dpfs-bench -ablation replica -json > BENCH_replica.json
+cat BENCH_replica.json
+
+echo "== bench replica: asserting write amplification and failover =="
+python3 - <<'EOF'
+import json
+
+rows = json.load(open("BENCH_replica.json"))
+moved = {r["variant"]: r["moved_mb"] for r in rows}
+mbps = {r["variant"]: r["mbps"] for r in rows}
+
+amp = moved["R=2 write"] / moved["R=1 write"]
+print(f"write amplification: R=1 {moved['R=1 write']:.2f} MB, "
+      f"R=2 {moved['R=2 write']:.2f} MB -> {amp:.2f}x")
+print(f"read cost: R=2 healthy {mbps['R=2 read']:.2f} MB/s, "
+      f"1 server dead {mbps['R=2 read, 1 server dead']:.2f} MB/s")
+if not 1.8 <= amp <= 2.2:
+    raise SystemExit(f"R=2 write amplification {amp:.2f}x outside [1.8, 2.2]")
+if mbps["R=2 read, 1 server dead"] <= 0:
+    raise SystemExit("failover read reported zero bandwidth")
+EOF

@@ -2,10 +2,12 @@
 # check.sh — the repo's full verification gate:
 #   1. tier-1: go build ./... && go test ./...
 #   2. go vet ./...
-#   3. race-enabled test suite
-#   4. seeded chaos suite under -race (fault injection e2e)
-#   5. dispatch bench smoke (scripts/bench_smoke.sh -> BENCH_dispatch.json)
-#   6. documentation lint (godoc coverage + markdown links)
+#   3. govulncheck (soft-fail: warns when the tool or network is absent)
+#   4. race-enabled test suite
+#   5. seeded chaos suite under -race (fault injection e2e), plus a
+#      3-seed DPFS_CHAOS_SWEEP including the replica-failover mode
+#   6. dispatch + replica bench smokes (BENCH_dispatch.json, BENCH_replica.json)
+#   7. documentation lint (godoc coverage + markdown links)
 # Run from the repo root (or anywhere inside it).
 set -eu
 cd "$(dirname "$0")/.."
@@ -16,11 +18,19 @@ echo "== tier-1: go test ./... =="
 go test ./...
 echo "== go vet ./... =="
 go vet ./...
+echo "== govulncheck ./... (advisory) =="
+if command -v govulncheck >/dev/null 2>&1; then
+	govulncheck ./... || echo "WARNING: govulncheck failed or found issues (tool/network problem?); not blocking the gate" >&2
+else
+	echo "WARNING: govulncheck not installed; skipping the vulnerability scan (go install golang.org/x/vuln/cmd/govulncheck@latest)" >&2
+fi
 echo "== doccheck: godoc coverage + markdown links =="
 go run ./scripts/doccheck
 echo "== go test -race ./... =="
 go test -race ./...
 echo "== chaos: seeded fault-injection suite (-race) =="
-go test -race -count=1 -run Chaos . ./internal/fault
+go test -race -count=1 -run Chaos .
+DPFS_CHAOS_SWEEP=3 go test -race -count=1 -run Chaos ./internal/fault
 sh scripts/bench_smoke.sh
+sh scripts/bench_replica.sh
 echo "== all checks passed =="
