@@ -20,6 +20,7 @@ import (
 
 	"dpfs/internal/bench"
 	"dpfs/internal/fault"
+	"dpfs/internal/obs"
 	"dpfs/internal/server"
 )
 
@@ -54,7 +55,13 @@ func main() {
 	cacheMB := flag.Int64("cache-mb", 0, "client data-cache budget in MiB for measured engines (0 = cache off)")
 	metaTTL := flag.Duration("meta-ttl", 0, "client metadata-cache TTL for measured engines (0 = cache off)")
 	readahead := flag.Int("readahead", 0, "sequential readahead depth in bricks (needs -cache-mb)")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println("dpfs-bench", obs.Build().String())
+		return
+	}
 
 	scratch := *dir
 	if scratch == "" {

@@ -7,8 +7,9 @@
 //
 //	dpfs-meta -addr :7700 -dir /var/lib/dpfs-meta
 //
-// With -debug-addr the daemon also serves /metrics (JSON), /healthz
-// and /debug/vars over HTTP for scraping and debugging.
+// With -debug-addr the daemon also serves /metrics (Prometheus text),
+// /healthz, /debug/vars (JSON), /debug/trace, /debug/events and
+// /debug/pprof over HTTP for scraping and debugging.
 package main
 
 import (
@@ -32,7 +33,13 @@ func main() {
 	sync := flag.Bool("sync", false, "fsync the write-ahead log on every commit")
 	debugAddr := flag.String("debug-addr", "", "HTTP address for /metrics, /healthz and /debug/vars (default: disabled)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown bound: in-flight statements get this long to finish on SIGTERM/SIGINT")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println("dpfs-meta", obs.Build().String())
+		return
+	}
 
 	db, err := metadb.Open(metadb.Options{Dir: *dir, Sync: *sync})
 	if err != nil {
@@ -56,13 +63,18 @@ func main() {
 	if *debugAddr != "" {
 		regs := map[string]*obs.Registry{"db": db.Metrics(), "net": srv.Metrics()}
 		obs.PublishExpvar("dpfs", regs)
-		h := obs.Handler(regs, func() obs.Health {
-			return obs.Health{Status: "ok", Detail: map[string]any{
-				"addr":   srv.Addr(),
-				"dir":    *dir,
-				"sync":   *sync,
-				"tables": len(db.TableNames()),
-			}}
+		h := obs.NewHandler(obs.HandlerConfig{
+			Regs: regs,
+			Health: func() obs.Health {
+				return obs.Health{Status: "ok", Detail: map[string]any{
+					"addr":   srv.Addr(),
+					"dir":    *dir,
+					"sync":   *sync,
+					"tables": len(db.TableNames()),
+				}}
+			},
+			Traces: srv.Traces(),
+			Pprof:  true,
 		})
 		dbg, err := obs.StartDebug(*debugAddr, h)
 		if err != nil {

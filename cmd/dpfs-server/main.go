@@ -9,8 +9,9 @@
 //	dpfs-server -addr :7801 -root /data/dpfs -name io0 -meta 127.0.0.1:7700
 //	dpfs-server -addr :7802 -root /tmp/s2 -name io1 -meta ... -class class3
 //
-// With -debug-addr the server also serves /metrics (JSON), /healthz
-// and /debug/vars over HTTP for scraping and debugging.
+// With -debug-addr the server also serves /metrics (Prometheus text),
+// /healthz, /debug/vars (JSON), /debug/trace, /debug/events and
+// /debug/pprof over HTTP for scraping and debugging.
 package main
 
 import (
@@ -43,8 +44,14 @@ func main() {
 	faultSpec := flag.String("fault-spec", "", "inject faults on accepted connections, e.g. 'drop:prob=0.01;delay:prob=0.05,ms=2' (see internal/fault)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for probabilistic fault rules (deterministic per seed)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown bound: in-flight requests get this long to finish on SIGTERM/SIGINT")
+	slowMS := flag.Int64("slow-request-ms", 0, "log requests slower than this to the event log (with their trace when traced; 0 = off)")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
 
+	if *version {
+		fmt.Println("dpfs-server", obs.Build().String())
+		return
+	}
 	if *root == "" {
 		fatal(fmt.Errorf("-root is required"))
 	}
@@ -76,7 +83,10 @@ func main() {
 		lis = inj.Listener(lis, *name)
 		fmt.Printf("dpfs-server: injecting faults %q (seed %d)\n", *faultSpec, *faultSeed)
 	}
-	srv, err := server.New(server.Config{Root: *root, Model: model, Name: *name}, lis)
+	srv, err := server.New(server.Config{
+		Root: *root, Model: model, Name: *name,
+		SlowRequest: time.Duration(*slowMS) * time.Millisecond,
+	}, lis)
 	if err != nil {
 		fatal(err)
 	}
@@ -114,17 +124,22 @@ func main() {
 	if *debugAddr != "" {
 		regs := map[string]*obs.Registry{"server": srv.Metrics()}
 		obs.PublishExpvar("dpfs", regs)
-		h := obs.Handler(regs, func() obs.Health {
-			hs := srv.Health()
-			return obs.Health{Status: hs.Status, Detail: map[string]any{
-				"name":             serverName,
-				"addr":             srv.Addr(),
-				"root":             *root,
-				"meta":             *metaAddr,
-				"registered":       registered,
-				"disk_errors":      hs.DiskErrors,
-				"copy_peer_errors": hs.CopyPeerErrors,
-			}}
+		h := obs.NewHandler(obs.HandlerConfig{
+			Regs: regs,
+			Health: func() obs.Health {
+				hs := srv.Health()
+				return obs.Health{Status: hs.Status, Detail: map[string]any{
+					"name":             serverName,
+					"addr":             srv.Addr(),
+					"root":             *root,
+					"meta":             *metaAddr,
+					"registered":       registered,
+					"disk_errors":      hs.DiskErrors,
+					"copy_peer_errors": hs.CopyPeerErrors,
+				}}
+			},
+			Traces: srv.Traces(),
+			Pprof:  true,
 		})
 		dbg, err := obs.StartDebug(*debugAddr, h)
 		if err != nil {

@@ -11,6 +11,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"time"
@@ -84,6 +85,20 @@ type Options struct {
 	// pattern, using the parallel dispatch path in the background so
 	// the next read finds its bricks already cached.
 	Readahead int
+	// TraceSample is the fraction of requests that get wire-propagated
+	// trace identity when tracing is enabled (EnableTracing). Values
+	// <= 0 or >= 1 sample every request (the default); a value in
+	// (0, 1) samples that fraction. Unsampled requests still record a
+	// local client-side trace, but servers see no trace context.
+	TraceSample float64
+	// SlowRequest, when positive, logs every traced request slower
+	// than this threshold to the event log as a slow_request event
+	// carrying the full stitched trace.
+	SlowRequest time.Duration
+	// Events receives the engine's cluster events (failovers, degraded
+	// writes, retry exhaustion, breaker transitions, slow requests).
+	// Nil uses the process-default log.
+	Events *obs.EventLog
 }
 
 // Client-engine metric names (in the engine's obs.Registry). Latency
@@ -98,13 +113,13 @@ const (
 	MetricInflight = "client_inflight"
 	// MetricFailovers counts reads redirected to a backup replica after
 	// the preferred replica's server failed at the transport level.
-	MetricFailovers = "client_failovers"
+	MetricFailovers = "client_failovers_total"
 	// MetricDegradedWrites counts writes that succeeded with fewer than
 	// all replicas reachable (every brick still hit at least one).
-	MetricDegradedWrites = "client_degraded_writes"
+	MetricDegradedWrites = "client_degraded_writes_total"
 	// MetricFailureReports counts server failures reported to the
 	// catalog's health table.
-	MetricFailureReports = "client_failure_reports"
+	MetricFailureReports = "client_failure_reports_total"
 )
 
 // FS is one compute node's DPFS client instance.
@@ -115,6 +130,7 @@ type FS struct {
 
 	reg    *obs.Registry
 	traces *obs.TraceLog // nil unless EnableTracing was called
+	events *obs.EventLog
 
 	metaCache *cache.Meta // nil unless Options.MetaTTL > 0
 	dataCache *cache.Data // nil unless Options.CacheBytes > 0
@@ -142,8 +158,12 @@ func NewFS(cat *meta.Catalog, rank int, opts Options) *FS {
 		rank:    rank,
 		opts:    opts,
 		reg:     obs.NewRegistry(),
+		events:  opts.Events,
 		clients: make(map[string]*server.Client),
 		addrs:   make(map[string]string),
+	}
+	if fs.events == nil {
+		fs.events = obs.Events()
 	}
 	if opts.MetaTTL > 0 {
 		fs.metaCache = cache.NewMeta(opts.MetaTTL, fs.reg)
@@ -187,6 +207,44 @@ func (fs *FS) EnableTracing(capacity int) *obs.TraceLog {
 
 // TraceLog returns the engine's trace log (nil when tracing is off).
 func (fs *FS) TraceLog() *obs.TraceLog { return fs.traces }
+
+// Events returns the engine's cluster event log (never nil).
+func (fs *FS) Events() *obs.EventLog { return fs.events }
+
+// metaSpan starts a traced root span for one metadata operation and
+// arms the catalog connection's trace propagation, so a remote
+// metadata database's spans come back stitched below it. The returned
+// func finishes the span; it is a no-op when tracing is off or the
+// operation was not sampled. Propagation is best-effort and
+// last-setter-wins — concurrent metadata operations may attach to each
+// other's parents, which skews attribution but never correctness.
+func (fs *FS) metaSpan(op, path string) func() {
+	if !fs.sample() {
+		return func() {}
+	}
+	root := obs.NewRootSpan("client.meta")
+	root.Op = op
+	root.Path = path
+	fs.cat.SetTraceSpan(root)
+	return func() {
+		fs.cat.SetTraceSpan(nil)
+		root.End()
+		fs.traces.Add(&obs.Trace{Root: root})
+	}
+}
+
+// sample reports whether the next traced request should carry
+// wire-propagated trace identity, per Options.TraceSample.
+func (fs *FS) sample() bool {
+	if fs.traces == nil {
+		return false
+	}
+	ts := fs.opts.TraceSample
+	if ts <= 0 || ts >= 1 {
+		return true
+	}
+	return rand.Float64() < ts
+}
 
 // Stats returns this engine's own traffic counters. Unlike the
 // package-level ReadStats (a process-wide aggregate kept for
@@ -274,6 +332,7 @@ func (fs *FS) client(name string) (*server.Client, error) {
 		Dial:         fs.opts.Dial,
 		Retry:        fs.opts.Retry,
 		Metrics:      fs.reg,
+		Events:       fs.events,
 	})
 	fs.clients[name] = c
 	return c, nil
@@ -379,6 +438,7 @@ func (f *File) Replicas() *stripe.ReplicaSet { return f.rs }
 // Create makes a new DPFS file holding an array of the given element
 // size and dims, striped per the hint, and opens it.
 func (fs *FS) Create(path string, elemSize int64, dims []int64, hint Hint) (*File, error) {
+	defer fs.metaSpan("create", path)()
 	g, err := buildGeometry(elemSize, dims, &hint)
 	if err != nil {
 		return nil, err
@@ -490,6 +550,7 @@ func (fs *FS) materialize(fi meta.FileInfo) error {
 // Open opens an existing DPFS file, serving the lookup from the
 // metadata cache when one is enabled.
 func (fs *FS) Open(path string) (*File, error) {
+	defer fs.metaSpan("open", path)()
 	clean, err := meta.CleanPath(path)
 	if err != nil {
 		return nil, err
@@ -513,6 +574,7 @@ func (fs *FS) Open(path string) (*File, error) {
 // when one is enabled (a cache miss loads and caches the full record,
 // so a following Open is free too).
 func (fs *FS) Stat(path string) (meta.FileInfo, error) {
+	defer fs.metaSpan("stat", path)()
 	clean, err := meta.CleanPath(path)
 	if err != nil {
 		return meta.FileInfo{}, err

@@ -267,7 +267,14 @@ func (f *File) execute(ctx context.Context, plan []stripe.BrickIO, buf []byte, w
 	}
 	var root *obs.Span
 	if f.fs.traces != nil {
-		root = obs.NewSpan("client.request")
+		if f.fs.sample() {
+			// Sampled: the root carries wire-propagatable identity, so
+			// every server exchange below ships the trace context and
+			// the servers' spans come back stitched under this tree.
+			root = obs.NewRootSpan("client.request")
+		} else {
+			root = obs.NewSpan("client.request")
+		}
 		root.Op = opName
 		root.Path = f.info.Path
 		root.Bricks = len(fullPlan)
@@ -298,6 +305,14 @@ func (f *File) execute(ctx context.Context, plan []stripe.BrickIO, buf []byte, w
 	if root != nil {
 		root.End()
 		f.fs.traces.Add(&obs.Trace{Root: root})
+		if sr := f.fs.opts.SlowRequest; sr > 0 && root.Duration >= sr {
+			f.fs.events.EmitTrace(obs.EventSlowRequest, "client", root.TraceID, map[string]string{
+				"op":     opName,
+				"path":   f.info.Path,
+				"dur_us": fmt.Sprint(root.Duration.Microseconds()),
+				"trace":  (&obs.Trace{Root: root}).String(),
+			})
+		}
 	}
 	if write && f.fs.dataCache != nil {
 		// Invalidate overlapping bricks even on error: a failed
@@ -468,7 +483,7 @@ func (f *File) doExchange(ctx context.Context, r *stripe.Request, buf []byte, wr
 	if err == nil || write || f.rs.Replicas() == 1 || !transportFailure(ctx, err) {
 		return err
 	}
-	return f.failoverRead(ctx, r, buf, err)
+	return f.failoverRead(ctx, r, buf, err, sp)
 }
 
 // failoverRead retries the bricks of a failed read exchange on their
@@ -476,24 +491,45 @@ func (f *File) doExchange(ctx context.Context, r *stripe.Request, buf []byte, wr
 // rank-k server into fresh combined requests, and a retry that itself
 // fails at the transport level pushes its bricks on to rank k+1.
 // Application errors propagate immediately; exhausting all R ranks
-// returns the last transport error.
-func (f *File) failoverRead(ctx context.Context, failed *stripe.Request, buf []byte, cause error) error {
-	f.reportFailure(f.info.Servers[failed.Server])
+// returns the last transport error. Each redirected request is
+// recorded as a failover event and, when the exchange was traced, as a
+// child span nested under the failed RPC's span.
+func (f *File) failoverRead(ctx context.Context, failed *stripe.Request, buf []byte, cause error, sp *obs.Span) error {
+	from := f.info.Servers[failed.Server]
+	f.reportFailure(from)
 	pending := failed.Bricks
 	lastErr := cause
 	for rank := 1; rank < f.rs.Replicas() && len(pending) > 0; rank++ {
 		reqs := stripe.Combine(pending, f.rs.RankAssignment(rank))
 		var next []stripe.BrickIO
 		for i := range reqs {
+			to := f.info.Servers[reqs[i].Server]
 			f.fs.reg.Counter(MetricFailovers).Inc()
-			err := f.doRequest(ctx, &reqs[i], buf, false, nil)
+			f.fs.events.EmitTrace(obs.EventFailover, "client", traceIDOf(sp), map[string]string{
+				"path":   f.info.Path,
+				"from":   from,
+				"to":     to,
+				"rank":   fmt.Sprint(rank),
+				"bricks": fmt.Sprint(len(reqs[i].Bricks)),
+			})
+			var fsp *obs.Span
+			if sp != nil {
+				fsp = sp.Child("server.rpc")
+				fsp.Op = "failover"
+				fsp.Server = to
+				fsp.Bricks = len(reqs[i].Bricks)
+			}
+			err := f.doRequest(ctx, &reqs[i], buf, false, fsp)
+			if fsp != nil {
+				fsp.End()
+			}
 			if err == nil {
 				continue
 			}
 			if !transportFailure(ctx, err) {
 				return err
 			}
-			f.reportFailure(f.info.Servers[reqs[i].Server])
+			f.reportFailure(to)
 			next = append(next, reqs[i].Bricks...)
 			lastErr = err
 		}
@@ -503,6 +539,14 @@ func (f *File) failoverRead(ctx context.Context, failed *stripe.Request, buf []b
 		return lastErr
 	}
 	return nil
+}
+
+// traceIDOf returns a span's trace ID, or zero for nil/untraced spans.
+func traceIDOf(sp *obs.Span) uint64 {
+	if sp == nil {
+		return 0
+	}
+	return sp.TraceID
 }
 
 // writeReplicated fans a write access out to every replica rank: rank
@@ -574,6 +618,10 @@ func (f *File) writeReplicated(ctx context.Context, plan []stripe.BrickIO, buf [
 	}
 	if transErr != nil {
 		f.fs.reg.Counter(MetricDegradedWrites).Inc()
+		f.fs.events.EmitTrace(obs.EventDegradedWrite, "client", traceIDOf(root), map[string]string{
+			"path": f.info.Path,
+			"err":  transErr.Error(),
+		})
 	}
 	return nil
 }
@@ -714,6 +762,11 @@ func (f *File) doRequest(ctx context.Context, r *stripe.Request, buf []byte, wri
 		return err
 	}
 	req := &wire.Request{Op: op, Path: f.info.Path, Gen: f.info.Generation, Extents: exts, Segments: segs}
+	if tc := sp.Context(); tc.TraceID != 0 {
+		// Propagate trace identity so the server's handler spans join
+		// this trace; its span tree comes back in the response trailer.
+		req.TraceID, req.SpanID, req.Sampled = tc.TraceID, tc.SpanID, tc.Sampled
+	}
 	var scratch []byte
 	if !write {
 		scratch = getScratch(wire.DataBytes(exts) + wire.RespOverhead)
@@ -745,6 +798,17 @@ func (f *File) doRequest(ctx context.Context, r *stripe.Request, buf []byte, wri
 	if sp != nil {
 		sp.Extents = len(exts)
 		sp.Bytes = moved
+		if len(resp.Trace) > 0 {
+			// Stitch the server's spans under this RPC span. resp.Trace
+			// may alias the pooled scratch buffer, so decode (which
+			// copies) must happen before the deferred putScratch runs —
+			// it does: we are still inside this exchange.
+			if remote, derr := obs.DecodeSpans(resp.Trace); derr == nil {
+				for _, rs := range remote {
+					sp.Adopt(rs)
+				}
+			}
+		}
 	}
 	if write {
 		return nil

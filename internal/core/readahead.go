@@ -2,6 +2,7 @@ package core
 
 import (
 	"dpfs/internal/cache"
+	"dpfs/internal/obs"
 	"dpfs/internal/stripe"
 )
 
@@ -85,8 +86,27 @@ func (f *File) prefetch(start, end int) {
 		return
 	}
 	reqs := stripe.Combine(plan, f.assign)
+	// Prefetch runs outside any caller's request, so it gets its own
+	// root span: a traced readahead shows up in the log as its own
+	// tree, stitched with the servers' spans like a foreground read.
+	var root *obs.Span
+	if fs.traces != nil {
+		if fs.sample() {
+			root = obs.NewRootSpan("client.readahead")
+		} else {
+			root = obs.NewSpan("client.readahead")
+		}
+		root.Op = "readahead"
+		root.Path = f.info.Path
+		root.Bricks = len(plan)
+	}
 	// Prefetch errors are intentionally dropped; see package comment.
-	if err := f.dispatchParallel(fs.raCtx, reqs, nil, false, "readahead", nil); err == nil {
+	err := f.dispatchParallel(fs.raCtx, reqs, nil, false, "readahead", root)
+	if root != nil {
+		root.End()
+		fs.traces.Add(&obs.Trace{Root: root})
+	}
+	if err == nil {
 		fs.reg.Counter(cache.MetricPrefetch).Add(int64(len(plan)))
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"dpfs/internal/metadb"
+	"dpfs/internal/obs"
 	"dpfs/internal/stripe"
 )
 
@@ -24,6 +25,24 @@ import (
 // connection/session-scoped transaction semantics.
 type Execer interface {
 	Exec(sql string) (*metadb.Result, error)
+}
+
+// SpanSetter is the optional interface of Execers that can attach
+// distributed-trace context to their statements (*mdbnet.Client does;
+// the embedded *metadb.Session does not need to — it is in-process).
+type SpanSetter interface {
+	// SetTraceSpan sets the parent span for subsequent statements; nil
+	// disables propagation.
+	SetTraceSpan(*obs.Span)
+}
+
+// SetTraceSpan forwards the trace parent to the underlying connection
+// when it supports trace propagation, and is a no-op otherwise.
+// Best-effort and last-setter-wins, like the connection itself.
+func (c *Catalog) SetTraceSpan(sp *obs.Span) {
+	if ss, ok := c.db.(SpanSetter); ok {
+		ss.SetTraceSpan(sp)
+	}
 }
 
 // ServerInfo is one row of DPFS-SERVER.

@@ -15,7 +15,9 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dpfs/internal/metadb"
@@ -31,24 +33,37 @@ const (
 	MetricRequestUS   = "request_us"
 )
 
-// request is one SQL statement from client to server.
+// request is one SQL statement from client to server. The trace
+// fields are optional wire-propagated identity (zero TraceID means
+// untraced); gob tolerates their absence, so old and new peers
+// interoperate.
 type request struct {
-	SQL string
+	SQL     string
+	TraceID uint64
+	SpanID  uint64
+	Sampled bool
 }
 
-// response carries a statement result or error back.
+// response carries a statement result or error back. Trace, when
+// non-empty, is the server's span tree in obs.EncodeSpans format so
+// the client can stitch the database's side into its own trace.
 type response struct {
 	Cols         []string
 	Rows         [][]metadb.Value
 	RowsAffected int64
 	Err          string
+	Trace        []byte
 }
+
+// serverTraceCap bounds the metadata server's local trace ring.
+const serverTraceCap = 256
 
 // Server serves a metadb database to network clients.
 type Server struct {
-	db  *metadb.DB
-	lis net.Listener
-	reg *obs.Registry
+	db     *metadb.DB
+	lis    net.Listener
+	reg    *obs.Registry
+	traces *obs.TraceLog
 
 	mu       sync.Mutex
 	conns    map[net.Conn]*connState
@@ -66,7 +81,13 @@ type connState struct {
 // NewServer starts serving db on lis. It returns immediately; use
 // Close to stop.
 func NewServer(db *metadb.DB, lis net.Listener) *Server {
-	s := &Server{db: db, lis: lis, reg: obs.NewRegistry(), conns: make(map[net.Conn]*connState)}
+	s := &Server{
+		db:     db,
+		lis:    lis,
+		reg:    obs.NewRegistry(),
+		traces: obs.NewTraceLog(serverTraceCap),
+		conns:  make(map[net.Conn]*connState),
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -74,6 +95,10 @@ func NewServer(db *metadb.DB, lis net.Listener) *Server {
 
 // Metrics returns the server's connection and request metrics.
 func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// Traces returns the server's local trace log: one single-span trace
+// per statement that arrived carrying trace context.
+func (s *Server) Traces() *obs.TraceLog { return s.traces }
 
 // Listen starts a server on the given TCP address ("" or ":0" picks an
 // ephemeral port).
@@ -207,10 +232,20 @@ func (s *Server) handle(conn net.Conn) {
 		st.busy = true
 		s.mu.Unlock()
 		var resp response
+		var sp *obs.Span
+		if req.TraceID != 0 && req.Sampled {
+			sp = obs.StartRemote("metadb.exec", obs.TraceContext{TraceID: req.TraceID, SpanID: req.SpanID, Sampled: true})
+			sp.Op = sqlKeyword(req.SQL)
+		}
 		start := time.Now()
 		res, err := sess.Exec(req.SQL)
 		s.reg.Counter(MetricRequests).Inc()
 		s.reg.Histogram(MetricRequestUS).Record(time.Since(start).Microseconds())
+		if sp != nil {
+			sp.End()
+			s.traces.Add(&obs.Trace{Root: sp})
+			resp.Trace = obs.EncodeSpans(sp)
+		}
 		if err != nil {
 			s.reg.Counter(MetricErrors).Inc()
 			resp.Err = err.Error()
@@ -234,10 +269,22 @@ func (s *Server) handle(conn net.Conn) {
 // database session; it is safe for concurrent use (statements are
 // serialized on the connection).
 type Client struct {
+	trace atomic.Pointer[obs.Span]
+
 	mu   sync.Mutex
 	conn net.Conn
 	enc  *gob.Encoder
 	dec  *gob.Decoder
+}
+
+// SetTraceSpan makes subsequent statements record "metadb.rpc" child
+// spans under parent and propagate its trace context to the server
+// (whose "metadb.exec" span comes back stitched below them). A nil or
+// untraced parent turns propagation off. Tracing is best-effort and
+// last-setter-wins: concurrent requests with different parents each
+// attach to whichever parent was current when they started.
+func (c *Client) SetTraceSpan(parent *obs.Span) {
+	c.trace.Store(parent)
 }
 
 // Dial connects to an mdbnet server.
@@ -256,22 +303,59 @@ func DialTimeout(addr string, d time.Duration) (*Client, error) {
 
 // Exec sends one SQL statement and waits for its result.
 func (c *Client) Exec(sql string) (*metadb.Result, error) {
+	req := request{SQL: sql}
+	var sp *obs.Span
+	if parent := c.trace.Load(); parent != nil && parent.TraceID != 0 {
+		sp = parent.Child("metadb.rpc")
+		sp.Op = sqlKeyword(sql)
+		tc := sp.Context()
+		req.TraceID, req.SpanID, req.Sampled = tc.TraceID, tc.SpanID, tc.Sampled
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.conn == nil {
+		if sp != nil {
+			sp.End()
+		}
 		return nil, errors.New("mdbnet: client closed")
 	}
-	if err := c.enc.Encode(request{SQL: sql}); err != nil {
+	if err := c.enc.Encode(req); err != nil {
+		if sp != nil {
+			sp.End()
+		}
 		return nil, fmt.Errorf("mdbnet: send: %w", err)
 	}
 	var resp response
 	if err := c.dec.Decode(&resp); err != nil {
+		if sp != nil {
+			sp.End()
+		}
 		return nil, fmt.Errorf("mdbnet: receive: %w", err)
+	}
+	if sp != nil {
+		sp.End()
+		if len(resp.Trace) > 0 {
+			if remote, derr := obs.DecodeSpans(resp.Trace); derr == nil {
+				for _, rs := range remote {
+					sp.Adopt(rs)
+				}
+			}
+		}
 	}
 	if resp.Err != "" {
 		return nil, errors.New(resp.Err)
 	}
 	return &metadb.Result{Cols: resp.Cols, Rows: resp.Rows, RowsAffected: resp.RowsAffected}, nil
+}
+
+// sqlKeyword returns the statement's leading keyword, lower-cased
+// ("select", "insert", ...), for span labelling.
+func sqlKeyword(sql string) string {
+	f := strings.Fields(sql)
+	if len(f) == 0 {
+		return ""
+	}
+	return strings.ToLower(f[0])
 }
 
 // Close tears the connection down (aborting any open transaction on

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo is the build identity embedded in a binary: the module
+// version and the VCS state recorded by the Go toolchain. It is
+// exposed by every daemon's -version flag and as the build_info field
+// of /healthz.
+type BuildInfo struct {
+	// Version is the module version ("(devel)" for local builds).
+	Version string `json:"version"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Revision is the VCS commit hash, when stamped.
+	Revision string `json:"revision,omitempty"`
+	// Time is the VCS commit time, when stamped.
+	Time string `json:"time,omitempty"`
+	// Modified reports whether the working tree was dirty at build
+	// time.
+	Modified bool `json:"modified,omitempty"`
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo BuildInfo
+)
+
+// Build returns the binary's build info, read once from
+// debug.ReadBuildInfo.
+func Build() BuildInfo {
+	buildOnce.Do(func() {
+		buildInfo = BuildInfo{Version: "unknown", GoVersion: runtime.Version()}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		if bi.Main.Version != "" {
+			buildInfo.Version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo.Revision = s.Value
+			case "vcs.time":
+				buildInfo.Time = s.Value
+			case "vcs.modified":
+				buildInfo.Modified = s.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}
+
+// String renders the build info as a one-line version string.
+func (b BuildInfo) String() string {
+	s := fmt.Sprintf("%s %s", b.Version, b.GoVersion)
+	if b.Revision != "" {
+		rev := b.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " rev " + rev
+		if b.Modified {
+			s += " (modified)"
+		}
+	}
+	if b.Time != "" {
+		s += " built " + b.Time
+	}
+	return s
+}

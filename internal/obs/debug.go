@@ -6,33 +6,74 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
 	"sync"
 )
 
 // Health is the /healthz payload. Status "ok" maps to HTTP 200,
 // anything else to 503; Detail carries component-specific state such
-// as catalog registration status.
+// as catalog registration status. Build is filled in by the handler
+// with the binary's embedded build identity.
 type Health struct {
 	Status string         `json:"status"`
 	Detail map[string]any `json:"detail,omitempty"`
+	Build  *BuildInfo     `json:"build_info,omitempty"`
 }
 
-// Handler builds the debug endpoint: /metrics returns a JSON snapshot
-// of every registry group, /healthz evaluates health (nil means always
-// ok), and /debug/vars serves the process expvar map (see
-// PublishExpvar).
+// HandlerConfig wires a daemon's observability surfaces into one debug
+// HTTP handler. Any field may be nil/false; the corresponding endpoint
+// then serves an empty result (or is not registered, for Pprof).
+type HandlerConfig struct {
+	// Regs maps group names ("server", "db", "net", "client") to
+	// registries; served at /metrics (Prometheus text) and /debug/vars
+	// (JSON, via PublishExpvar).
+	Regs map[string]*Registry
+	// Health evaluates the daemon's health for /healthz; nil means
+	// always ok.
+	Health func() Health
+	// Traces is the trace ring served at /debug/trace.
+	Traces *TraceLog
+	// Events is the event ring served at /debug/events; nil falls back
+	// to the process-wide default log.
+	Events *EventLog
+	// Pprof registers net/http/pprof handlers under /debug/pprof/.
+	Pprof bool
+}
+
+// Handler builds the debug endpoint with the pre-v6 signature:
+// metrics registries plus a health callback. It serves the default
+// event log and no traces; new callers should use NewHandler.
 func Handler(regs map[string]*Registry, health func() Health) http.Handler {
+	return NewHandler(HandlerConfig{Regs: regs, Health: health})
+}
+
+// NewHandler builds the debug endpoint:
+//
+//	/metrics       Prometheus text exposition of every registry group
+//	/healthz       health JSON (non-"ok" status -> 503) + build info
+//	/debug/vars    process expvar map (JSON form of the registries,
+//	               see PublishExpvar)
+//	/debug/trace   recent request traces as indented text trees
+//	               (?id=<hex trace id> selects one trace,
+//	               ?n=<count> limits to the most recent n)
+//	/debug/events  cluster event log as a JSON array
+//	               (?type=<event type> filters, ?n=<count> limits)
+//	/debug/pprof/  standard pprof handlers (when cfg.Pprof)
+func NewHandler(cfg HandlerConfig) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(snapshotAll(regs))
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, cfg.Regs)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		h := Health{Status: "ok"}
-		if health != nil {
-			h = health()
+		if cfg.Health != nil {
+			h = cfg.Health()
+		}
+		if h.Build == nil {
+			bi := Build()
+			h.Build = &bi
 		}
 		w.Header().Set("Content-Type", "application/json")
 		if h.Status != "ok" {
@@ -41,6 +82,74 @@ func Handler(regs map[string]*Registry, health func() Health) http.Handler {
 		_ = json.NewEncoder(w).Encode(h)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if cfg.Traces == nil {
+			fmt.Fprintln(w, "(tracing not enabled)")
+			return
+		}
+		if idStr := r.URL.Query().Get("id"); idStr != "" {
+			id, err := strconv.ParseUint(idStr, 16, 64)
+			if err != nil {
+				http.Error(w, "bad trace id (want hex)", http.StatusBadRequest)
+				return
+			}
+			if t := cfg.Traces.ByTraceID(id); t != nil {
+				fmt.Fprintln(w, t.String())
+			} else {
+				fmt.Fprintf(w, "(no trace %016x)\n", id)
+			}
+			return
+		}
+		traces := cfg.Traces.Traces()
+		if nStr := r.URL.Query().Get("n"); nStr != "" {
+			if n, err := strconv.Atoi(nStr); err == nil && n >= 0 && n < len(traces) {
+				traces = traces[len(traces)-n:]
+			}
+		}
+		if len(traces) == 0 {
+			fmt.Fprintln(w, "(no traces recorded)")
+			return
+		}
+		for _, t := range traces {
+			fmt.Fprintln(w, t.String())
+		}
+	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
+		log := cfg.Events
+		if log == nil {
+			log = Events()
+		}
+		events := log.Events()
+		if typ := r.URL.Query().Get("type"); typ != "" {
+			filtered := events[:0:0]
+			for _, e := range events {
+				if e.Type == typ {
+					filtered = append(filtered, e)
+				}
+			}
+			events = filtered
+		}
+		if nStr := r.URL.Query().Get("n"); nStr != "" {
+			if n, err := strconv.Atoi(nStr); err == nil && n >= 0 && n < len(events) {
+				events = events[len(events)-n:]
+			}
+		}
+		if events == nil {
+			events = []Event{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(events)
+	})
+	if cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -57,7 +166,8 @@ func snapshotAll(regs map[string]*Registry) map[string]Snapshot {
 var expvarMu sync.Mutex
 
 // PublishExpvar exposes the registry groups under one expvar name so
-// standard expvar tooling sees the same numbers as /metrics.
+// standard expvar tooling (and /debug/vars) sees the JSON form of the
+// same numbers /metrics exposes as Prometheus text.
 // Idempotent: re-publishing an existing name is a no-op (expvar itself
 // panics on duplicates).
 func PublishExpvar(name string, regs map[string]*Registry) {

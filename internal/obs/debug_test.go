@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
+	"strings"
 	"testing"
 )
 
@@ -19,22 +21,86 @@ func TestMetricsEndpoint(t *testing.T) {
 	if rr.Code != http.StatusOK {
 		t.Fatalf("status = %d", rr.Code)
 	}
-	var got map[string]Snapshot
-	if err := json.Unmarshal(rr.Body.Bytes(), &got); err != nil {
-		t.Fatalf("bad JSON: %v\n%s", err, rr.Body.String())
+	body := rr.Body.String()
+	for _, want := range []string{
+		"# TYPE dpfs_server_requests_total counter",
+		"dpfs_server_requests_total 7",
+		"# TYPE dpfs_server_active_conns gauge",
+		"dpfs_server_active_conns 2",
+		"# TYPE dpfs_server_op_read_us histogram",
+		`dpfs_server_op_read_us_bucket{le="127"} 1`,
+		`dpfs_server_op_read_us_bucket{le="+Inf"} 1`,
+		"dpfs_server_op_read_us_sum 100",
+		"dpfs_server_op_read_us_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
 	}
-	srv, ok := got["server"]
-	if !ok {
-		t.Fatalf("no server group in %v", got)
-	}
-	if srv.Counters["requests_total"] != 7 || srv.Gauges["active_conns"] != 2 {
-		t.Fatalf("snapshot = %+v", srv)
-	}
-	if srv.Histograms["op_read_us"].Count != 1 {
-		t.Fatalf("histogram = %+v", srv.Histograms)
-	}
-	if _, ok := got["nil"]; ok {
+	if strings.Contains(body, "dpfs_nil_") {
 		t.Fatal("nil registry appeared in output")
+	}
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+}
+
+func TestTraceAndEventsEndpoints(t *testing.T) {
+	traces := NewTraceLog(4)
+	root := NewRootSpan("client.request")
+	root.Op = "read"
+	root.End()
+	traces.Add(&Trace{Root: root})
+	events := NewEventLog(4)
+	events.Emit(EventFailover, "client", map[string]string{"server": "io-1"})
+	events.Emit(EventDegradedWrite, "client", nil)
+
+	h := NewHandler(HandlerConfig{Traces: traces, Events: events, Pprof: true})
+
+	get := func(url string) *httptest.ResponseRecorder {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest("GET", url, nil))
+		if rr.Code != http.StatusOK {
+			t.Fatalf("GET %s status = %d", url, rr.Code)
+		}
+		return rr
+	}
+
+	if body := get("/debug/trace").Body.String(); !strings.Contains(body, "client.request op=read") {
+		t.Fatalf("/debug/trace missing span: %s", body)
+	}
+	idURL := "/debug/trace?id=" + strconv.FormatUint(root.TraceID, 16)
+	if body := get(idURL).Body.String(); !strings.Contains(body, "client.request") {
+		t.Fatalf("/debug/trace?id= missing trace: %s", body)
+	}
+	if body := get("/debug/trace?id=deadbeef").Body.String(); !strings.Contains(body, "no trace") {
+		t.Fatalf("unknown id should report no trace: %s", body)
+	}
+
+	var evs []Event
+	if err := json.Unmarshal(get("/debug/events").Body.Bytes(), &evs); err != nil {
+		t.Fatalf("bad events JSON: %v", err)
+	}
+	if len(evs) != 2 || evs[0].Type != EventFailover || evs[0].Fields["server"] != "io-1" {
+		t.Fatalf("events = %+v", evs)
+	}
+	if err := json.Unmarshal(get("/debug/events?type="+EventDegradedWrite).Body.Bytes(), &evs); err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].Type != EventDegradedWrite {
+		t.Fatalf("filtered events = %+v", evs)
+	}
+
+	if body := get("/debug/pprof/cmdline").Body; body.Len() == 0 {
+		t.Fatal("pprof cmdline empty")
+	}
+
+	// Without traces the endpoint degrades gracefully.
+	h2 := NewHandler(HandlerConfig{})
+	rr := httptest.NewRecorder()
+	h2.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/trace", nil))
+	if !strings.Contains(rr.Body.String(), "tracing not enabled") {
+		t.Fatalf("no-trace body = %s", rr.Body.String())
 	}
 }
 

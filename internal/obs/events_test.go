@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestEventLogRing(t *testing.T) {
+	l := NewEventLog(3)
+	for i := 0; i < 5; i++ {
+		l.Emit(EventFailover, "client", map[string]string{"i": string(rune('0' + i))})
+	}
+	if l.Len() != 3 {
+		t.Fatalf("len = %d, want 3", l.Len())
+	}
+	if l.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", l.Dropped())
+	}
+	evs := l.Events()
+	if evs[0].Seq != 3 || evs[2].Seq != 5 {
+		t.Fatalf("seqs = %d..%d, want 3..5", evs[0].Seq, evs[2].Seq)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("non-monotonic seq: %+v", evs)
+		}
+	}
+}
+
+func TestEventLogByTypeAndTrace(t *testing.T) {
+	l := NewEventLog(8)
+	l.Emit(EventBreakerOpen, "client", map[string]string{"server": "a"})
+	l.EmitTrace(EventSlowRequest, "client", 0xabc, nil)
+	l.Emit(EventBreakerClose, "client", nil)
+
+	if got := l.ByType(EventBreakerOpen); len(got) != 1 || got[0].Fields["server"] != "a" {
+		t.Fatalf("ByType = %+v", got)
+	}
+	slow := l.ByType(EventSlowRequest)
+	if len(slow) != 1 || slow[0].TraceID != 0xabc {
+		t.Fatalf("trace event = %+v", slow)
+	}
+}
+
+func TestEventLogNilSafe(t *testing.T) {
+	var l *EventLog
+	l.Emit("x", "y", nil) // must not panic
+	if l.Events() != nil || l.Len() != 0 || l.Dropped() != 0 {
+		t.Fatal("nil log should be empty")
+	}
+}
+
+func TestEventLogConcurrent(t *testing.T) {
+	l := NewEventLog(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Emit(EventRetryExhausted, "client", nil)
+				l.Events()
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Len() != 64 {
+		t.Fatalf("len = %d, want 64", l.Len())
+	}
+	if l.Dropped() != 800-64 {
+		t.Fatalf("dropped = %d, want %d", l.Dropped(), 800-64)
+	}
+}

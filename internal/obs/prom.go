@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition for the registry. Metric names follow the
+// convention dpfs_<group>_<name>, where group is the registry's name
+// in the handler config ("server", "db", "net", "client") and name is
+// the registry-level metric name, which already carries the kind and
+// unit suffixes this repo enforces via scripts/obslint.sh: counters
+// end in _total, histograms in _us (microseconds) or _bytes.
+//
+// Histograms expose cumulative _bucket series whose le bounds are the
+// upper edges of the power-of-two buckets (0, 1, 3, 7, ..., 2^i-1,
+// +Inf), plus _sum and _count. The _count is derived from the +Inf
+// bucket so the series is internally consistent even when sampled
+// during concurrent writes (Prometheus requires the +Inf bucket to
+// equal the count).
+
+// promName mangles a group + metric name into a Prometheus metric
+// name, replacing any character outside [a-zA-Z0-9_] with '_'.
+func promName(group, name string) string {
+	mangle := func(s string) string {
+		var b strings.Builder
+		for _, r := range s {
+			switch {
+			case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+				b.WriteRune(r)
+			default:
+				b.WriteRune('_')
+			}
+		}
+		return b.String()
+	}
+	return "dpfs_" + mangle(group) + "_" + mangle(name)
+}
+
+// bucketBound returns the Prometheus le label for bucket i of the
+// power-of-two histogram: "0" for the first bucket, 2^i-1 for the
+// middle ones, "+Inf" for the overflow bucket.
+func bucketBound(i int) string {
+	switch {
+	case i == 0:
+		return "0"
+	case i >= numBuckets-1:
+		return "+Inf"
+	default:
+		return strconv.FormatInt((int64(1)<<uint(i))-1, 10)
+	}
+}
+
+// WritePrometheus renders every metric of every registry in Prometheus
+// text exposition format (version 0.0.4). Output is deterministic:
+// groups and names are emitted in sorted order. Nil registries are
+// skipped.
+func WritePrometheus(w io.Writer, regs map[string]*Registry) {
+	groups := make([]string, 0, len(regs))
+	for g, r := range regs {
+		if r != nil {
+			groups = append(groups, g)
+		}
+	}
+	sort.Strings(groups)
+	for _, g := range groups {
+		writePromRegistry(w, g, regs[g])
+	}
+}
+
+// writePromRegistry renders one registry under a group prefix.
+func writePromRegistry(w io.Writer, group string, r *Registry) {
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = h
+	}
+	r.mu.RUnlock()
+
+	for _, n := range sortedKeys(counters) {
+		pn := promName(group, n)
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, counters[n].Value())
+	}
+	for _, n := range sortedKeys(gauges) {
+		pn := promName(group, n)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, gauges[n].Value())
+	}
+	for _, n := range sortedKeys(hists) {
+		h := hists[n]
+		pn := promName(group, n)
+		fmt.Fprintf(w, "# TYPE %s histogram\n", pn)
+		var cum int64
+		for i := 0; i < numBuckets; i++ {
+			cum += h.buckets[i].Load()
+			fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", pn, bucketBound(i), cum)
+		}
+		fmt.Fprintf(w, "%s_sum %d\n", pn, h.sum.Load())
+		fmt.Fprintf(w, "%s_count %d\n", pn, cum)
+	}
+}
+
+// sortedKeys returns a map's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

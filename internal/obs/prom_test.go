@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheusFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("requests_total").Add(3)
+	reg.Gauge("active_conns").Set(5)
+	h := reg.Histogram("op_read_us")
+	h.Record(0)
+	h.Record(2)
+	h.Record(1000)
+
+	var sb strings.Builder
+	WritePrometheus(&sb, map[string]*Registry{"server": reg})
+	out := sb.String()
+
+	for _, want := range []string{
+		"# TYPE dpfs_server_requests_total counter\ndpfs_server_requests_total 3\n",
+		"# TYPE dpfs_server_active_conns gauge\ndpfs_server_active_conns 5\n",
+		"# TYPE dpfs_server_op_read_us histogram\n",
+		`dpfs_server_op_read_us_bucket{le="0"} 1`,
+		`dpfs_server_op_read_us_bucket{le="3"} 2`,
+		`dpfs_server_op_read_us_bucket{le="1023"} 3`,
+		`dpfs_server_op_read_us_bucket{le="+Inf"} 3`,
+		"dpfs_server_op_read_us_sum 1002\n",
+		"dpfs_server_op_read_us_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	regs := map[string]*Registry{"b": NewRegistry(), "a": NewRegistry()}
+	regs["a"].Counter("x_total").Inc()
+	regs["a"].Counter("a_total").Inc()
+	regs["b"].Gauge("g").Set(1)
+	var one, two strings.Builder
+	WritePrometheus(&one, regs)
+	WritePrometheus(&two, regs)
+	if one.String() != two.String() {
+		t.Fatal("output not deterministic")
+	}
+	if strings.Index(one.String(), "dpfs_a_a_total") > strings.Index(one.String(), "dpfs_a_x_total") {
+		t.Fatal("names not sorted")
+	}
+	if strings.Index(one.String(), "dpfs_a_") > strings.Index(one.String(), "dpfs_b_") {
+		t.Fatal("groups not sorted")
+	}
+}
+
+// TestPrometheusExpositionValid is a promtool-style validity check:
+// every line must be a TYPE comment or a sample, TYPE must precede its
+// samples, histogram buckets must be cumulative, and the +Inf bucket
+// must equal _count.
+func TestPrometheusExpositionValid(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c_total").Add(2)
+	reg.Gauge("g").Set(-4)
+	hist := reg.Histogram("h_us")
+	for i := int64(1); i < 1e6; i *= 7 {
+		hist.Record(i)
+	}
+	var sb strings.Builder
+	WritePrometheus(&sb, map[string]*Registry{"server": reg, "db": reg})
+	if errs := LintPrometheus(strings.NewReader(sb.String())); len(errs) > 0 {
+		t.Fatalf("exposition invalid: %v\n%s", errs, sb.String())
+	}
+}
+
+func TestLintPrometheusCatchesBadExposition(t *testing.T) {
+	for _, tc := range []struct{ name, in string }{
+		{"garbage line", "!!!\n"},
+		{"sample before TYPE", "dpfs_x_total 1\n"},
+		{"non-cumulative buckets", "# TYPE dpfs_h_us histogram\n" +
+			`dpfs_h_us_bucket{le="1"} 5` + "\n" +
+			`dpfs_h_us_bucket{le="+Inf"} 3` + "\n" +
+			"dpfs_h_us_sum 9\ndpfs_h_us_count 3\n"},
+		{"inf != count", "# TYPE dpfs_h_us histogram\n" +
+			`dpfs_h_us_bucket{le="+Inf"} 3` + "\n" +
+			"dpfs_h_us_sum 9\ndpfs_h_us_count 4\n"},
+		{"missing inf bucket", "# TYPE dpfs_h_us histogram\n" +
+			`dpfs_h_us_bucket{le="1"} 3` + "\n" +
+			"dpfs_h_us_sum 9\ndpfs_h_us_count 3\n"},
+	} {
+		if errs := LintPrometheus(strings.NewReader(tc.in)); len(errs) == 0 {
+			t.Fatalf("%s: lint accepted invalid exposition:\n%s", tc.name, tc.in)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// promtool-style validation of text exposition, shared by the package
+// tests and scripts/obslint so the CI gate and the unit tests agree on
+// what "valid /metrics output" means.
+
+var (
+	promSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{le="([^"]+)"\})? (-?\d+(\.\d+)?(e[+-]?\d+)?)$`)
+	promTypeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$`)
+)
+
+// LintPrometheus validates Prometheus text exposition the way
+// `promtool check metrics` would, limited to what this repo emits:
+// every line must be a TYPE comment or a well-formed sample, a TYPE
+// line must precede its samples, histogram buckets must be cumulative
+// and end at +Inf, and the +Inf bucket must equal _count. It returns
+// one message per violation (empty means valid).
+func LintPrometheus(r io.Reader) []string {
+	var errs []string
+	typed := map[string]string{}
+	type histState struct {
+		prev    float64
+		lastLe  string
+		count   float64
+		infSeen bool
+		inf     float64
+	}
+	hists := map[string]*histState{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			m := promTypeRe.FindStringSubmatch(text)
+			if m == nil {
+				errs = append(errs, fmt.Sprintf("line %d: bad comment %q", line, text))
+				continue
+			}
+			typed[m[1]] = m[2]
+			continue
+		}
+		m := promSampleRe.FindStringSubmatch(text)
+		if m == nil {
+			errs = append(errs, fmt.Sprintf("line %d: bad sample %q", line, text))
+			continue
+		}
+		name, le, valStr := m[1], m[3], m[4]
+		val, _ := strconv.ParseFloat(valStr, 64)
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if b, ok := strings.CutSuffix(name, suf); ok && typed[b] == "histogram" {
+				base = b
+				break
+			}
+		}
+		if _, ok := typed[base]; !ok {
+			errs = append(errs, fmt.Sprintf("line %d: sample %s before TYPE", line, name))
+			continue
+		}
+		if typed[base] == "histogram" {
+			h := hists[base]
+			if h == nil {
+				h = &histState{}
+				hists[base] = h
+			}
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				if le == "" {
+					errs = append(errs, fmt.Sprintf("line %d: bucket without le", line))
+				}
+				if val < h.prev {
+					errs = append(errs, fmt.Sprintf("line %d: bucket le=%q not cumulative (%v < %v)", line, le, val, h.prev))
+				}
+				h.prev, h.lastLe = val, le
+				if le == "+Inf" {
+					h.infSeen, h.inf = true, val
+				}
+			case strings.HasSuffix(name, "_count"):
+				h.count = val
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		errs = append(errs, fmt.Sprintf("read: %v", err))
+	}
+	for name, h := range hists {
+		if !h.infSeen {
+			errs = append(errs, fmt.Sprintf("%s: no +Inf bucket", name))
+		} else if h.inf != h.count {
+			errs = append(errs, fmt.Sprintf("%s: +Inf bucket %v != count %v", name, h.inf, h.count))
+		}
+		if h.lastLe != "+Inf" {
+			errs = append(errs, fmt.Sprintf("%s: last bucket le=%q, want +Inf", name, h.lastLe))
+		}
+	}
+	return errs
+}

@@ -1,0 +1,22 @@
+package obs
+
+import "context"
+
+// spanKey is the context key for the active span.
+type spanKey struct{}
+
+// ContextWithSpan returns a context carrying the span, so deeper
+// layers of a handler can attach child spans without threading a span
+// argument through every call.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFromContext returns the span carried by the context, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}

@@ -45,12 +45,12 @@ import (
 // Metric names recorded in Options.Metrics (when set).
 const (
 	// MetricFilesRepaired counts files whose replica sets were rebuilt.
-	MetricFilesRepaired = "repair_files_repaired"
+	MetricFilesRepaired = "repair_files_repaired_total"
 	// MetricBricksCopied counts brick replicas re-created on new
 	// servers.
-	MetricBricksCopied = "repair_bricks_copied"
+	MetricBricksCopied = "repair_bricks_copied_total"
 	// MetricFilesFailed counts files a run could not repair.
-	MetricFilesFailed = "repair_files_failed"
+	MetricFilesFailed = "repair_files_failed_total"
 )
 
 // Options tune a repair run.
@@ -66,6 +66,10 @@ type Options struct {
 	CopyChunkBytes int64
 	// Metrics, when non-nil, receives the repair counters.
 	Metrics *obs.Registry
+	// Events receives health escalations and the repair lifecycle
+	// (plan, commit, cleanup) as structured cluster events. Nil uses
+	// the process-default log.
+	Events *obs.EventLog
 }
 
 // FileRepair is one file's outcome in a repair run.
@@ -112,6 +116,9 @@ func New(cat *meta.Catalog, opts Options) *Runner {
 	}
 	if opts.CopyChunkBytes <= 0 {
 		opts.CopyChunkBytes = 32 << 20
+	}
+	if opts.Events == nil {
+		opts.Events = obs.Events()
 	}
 	return &Runner{cat: cat, opts: opts, clients: make(map[string]*server.Client)}
 }
@@ -194,6 +201,17 @@ func (r *Runner) Probe(ctx context.Context) (map[string]bool, error) {
 		next := meta.StateSuspect
 		if states[si.Name] == meta.StateSuspect || states[si.Name] == meta.StateDead {
 			next = meta.StateDead
+		}
+		if next != states[si.Name] {
+			from := states[si.Name]
+			if from == "" {
+				from = meta.StateAlive
+			}
+			r.opts.Events.Emit(obs.EventHealthEscalation, "repair", map[string]string{
+				"server": si.Name,
+				"from":   from,
+				"to":     next,
+			})
 		}
 		_ = r.cat.SetServerState(si.Name, next)
 	}
@@ -372,6 +390,12 @@ func (r *Runner) repairFile(ctx context.Context, path string, alive map[string]b
 		fr.Err = err.Error()
 		return fr
 	}
+	r.opts.Events.Emit(obs.EventRepairPlan, "repair", map[string]string{
+		"path":    fi.Path,
+		"lost":    fmt.Sprint(lost),
+		"copies":  fmt.Sprint(len(ops)),
+		"new_gen": fmt.Sprint(newGen),
+	})
 
 	// Step 1: every live server bumps its retained slots to newGen.
 	g := &fi.Geometry
@@ -445,6 +469,11 @@ func (r *Runner) repairFile(ctx context.Context, path string, alive map[string]b
 		return fr
 	}
 	fr.NewGen = newGen
+	r.opts.Events.Emit(obs.EventRepairCommit, "repair", map[string]string{
+		"path":    fi.Path,
+		"copied":  fmt.Sprint(fr.CopiedBricks),
+		"new_gen": fmt.Sprint(newGen),
+	})
 
 	// Step 4: best-effort cleanup of superseded generations, safe only
 	// now that the catalog points at newGen.
@@ -458,6 +487,10 @@ func (r *Runner) repairFile(ctx context.Context, path string, alive map[string]b
 		}
 		_, _ = r.client(addrs[fi.Servers[s]]).Do(ctx, req)
 	}
+	r.opts.Events.Emit(obs.EventRepairCleanup, "repair", map[string]string{
+		"path":    fi.Path,
+		"new_gen": fmt.Sprint(newGen),
+	})
 	return fr
 }
 

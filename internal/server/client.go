@@ -47,6 +47,7 @@ type Client struct {
 	dial    DialFunc
 	retry   RetryPolicy
 	reg     *obs.Registry
+	events  *obs.EventLog
 
 	mu     sync.Mutex
 	idle   []idleConn
@@ -81,13 +82,13 @@ const DefaultMaxIdleConns = 16
 // is visible in /metrics next to the traffic counters.
 const (
 	// MetricClientRetries counts re-attempted exchanges.
-	MetricClientRetries = "client_retries"
+	MetricClientRetries = "client_retries_total"
 	// MetricConnEvictions counts connections discarded as poisoned
 	// (failed mid-exchange, failed the liveness probe, or idled past
 	// the age cap).
-	MetricConnEvictions = "conn_evictions"
+	MetricConnEvictions = "conn_evictions_total"
 	// MetricServerUnhealthy counts breaker openings.
-	MetricServerUnhealthy = "server_unhealthy"
+	MetricServerUnhealthy = "server_unhealthy_total"
 )
 
 // ErrUnhealthy is wrapped into fail-fast errors while a server's
@@ -225,9 +226,13 @@ type ClientConfig struct {
 	// Retry tunes timeouts, retries, the liveness probe and the
 	// breaker; the zero value applies the documented defaults.
 	Retry RetryPolicy
-	// Metrics receives the recovery counters (client_retries,
-	// conn_evictions, server_unhealthy). Nil gets a private registry.
+	// Metrics receives the recovery counters (client_retries_total,
+	// conn_evictions_total, server_unhealthy_total). Nil gets a
+	// private registry.
 	Metrics *obs.Registry
+	// Events receives breaker transitions and retry exhaustion as
+	// structured cluster events. Nil uses the process-default log.
+	Events *obs.EventLog
 }
 
 // NewClient creates a lazy client for the server at addr with default
@@ -248,12 +253,16 @@ func NewClientWith(addr string, cfg ClientConfig) *Client {
 	if cfg.Metrics == nil {
 		cfg.Metrics = obs.NewRegistry()
 	}
+	if cfg.Events == nil {
+		cfg.Events = obs.Events()
+	}
 	return &Client{
 		addr:    addr,
 		maxIdle: cfg.MaxIdleConns,
 		dial:    cfg.Dial,
 		retry:   cfg.Retry.withDefaults(),
 		reg:     cfg.Metrics,
+		events:  cfg.Events,
 	}
 }
 
@@ -304,6 +313,16 @@ func (c *Client) do(ctx context.Context, req *wire.Request, scratch []byte) (*wi
 		c.breakerResult(probe, false)
 		lastErr = err
 		if ctx.Err() != nil || attempt >= c.retry.MaxRetries {
+			if ctx.Err() == nil && attempt >= c.retry.MaxRetries {
+				// The retry ladder ran dry (as opposed to the caller
+				// giving up): that is a cluster-health signal.
+				c.events.EmitTrace(obs.EventRetryExhausted, "client", req.TraceID, map[string]string{
+					"server":   c.addr,
+					"op":       req.Op.String(),
+					"attempts": fmt.Sprint(attempt + 1),
+					"err":      lastErr.Error(),
+				})
+			}
 			return nil, lastErr
 		}
 	}
@@ -380,6 +399,7 @@ func (c *Client) breakerAllow() (probe bool, err error) {
 		return false, ErrUnhealthy
 	}
 	c.probing = true
+	c.events.Emit(obs.EventBreakerHalfOpen, "client", map[string]string{"server": c.addr})
 	return true, nil
 }
 
@@ -394,6 +414,9 @@ func (c *Client) breakerResult(probe, ok bool) {
 		c.probing = false
 	}
 	if ok {
+		if c.fails >= c.retry.BreakerThreshold {
+			c.events.Emit(obs.EventBreakerClose, "client", map[string]string{"server": c.addr})
+		}
 		c.fails = 0
 		c.openUntil = time.Time{}
 		return
@@ -404,6 +427,10 @@ func (c *Client) breakerResult(probe, ok bool) {
 		// a cooldown instead of convoying every caller on timeouts.
 		c.openUntil = time.Now().Add(c.retry.BreakerCooldown)
 		c.reg.Counter(MetricServerUnhealthy).Inc()
+		c.events.Emit(obs.EventBreakerOpen, "client", map[string]string{
+			"server": c.addr,
+			"fails":  fmt.Sprint(c.fails),
+		})
 	}
 }
 

@@ -34,6 +34,14 @@ type Config struct {
 	Model *netsim.Model
 	// Name labels the server in errors and logs.
 	Name string
+	// Events, when non-nil, receives the server's state-transition
+	// events (drain begin/end, stale generations); nil falls back to
+	// the process-wide obs.Events() log.
+	Events *obs.EventLog
+	// SlowRequest, when positive, emits a slow_request event (with the
+	// request's span tree, when sampled) for any request whose handling
+	// exceeds the threshold.
+	SlowRequest time.Duration
 }
 
 // Server metric names (in the server's obs.Registry). Latency
@@ -58,11 +66,17 @@ func OpMetric(op wire.Op) string {
 	return "op_" + strings.ToLower(op.String()) + "_us"
 }
 
+// serverTraceCap bounds the per-server ring of recent sampled request
+// traces served at /debug/trace.
+const serverTraceCap = 256
+
 // Server is one DPFS I/O server instance.
 type Server struct {
-	cfg Config
-	lis net.Listener
-	reg *obs.Registry
+	cfg    Config
+	lis    net.Listener
+	reg    *obs.Registry
+	traces *obs.TraceLog
+	events *obs.EventLog
 
 	mu       sync.Mutex
 	conns    map[net.Conn]*connState
@@ -116,11 +130,16 @@ func New(cfg Config, lis net.Listener) (*Server, error) {
 		cfg:    cfg,
 		lis:    lis,
 		reg:    obs.NewRegistry(),
+		traces: obs.NewTraceLog(serverTraceCap),
+		events: cfg.Events,
 		conns:  make(map[net.Conn]*connState),
 		files:  make(map[string]*subfile),
 		gens:   make(map[string]int64),
 		ctx:    ctx,
 		cancel: cancel,
+	}
+	if s.events == nil {
+		s.events = obs.Events()
 	}
 	if cfg.Model != nil {
 		s.reg.RegisterHistogram(MetricNetsimWait, cfg.Model.WaitHistogram())
@@ -140,6 +159,19 @@ func (s *Server) Model() *netsim.Model { return s.cfg.Model }
 // gauges, per-op handler latency histograms, bytes in/out, subfile I/O
 // time and (when a model is attached) the netsim wait histogram.
 func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// Traces returns the server's ring of recent sampled request traces
+// (requests that arrived carrying wire trace context). Served at
+// /debug/trace by the daemon.
+func (s *Server) Traces() *obs.TraceLog { return s.traces }
+
+// component names the server in event-log entries.
+func (s *Server) component() string {
+	if s.cfg.Name != "" {
+		return "server/" + s.cfg.Name
+	}
+	return "server"
+}
 
 // Close stops the server immediately: the listener and every
 // connection are torn down without waiting for in-flight requests. Use
@@ -188,7 +220,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 	}
 	s.mu.Unlock()
+	s.events.Emit(obs.EventDrainBegin, s.component(), nil)
 
+	forced := false
 	err := s.lis.Close()
 	done := make(chan struct{})
 	go func() {
@@ -199,6 +233,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-done:
 	case <-ctx.Done():
 		// Deadline: abandon the drain and force-close what remains.
+		forced = true
 		s.cancel()
 		s.mu.Lock()
 		for c := range s.conns {
@@ -212,6 +247,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.cancel()
 	s.closeFiles()
+	s.events.Emit(obs.EventDrainEnd, s.component(),
+		map[string]string{"forced": strconv.FormatBool(forced)})
 	return err
 }
 
@@ -405,12 +442,44 @@ func (s *Server) dispatch(ctx context.Context, req *wire.Request) *wire.Response
 	start := time.Now()
 	s.reg.Counter(MetricRequests).Inc()
 	s.reg.Counter(MetricBytesIn).Add(int64(len(req.Data)))
+	// A sampled request carries wire trace context: open a server-side
+	// span under the client's RPC span so the client (which receives
+	// the span tree in the response trailer) and this server's own
+	// /debug/trace both see the stitched tree.
+	var sp *obs.Span
+	if req.TraceID != 0 && req.Sampled {
+		sp = obs.StartRemote("server.request",
+			obs.TraceContext{TraceID: req.TraceID, SpanID: req.SpanID, Sampled: true})
+		sp.Op = strings.ToLower(req.Op.String())
+		sp.Path = req.Path
+		sp.Server = s.cfg.Name
+		sp.Extents = len(req.Extents)
+		ctx = obs.ContextWithSpan(ctx, sp)
+	}
 	resp, err := s.serve(ctx, req)
 	if err != nil {
 		s.reg.Counter(MetricErrors).Inc()
 		resp = &wire.Response{Err: fmt.Sprintf("%s: %v", s.cfg.Name, err)}
 	}
-	s.reg.Histogram(OpMetric(req.Op)).Record(time.Since(start).Microseconds())
+	elapsed := time.Since(start)
+	if sp != nil {
+		sp.Bytes = int64(len(req.Data)) + int64(len(resp.Data))
+		sp.End()
+		s.traces.Add(&obs.Trace{Root: sp})
+		resp.Trace = obs.EncodeSpans(sp)
+	}
+	if s.cfg.SlowRequest > 0 && elapsed >= s.cfg.SlowRequest {
+		fields := map[string]string{
+			"op":     req.Op.String(),
+			"path":   req.Path,
+			"dur_us": strconv.FormatInt(elapsed.Microseconds(), 10),
+		}
+		if sp != nil {
+			fields["trace"] = (&obs.Trace{Root: sp}).String()
+		}
+		s.events.EmitTrace(obs.EventSlowRequest, s.component(), req.TraceID, fields)
+	}
+	s.reg.Histogram(OpMetric(req.Op)).Record(elapsed.Microseconds())
 	s.reg.Counter(MetricBytesOut).Add(int64(len(resp.Data)))
 	return resp
 }
@@ -490,7 +559,7 @@ func (s *Server) opCopy(ctx context.Context, req *wire.Request) (*wire.Response,
 		// Local generation bump: the source is a superseded generation
 		// of this same subfile, so the read must bypass the generation
 		// check that the entry checkGen above just advanced.
-		data, err = s.readLocal(srcPath, srcGen, src, wire.DataBytes(src))
+		data, err = s.readLocal(ctx, srcPath, srcGen, src, wire.DataBytes(src))
 		if err != nil {
 			return nil, fmt.Errorf("copy local source: %w", err)
 		}
@@ -516,7 +585,10 @@ func (s *Server) opCopy(ctx context.Context, req *wire.Request) (*wire.Response,
 }
 
 // pullFrom fetches extents of a subfile from a peer server over a
-// dedicated connection.
+// dedicated connection. When the surrounding OpCopy request is traced
+// the pull carries the trace context onward, so repair copies appear
+// in the stitched tree as a server.rpc child with the peer's own
+// spans below it.
 func (s *Server) pullFrom(ctx context.Context, addr, path string, gen int64, exts []wire.Extent) ([]byte, error) {
 	d := net.Dialer{Timeout: 10 * time.Second}
 	conn, err := d.DialContext(ctx, "tcp", addr)
@@ -529,10 +601,30 @@ func (s *Server) pullFrom(ctx context.Context, addr, path string, gen int64, ext
 	} else {
 		_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
 	}
-	if err := wire.WriteRequest(conn, &wire.Request{Op: wire.OpRead, Path: path, Gen: gen, Extents: exts}); err != nil {
+	preq := &wire.Request{Op: wire.OpRead, Path: path, Gen: gen, Extents: exts}
+	var rpc *obs.Span
+	if sp := obs.SpanFromContext(ctx); sp != nil {
+		rpc = sp.Child("server.rpc")
+		rpc.Op = "copy.pull"
+		rpc.Server = addr
+		rpc.Extents = len(exts)
+		tc := rpc.Context()
+		preq.TraceID, preq.SpanID, preq.Sampled = tc.TraceID, tc.SpanID, tc.Sampled
+	}
+	if err := wire.WriteRequest(conn, preq); err != nil {
 		return nil, err
 	}
 	resp, err := wire.ReadResponse(conn)
+	if rpc != nil {
+		rpc.End()
+		if err == nil && len(resp.Trace) > 0 {
+			if remote, derr := obs.DecodeSpans(resp.Trace); derr == nil {
+				for _, r := range remote {
+					rpc.Adopt(r)
+				}
+			}
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -589,6 +681,11 @@ func (s *Server) checkGen(path string, gen int64, advance bool) error {
 	}
 	s.mu.Unlock()
 	if gen < seen {
+		s.events.Emit(obs.EventStaleGen, s.component(), map[string]string{
+			"path":      path,
+			"req_gen":   strconv.FormatInt(gen, 10),
+			"known_gen": strconv.FormatInt(seen, 10),
+		})
 		return fmt.Errorf("stale generation: request addresses %s at g%d but the server has seen g%d (file removed and recreated; re-open it)", path, gen, seen)
 	}
 	if advance && gen > seen && seen > 0 {
@@ -715,7 +812,7 @@ func (s *Server) opRead(ctx context.Context, req *wire.Request) (*wire.Response,
 	if err := s.checkGen(req.Path, req.Gen, false); err != nil {
 		return nil, err
 	}
-	buf, err := s.readLocal(req.Path, req.Gen, req.Extents, total)
+	buf, err := s.readLocal(ctx, req.Path, req.Gen, req.Extents, total)
 	if err != nil {
 		return nil, err
 	}
@@ -729,7 +826,7 @@ func (s *Server) opRead(ctx context.Context, req *wire.Request) (*wire.Response,
 // subfile and bytes past EOF read as zeros, matching hole semantics
 // (client-side geometry guarantees the extents are within the file's
 // logical size).
-func (s *Server) readLocal(path string, gen int64, exts []wire.Extent, total int64) ([]byte, error) {
+func (s *Server) readLocal(ctx context.Context, path string, gen int64, exts []wire.Extent, total int64) ([]byte, error) {
 	sf, err := s.open(subfileName(path, gen), false)
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
@@ -743,6 +840,7 @@ func (s *Server) readLocal(path string, gen int64, exts []wire.Extent, total int
 	}
 	buf := getReadBuf(total)
 	pos := int64(0)
+	sub := s.subfileSpan(ctx, "read", exts, total)
 	ioStart := time.Now()
 	for _, e := range exts {
 		if e.Len < 0 || e.Off < 0 {
@@ -758,8 +856,26 @@ func (s *Server) readLocal(path string, gen int64, exts []wire.Extent, total int
 		}
 		pos += e.Len
 	}
+	if sub != nil {
+		sub.End()
+	}
 	s.reg.Histogram(MetricSubfileIO).Record(time.Since(ioStart).Microseconds())
 	return buf, nil
+}
+
+// subfileSpan opens a server.subfile child span under the request's
+// span (nil when the request is untraced), covering the local I/O
+// loop that MetricSubfileIO times.
+func (s *Server) subfileSpan(ctx context.Context, op string, exts []wire.Extent, total int64) *obs.Span {
+	sp := obs.SpanFromContext(ctx)
+	if sp == nil {
+		return nil
+	}
+	sub := sp.Child("server.subfile")
+	sub.Op = op
+	sub.Extents = len(exts)
+	sub.Bytes = total
+	return sub
 }
 
 func (s *Server) opWrite(ctx context.Context, req *wire.Request) (*wire.Response, error) {
@@ -778,6 +894,7 @@ func (s *Server) opWrite(ctx context.Context, req *wire.Request) (*wire.Response
 		return nil, err
 	}
 	pos := int64(0)
+	sub := s.subfileSpan(ctx, "write", req.Extents, total)
 	ioStart := time.Now()
 	for _, e := range req.Extents {
 		if e.Len < 0 || e.Off < 0 {
@@ -788,6 +905,9 @@ func (s *Server) opWrite(ctx context.Context, req *wire.Request) (*wire.Response
 			return nil, err
 		}
 		pos += e.Len
+	}
+	if sub != nil {
+		sub.End()
 	}
 	s.reg.Histogram(MetricSubfileIO).Record(time.Since(ioStart).Microseconds())
 	return &wire.Response{N: total}, nil

@@ -19,6 +19,7 @@ import (
 	"dpfs/internal/cache"
 	"dpfs/internal/core"
 	"dpfs/internal/meta"
+	"dpfs/internal/obs"
 	"dpfs/internal/repair"
 	"dpfs/internal/stripe"
 )
@@ -83,6 +84,10 @@ func (sh *Shell) Run(ctx context.Context, line string) (string, error) {
 		return sh.cat(ctx, args)
 	case "stats":
 		return sh.stats()
+	case "trace":
+		return sh.trace(args)
+	case "events":
+		return sh.events(args)
 	case "repair":
 		return sh.repair(ctx)
 	case "health":
@@ -109,6 +114,9 @@ const helpText = `DPFS shell commands:
   du                      per-server file and brick usage
   cat FILE                print a DPFS file's bytes
   stats                   this client's traffic, cache and latency counters
+  trace [N|ID]            render recent request traces (stitched across
+                          processes; ID is a 16-hex-digit trace id)
+  events [TYPE] [N]       recent cluster events (breaker, failover, repair...)
   repair                  probe servers and re-replicate lost brick copies
   health                  per-server health states from the catalog
   help                    this text
@@ -449,6 +457,112 @@ func (sh *Shell) stats() (string, error) {
 		fmt.Fprintf(&sb, "repair:       %d files repaired  %d brick copies  %d files failed\n",
 			snap.Counters[repair.MetricFilesRepaired], snap.Counters[repair.MetricBricksCopied],
 			snap.Counters[repair.MetricFilesFailed])
+	}
+	return sb.String(), nil
+}
+
+// trace renders recent request traces from the engine's trace log.
+// Server-side spans arrive stitched into the client's trees via the
+// response trace trailers, so the rendering shows the whole
+// cross-process request: client root, per-server RPCs, and the
+// servers' own handler and subfile spans.
+func (sh *Shell) trace(args []string) (string, error) {
+	log := sh.client.Engine().TraceLog()
+	if log == nil {
+		return "", fmt.Errorf("dpfs-sh: tracing not enabled (run with -trace)")
+	}
+	if len(args) > 1 {
+		return "", fmt.Errorf("dpfs-sh: usage: trace [N|ID]")
+	}
+	if len(args) == 1 {
+		// A 16-hex-digit argument addresses one trace by id.
+		if id, err := strconv.ParseUint(args[0], 16, 64); err == nil && len(args[0]) == 16 {
+			t := log.ByTraceID(id)
+			if t == nil {
+				return "", fmt.Errorf("dpfs-sh: no trace %s in the log", args[0])
+			}
+			return t.String(), nil
+		}
+		n, err := strconv.Atoi(args[0])
+		if err != nil || n < 1 {
+			return "", fmt.Errorf("dpfs-sh: usage: trace [N|ID]")
+		}
+		return renderTraces(log.Traces(), n), nil
+	}
+	t := log.Last()
+	if t == nil {
+		return "(no traces recorded)\n", nil
+	}
+	return t.String(), nil
+}
+
+// renderTraces prints the newest n traces, oldest of them first.
+func renderTraces(ts []*obs.Trace, n int) string {
+	if len(ts) == 0 {
+		return "(no traces recorded)\n"
+	}
+	if n > len(ts) {
+		n = len(ts)
+	}
+	var sb strings.Builder
+	for _, t := range ts[len(ts)-n:] {
+		sb.WriteString(t.String())
+	}
+	return sb.String()
+}
+
+// events prints recent cluster events (breaker transitions, retry
+// exhaustion, failovers, degraded writes, repair lifecycle, slow
+// requests), newest last.
+func (sh *Shell) events(args []string) (string, error) {
+	log := sh.client.Engine().Events()
+	evs := log.Events()
+	n := 20
+	switch len(args) {
+	case 0:
+	case 1:
+		if v, err := strconv.Atoi(args[0]); err == nil && v > 0 {
+			n = v
+		} else {
+			evs = log.ByType(args[0])
+		}
+	case 2:
+		evs = log.ByType(args[0])
+		v, err := strconv.Atoi(args[1])
+		if err != nil || v < 1 {
+			return "", fmt.Errorf("dpfs-sh: usage: events [TYPE] [N]")
+		}
+		n = v
+	default:
+		return "", fmt.Errorf("dpfs-sh: usage: events [TYPE] [N]")
+	}
+	if len(evs) == 0 {
+		return "(no events recorded)\n", nil
+	}
+	if n < len(evs) {
+		evs = evs[len(evs)-n:]
+	}
+	var sb strings.Builder
+	for _, e := range evs {
+		fmt.Fprintf(&sb, "%6d %s %-18s %-10s", e.Seq, e.Time.Format("15:04:05.000"), e.Type, e.Component)
+		keys := make([]string, 0, len(e.Fields))
+		for k := range e.Fields {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if k == "trace" {
+				continue // full trace renderings are for slow-request logs
+			}
+			fmt.Fprintf(&sb, " %s=%s", k, e.Fields[k])
+		}
+		if e.TraceID != 0 {
+			fmt.Fprintf(&sb, " trace=%016x", e.TraceID)
+		}
+		sb.WriteByte('\n')
+	}
+	if d := log.Dropped(); d > 0 {
+		fmt.Fprintf(&sb, "(%d older events dropped)\n", d)
 	}
 	return sb.String(), nil
 }

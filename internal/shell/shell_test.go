@@ -291,3 +291,68 @@ func TestCpPreservesLevel(t *testing.T) {
 		t.Fatal("copied data mismatch")
 	}
 }
+
+func TestTraceAndEventsCommands(t *testing.T) {
+	sh, client := newShell(t)
+	// Without tracing enabled the trace command must explain itself.
+	if err := runErr(t, sh, "trace"); !strings.Contains(err.Error(), "tracing not enabled") {
+		t.Fatalf("trace without -trace: %v", err)
+	}
+	client.Engine().EnableTracing(8)
+
+	run(t, sh, "mkdir /d")
+	if _, err := sh.Run(context.Background(), "cp local:"+writeLocal(t, "hello trace")+" /d/f"); err != nil {
+		t.Fatal(err)
+	}
+	out := run(t, sh, "cat /d/f")
+	if !strings.Contains(out, "hello trace") {
+		t.Fatalf("cat = %q", out)
+	}
+
+	// The cat recorded a client.request trace with server.rpc children
+	// stitched to server.request spans from the I/O servers.
+	tr := run(t, sh, "trace")
+	for _, want := range []string{"client.request", "server.rpc", "server.request"} {
+		if !strings.Contains(tr, want) {
+			t.Fatalf("trace output missing %q:\n%s", want, tr)
+		}
+	}
+	// Selecting the last trace by its hex id renders the same tree.
+	id := traceIDFromOutput(t, tr)
+	if byID := run(t, sh, "trace "+id); !strings.Contains(byID, "client.request") {
+		t.Fatalf("trace %s = %q", id, byID)
+	}
+
+	// No failures happened, so the event log is empty but well-formed.
+	if out := run(t, sh, "events"); !strings.Contains(out, "no events recorded") {
+		t.Fatalf("events = %q", out)
+	}
+	client.Engine().Events().Emit("failover", "client", map[string]string{"server": "io9"})
+	out = run(t, sh, "events failover 5")
+	if !strings.Contains(out, "failover") || !strings.Contains(out, "server=io9") {
+		t.Fatalf("events failover = %q", out)
+	}
+}
+
+// writeLocal drops content into a temp file and returns its path.
+func writeLocal(t *testing.T, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "local.txt")
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// traceIDFromOutput digs the 16-hex trace id out of the rendered
+// "trace <id>" header line.
+func traceIDFromOutput(t *testing.T, out string) string {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if rest, ok := strings.CutPrefix(line, "trace "); ok && len(rest) >= 16 {
+			return rest[:16]
+		}
+	}
+	t.Fatalf("no trace id header in output:\n%s", out)
+	return ""
+}

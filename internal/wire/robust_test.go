@@ -34,6 +34,7 @@ func TestRequestEveryPrefixTruncation(t *testing.T) {
 		Op: OpWrite, Path: "/sub/file",
 		Extents: []Extent{{Off: 0, Len: 4}, {Off: 100, Len: 4}},
 		Data:    []byte("12345678"),
+		TraceID: 0x1122334455667788, SpanID: 0x99aabbccddeeff00, Sampled: true,
 	})
 	for cut := 0; cut < len(full); cut++ {
 		if _, err := ReadRequest(bytes.NewReader(full[:cut])); err == nil {
@@ -47,7 +48,8 @@ func TestRequestEveryPrefixTruncation(t *testing.T) {
 
 // TestResponseEveryPrefixTruncation is the response-side mirror.
 func TestResponseEveryPrefixTruncation(t *testing.T) {
-	full := encodeResponse(t, &Response{Err: "boom", N: 42, Data: []byte("payload")})
+	full := encodeResponse(t, &Response{Err: "boom", N: 42, Data: []byte("payload"),
+		Trace: []byte{1, 2, 3, 4, 5}})
 	for cut := 0; cut < len(full); cut++ {
 		if _, err := ReadResponse(bytes.NewReader(full[:cut])); err == nil {
 			t.Errorf("prefix of %d/%d bytes decoded without error", cut, len(full))
@@ -94,9 +96,6 @@ func TestCorruptRequestFrames(t *testing.T) {
 		{"data length beyond body", func(b []byte) {
 			binary.LittleEndian.PutUint32(b[dataLenOff:], 1<<20)
 		}},
-		{"data length leaves trailing bytes", func(b []byte) {
-			binary.LittleEndian.PutUint32(b[dataLenOff:], 2)
-		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -107,6 +106,86 @@ func TestCorruptRequestFrames(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestRequestTraceTrailerBestEffort pins the best-effort contract of
+// the trace-context trailer: a well-formed trailer roundtrips, and
+// truncated, oversized or garbage trailers silently yield an untraced
+// request — they must never fail the frame.
+func TestRequestTraceTrailerBestEffort(t *testing.T) {
+	base := &Request{
+		Op: OpWrite, Path: "/s", Gen: 3,
+		Extents: []Extent{{Off: 8, Len: 4}},
+		Data:    []byte("abcd"),
+	}
+
+	t.Run("trace context roundtrips", func(t *testing.T) {
+		traced := *base
+		traced.TraceID, traced.SpanID, traced.Sampled = 0xdead, 0xbeef, true
+		got, err := ReadRequest(bytes.NewReader(encodeRequest(t, &traced)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.TraceID != 0xdead || got.SpanID != 0xbeef || !got.Sampled {
+			t.Fatalf("trace context lost: %+v", got)
+		}
+		if !bytes.Equal(got.Data, base.Data) {
+			t.Fatal("payload corrupted by trailer")
+		}
+	})
+
+	t.Run("unsampled flag roundtrips", func(t *testing.T) {
+		traced := *base
+		traced.TraceID, traced.SpanID = 7, 8
+		got, err := ReadRequest(bytes.NewReader(encodeRequest(t, &traced)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.TraceID != 7 || got.Sampled {
+			t.Fatalf("unsampled context = %+v", got)
+		}
+	})
+
+	// Garbage after the payload, in every size from 1 byte to past the
+	// trailer length: the request must decode and (except for a valid
+	// non-zero-ID trailer) stay untraced.
+	for extra := 1; extra <= traceTrailerLen+8; extra++ {
+		frame := encodeRequest(t, base)
+		for i := 0; i < extra; i++ {
+			frame = append(frame, 0x00) // zero bytes: a zero trace ID must be ignored
+		}
+		binary.LittleEndian.PutUint32(frame[4:8],
+			binary.LittleEndian.Uint32(frame[4:8])+uint32(extra))
+		got, err := ReadRequest(bytes.NewReader(frame))
+		if err != nil {
+			t.Fatalf("%d trailing zero bytes failed the request: %v", extra, err)
+		}
+		if got.TraceID != 0 || got.SpanID != 0 || got.Sampled {
+			t.Fatalf("%d trailing zero bytes produced trace context %+v", extra, got)
+		}
+		if got.Path != base.Path || !bytes.Equal(got.Data, base.Data) {
+			t.Fatalf("%d trailing bytes corrupted the request: %+v", extra, got)
+		}
+	}
+
+	t.Run("garbage ids are accepted verbatim", func(t *testing.T) {
+		frame := encodeRequest(t, base)
+		junk := bytes.Repeat([]byte{0xA5}, traceTrailerLen)
+		frame = append(frame, junk...)
+		binary.LittleEndian.PutUint32(frame[4:8],
+			binary.LittleEndian.Uint32(frame[4:8])+uint32(traceTrailerLen))
+		got, err := ReadRequest(bytes.NewReader(frame))
+		if err != nil {
+			t.Fatalf("garbage trailer failed the request: %v", err)
+		}
+		// Garbage IDs are just IDs; the request itself must be intact.
+		if !bytes.Equal(got.Data, base.Data) || got.Path != base.Path {
+			t.Fatalf("garbage trailer corrupted the request: %+v", got)
+		}
+		if got.TraceID != binary.LittleEndian.Uint64(junk[:8]) {
+			t.Fatalf("trace id = %#x", got.TraceID)
+		}
+	})
 }
 
 // TestCorruptResponseFrames is the response-side mirror. Layout:
@@ -132,9 +211,6 @@ func TestCorruptResponseFrames(t *testing.T) {
 		{"data length beyond body", func(b []byte) {
 			binary.LittleEndian.PutUint32(b[dataLenOff:], 1<<20)
 		}},
-		{"data length leaves trailing bytes", func(b []byte) {
-			binary.LittleEndian.PutUint32(b[dataLenOff:], 1)
-		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -145,6 +221,21 @@ func TestCorruptResponseFrames(t *testing.T) {
 			}
 		})
 	}
+
+	// Bytes past the payload are the span trailer, surfaced verbatim
+	// (best-effort tracing: the frame must not be rejected).
+	t.Run("trailing bytes become the span trailer", func(t *testing.T) {
+		frame := encodeResponse(t, base)
+		dataLen := binary.LittleEndian.Uint32(frame[dataLenOff:])
+		binary.LittleEndian.PutUint32(frame[dataLenOff:], dataLen-1)
+		got, err := ReadResponse(bytes.NewReader(frame))
+		if err != nil {
+			t.Fatalf("trailing byte failed the response: %v", err)
+		}
+		if !bytes.Equal(got.Trace, base.Data[len(base.Data)-1:]) {
+			t.Fatalf("trailer = %v", got.Trace)
+		}
+	})
 }
 
 // FuzzReadRequest throws arbitrary bytes at the request decoder: it
@@ -156,6 +247,8 @@ func FuzzReadRequest(f *testing.F) {
 	f.Add(encodeRequest(f, &Request{Op: OpWrite, Path: "/b",
 		Extents: []Extent{{Off: 4, Len: 2}, {Off: 32, Len: 2}}, Data: []byte("wxyz")}))
 	f.Add(encodeRequest(f, &Request{Op: OpRename, Path: "/old", Data: []byte("/new")}))
+	f.Add(encodeRequest(f, &Request{Op: OpRead, Path: "/t", Extents: []Extent{{Off: 0, Len: 8}},
+		TraceID: 0x0123456789abcdef, SpanID: 0xfedcba9876543210, Sampled: true}))
 	f.Add([]byte{magic, version, byte(OpPing), 0, 0xFF, 0xFF, 0xFF, 0x7F})
 	f.Add([]byte{magic, version + 1, 0, 0, 0, 0, 0, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -172,6 +265,9 @@ func FuzzReadRequest(f *testing.F) {
 			!reflect.DeepEqual(req.Extents, again.Extents) || !bytes.Equal(req.Data, again.Data) {
 			t.Fatalf("roundtrip mismatch: %+v vs %+v", req, again)
 		}
+		if req.TraceID != again.TraceID || req.SpanID != again.SpanID || req.Sampled != again.Sampled {
+			t.Fatalf("trace context roundtrip mismatch: %+v vs %+v", req, again)
+		}
 	})
 }
 
@@ -180,6 +276,7 @@ func FuzzReadResponse(f *testing.F) {
 	f.Add(encodeResponse(f, &Response{}))
 	f.Add(encodeResponse(f, &Response{Err: "subfile missing"}))
 	f.Add(encodeResponse(f, &Response{N: 1 << 40, Data: []byte("data")}))
+	f.Add(encodeResponse(f, &Response{Data: []byte("d"), Trace: []byte{1, 0, 0, 9, 9}}))
 	f.Add([]byte{magic, version, 0, 0, 0xFF, 0xFF, 0xFF, 0x7F})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		resp, err := ReadResponse(bytes.NewReader(data))
@@ -193,6 +290,9 @@ func FuzzReadResponse(f *testing.F) {
 		}
 		if resp.Err != again.Err || resp.N != again.N || !bytes.Equal(resp.Data, again.Data) {
 			t.Fatalf("roundtrip mismatch: %+v vs %+v", resp, again)
+		}
+		if !bytes.Equal(resp.Trace, again.Trace) {
+			t.Fatalf("trace trailer roundtrip mismatch: %v vs %v", resp.Trace, again.Trace)
 		}
 	})
 }

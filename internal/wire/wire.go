@@ -111,6 +111,16 @@ type Request struct {
 	// the segments must equal the sum of extent lengths. Senders set
 	// exactly one of Data and Segments; receivers always see Data.
 	Segments [][]byte
+
+	// TraceID, SpanID and Sampled are the wire-propagated trace
+	// context, carried as an optional trailer after the payload so the
+	// server can attach its spans to the client's request tree. A zero
+	// TraceID means untraced and sends no trailer. Tracing is
+	// best-effort: receivers ignore malformed trailers rather than
+	// failing the request.
+	TraceID uint64
+	SpanID  uint64
+	Sampled bool
 }
 
 // PayloadLen returns the number of payload bytes the request carries
@@ -135,6 +145,12 @@ type Response struct {
 	// N returns a scalar: bytes written, subfile size for OpStat,
 	// stored bytes for OpUsage.
 	N int64
+	// Trace optionally carries the server's span tree for the request
+	// (obs.EncodeSpans format), sent as a trailer after Data when the
+	// request was sampled. Like Data it may alias the scratch buffer
+	// passed to ReadResponseInto, so consume it before reuse. Decoding
+	// failures are ignored by callers — tracing is best-effort.
+	Trace []byte
 }
 
 const (
@@ -152,6 +168,13 @@ const MaxMessage = 1 << 30
 // Callers of ReadResponseInto add it to the expected data size when
 // sizing a scratch buffer.
 const RespOverhead = 2 + 8 + 4
+
+// traceTrailerLen is the size of the optional request trace-context
+// trailer: u64 trace ID, u64 parent span ID, one flags byte (bit 0 =
+// sampled). A request body with exactly this many bytes after the
+// payload carries trace context; any other remainder is ignored so
+// future extensions and garbage alike never fail a request.
+const traceTrailerLen = 8 + 8 + 1
 
 // FormatCopySource encodes the OpCopy source descriptor carried in
 // Request.Data.
@@ -187,8 +210,17 @@ func DataBytes(exts []Extent) int64 {
 // socket without an intermediate packing copy.
 func WriteRequest(w io.Writer, req *Request) error {
 	dlen := req.PayloadLen()
-	n := 2 + len(req.Path) + 8 + 4 + 16*len(req.Extents) + 4 + dlen
-	buf := make([]byte, headerLen, headerLen+n-dlen)
+	var trailer []byte
+	if req.TraceID != 0 {
+		trailer = make([]byte, traceTrailerLen)
+		binary.LittleEndian.PutUint64(trailer[0:8], req.TraceID)
+		binary.LittleEndian.PutUint64(trailer[8:16], req.SpanID)
+		if req.Sampled {
+			trailer[16] = 1
+		}
+	}
+	n := 2 + len(req.Path) + 8 + 4 + 16*len(req.Extents) + 4 + dlen + len(trailer)
+	buf := make([]byte, headerLen, headerLen+n-dlen-len(trailer))
 	buf[0] = magic
 	buf[1] = version
 	buf[2] = byte(req.Op)
@@ -214,12 +246,15 @@ func WriteRequest(w io.Writer, req *Request) error {
 	binary.LittleEndian.PutUint32(tmp[:4], uint32(dlen))
 	buf = append(buf, tmp[:4]...)
 	if req.Segments != nil {
-		bufs := make(net.Buffers, 0, 1+len(req.Segments))
+		bufs := make(net.Buffers, 0, 2+len(req.Segments))
 		bufs = append(bufs, buf)
 		for _, s := range req.Segments {
 			if len(s) > 0 {
 				bufs = append(bufs, s)
 			}
+		}
+		if trailer != nil {
+			bufs = append(bufs, trailer)
 		}
 		_, err := bufs.WriteTo(w)
 		return err
@@ -229,6 +264,11 @@ func WriteRequest(w io.Writer, req *Request) error {
 	}
 	if len(req.Data) > 0 {
 		if _, err := w.Write(req.Data); err != nil {
+			return err
+		}
+	}
+	if trailer != nil {
+		if _, err := w.Write(trailer); err != nil {
 			return err
 		}
 	}
@@ -306,19 +346,29 @@ func ReadRequest(r io.Reader) (*Request, error) {
 	if dlen > 0 {
 		req.Data = b
 	}
-	if p != len(body) {
-		return nil, errors.New("wire: trailing bytes in request")
+	// Bytes past the payload are the optional trace-context trailer.
+	// Tracing is best-effort: only an exact-size trailer with a
+	// non-zero trace ID is honored; anything else (truncated trailers,
+	// unknown extensions, garbage) is silently ignored rather than
+	// failing the request.
+	if len(body)-p == traceTrailerLen {
+		if id := binary.LittleEndian.Uint64(body[p : p+8]); id != 0 {
+			req.TraceID = id
+			req.SpanID = binary.LittleEndian.Uint64(body[p+8 : p+16])
+			req.Sampled = body[p+16]&1 == 1
+		}
 	}
 	return req, nil
 }
 
-// WriteResponse frames and sends a response.
+// WriteResponse frames and sends a response. A non-empty Trace is
+// appended after Data as the span trailer.
 func WriteResponse(w io.Writer, resp *Response) error {
 	if len(resp.Err) > 0xFFFF {
 		resp = &Response{Err: resp.Err[:0xFFFF]}
 	}
-	n := 2 + len(resp.Err) + 8 + 4 + len(resp.Data)
-	buf := make([]byte, headerLen, headerLen+n-len(resp.Data))
+	n := 2 + len(resp.Err) + 8 + 4 + len(resp.Data) + len(resp.Trace)
+	buf := make([]byte, headerLen, headerLen+n-len(resp.Data)-len(resp.Trace))
 	buf[0] = magic
 	buf[1] = version
 	binary.LittleEndian.PutUint32(buf[4:8], uint32(n))
@@ -336,6 +386,11 @@ func WriteResponse(w io.Writer, resp *Response) error {
 	}
 	if len(resp.Data) > 0 {
 		if _, err := w.Write(resp.Data); err != nil {
+			return err
+		}
+	}
+	if len(resp.Trace) > 0 {
+		if _, err := w.Write(resp.Trace); err != nil {
 			return err
 		}
 	}
@@ -411,8 +466,12 @@ func ReadResponseInto(r io.Reader, scratch []byte) (*Response, error) {
 	if dlen > 0 {
 		resp.Data = b
 	}
-	if p != len(body) {
-		return nil, errors.New("wire: trailing bytes in response")
+	// Bytes past the payload are the optional span trailer. Like the
+	// request-side trace trailer this is best-effort: the raw bytes
+	// are handed to the caller, and a caller that fails to decode them
+	// just drops the remote spans.
+	if p < len(body) {
+		resp.Trace = body[p:]
 	}
 	return resp, nil
 }

@@ -110,7 +110,10 @@ func TestBadFrames(t *testing.T) {
 	if _, err := ReadRequest(bytes.NewReader(hdr)); err == nil {
 		t.Error("oversized request accepted")
 	}
-	// Trailing junk inside the frame.
+	// Trailing junk inside the frame is tolerated (it is where the
+	// optional trace trailer lives; tracing is best-effort) but must
+	// not produce trace context unless it is an exact, non-zero
+	// trailer.
 	var buf2 bytes.Buffer
 	if err := WriteRequest(&buf2, &Request{Op: OpPing}); err != nil {
 		t.Fatal(err)
@@ -118,8 +121,11 @@ func TestBadFrames(t *testing.T) {
 	raw := buf2.Bytes()
 	raw = append(raw, 0xAA) // junk beyond frame: fine for first read
 	raw[4] = raw[4] + 1     // grow declared length to swallow junk
-	if _, err := ReadRequest(bytes.NewReader(raw)); err == nil {
-		t.Error("frame with trailing bytes accepted")
+	req, err := ReadRequest(bytes.NewReader(raw))
+	if err != nil {
+		t.Errorf("frame with junk trailer rejected: %v", err)
+	} else if req.TraceID != 0 || req.Sampled {
+		t.Errorf("junk trailer produced trace context: %+v", req)
 	}
 }
 

@@ -1,14 +1,17 @@
 package dpfs_test
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -25,8 +28,9 @@ import (
 
 // TestDebugEndpointE2E boots real dpfs-meta and dpfs-server processes
 // with -debug-addr, performs a striped combined write and read through
-// the public client, and checks that each daemon's /metrics and
-// /healthz endpoints report the traffic.
+// the public client, and checks that each daemon reports the traffic:
+// JSON registry snapshots on /debug/vars, lint-clean Prometheus text
+// on /metrics, and build info on /healthz.
 func TestDebugEndpointE2E(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds and launches subprocesses")
@@ -137,15 +141,38 @@ func TestDebugEndpointE2E(t *testing.T) {
 		}
 		return resp.StatusCode
 	}
+	// /debug/vars is the standard expvar map; the registries live under
+	// the "dpfs" key (see obs.PublishExpvar).
+	type expvars struct {
+		Dpfs map[string]obs.Snapshot `json:"dpfs"`
+	}
+	getProm := func(url string) string {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+		if issues := obs.LintPrometheus(bytes.NewReader(body)); len(issues) != 0 {
+			t.Fatalf("GET %s: prometheus lint: %v", url, issues)
+		}
+		return string(body)
+	}
 
 	for i, dbg := range srvDebug {
-		var m map[string]obs.Snapshot
-		if code := getJSON("http://"+dbg+"/metrics", &m); code != http.StatusOK {
-			t.Fatalf("server %d /metrics status %d", i, code)
+		var ev expvars
+		if code := getJSON("http://"+dbg+"/debug/vars", &ev); code != http.StatusOK {
+			t.Fatalf("server %d /debug/vars status %d", i, code)
 		}
-		s, ok := m["server"]
+		s, ok := ev.Dpfs["server"]
 		if !ok {
-			t.Fatalf("server %d /metrics missing server group: %v", i, m)
+			t.Fatalf("server %d /debug/vars missing server group: %v", i, ev.Dpfs)
 		}
 		// One combined write and one combined read reached each server.
 		if got := s.Histograms[server.OpMetric(wire.OpWrite)].Count; got != 1 {
@@ -168,6 +195,19 @@ func TestDebugEndpointE2E(t *testing.T) {
 			t.Fatalf("server %d bytes_in_total = %d", i, s.Counters[server.MetricBytesIn])
 		}
 
+		// The same numbers in Prometheus text form, with stable names.
+		prom := getProm("http://" + dbg + "/metrics")
+		for _, want := range []string{
+			"# TYPE dpfs_server_requests_total counter",
+			"dpfs_server_requests_total 3",
+			"# TYPE dpfs_server_op_read_us histogram",
+			`dpfs_server_op_read_us_bucket{le="+Inf"} 1`,
+		} {
+			if !strings.Contains(prom, want) {
+				t.Fatalf("server %d /metrics missing %q in:\n%s", i, want, prom)
+			}
+		}
+
 		var h obs.Health
 		if code := getJSON("http://"+dbg+"/healthz", &h); code != http.StatusOK {
 			t.Fatalf("server %d /healthz status %d", i, code)
@@ -175,23 +215,32 @@ func TestDebugEndpointE2E(t *testing.T) {
 		if h.Status != "ok" || h.Detail["registered"] != true {
 			t.Fatalf("server %d health = %+v", i, h)
 		}
+		if h.Build == nil || h.Build.GoVersion == "" {
+			t.Fatalf("server %d /healthz missing build_info: %+v", i, h)
+		}
 	}
 
 	// The metadata daemon counted the catalog queries behind all of the
 	// above and reports healthy with the DPFS schema loaded.
-	var mm map[string]obs.Snapshot
-	if code := getJSON("http://"+metaDebug+"/metrics", &mm); code != http.StatusOK {
-		t.Fatalf("meta /metrics status %d", code)
+	var mv expvars
+	if code := getJSON("http://"+metaDebug+"/debug/vars", &mv); code != http.StatusOK {
+		t.Fatalf("meta /debug/vars status %d", code)
 	}
-	if mm["db"].Counters["queries_total"] == 0 {
-		t.Fatalf("meta queries_total = 0: %+v", mm["db"])
+	if mv.Dpfs["db"].Counters["queries_total"] == 0 {
+		t.Fatalf("meta queries_total = 0: %+v", mv.Dpfs["db"])
 	}
-	if mm["net"].Counters["requests_total"] == 0 {
-		t.Fatalf("meta net requests_total = 0: %+v", mm["net"])
+	if mv.Dpfs["net"].Counters["requests_total"] == 0 {
+		t.Fatalf("meta net requests_total = 0: %+v", mv.Dpfs["net"])
+	}
+	if prom := getProm("http://" + metaDebug + "/metrics"); !strings.Contains(prom, "# TYPE dpfs_db_queries_total counter") {
+		t.Fatalf("meta /metrics missing dpfs_db_queries_total:\n%s", prom)
 	}
 	var mh obs.Health
 	if code := getJSON("http://"+metaDebug+"/healthz", &mh); code != http.StatusOK {
 		t.Fatalf("meta /healthz status %d", code)
+	}
+	if mh.Build == nil || mh.Build.GoVersion == "" {
+		t.Fatalf("meta /healthz missing build_info: %+v", mh)
 	}
 }
 

@@ -1,0 +1,135 @@
+package dpfs_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"dpfs"
+	"dpfs/internal/cluster"
+	"dpfs/internal/obs"
+)
+
+// TestConcurrentScrape hammers /metrics, /debug/trace and
+// /debug/events from many goroutines while a traced workload mutates
+// the same registry, trace ring and event log underneath them. Run
+// under -race (scripts/check.sh does) this is the data-race gate for
+// the whole debug surface; every /metrics response must also be
+// lint-clean Prometheus text mid-flight.
+func TestConcurrentScrape(t *testing.T) {
+	const (
+		scrapers = 4
+		size     = 8 * 4096
+	)
+	c, err := cluster.Start(cluster.Config{Servers: cluster.Uniform(2), Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	events := obs.NewEventLog(128)
+	client, err := dpfs.Connect(c.MetaSrv.Addr(), 0, dpfs.Options{
+		Combine: true, Events: events, SlowRequest: time.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	traces := client.Engine().EnableTracing(32)
+
+	srv := httptest.NewServer(obs.NewHandler(obs.HandlerConfig{
+		Regs:   map[string]*obs.Registry{"client": client.Engine().Metrics()},
+		Traces: traces,
+		Events: events,
+	}))
+	defer srv.Close()
+
+	f, err := client.Create("/scrape.bin", 1, []int64{size},
+		dpfs.Hint{Level: dpfs.Linear, BrickBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	data := make([]byte, size)
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	// The workload: writes and reads that record spans, latency
+	// histograms and (SlowRequest: 1ns) a slow_request event per call.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if err := f.WriteAt(ctx, data, 0); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := f.ReadAt(ctx, data, 0); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	// The scrapers.
+	errs := make(chan error, scrapers)
+	for s := 0; s < scrapers; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			paths := []string{"/metrics", "/debug/trace", "/debug/events",
+				"/debug/events?type=slow_request&n=5"}
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				url := srv.URL + paths[(s+i)%len(paths)]
+				resp, err := http.Get(url)
+				if err != nil {
+					errs <- err
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("GET %s: status %d err %v", url, resp.StatusCode, err)
+					return
+				}
+				if paths[(s+i)%len(paths)] == "/metrics" {
+					if issues := obs.LintPrometheus(bytes.NewReader(body)); len(issues) != 0 {
+						errs <- fmt.Errorf("mid-flight /metrics lint: %v", issues)
+						return
+					}
+				}
+			}
+		}(s)
+	}
+
+	time.Sleep(500 * time.Millisecond)
+	close(done)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if traces.Len() == 0 {
+		t.Fatal("workload recorded no traces")
+	}
+	if len(events.ByType(obs.EventSlowRequest)) == 0 {
+		t.Fatal("SlowRequest=1ns workload emitted no slow_request events")
+	}
+}

@@ -8,6 +8,8 @@
 #      3-seed DPFS_CHAOS_SWEEP including the replica-failover mode
 #   6. dispatch + replica bench smokes (BENCH_dispatch.json, BENCH_replica.json)
 #   7. documentation lint (godoc coverage + markdown links)
+#   8. obslint: metric names vs the frozen manifest + Prometheus
+#      exposition validity (scripts/obslint.sh)
 # Run from the repo root (or anywhere inside it).
 set -eu
 cd "$(dirname "$0")/.."
@@ -26,6 +28,8 @@ else
 fi
 echo "== doccheck: godoc coverage + markdown links =="
 go run ./scripts/doccheck
+echo "== obslint: metric-name manifest + Prometheus format =="
+sh scripts/obslint.sh
 echo "== go test -race ./... =="
 go test -race ./...
 echo "== chaos: seeded fault-injection suite (-race) =="

@@ -1,0 +1,9 @@
+#!/bin/sh
+# Metric-name lint: cross-check every Metric* constant under internal/
+# against the frozen manifest scripts/metric_names.txt (snake_case,
+# counters end _total, histograms carry unit suffixes) and validate a
+# sample /metrics rendering in Prometheus text format. Run from the
+# repo root; scripts/check.sh runs it as part of the full gate.
+set -e
+cd "$(dirname "$0")/.."
+go run ./scripts/obslint

@@ -1,0 +1,231 @@
+// Command obslint enforces the repo's metric-naming contract. It
+// cross-checks every Metric* string constant declared under internal/
+// against the frozen manifest scripts/metric_names.txt, applies the
+// naming rules (snake_case, counters end _total, histograms carry a
+// _us/_bytes unit suffix unless the manifest marks them as
+// dimensionless counts), and finally renders a registry populated
+// with every manifest name through obs.WritePrometheus and validates
+// the output with obs.LintPrometheus — a promtool-style format check.
+//
+// Run from the repo root (scripts/obslint.sh does):
+//
+//	go run ./scripts/obslint
+//
+// Any drift between source and manifest is an error: renaming or
+// adding a metric must update scripts/metric_names.txt in the same
+// change, so dashboards and alerts never silently lose a series.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dpfs/internal/obs"
+)
+
+const manifestPath = "scripts/metric_names.txt"
+
+var snakeCase = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
+
+// entry is one manifest line: a metric kind and its frozen name.
+type entry struct {
+	kind string
+	name string
+}
+
+func main() {
+	var problems []string
+	fail := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	manifest, err := readManifest(manifestPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obslint:", err)
+		os.Exit(1)
+	}
+	declared, err := scanConstants("internal")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obslint:", err)
+		os.Exit(1)
+	}
+
+	byName := make(map[string]entry, len(manifest))
+	for _, e := range manifest {
+		if _, dup := byName[e.name]; dup {
+			fail("manifest: duplicate entry %q", e.name)
+		}
+		byName[e.name] = e
+	}
+
+	// Every constant in source must be frozen in the manifest, and
+	// every manifest entry must still exist in source.
+	for _, name := range sortedKeys(declared) {
+		if _, ok := byName[name]; !ok {
+			fail("metric %q (%s) is not in %s — new or renamed metrics must update the manifest deliberately",
+				name, strings.Join(declared[name], ", "), manifestPath)
+		}
+	}
+	for _, e := range manifest {
+		if _, ok := declared[e.name]; !ok {
+			fail("manifest entry %q has no Metric* constant under internal/ — stale after a rename or removal?", e.name)
+		}
+	}
+
+	// Naming rules, driven by the manifest's kind column.
+	for _, e := range manifest {
+		if !snakeCase.MatchString(e.name) {
+			fail("metric %q is not snake_case", e.name)
+		}
+		switch e.kind {
+		case "counter":
+			if !strings.HasSuffix(e.name, "_total") {
+				fail("counter %q must end in _total", e.name)
+			}
+		case "gauge":
+			if strings.HasSuffix(e.name, "_total") {
+				fail("gauge %q must not end in _total", e.name)
+			}
+		case "histogram":
+			if !strings.HasSuffix(e.name, "_us") && !strings.HasSuffix(e.name, "_bytes") {
+				fail("histogram %q needs a unit suffix (_us or _bytes), or the histogram_count kind if it is dimensionless", e.name)
+			}
+		case "histogram_count":
+			if strings.HasSuffix(e.name, "_total") || strings.HasSuffix(e.name, "_us") || strings.HasSuffix(e.name, "_bytes") {
+				fail("histogram_count %q should be a bare dimensionless name", e.name)
+			}
+		default:
+			fail("manifest: unknown kind %q for %q", e.kind, e.name)
+		}
+	}
+
+	// Format validity: register every manifest name (plus one example
+	// of each dynamic family) in a registry, render it as Prometheus
+	// text, and run the promtool-style linter over the output.
+	reg := obs.NewRegistry()
+	for _, e := range manifest {
+		switch e.kind {
+		case "counter":
+			reg.Counter(e.name).Inc()
+		case "gauge":
+			reg.Gauge(e.name).Set(1)
+		case "histogram", "histogram_count":
+			reg.Histogram(e.name).Record(1)
+		}
+	}
+	for _, dyn := range []string{"op_read_us", "query_select_us"} {
+		reg.Histogram(dyn).Record(1)
+	}
+	var buf bytes.Buffer
+	obs.WritePrometheus(&buf, map[string]*obs.Registry{"lint": reg})
+	for _, issue := range obs.LintPrometheus(bytes.NewReader(buf.Bytes())) {
+		fail("prometheus exposition: %s", issue)
+	}
+
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "obslint:", p)
+		}
+		fmt.Fprintf(os.Stderr, "obslint: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Printf("obslint: %d metric names OK against %s\n", len(manifest), manifestPath)
+}
+
+// readManifest parses scripts/metric_names.txt into its entries,
+// skipping blank lines and # comments.
+func readManifest(path string) ([]entry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []entry
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s:%d: want \"<kind> <name>\", got %q", path, line, text)
+		}
+		out = append(out, entry{kind: fields[0], name: fields[1]})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// scanConstants walks every non-test Go file under root and collects
+// string constants whose identifier starts with "Metric", mapping
+// each metric name to the declaration sites that use it.
+func scanConstants(root string) (map[string][]string, error) {
+	found := make(map[string][]string)
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, ident := range vs.Names {
+					if !strings.HasPrefix(ident.Name, "Metric") || i >= len(vs.Values) {
+						continue
+					}
+					lit, ok := vs.Values[i].(*ast.BasicLit)
+					if !ok || lit.Kind != token.STRING {
+						continue
+					}
+					name, err := strconv.Unquote(lit.Value)
+					if err != nil {
+						continue
+					}
+					found[name] = append(found[name], path+":"+ident.Name)
+				}
+			}
+		}
+		return nil
+	})
+	return found, err
+}
+
+// sortedKeys returns m's keys in sorted order for stable output.
+func sortedKeys(m map[string][]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

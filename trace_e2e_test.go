@@ -1,0 +1,125 @@
+package dpfs_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"dpfs/internal/cluster"
+	"dpfs/internal/core"
+	"dpfs/internal/obs"
+	"dpfs/internal/stripe"
+)
+
+// TestStitchedTraceE2E runs a striped read through 4 real TCP servers
+// with tracing enabled and asserts the client's trace ring holds one
+// stitched cross-process tree: the client.request root, one server.rpc
+// child per contacted server, and under each of those the server-side
+// server.request and server.subfile spans returned in the response
+// trailer — all sharing the root's TraceID.
+func TestStitchedTraceE2E(t *testing.T) {
+	const io = 4
+	c, err := cluster.Start(cluster.Config{Servers: cluster.Uniform(io), Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	fs, err := c.NewFS(0, core.Options{Combine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	log := fs.EnableTracing(16)
+
+	// 8 bricks round-robin over 4 servers: the read fans out to one
+	// combined request (2 bricks) per server.
+	f, err := fs.Create("/stitched.bin", 1, []int64{8 * 4096}, core.Hint{
+		Level: stripe.LevelLinear, BrickBytes: 4096, Placement: stripe.RoundRobin{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	data := make([]byte, 8*4096)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := f.WriteAt(ctx, data, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.ReadAt(ctx, make([]byte, len(data)), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Find the read's trace: the most recent client.request root with
+	// Op "read".
+	var tr *obs.Trace
+	for _, cand := range log.Traces() {
+		if cand.Root.Name == "client.request" && cand.Root.Op == "read" {
+			tr = cand
+		}
+	}
+	if tr == nil {
+		t.Fatalf("no client.request read trace recorded; have %d traces", log.Len())
+	}
+	root := tr.Root
+	if root.TraceID == 0 || root.Duration <= 0 {
+		t.Fatalf("incomplete root span %+v", root)
+	}
+
+	// Every span in the stitched tree shares the root's TraceID and
+	// links back to a parent inside the same tree.
+	byID := map[uint64]*obs.Span{}
+	for _, sp := range tr.Spans() {
+		if sp.TraceID != root.TraceID {
+			t.Fatalf("span %s has TraceID %016x, want %016x:\n%s", sp.Name, sp.TraceID, root.TraceID, tr)
+		}
+		byID[sp.SpanID] = sp
+	}
+	for _, sp := range tr.Spans() {
+		if sp != root && byID[sp.ParentID] == nil {
+			t.Fatalf("span %s has dangling ParentID %016x:\n%s", sp.Name, sp.ParentID, tr)
+		}
+	}
+
+	// One server.rpc child per contacted server, and under each a
+	// server-side server.request span carrying subfile I/O spans —
+	// proof the server's spans crossed the wire and stitched on.
+	rpcServers := map[string]bool{}
+	for _, rpc := range root.Children() {
+		if rpc.Name != "server.rpc" {
+			continue
+		}
+		if rpcServers[rpc.Server] {
+			t.Fatalf("duplicate server.rpc span for %q:\n%s", rpc.Server, tr)
+		}
+		rpcServers[rpc.Server] = true
+		var remote *obs.Span
+		for _, ch := range rpc.Children() {
+			if ch.Name == "server.request" {
+				remote = ch
+			}
+		}
+		if remote == nil {
+			t.Fatalf("server.rpc to %q has no adopted server.request span:\n%s", rpc.Server, tr)
+		}
+		if remote.ParentID != rpc.SpanID {
+			t.Fatalf("server.request parent = %016x, want rpc span %016x", remote.ParentID, rpc.SpanID)
+		}
+		subfiles := 0
+		for _, ch := range remote.Children() {
+			if ch.Name == "server.subfile" {
+				subfiles++
+			}
+		}
+		if subfiles == 0 {
+			t.Fatalf("server.request on %q has no server.subfile spans:\n%s", rpc.Server, tr)
+		}
+	}
+	if len(rpcServers) != io {
+		t.Fatalf("stitched trace spans %d servers, want %d:\n%s", len(rpcServers), io, tr)
+	}
+}
