@@ -38,11 +38,12 @@ type jsonRow struct {
 	P50US     int64   `json:"p50_us"`
 	P95US     int64   `json:"p95_us"`
 	P99US     int64   `json:"p99_us"`
+	Conns     int64   `json:"conns"`
 }
 
 func main() {
 	fig := flag.Int("fig", 0, "figure to regenerate (11-14; 0 = all)")
-	ablation := flag.String("ablation", "", "run an ablation instead: stagger, shape, servers, exact, collective, parallel, cache, replica, or all")
+	ablation := flag.String("ablation", "", "run an ablation instead: stagger, shape, servers, exact, collective, parallel, cache, replica, wire, or all")
 	n := flag.Int64("n", 512, "array edge in elements (paper: 32768)")
 	tile := flag.Int64("tile", 0, "multidim tile edge (default n/8; paper: 256)")
 	reps := flag.Int("reps", 3, "repetitions per bar (median reported)")
@@ -55,6 +56,7 @@ func main() {
 	cacheMB := flag.Int64("cache-mb", 0, "client data-cache budget in MiB for measured engines (0 = cache off)")
 	metaTTL := flag.Duration("meta-ttl", 0, "client metadata-cache TTL for measured engines (0 = cache off)")
 	readahead := flag.Int("readahead", 0, "sequential readahead depth in bricks (needs -cache-mb)")
+	wireV2 := flag.Bool("wire-v2", false, "use the tagged-frame wire protocol for measured engines")
 	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
 
@@ -73,7 +75,8 @@ func main() {
 		defer os.RemoveAll(scratch)
 	}
 	cfg := bench.Config{N: *n, Tile: *tile, Dir: scratch, Reps: *reps, Parallel: *parallel,
-		CacheBytes: *cacheMB << 20, MetaTTL: *metaTTL, Readahead: *readahead}
+		CacheBytes: *cacheMB << 20, MetaTTL: *metaTTL, Readahead: *readahead,
+		WireV2: *wireV2}
 	if *faultSpec != "" {
 		inj, err := fault.Parse(*faultSpec, *faultSeed)
 		if err != nil {
@@ -96,12 +99,14 @@ func main() {
 					MBps: m.MBps, ElapsedUS: m.Elapsed.Microseconds(),
 					Requests: m.Requests, MovedMB: m.MovedMB, UsefulMB: m.UsefulMB,
 					P50US: m.Lat50.Microseconds(), P95US: m.Lat95.Microseconds(), P99US: m.Lat99.Microseconds(),
+					Conns: m.Conns,
 				})
 			case *csvOut:
-				fmt.Printf("%s,%s,%s,%.3f,%d,%d,%.3f,%.3f,%d,%d,%d\n",
+				fmt.Printf("%s,%s,%s,%.3f,%d,%d,%.3f,%.3f,%d,%d,%d,%d\n",
 					m.Figure, m.Class, m.Label, m.MBps, m.Elapsed.Microseconds(),
 					m.Requests, m.MovedMB, m.UsefulMB,
-					m.Lat50.Microseconds(), m.Lat95.Microseconds(), m.Lat99.Microseconds())
+					m.Lat50.Microseconds(), m.Lat95.Microseconds(), m.Lat99.Microseconds(),
+					m.Conns)
 			default:
 				fmt.Println(m)
 			}
@@ -123,7 +128,7 @@ func main() {
 		fmt.Println(string(out))
 	}
 	if *csvOut && !*jsonOut {
-		fmt.Println("figure,class,variant,mbps,elapsed_us,requests,moved_mb,useful_mb,p50_us,p95_us,p99_us")
+		fmt.Println("figure,class,variant,mbps,elapsed_us,requests,moved_mb,useful_mb,p50_us,p95_us,p99_us,conns")
 	}
 
 	if *ablation != "" {

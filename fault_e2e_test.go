@@ -26,19 +26,21 @@ func TestChaosE2E(t *testing.T) {
 		name     string
 		parallel bool
 		cached   bool
+		wireV2   bool
 		seed     int64
 	}{
-		{"sequential", false, false, 11},
-		{"parallel", true, false, 12},
-		{"cached", true, true, 13},
+		{"sequential", false, false, false, 11},
+		{"parallel", true, false, false, 12},
+		{"cached", true, true, false, 13},
+		{"wirev2", true, false, true, 14},
 	} {
 		t.Run(mode.name, func(t *testing.T) {
-			runChaosE2E(t, mode.parallel, mode.cached, mode.seed)
+			runChaosE2E(t, mode.parallel, mode.cached, mode.wireV2, mode.seed)
 		})
 	}
 }
 
-func runChaosE2E(t *testing.T, parallel, cached bool, seed int64) {
+func runChaosE2E(t *testing.T, parallel, cached, wireV2 bool, seed int64) {
 	const (
 		np     = 4
 		size   = 16 * 4096
@@ -64,7 +66,8 @@ func runChaosE2E(t *testing.T, parallel, cached bool, seed int64) {
 
 	opts := dpfs.Options{
 		Combine: true, Stagger: true, ParallelDispatch: parallel,
-		Dial: inj.DialContext,
+		WireV2: wireV2,
+		Dial:   inj.DialContext,
 		Retry: server.RetryPolicy{MaxRetries: 8, RequestTimeout: 5 * time.Second,
 			BackoffBase: time.Millisecond, BackoffMax: 10 * time.Millisecond},
 	}

@@ -63,6 +63,10 @@ type Config struct {
 	// Readahead is the sequential prefetch depth in bricks
 	// (core.Options.Readahead); it needs CacheBytes > 0 to take effect.
 	Readahead int
+	// WireV2 runs every measured engine on the tagged-frame wire
+	// protocol (core.Options.WireV2): multiplexed connections,
+	// streamed payloads.
+	WireV2 bool
 }
 
 // withDispatch applies the configured dispatch mode, cache settings,
@@ -73,6 +77,7 @@ func (c Config) withDispatch(opts core.Options) core.Options {
 	opts.CacheBytes = c.CacheBytes
 	opts.MetaTTL = c.MetaTTL
 	opts.Readahead = c.Readahead
+	opts.WireV2 = c.WireV2
 	if c.Fault != nil {
 		opts.Dial = c.Fault.DialContext
 	}
@@ -116,6 +121,10 @@ type Measurement struct {
 	// Per-request latency percentiles across all ranks of the phase,
 	// from the ranks' shared metric registry.
 	Lat50, Lat95, Lat99 time.Duration
+	// Conns is the number of TCP connections the measured phase opened
+	// across all servers (Σ conns_total deltas). Only the wire
+	// ablation fills it; other figures leave it zero.
+	Conns int64
 }
 
 // String renders one row.

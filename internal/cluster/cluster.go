@@ -50,6 +50,10 @@ type Config struct {
 	// normalized against the fastest. Defaults to 512 KiB, the
 	// 256x256 float64 tile of Section 8.
 	RefBrickBytes int64
+	// WireV2 makes the servers' own outbound traffic (repair pulls)
+	// speak the tagged-frame wire protocol. Inbound needs no switch:
+	// every server auto-detects the protocol per connection.
+	WireV2 bool
 }
 
 // Cluster is a running DPFS deployment.
@@ -124,7 +128,7 @@ func Start(cfg Config) (*Cluster, error) {
 		if spec.Class != (netsim.Params{}) {
 			model = netsim.New(spec.Class)
 		}
-		srv, err := server.Listen(server.Config{Root: root, Model: model, Name: name}, "")
+		srv, err := server.Listen(server.Config{Root: root, Model: model, Name: name, WireV2: cfg.WireV2}, "")
 		if err != nil {
 			c.Close()
 			return nil, err

@@ -99,6 +99,13 @@ type Options struct {
 	// writes, retry exhaustion, breaker transitions, slow requests).
 	// Nil uses the process-default log.
 	Events *obs.EventLog
+	// WireV2 switches every I/O client this engine creates to the
+	// tagged-frame wire protocol: one multiplexed connection per
+	// server carries many outstanding requests, brick payloads stream
+	// as chunked DATA frames, and cancellation travels as a CANCEL
+	// frame instead of killing the connection (DESIGN.md §11). Default
+	// off — the v1 one-exchange-per-conn protocol.
+	WireV2 bool
 }
 
 // Client-engine metric names (in the engine's obs.Registry). Latency
@@ -333,6 +340,7 @@ func (fs *FS) client(name string) (*server.Client, error) {
 		Retry:        fs.opts.Retry,
 		Metrics:      fs.reg,
 		Events:       fs.events,
+		WireV2:       fs.opts.WireV2,
 	})
 	fs.clients[name] = c
 	return c, nil

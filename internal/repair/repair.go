@@ -70,6 +70,9 @@ type Options struct {
 	// (plan, commit, cleanup) as structured cluster events. Nil uses
 	// the process-default log.
 	Events *obs.EventLog
+	// WireV2 switches the copy-traffic clients to the tagged-frame
+	// wire protocol (DESIGN.md §11). Default off.
+	WireV2 bool
 }
 
 // FileRepair is one file's outcome in a repair run.
@@ -135,7 +138,7 @@ func (r *Runner) client(addr string) *server.Client {
 	if c, ok := r.clients[addr]; ok {
 		return c
 	}
-	c := server.NewClientWith(addr, server.ClientConfig{Dial: r.opts.Dial, Retry: r.opts.Retry})
+	c := server.NewClientWith(addr, server.ClientConfig{Dial: r.opts.Dial, Retry: r.opts.Retry, WireV2: r.opts.WireV2})
 	r.clients[addr] = c
 	return c
 }

@@ -60,6 +60,11 @@ type Client struct {
 	fails     int
 	openUntil time.Time
 	probing   bool
+
+	// mux, when non-nil, replaces the pooled one-exchange-per-conn
+	// transport with the wire-v2 tagged-frame multiplexer (see mux.go);
+	// the retry/breaker ladder above is shared by both transports.
+	mux *mux
 }
 
 // idleConn is a pooled connection and the instant it went idle.
@@ -89,6 +94,17 @@ const (
 	MetricConnEvictions = "conn_evictions_total"
 	// MetricServerUnhealthy counts breaker openings.
 	MetricServerUnhealthy = "server_unhealthy_total"
+	// MetricClientConnsIdle gauges connections currently held open but
+	// carrying no request — pooled conns (wire v1) or muxed conns with
+	// an empty pending set (wire v2) — summed over the servers sharing
+	// the registry.
+	MetricClientConnsIdle = "client_conns_idle"
+	// MetricClientConnsActive gauges connections currently carrying at
+	// least one in-flight request. Under wire v1 every concurrent
+	// request holds its own conn; under wire v2 a whole dispatch burst
+	// can ride one active conn — the pair of gauges is the direct
+	// observable of that difference.
+	MetricClientConnsActive = "client_conns_active"
 )
 
 // ErrUnhealthy is wrapped into fail-fast errors while a server's
@@ -233,6 +249,17 @@ type ClientConfig struct {
 	// Events receives breaker transitions and retry exhaustion as
 	// structured cluster events. Nil uses the process-default log.
 	Events *obs.EventLog
+	// WireV2 switches the client from the v1 one-exchange-per-conn pool
+	// to the v2 tagged-frame mux: many outstanding requests multiplex
+	// over a small set of connections, payloads stream as chunked DATA
+	// frames, and timeouts abandon a tag with a CANCEL frame instead of
+	// killing the conn. Requires a server that speaks wire v2 (servers
+	// sniff the protocol version per conn, so mixed fleets work).
+	WireV2 bool
+	// MuxWindow bounds in-flight requests per muxed conn (default
+	// DefaultMuxWindow); a new conn is dialed only when every existing
+	// one is at the window. Only meaningful with WireV2.
+	MuxWindow int
 }
 
 // NewClient creates a lazy client for the server at addr with default
@@ -256,7 +283,7 @@ func NewClientWith(addr string, cfg ClientConfig) *Client {
 	if cfg.Events == nil {
 		cfg.Events = obs.Events()
 	}
-	return &Client{
+	c := &Client{
 		addr:    addr,
 		maxIdle: cfg.MaxIdleConns,
 		dial:    cfg.Dial,
@@ -264,6 +291,10 @@ func NewClientWith(addr string, cfg ClientConfig) *Client {
 		reg:     cfg.Metrics,
 		events:  cfg.Events,
 	}
+	if cfg.WireV2 {
+		c.mux = newMux(c, cfg.MuxWindow)
+	}
+	return c
 }
 
 // Addr returns the server address the client targets.
@@ -330,7 +361,11 @@ func (c *Client) do(ctx context.Context, req *wire.Request, scratch []byte) (*wi
 
 // attempt performs a single exchange: checkout (or dial), send,
 // receive, return to pool. Any transport failure evicts the conn.
+// With WireV2 the exchange rides the tagged-frame mux instead.
 func (c *Client) attempt(ctx context.Context, req *wire.Request, scratch []byte) (*wire.Response, error) {
+	if c.mux != nil {
+		return c.mux.attempt(ctx, req, scratch)
+	}
 	conn, err := c.get(ctx)
 	if err != nil {
 		return nil, err
@@ -345,11 +380,13 @@ func (c *Client) attempt(ctx context.Context, req *wire.Request, scratch []byte)
 		_ = conn.SetDeadline(deadline)
 	}
 	if err := wire.WriteRequest(conn, req); err != nil {
+		c.reg.Gauge(MetricClientConnsActive).Add(-1)
 		c.evict(conn)
 		return nil, fmt.Errorf("dpfs server %s: send: %w", c.addr, err)
 	}
 	resp, err := wire.ReadResponseInto(conn, scratch)
 	if err != nil {
+		c.reg.Gauge(MetricClientConnsActive).Add(-1)
 		c.evict(conn)
 		return nil, fmt.Errorf("dpfs server %s: receive: %w", c.addr, err)
 	}
@@ -457,6 +494,7 @@ func (c *Client) get(ctx context.Context) (net.Conn, error) {
 		ic := c.idle[n-1]
 		c.idle = c.idle[:n-1]
 		c.mu.Unlock()
+		c.reg.Gauge(MetricClientConnsIdle).Add(-1)
 		idle := time.Since(ic.since)
 		if c.retry.MaxIdleAge > 0 && idle > c.retry.MaxIdleAge {
 			c.evict(ic.c)
@@ -469,12 +507,14 @@ func (c *Client) get(ctx context.Context) (net.Conn, error) {
 		// Defensive: a pooled conn must never carry a stale read or
 		// write deadline into the next exchange.
 		_ = ic.c.SetDeadline(time.Time{})
+		c.reg.Gauge(MetricClientConnsActive).Inc()
 		return ic.c, nil
 	}
 	conn, err := c.dial(ctx, c.addr)
 	if err != nil {
 		return nil, fmt.Errorf("dpfs server %s: dial: %w", c.addr, err)
 	}
+	c.reg.Gauge(MetricClientConnsActive).Inc()
 	return conn, nil
 }
 
@@ -506,6 +546,7 @@ func (c *Client) evict(conn net.Conn) {
 }
 
 func (c *Client) put(conn net.Conn) {
+	c.reg.Gauge(MetricClientConnsActive).Add(-1)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed || len(c.idle) >= c.maxIdle {
@@ -513,16 +554,24 @@ func (c *Client) put(conn net.Conn) {
 		return
 	}
 	c.idle = append(c.idle, idleConn{c: conn, since: time.Now()})
+	c.reg.Gauge(MetricClientConnsIdle).Inc()
 }
 
-// Close drops all pooled connections.
+// Close drops all pooled connections and shuts down the mux.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.closed = true
+	dropped := len(c.idle)
 	for _, ic := range c.idle {
 		ic.c.Close()
 	}
 	c.idle = nil
+	c.mu.Unlock()
+	if dropped > 0 {
+		c.reg.Gauge(MetricClientConnsIdle).Add(-int64(dropped))
+	}
+	if c.mux != nil {
+		c.mux.Close()
+	}
 	return nil
 }

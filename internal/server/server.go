@@ -8,6 +8,8 @@
 package server
 
 import (
+	"bufio"
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -42,6 +44,11 @@ type Config struct {
 	// request's span tree, when sampled) for any request whose handling
 	// exceeds the threshold.
 	SlowRequest time.Duration
+	// WireV2 makes this server's own outbound connections (repair
+	// OpCopy pulls from peer servers) speak wire v2. Inbound protocol
+	// handling needs no flag: the server sniffs each connection's first
+	// byte and serves whichever wire version the client opened with.
+	WireV2 bool
 }
 
 // Server metric names (in the server's obs.Registry). Latency
@@ -90,11 +97,13 @@ type Server struct {
 	cancel context.CancelFunc
 }
 
-// connState tracks whether a connection is mid-request, which is what
-// Shutdown drains: busy connections finish and flush their current
-// response, idle ones are closed immediately.
+// connState tracks what Shutdown drains: busy marks a v1 connection
+// mid-request, inflight counts a v2 connection's outstanding tags.
+// Connections with neither finish (and flush) their claimed work; idle
+// ones are closed immediately.
 type connState struct {
-	busy bool
+	busy     bool
+	inflight int
 }
 
 // subfile is an open local file with a reference to keep handle reuse
@@ -215,7 +224,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.closed = true
 	s.draining = true
 	for c, st := range s.conns {
-		if !st.busy {
+		if !st.busy && st.inflight == 0 {
 			c.Close()
 		}
 	}
@@ -319,7 +328,7 @@ func (s *Server) handleConn(conn net.Conn) {
 	s.reg.Gauge(MetricActiveConns).Inc()
 	// connCtx scopes every op of this connection: it dies with the
 	// server, and (while an op is in flight on a shaped server) with
-	// the peer — see watchPeer.
+	// the peer — see watchPeer (v1) and the frame read loop (v2).
 	connCtx, cancel := context.WithCancel(s.ctx)
 	defer cancel()
 	defer func() {
@@ -329,8 +338,23 @@ func (s *Server) handleConn(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
+	// Version sniff: the first byte of a connection is the protocol
+	// magic — 0xD9 opens a v1 one-exchange-at-a-time session, 0xDA a
+	// v2 tagged-frame session. Both versions share one port, so mixed
+	// fleets and rolling -wire-v2 flips need no coordination.
+	var first [1]byte
+	if _, err := io.ReadFull(conn, first[:]); err != nil {
+		return
+	}
+	if first[0] == wire.Magic2 {
+		s.handleConnV2(connCtx, cancel, conn, first[0])
+		return
+	}
+	// v1 reads stay unbuffered past the replayed sniff byte: watchPeer
+	// probes the raw conn mid-op, which a read-ahead buffer would break.
+	rd := io.MultiReader(bytes.NewReader(first[:]), conn)
 	for {
-		req, err := wire.ReadRequest(conn)
+		req, err := wire.ReadRequest(rd)
 		if err != nil {
 			return // disconnect or framing error
 		}
@@ -381,10 +405,154 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 }
 
+// handleConnV2 serves a wire-v2 tagged-frame session: the read loop
+// decodes frames, each REQ frame spawns a handler goroutine for its
+// tag, and responses are written back in completion order — frames of
+// different tags interleave on the wire as subfile I/O completes, so
+// one connection carries a whole dispatch burst. CANCEL frames cancel
+// the named tag's context (the v2 replacement for both the v1
+// conn-kill cancellation path and most of watchPeer's job: a client
+// that gives up on a tag says so without giving up the conn; a peer
+// that disconnects entirely still ends connCtx via the read loop's
+// exit). first is the already-sniffed magic byte, replayed into the
+// frame reader.
+func (s *Server) handleConnV2(connCtx context.Context, cancel context.CancelFunc, conn net.Conn, first byte) {
+	br := bufio.NewReaderSize(io.MultiReader(bytes.NewReader([]byte{first}), conn), 64<<10)
+	var wmu sync.Mutex // serializes response frames across tag handlers
+	var wg sync.WaitGroup
+	// Handlers must finish (and flush) before handleConn closes the
+	// conn; the read loop's exit cancels connCtx first so ops aborted
+	// by a disconnect don't run to completion against a dead peer.
+	defer wg.Wait()
+	defer cancel()
+	var cmu sync.Mutex
+	tagCancels := make(map[uint32]context.CancelFunc)
+	for {
+		h, err := wire.ReadFrameHeader(br)
+		if err != nil {
+			return // disconnect or framing error
+		}
+		switch h.Kind {
+		case wire.FrameReq:
+			req, err := wire.ReadRequestV2(br, h, getReadBuf)
+			if err != nil {
+				return
+			}
+			// Claim the tag against a concurrent drain, mirroring the v1
+			// busy flag: refused claims drop the conn (clients retry or
+			// fail over), claimed tags run to completion and flush.
+			s.mu.Lock()
+			st := s.conns[conn]
+			if s.draining || st == nil {
+				s.mu.Unlock()
+				if req.Data != nil {
+					putReadBuf(req.Data)
+				}
+				return
+			}
+			st.inflight++
+			s.mu.Unlock()
+			reqCtx, reqCancel := context.WithCancel(connCtx)
+			cmu.Lock()
+			tagCancels[h.Tag] = reqCancel
+			cmu.Unlock()
+			wg.Add(1)
+			go func(tag uint32, req *wire.Request) {
+				defer wg.Done()
+				s.serveTagV2(reqCtx, conn, &wmu, tag, req)
+				reqCancel()
+				cmu.Lock()
+				delete(tagCancels, tag)
+				cmu.Unlock()
+				s.releaseV2(conn, st)
+			}(h.Tag, req)
+		case wire.FrameCancel:
+			// Cancel the tag's in-flight op; a CANCEL for an unknown
+			// (already finished, never started) tag is silently ignored.
+			cmu.Lock()
+			if c := tagCancels[h.Tag]; c != nil {
+				c()
+			}
+			cmu.Unlock()
+			if err := wire.DiscardFrameBody(br, h); err != nil {
+				return
+			}
+		case wire.FrameData:
+			// Request payloads are consumed inside ReadRequestV2; a DATA
+			// frame here means the stream lost framing — drop the conn.
+			return
+		default:
+			// Unknown kinds are skipped for forward compatibility; they
+			// must not fail the session or any in-flight tag.
+			if err := wire.DiscardFrameBody(br, h); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// serveTagV2 runs one tagged request and writes its response frames.
+// Read payloads stream as DATA frames chunk by chunk (the write mutex
+// is held per frame, so a large read does not block other tags'
+// responses); the RESP trailer then closes the tag — carrying the
+// error when the op failed, even mid-stream, which is why a failed
+// read no longer costs the connection.
+func (s *Server) serveTagV2(ctx context.Context, conn net.Conn, wmu *sync.Mutex, tag uint32, req *wire.Request) {
+	var wErr error
+	emit := func(chunk []byte) error {
+		wmu.Lock()
+		err := wire.WriteDataFrame(conn, tag, chunk)
+		wmu.Unlock()
+		if err != nil {
+			wErr = err
+		}
+		return err
+	}
+	resp, streamed := s.dispatchEmit(ctx, req, emit)
+	if req.Data != nil {
+		// The request payload buffer came from the read pool
+		// (ReadRequestV2's alloc hook) and the op is done with it.
+		putReadBuf(req.Data)
+	}
+	if wErr != nil {
+		// A failed DATA write may have left a partial frame on the
+		// wire: the stream is desynchronized, kill the session.
+		conn.Close()
+		return
+	}
+	wmu.Lock()
+	err := wire.WriteResponseV2(conn, tag, resp, streamed)
+	wmu.Unlock()
+	if req.Op == wire.OpRead && resp.Data != nil {
+		putReadBuf(resp.Data)
+	}
+	if err != nil {
+		conn.Close()
+	}
+}
+
+// releaseV2 returns a tag's drain claim. The read loop can be blocked
+// in a frame read and so cannot poll the drain flag; the last handler
+// to finish on a draining conn closes it, which both unblocks that
+// read and signals the client.
+func (s *Server) releaseV2(conn net.Conn, st *connState) {
+	s.mu.Lock()
+	st.inflight--
+	drainClose := s.draining && st.inflight == 0
+	s.mu.Unlock()
+	if drainClose {
+		conn.Close()
+	}
+}
+
 // watchPeer watches conn for disconnection while one op is in flight.
-// The protocol is strictly request/response — the client sends nothing
-// until it has our reply — so any readability mid-op means the peer
-// closed or reset the connection, and the op's context is cancelled.
+// It exists only for wire v1 sessions on shaped servers — under v2 the
+// read loop stays open concurrently with ops, so peer disconnection
+// surfaces there and per-op cancellation arrives as CANCEL frames.
+// The v1 protocol is strictly request/response — the client sends
+// nothing until it has our reply — so any readability mid-op means the
+// peer closed or reset the connection, and the op's context is
+// cancelled.
 // The returned stop function unblocks the watcher and reports whether
 // the stream is poisoned (unexpected bytes arrived mid-op, so the
 // connection must be dropped after the in-flight response). Call it
@@ -439,6 +607,17 @@ func putReadBuf(b []byte) {
 }
 
 func (s *Server) dispatch(ctx context.Context, req *wire.Request) *wire.Response {
+	resp, _ := s.dispatchEmit(ctx, req, nil)
+	return resp
+}
+
+// dispatchEmit is dispatch with an optional streaming sink: when emit
+// is non-nil, read payloads are pushed through it as chunks instead of
+// being buffered into the response, and the returned streamed count is
+// what went through (the caller folds it into its RESP trailer).
+// Metrics, spans and slow-request accounting cover streamed bytes the
+// same as buffered ones.
+func (s *Server) dispatchEmit(ctx context.Context, req *wire.Request, emit func([]byte) error) (*wire.Response, int64) {
 	start := time.Now()
 	s.reg.Counter(MetricRequests).Inc()
 	s.reg.Counter(MetricBytesIn).Add(int64(len(req.Data)))
@@ -456,14 +635,25 @@ func (s *Server) dispatch(ctx context.Context, req *wire.Request) *wire.Response
 		sp.Extents = len(req.Extents)
 		ctx = obs.ContextWithSpan(ctx, sp)
 	}
-	resp, err := s.serve(ctx, req)
+	var streamed int64
+	var count func([]byte) error
+	if emit != nil {
+		count = func(chunk []byte) error {
+			err := emit(chunk)
+			if err == nil {
+				streamed += int64(len(chunk))
+			}
+			return err
+		}
+	}
+	resp, err := s.serve(ctx, req, count)
 	if err != nil {
 		s.reg.Counter(MetricErrors).Inc()
 		resp = &wire.Response{Err: fmt.Sprintf("%s: %v", s.cfg.Name, err)}
 	}
 	elapsed := time.Since(start)
 	if sp != nil {
-		sp.Bytes = int64(len(req.Data)) + int64(len(resp.Data))
+		sp.Bytes = int64(len(req.Data)) + int64(len(resp.Data)) + streamed
 		sp.End()
 		s.traces.Add(&obs.Trace{Root: sp})
 		resp.Trace = obs.EncodeSpans(sp)
@@ -480,15 +670,18 @@ func (s *Server) dispatch(ctx context.Context, req *wire.Request) *wire.Response
 		s.events.EmitTrace(obs.EventSlowRequest, s.component(), req.TraceID, fields)
 	}
 	s.reg.Histogram(OpMetric(req.Op)).Record(elapsed.Microseconds())
-	s.reg.Counter(MetricBytesOut).Add(int64(len(resp.Data)))
-	return resp
+	s.reg.Counter(MetricBytesOut).Add(int64(len(resp.Data)) + streamed)
+	return resp, streamed
 }
 
-func (s *Server) serve(ctx context.Context, req *wire.Request) (*wire.Response, error) {
+func (s *Server) serve(ctx context.Context, req *wire.Request, emit func([]byte) error) (*wire.Response, error) {
 	switch req.Op {
 	case wire.OpPing:
 		return &wire.Response{}, nil
 	case wire.OpRead:
+		if emit != nil {
+			return s.opReadStream(ctx, req, emit)
+		}
 		return s.opRead(ctx, req)
 	case wire.OpWrite:
 		return s.opWrite(ctx, req)
@@ -611,10 +804,21 @@ func (s *Server) pullFrom(ctx context.Context, addr, path string, gen int64, ext
 		tc := rpc.Context()
 		preq.TraceID, preq.SpanID, preq.Sampled = tc.TraceID, tc.SpanID, tc.Sampled
 	}
-	if err := wire.WriteRequest(conn, preq); err != nil {
-		return nil, err
+	var resp *wire.Response
+	if s.cfg.WireV2 {
+		// Streamed pull: the peer's DATA frames arrive chunk by chunk
+		// instead of one fully-buffered response body.
+		const pullTag = 1
+		if err := wire.WriteRequestV2(conn, pullTag, preq); err != nil {
+			return nil, err
+		}
+		resp, err = wire.ReadResponseV2Into(conn, pullTag, nil)
+	} else {
+		if err := wire.WriteRequest(conn, preq); err != nil {
+			return nil, err
+		}
+		resp, err = wire.ReadResponse(conn)
 	}
-	resp, err := wire.ReadResponse(conn)
 	if rpc != nil {
 		rpc.End()
 		if err == nil && len(resp.Trace) > 0 {
@@ -861,6 +1065,95 @@ func (s *Server) readLocal(ctx context.Context, path string, gen int64, exts []w
 	}
 	s.reg.Histogram(MetricSubfileIO).Record(time.Since(ioStart).Microseconds())
 	return buf, nil
+}
+
+// opReadStream is the wire-v2 read path: instead of buffering the
+// whole payload, it reads extents through one pooled StreamChunk-sized
+// buffer and pushes each filled chunk through emit (a DATA frame), so
+// a large brick read holds O(StreamChunk) memory and other tags'
+// frames interleave between chunks. Semantics match opRead/readLocal
+// exactly — netsim delay, generation check, and zeros for a missing
+// subfile or reads past EOF.
+func (s *Server) opReadStream(ctx context.Context, req *wire.Request, emit func([]byte) error) (*wire.Response, error) {
+	total := wire.DataBytes(req.Extents)
+	if total < 0 || total > wire.MaxMessage {
+		return nil, fmt.Errorf("read of %d bytes out of range", total)
+	}
+	if _, err := s.cfg.Model.Delay(ctx, len(req.Extents), total); err != nil {
+		return nil, err
+	}
+	if err := s.checkGen(req.Path, req.Gen, false); err != nil {
+		return nil, err
+	}
+	var sf *subfile
+	missing := false
+	if f, err := s.open(subfileName(req.Path, req.Gen), false); err == nil {
+		sf = f
+	} else if errors.Is(err, fs.ErrNotExist) {
+		missing = true // whole subfile reads as zeros (hole semantics)
+	} else {
+		return nil, err
+	}
+	chunkCap := int64(wire.StreamChunk)
+	if total < chunkCap {
+		chunkCap = total
+	}
+	chunk := getReadBuf(chunkCap)
+	defer putReadBuf(chunk)
+	pend := int64(0)
+	flush := func() error {
+		if pend == 0 {
+			return nil
+		}
+		err := emit(chunk[:pend])
+		pend = 0
+		return err
+	}
+	sub := s.subfileSpan(ctx, "read", req.Extents, total)
+	ioStart := time.Now()
+	for _, e := range req.Extents {
+		if e.Len < 0 || e.Off < 0 {
+			return nil, fmt.Errorf("invalid extent [%d,%d)", e.Off, e.Off+e.Len)
+		}
+		off, rem := e.Off, e.Len
+		for rem > 0 {
+			take := rem
+			if room := chunkCap - pend; take > room {
+				take = room
+			}
+			dst := chunk[pend : pend+take]
+			if missing {
+				for i := range dst {
+					dst[i] = 0
+				}
+			} else {
+				n, err := sf.f.ReadAt(dst, off)
+				if err != nil && err != io.EOF {
+					s.reg.Counter(MetricDiskErrors).Inc()
+					return nil, err
+				}
+				for i := n; i < len(dst); i++ {
+					dst[i] = 0
+				}
+			}
+			pend += take
+			off += take
+			rem -= take
+			if pend == chunkCap {
+				if err := flush(); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	if sub != nil {
+		sub.End()
+	}
+	s.reg.Histogram(MetricSubfileIO).Record(time.Since(ioStart).Microseconds())
+	return &wire.Response{N: total}, nil
 }
 
 // subfileSpan opens a server.subfile child span under the request's

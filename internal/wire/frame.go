@@ -1,0 +1,527 @@
+// Wire protocol v2: tagged frames. Where v1 is strict one-exchange-
+// per-connection request/response, v2 multiplexes many outstanding
+// requests over one connection by prefixing every message with a small
+// frame header carrying (kind, flags, tag, length). A request is a REQ
+// frame (metadata: trace context, op, path, generation, extents,
+// payload length) followed by its payload as contiguous DATA frames; a
+// response is any number of DATA frames followed by a RESP frame that
+// closes the tag (the trailer position lets the server stream brick
+// bytes as subfile I/O completes and still report an error discovered
+// mid-stream). Cancellation is a CANCEL frame naming the tag — the
+// connection survives, unlike v1's conn-kill. Trace context rides in
+// fixed frame fields (the flags byte and the first 16 bytes of the REQ
+// body) instead of v1's best-effort payload trailer.
+//
+// Both versions share one port: a server sniffs the first byte of a
+// connection (v1 magic 0xD9 vs v2 magic 0xDA) and speaks whichever
+// protocol the client opened with. See DESIGN.md "Wire protocol v2".
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+)
+
+const (
+	// Magic2 is the first byte of every v2 frame. It differs from the
+	// v1 magic so a server can version-sniff a connection's first byte.
+	Magic2   = 0xDA
+	version2 = 2
+	// FrameHeaderLen is the fixed size of a v2 frame header: magic,
+	// version, kind, flags, u32 tag, u32 body length.
+	FrameHeaderLen = 12
+)
+
+// StreamChunk caps the body of one DATA frame a sender emits. Large
+// payloads split into several frames, so a receiver never needs more
+// than this much contiguous buffer per frame and a streaming server
+// can interleave other tags' frames between chunks.
+const StreamChunk = 256 << 10
+
+// FrameKind enumerates the v2 frame types.
+type FrameKind uint8
+
+const (
+	// FrameReq opens a tag: the body is request metadata, and
+	// PayloadLen bytes of DATA frames for the same tag follow
+	// contiguously.
+	FrameReq FrameKind = 1
+	// FrameResp closes a tag: the body is response metadata (error,
+	// scalar, trace, total data length). Any DATA frames for the tag
+	// precede it.
+	FrameResp FrameKind = 2
+	// FrameData carries a payload chunk for a tag.
+	FrameData FrameKind = 3
+	// FrameCancel abandons a tag. It has no body; a receiver that does
+	// not know the tag ignores it.
+	FrameCancel FrameKind = 4
+)
+
+// FlagSampled on a REQ frame marks the carried trace context sampled.
+const FlagSampled = 0x01
+
+// FrameHeader is the decoded v2 frame header.
+type FrameHeader struct {
+	Kind  FrameKind
+	Flags uint8
+	Tag   uint32
+	Len   uint32
+}
+
+// putFrameHeader encodes h into b (len(b) >= FrameHeaderLen).
+func putFrameHeader(b []byte, h FrameHeader) {
+	b[0] = Magic2
+	b[1] = version2
+	b[2] = byte(h.Kind)
+	b[3] = h.Flags
+	binary.LittleEndian.PutUint32(b[4:8], h.Tag)
+	binary.LittleEndian.PutUint32(b[8:12], h.Len)
+}
+
+// AppendFrameHeader appends an encoded frame header to dst.
+func AppendFrameHeader(dst []byte, h FrameHeader) []byte {
+	var b [FrameHeaderLen]byte
+	putFrameHeader(b[:], h)
+	return append(dst, b[:]...)
+}
+
+// WriteFrameHeader writes one encoded frame header.
+func WriteFrameHeader(w io.Writer, h FrameHeader) error {
+	var b [FrameHeaderLen]byte
+	putFrameHeader(b[:], h)
+	_, err := w.Write(b[:])
+	return err
+}
+
+// ReadFrameHeader reads and validates one v2 frame header. A header
+// whose magic, version or length is wrong is a framing error: the
+// stream has lost sync (or the peer speaks another protocol) and the
+// connection cannot be recovered. Unknown kinds are NOT rejected here —
+// receivers skip them for forward compatibility.
+func ReadFrameHeader(r io.Reader) (FrameHeader, error) {
+	var b [FrameHeaderLen]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return FrameHeader{}, err
+	}
+	if b[0] != Magic2 || b[1] != version2 {
+		return FrameHeader{}, fmt.Errorf("wire: bad v2 magic %#x version %d", b[0], b[1])
+	}
+	h := FrameHeader{
+		Kind:  FrameKind(b[2]),
+		Flags: b[3],
+		Tag:   binary.LittleEndian.Uint32(b[4:8]),
+		Len:   binary.LittleEndian.Uint32(b[8:12]),
+	}
+	if h.Len > MaxMessage {
+		return FrameHeader{}, fmt.Errorf("wire: v2 frame of %d bytes exceeds limit", h.Len)
+	}
+	return h, nil
+}
+
+// DiscardFrameBody consumes and drops the body of a frame whose header
+// was just read — how receivers skip unknown kinds and frames for
+// unknown tags without losing stream sync.
+func DiscardFrameBody(r io.Reader, h FrameHeader) error {
+	if h.Len == 0 {
+		return nil
+	}
+	_, err := io.CopyN(io.Discard, r, int64(h.Len))
+	return err
+}
+
+// encodeRequestMetaV2 builds the REQ frame (header + metadata body) for
+// req under tag. Body layout: u64 trace ID, u64 parent span ID, u8 op,
+// u8 reserved, u16 path length, path, u64 generation, u32 extent count,
+// 16 bytes per extent, u32 payload length. The sampled bit travels in
+// the frame header's flags.
+func encodeRequestMetaV2(tag uint32, req *Request) ([]byte, error) {
+	if len(req.Path) > 0xFFFF {
+		return nil, errors.New("wire: path too long")
+	}
+	dlen := req.PayloadLen()
+	n := 8 + 8 + 1 + 1 + 2 + len(req.Path) + 8 + 4 + 16*len(req.Extents) + 4
+	buf := make([]byte, FrameHeaderLen, FrameHeaderLen+n)
+	var flags uint8
+	if req.Sampled {
+		flags |= FlagSampled
+	}
+	putFrameHeader(buf, FrameHeader{Kind: FrameReq, Flags: flags, Tag: tag, Len: uint32(n)})
+
+	var tmp [16]byte
+	binary.LittleEndian.PutUint64(tmp[:8], req.TraceID)
+	binary.LittleEndian.PutUint64(tmp[8:16], req.SpanID)
+	buf = append(buf, tmp[:16]...)
+	buf = append(buf, byte(req.Op), 0)
+	binary.LittleEndian.PutUint16(tmp[:2], uint16(len(req.Path)))
+	buf = append(buf, tmp[:2]...)
+	buf = append(buf, req.Path...)
+	binary.LittleEndian.PutUint64(tmp[:8], uint64(req.Gen))
+	buf = append(buf, tmp[:8]...)
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(req.Extents)))
+	buf = append(buf, tmp[:4]...)
+	for _, e := range req.Extents {
+		binary.LittleEndian.PutUint64(tmp[:8], uint64(e.Off))
+		binary.LittleEndian.PutUint64(tmp[8:16], uint64(e.Len))
+		buf = append(buf, tmp[:16]...)
+	}
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(dlen))
+	buf = append(buf, tmp[:4]...)
+	return buf, nil
+}
+
+// appendDataFrames splits the payload slices into DATA frames of at
+// most StreamChunk bytes each and appends (header, chunk pieces...) to
+// bufs. Segment slices are referenced, never copied: the scatter
+// payload reaches the socket through one vectored write, exactly like
+// the v1 zero-copy path.
+func appendDataFrames(bufs net.Buffers, tag uint32, segs [][]byte) net.Buffers {
+	var pending [][]byte
+	var pendingLen int
+	flush := func() net.Buffers {
+		if pendingLen == 0 {
+			return bufs
+		}
+		hdr := make([]byte, FrameHeaderLen)
+		putFrameHeader(hdr, FrameHeader{Kind: FrameData, Tag: tag, Len: uint32(pendingLen)})
+		bufs = append(bufs, hdr)
+		bufs = append(bufs, pending...)
+		pending, pendingLen = nil, 0
+		return bufs
+	}
+	for _, s := range segs {
+		for len(s) > 0 {
+			room := StreamChunk - pendingLen
+			take := len(s)
+			if take > room {
+				take = room
+			}
+			pending = append(pending, s[:take])
+			pendingLen += take
+			s = s[take:]
+			if pendingLen == StreamChunk {
+				bufs = flush()
+			}
+		}
+	}
+	return flush()
+}
+
+// WriteRequestV2 frames and sends a request under tag: one REQ frame
+// followed by the payload as contiguous DATA frames, flushed in a
+// single vectored write.
+func WriteRequestV2(w io.Writer, tag uint32, req *Request) error {
+	meta, err := encodeRequestMetaV2(tag, req)
+	if err != nil {
+		return err
+	}
+	bufs := net.Buffers{meta}
+	if req.Segments != nil {
+		bufs = appendDataFrames(bufs, tag, req.Segments)
+	} else if len(req.Data) > 0 {
+		bufs = appendDataFrames(bufs, tag, [][]byte{req.Data})
+	}
+	_, err = bufs.WriteTo(w)
+	return err
+}
+
+// ReadRequestV2 decodes a request whose REQ frame header h was just
+// read from r, then consumes its payload from the contiguous DATA
+// frames that follow. alloc, when non-nil, supplies the payload buffer
+// (servers pass their pooled-buffer getter); the returned request's
+// Data aliases it.
+func ReadRequestV2(r io.Reader, h FrameHeader, alloc func(int64) []byte) (*Request, error) {
+	if h.Kind != FrameReq {
+		return nil, fmt.Errorf("wire: frame kind %d is not a request", h.Kind)
+	}
+	body := make([]byte, h.Len)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	req := &Request{}
+	p := 0
+	get := func(k int) ([]byte, error) {
+		if p+k > len(body) {
+			return nil, errors.New("wire: truncated v2 request")
+		}
+		b := body[p : p+k]
+		p += k
+		return b, nil
+	}
+	b, err := get(16)
+	if err != nil {
+		return nil, err
+	}
+	req.TraceID = binary.LittleEndian.Uint64(b[:8])
+	req.SpanID = binary.LittleEndian.Uint64(b[8:16])
+	if req.TraceID != 0 {
+		req.Sampled = h.Flags&FlagSampled != 0
+	} else {
+		req.SpanID = 0
+	}
+	b, err = get(2)
+	if err != nil {
+		return nil, err
+	}
+	req.Op = Op(b[0])
+	b, err = get(2)
+	if err != nil {
+		return nil, err
+	}
+	plen := int(binary.LittleEndian.Uint16(b))
+	b, err = get(plen)
+	if err != nil {
+		return nil, err
+	}
+	req.Path = string(b)
+	b, err = get(8)
+	if err != nil {
+		return nil, err
+	}
+	req.Gen = int64(binary.LittleEndian.Uint64(b))
+	b, err = get(4)
+	if err != nil {
+		return nil, err
+	}
+	ne := int(binary.LittleEndian.Uint32(b))
+	if ne > 1<<24 {
+		return nil, fmt.Errorf("wire: %d extents exceeds limit", ne)
+	}
+	req.Extents = make([]Extent, ne)
+	for i := 0; i < ne; i++ {
+		b, err = get(16)
+		if err != nil {
+			return nil, err
+		}
+		req.Extents[i].Off = int64(binary.LittleEndian.Uint64(b[:8]))
+		req.Extents[i].Len = int64(binary.LittleEndian.Uint64(b[8:16]))
+	}
+	b, err = get(4)
+	if err != nil {
+		return nil, err
+	}
+	dlen := int64(binary.LittleEndian.Uint32(b))
+	if dlen > MaxMessage {
+		return nil, fmt.Errorf("wire: v2 payload of %d bytes exceeds limit", dlen)
+	}
+	if p != len(body) {
+		return nil, errors.New("wire: trailing bytes in v2 request metadata")
+	}
+	if dlen == 0 {
+		return req, nil
+	}
+	var buf []byte
+	if alloc != nil {
+		buf = alloc(dlen)
+	} else {
+		buf = make([]byte, dlen)
+	}
+	pos := int64(0)
+	for pos < dlen {
+		dh, err := ReadFrameHeader(r)
+		if err != nil {
+			return nil, err
+		}
+		if dh.Kind != FrameData || dh.Tag != h.Tag {
+			return nil, fmt.Errorf("wire: expected DATA frame for tag %d, got kind %d tag %d", h.Tag, dh.Kind, dh.Tag)
+		}
+		if dh.Len == 0 || int64(dh.Len) > dlen-pos {
+			return nil, fmt.Errorf("wire: DATA frame of %d bytes overruns %d-byte payload", dh.Len, dlen)
+		}
+		if _, err := io.ReadFull(r, buf[pos:pos+int64(dh.Len)]); err != nil {
+			return nil, err
+		}
+		pos += int64(dh.Len)
+	}
+	req.Data = buf
+	return req, nil
+}
+
+// EncodeResponseMetaV2 builds the body of a RESP frame: u16 error
+// length, error, u64 scalar, u32 total data length (the sum of the
+// DATA frames that preceded this RESP), u32 trace length, trace bytes.
+func EncodeResponseMetaV2(resp *Response, dataLen int64) []byte {
+	errStr := resp.Err
+	if len(errStr) > 0xFFFF {
+		errStr = errStr[:0xFFFF]
+	}
+	n := 2 + len(errStr) + 8 + 4 + 4 + len(resp.Trace)
+	buf := make([]byte, 0, n)
+	var tmp [8]byte
+	binary.LittleEndian.PutUint16(tmp[:2], uint16(len(errStr)))
+	buf = append(buf, tmp[:2]...)
+	buf = append(buf, errStr...)
+	binary.LittleEndian.PutUint64(tmp[:8], uint64(resp.N))
+	buf = append(buf, tmp[:8]...)
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(dataLen))
+	buf = append(buf, tmp[:4]...)
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(resp.Trace)))
+	buf = append(buf, tmp[:4]...)
+	buf = append(buf, resp.Trace...)
+	return buf
+}
+
+// DecodeResponseMetaV2 parses a RESP frame body. dataLen is the total
+// payload the sender streamed as DATA frames before the RESP; callers
+// compare it against what they accumulated (unless Err is set — an
+// error reported mid-stream abandons whatever data preceded it).
+func DecodeResponseMetaV2(body []byte) (resp *Response, dataLen int64, err error) {
+	resp = &Response{}
+	p := 0
+	get := func(k int) ([]byte, error) {
+		if p+k > len(body) {
+			return nil, errors.New("wire: truncated v2 response")
+		}
+		b := body[p : p+k]
+		p += k
+		return b, nil
+	}
+	b, err := get(2)
+	if err != nil {
+		return nil, 0, err
+	}
+	elen := int(binary.LittleEndian.Uint16(b))
+	b, err = get(elen)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp.Err = string(b)
+	b, err = get(8)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp.N = int64(binary.LittleEndian.Uint64(b))
+	b, err = get(4)
+	if err != nil {
+		return nil, 0, err
+	}
+	dataLen = int64(binary.LittleEndian.Uint32(b))
+	b, err = get(4)
+	if err != nil {
+		return nil, 0, err
+	}
+	tlen := int(binary.LittleEndian.Uint32(b))
+	b, err = get(tlen)
+	if err != nil {
+		return nil, 0, err
+	}
+	if tlen > 0 {
+		resp.Trace = b
+	}
+	if p != len(body) {
+		return nil, 0, errors.New("wire: trailing bytes in v2 response metadata")
+	}
+	return resp, dataLen, nil
+}
+
+// WriteDataFrame sends one DATA frame for tag with a vectored write
+// (the chunk is referenced, not copied). Callers chunk at StreamChunk;
+// an empty chunk writes nothing.
+func WriteDataFrame(w io.Writer, tag uint32, chunk []byte) error {
+	if len(chunk) == 0 {
+		return nil
+	}
+	hdr := make([]byte, FrameHeaderLen)
+	putFrameHeader(hdr, FrameHeader{Kind: FrameData, Tag: tag, Len: uint32(len(chunk))})
+	bufs := net.Buffers{hdr, chunk}
+	_, err := bufs.WriteTo(w)
+	return err
+}
+
+// WriteResponseV2 frames and sends a response under tag: resp.Data (if
+// any) as DATA frames, then the RESP frame whose data length covers
+// both streamed (bytes the caller already emitted as DATA frames) and
+// resp.Data.
+func WriteResponseV2(w io.Writer, tag uint32, resp *Response, streamed int64) error {
+	bufs := net.Buffers{}
+	if len(resp.Data) > 0 {
+		bufs = appendDataFrames(bufs, tag, [][]byte{resp.Data})
+	}
+	body := EncodeResponseMetaV2(resp, streamed+int64(len(resp.Data)))
+	hdr := make([]byte, FrameHeaderLen)
+	putFrameHeader(hdr, FrameHeader{Kind: FrameResp, Tag: tag, Len: uint32(len(body))})
+	bufs = append(bufs, hdr, body)
+	_, err := bufs.WriteTo(w)
+	return err
+}
+
+// WriteCancelFrame sends a CANCEL frame for tag.
+func WriteCancelFrame(w io.Writer, tag uint32) error {
+	return WriteFrameHeader(w, FrameHeader{Kind: FrameCancel, Tag: tag})
+}
+
+// ReadResponseV2Into reads DATA frames and the closing RESP frame for
+// tag from a connection carrying exactly one exchange (pull paths and
+// tests; the client mux demultiplexes interleaved tags itself). Data
+// accumulates into scratch when it fits, like ReadResponseInto.
+// Unknown frame kinds are skipped; a frame for a different tag is a
+// protocol error here, since nothing else can be in flight.
+func ReadResponseV2Into(r io.Reader, tag uint32, scratch []byte) (*Response, error) {
+	var data []byte
+	if scratch != nil {
+		data = scratch[:0]
+	}
+	for {
+		h, err := ReadFrameHeader(r)
+		if err != nil {
+			return nil, err
+		}
+		switch h.Kind {
+		case FrameData:
+			if h.Tag != tag {
+				return nil, fmt.Errorf("wire: DATA for unexpected tag %d", h.Tag)
+			}
+			data, err = readInto(r, data, int(h.Len))
+			if err != nil {
+				return nil, err
+			}
+		case FrameResp:
+			if h.Tag != tag {
+				return nil, fmt.Errorf("wire: RESP for unexpected tag %d", h.Tag)
+			}
+			body := make([]byte, h.Len)
+			if _, err := io.ReadFull(r, body); err != nil {
+				return nil, err
+			}
+			resp, dataLen, err := DecodeResponseMetaV2(body)
+			if err != nil {
+				return nil, err
+			}
+			if resp.Err != "" {
+				return resp, nil
+			}
+			if dataLen != int64(len(data)) {
+				return nil, fmt.Errorf("wire: response announced %d data bytes, received %d", dataLen, len(data))
+			}
+			if len(data) > 0 {
+				resp.Data = data
+			}
+			return resp, nil
+		default:
+			// Unknown kinds (and stray CANCELs) are skipped for forward
+			// compatibility — they must never fail the in-flight exchange.
+			if err := DiscardFrameBody(r, h); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+// readInto appends n bytes from r to data, growing it as needed while
+// reusing its backing array (the scratch buffer) when capacity allows.
+func readInto(r io.Reader, data []byte, n int) ([]byte, error) {
+	off := len(data)
+	if off+n <= cap(data) {
+		data = data[:off+n]
+	} else {
+		grown := make([]byte, off+n)
+		copy(grown, data)
+		data = grown
+	}
+	if _, err := io.ReadFull(r, data[off:]); err != nil {
+		return nil, err
+	}
+	return data, nil
+}

@@ -296,3 +296,304 @@ func FuzzReadResponse(f *testing.F) {
 		}
 	})
 }
+
+// encodeRequestV2 returns the full v2 framing of req under tag.
+func encodeRequestV2(t testing.TB, tag uint32, req *Request) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteRequestV2(&buf, tag, req); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// readRequestV2 decodes one complete v2 request (header + metadata +
+// payload frames) from raw bytes.
+func readRequestV2(raw []byte) (*Request, error) {
+	r := bytes.NewReader(raw)
+	h, err := ReadFrameHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	return ReadRequestV2(r, h, nil)
+}
+
+// TestFrameHeaderEveryPrefixTruncation feeds the frame-header decoder
+// every proper prefix: each must error, never hang or panic.
+func TestFrameHeaderEveryPrefixTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrameHeader(&buf, FrameHeader{Kind: FrameData, Tag: 3, Len: 64}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := ReadFrameHeader(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("header prefix of %d/%d bytes decoded without error", cut, len(full))
+		}
+	}
+}
+
+// TestRequestV2EveryPrefixTruncation mirrors the v1 truncation sweep
+// across the whole multi-frame encoding (REQ metadata + DATA frames).
+func TestRequestV2EveryPrefixTruncation(t *testing.T) {
+	full := encodeRequestV2(t, 11, &Request{
+		Op: OpWrite, Path: "/sub/file",
+		Extents: []Extent{{Off: 0, Len: 4}, {Off: 100, Len: 4}},
+		Data:    []byte("12345678"),
+		TraceID: 0x1122334455667788, SpanID: 0x99aabbccddeeff00, Sampled: true,
+	})
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := readRequestV2(full[:cut]); err == nil {
+			t.Errorf("prefix of %d/%d bytes decoded without error", cut, len(full))
+		}
+	}
+	if _, err := readRequestV2(full); err != nil {
+		t.Fatalf("full encoding rejected: %v", err)
+	}
+}
+
+// TestResponseV2EveryPrefixTruncation is the response-side mirror.
+func TestResponseV2EveryPrefixTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteResponseV2(&buf, 11, &Response{Err: "", N: 42, Data: []byte("payload"),
+		Trace: []byte{1, 2, 3, 4, 5}}, 0); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := ReadResponseV2Into(bytes.NewReader(full[:cut]), 11, nil); err == nil {
+			t.Errorf("prefix of %d/%d bytes decoded without error", cut, len(full))
+		}
+	}
+	if _, err := ReadResponseV2Into(bytes.NewReader(full), 11, nil); err != nil {
+		t.Fatalf("full encoding rejected: %v", err)
+	}
+}
+
+// TestCorruptFrameHeaders mutates v2 frame-header fields; framing
+// errors (bad magic/version, oversized length) must be rejected while
+// unknown kinds pass header validation (receivers skip them).
+func TestCorruptFrameHeaders(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(b []byte)
+		ok     bool
+	}{
+		{"v1 magic on a v2 stream", func(b []byte) { b[0] = 0xD9 }, false},
+		{"zero magic", func(b []byte) { b[0] = 0x00 }, false},
+		{"bad version", func(b []byte) { b[1] = version2 + 1 }, false},
+		{"length over MaxMessage", func(b []byte) {
+			binary.LittleEndian.PutUint32(b[8:12], MaxMessage+1)
+		}, false},
+		{"unknown kind survives header validation", func(b []byte) { b[2] = 0xEE }, true},
+		{"unknown flags survive header validation", func(b []byte) { b[3] = 0xFE }, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := WriteFrameHeader(&buf, FrameHeader{Kind: FrameData, Tag: 5, Len: 9}); err != nil {
+				t.Fatal(err)
+			}
+			b := buf.Bytes()
+			tc.mutate(b)
+			_, err := ReadFrameHeader(bytes.NewReader(b))
+			if tc.ok && err != nil {
+				t.Fatalf("header rejected: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("corrupt header decoded without error")
+			}
+		})
+	}
+}
+
+// TestCorruptRequestV2Frames mutates v2 request encodings. The frame
+// layout is FrameHeaderLen of header, then: 16 bytes trace context,
+// op byte + reserved, u16 path length, path, u64 gen, u32 extent
+// count, extents, u32 payload length, then DATA frames.
+func TestCorruptRequestV2Frames(t *testing.T) {
+	base := &Request{
+		Op: OpWrite, Path: "/s", Gen: 3,
+		Extents: []Extent{{Off: 8, Len: 4}},
+		Data:    []byte("abcd"),
+	}
+	pathLenOff := FrameHeaderLen + 16 + 2
+	extCountOff := pathLenOff + 2 + len(base.Path) + 8
+	payloadLenOff := extCountOff + 4 + 16*len(base.Extents)
+	dataFrameOff := payloadLenOff + 4 // header of the first DATA frame
+
+	cases := []struct {
+		name   string
+		mutate func(b []byte)
+	}{
+		{"path length beyond body", func(b []byte) {
+			binary.LittleEndian.PutUint16(b[pathLenOff:], 0xFFFF)
+		}},
+		{"extent count beyond limit", func(b []byte) {
+			binary.LittleEndian.PutUint32(b[extCountOff:], 1<<24+1)
+		}},
+		{"extent count beyond body", func(b []byte) {
+			binary.LittleEndian.PutUint32(b[extCountOff:], 1000)
+		}},
+		{"metadata shorter than layout", func(b []byte) {
+			binary.LittleEndian.PutUint32(b[8:12], 4) // REQ frame length cut mid-metadata
+		}},
+		{"payload larger than DATA frames deliver", func(b []byte) {
+			binary.LittleEndian.PutUint32(b[payloadLenOff:], 1<<20)
+		}},
+		{"zero-length DATA frame", func(b []byte) {
+			binary.LittleEndian.PutUint32(b[dataFrameOff+8:], 0)
+		}},
+		{"DATA frame overruns announced payload", func(b []byte) {
+			binary.LittleEndian.PutUint32(b[dataFrameOff+8:], 1<<19)
+		}},
+		{"DATA frame for a different tag", func(b []byte) {
+			binary.LittleEndian.PutUint32(b[dataFrameOff+4:], 999)
+		}},
+		{"DATA frame with wrong kind", func(b []byte) {
+			b[dataFrameOff+2] = byte(FrameCancel)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			frame := encodeRequestV2(t, 7, base)
+			tc.mutate(frame)
+			if _, err := readRequestV2(frame); err == nil {
+				t.Fatal("corrupt v2 request decoded without error")
+			}
+		})
+	}
+}
+
+// TestResponseV2UnknownFramesSkipped pins forward compatibility on a
+// single-exchange conn: unknown frame kinds and stray CANCELs between
+// DATA frames are skipped without failing the in-flight exchange.
+func TestResponseV2UnknownFramesSkipped(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteDataFrame(&buf, 4, []byte("he")); err != nil {
+		t.Fatal(err)
+	}
+	// Interleave an unknown kind with a body, and a CANCEL for some
+	// other tag — both must be ignored.
+	if err := WriteFrameHeader(&buf, FrameHeader{Kind: FrameKind(0x77), Tag: 4, Len: 5}); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("junk!")
+	if err := WriteCancelFrame(&buf, 9999); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteDataFrame(&buf, 4, []byte("llo")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteResponseV2(&buf, 4, &Response{N: 5}, 5); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ReadResponseV2Into(&buf, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Data) != "hello" || resp.N != 5 {
+		t.Fatalf("got %+v", resp)
+	}
+}
+
+// TestResponseV2GarbageBetweenFrames pins the opposite: bytes that are
+// NOT valid frames (wrong magic) desynchronize the stream and must
+// surface as an error rather than silently corrupting the response.
+func TestResponseV2GarbageBetweenFrames(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteDataFrame(&buf, 4, []byte("he")); err != nil {
+		t.Fatal(err)
+	}
+	buf.Write([]byte{0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0A, 0x0B})
+	if err := WriteResponseV2(&buf, 4, &Response{N: 2}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadResponseV2Into(&buf, 4, nil); err == nil {
+		t.Fatal("garbage between frames decoded without error")
+	}
+}
+
+// FuzzReadFrameHeader throws arbitrary bytes at the v2 header decoder:
+// never panic; accepted headers re-encode identically.
+func FuzzReadFrameHeader(f *testing.F) {
+	var seed bytes.Buffer
+	_ = WriteFrameHeader(&seed, FrameHeader{Kind: FrameReq, Flags: FlagSampled, Tag: 1, Len: 10})
+	f.Add(seed.Bytes())
+	f.Add([]byte{Magic2, version2, byte(FrameCancel), 0, 1, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{Magic2, version2, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := ReadFrameHeader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteFrameHeader(&buf, h); err != nil {
+			t.Fatal(err)
+		}
+		again, err := ReadFrameHeader(&buf)
+		if err != nil || again != h {
+			t.Fatalf("header roundtrip: %+v vs %+v (%v)", h, again, err)
+		}
+	})
+}
+
+// FuzzReadRequestV2 fuzzes the full v2 request decode (header,
+// metadata, payload frames): never panic; accepted requests re-encode
+// and decode identically.
+func FuzzReadRequestV2(f *testing.F) {
+	f.Add(encodeRequestV2(f, 1, &Request{Op: OpPing}))
+	f.Add(encodeRequestV2(f, 2, &Request{Op: OpRead, Path: "/a", Extents: []Extent{{Off: 0, Len: 16}}}))
+	f.Add(encodeRequestV2(f, 3, &Request{Op: OpWrite, Path: "/b",
+		Extents: []Extent{{Off: 4, Len: 2}, {Off: 32, Len: 2}}, Data: []byte("wxyz")}))
+	f.Add(encodeRequestV2(f, 4, &Request{Op: OpRead, Path: "/t", Extents: []Extent{{Off: 0, Len: 8}},
+		TraceID: 0x0123456789abcdef, SpanID: 0xfedcba9876543210, Sampled: true}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := readRequestV2(data)
+		if err != nil {
+			return
+		}
+		again, err := readRequestV2(encodeRequestV2(t, 1, req))
+		if err != nil {
+			t.Fatalf("re-encoded accepted request rejected: %v", err)
+		}
+		if req.Op != again.Op || req.Path != again.Path || req.Gen != again.Gen ||
+			!reflect.DeepEqual(req.Extents, again.Extents) || !bytes.Equal(req.Data, again.Data) {
+			t.Fatalf("roundtrip mismatch: %+v vs %+v", req, again)
+		}
+		if req.TraceID != again.TraceID || req.SpanID != again.SpanID || req.Sampled != again.Sampled {
+			t.Fatalf("trace context roundtrip mismatch: %+v vs %+v", req, again)
+		}
+	})
+}
+
+// FuzzReadResponseV2 is the response-side mirror.
+func FuzzReadResponseV2(f *testing.F) {
+	encode := func(t testing.TB, resp *Response) []byte {
+		var buf bytes.Buffer
+		if err := WriteResponseV2(&buf, 1, resp, 0); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(encode(f, &Response{}))
+	f.Add(encode(f, &Response{Err: "subfile missing"}))
+	f.Add(encode(f, &Response{N: 1 << 40, Data: []byte("data")}))
+	f.Add(encode(f, &Response{Data: []byte("d"), Trace: []byte{1, 0, 0, 9, 9}}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		resp, err := ReadResponseV2Into(bytes.NewReader(data), 1, nil)
+		if err != nil {
+			return
+		}
+		again, err := ReadResponseV2Into(bytes.NewReader(encode(t, resp)), 1, nil)
+		if err != nil {
+			t.Fatalf("re-encoded accepted response rejected: %v", err)
+		}
+		if resp.Err != again.Err || resp.N != again.N || !bytes.Equal(resp.Data, again.Data) {
+			t.Fatalf("roundtrip mismatch: %+v vs %+v", resp, again)
+		}
+		if !bytes.Equal(resp.Trace, again.Trace) {
+			t.Fatalf("trace roundtrip mismatch: %v vs %v", resp.Trace, again.Trace)
+		}
+	})
+}

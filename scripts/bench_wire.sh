@@ -1,0 +1,41 @@
+#!/bin/sh
+# bench_wire.sh — wire-protocol regression gate.
+#
+# Runs the wire ablation (one shared engine, 64 concurrent readers
+# over 4 shaped servers; see bench.AblationWire) and records the table
+# in BENCH_wire.json at the repo root, then asserts the two properties
+# the tagged-frame mux is built for: the v2 fan-in rides a small fixed
+# set of connections (<= 25% of the v1 pool's dial count) and gives up
+# no bandwidth against the v1 parallel-dispatch baseline. Run it after
+# touching internal/wire framing, the client mux, or the server's
+# per-conn frame scheduler.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== bench wire: writing BENCH_wire.json =="
+go run ./cmd/dpfs-bench -ablation wire -json > BENCH_wire.json
+cat BENCH_wire.json
+
+echo "== bench wire: asserting conn sharing and bandwidth =="
+python3 - <<'EOF'
+import json
+
+rows = json.load(open("BENCH_wire.json"))
+conns = {r["variant"]: r["conns"] for r in rows}
+mbps = {r["variant"]: r["mbps"] for r in rows}
+
+ratio = conns["v2 mux"] / conns["v1 pool"]
+print(f"conns held: v1 pool {conns['v1 pool']}, v2 mux {conns['v2 mux']} "
+      f"-> {ratio:.2%} of the pool's dials")
+print(f"bandwidth: v1 pool {mbps['v1 pool']:.2f} MB/s, "
+      f"v2 mux {mbps['v2 mux']:.2f} MB/s")
+if ratio > 0.25:
+    raise SystemExit(f"v2 mux used {ratio:.2%} of v1's conns, want <= 25%")
+# The sim's service times dominate both variants, so equal bandwidth is
+# the expectation; the 10% allowance absorbs host scheduling noise, not
+# a real regression budget.
+if mbps["v2 mux"] < 0.9 * mbps["v1 pool"]:
+    raise SystemExit(
+        f"v2 mux {mbps['v2 mux']:.2f} MB/s fell more than 10% below "
+        f"the v1 baseline {mbps['v1 pool']:.2f} MB/s")
+EOF
