@@ -31,6 +31,8 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7700", "TCP listen address")
 	dir := flag.String("dir", "", "durable storage directory (empty = in-memory)")
 	sync := flag.Bool("sync", false, "fsync the write-ahead log on every commit")
+	groupCommit := flag.Bool("group-commit", true, "with -sync, batch concurrent commits into shared fsyncs (same durability, one fsync per batch)")
+	groupWait := flag.Duration("group-commit-wait", 0, "how long a group-commit leader lingers for followers before fsyncing (0 = fsync immediately; batches still form while an fsync is in flight)")
 	debugAddr := flag.String("debug-addr", "", "HTTP address for /metrics, /healthz and /debug/vars (default: disabled)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown bound: in-flight statements get this long to finish on SIGTERM/SIGINT")
 	version := flag.Bool("version", false, "print build information and exit")
@@ -41,7 +43,10 @@ func main() {
 		return
 	}
 
-	db, err := metadb.Open(metadb.Options{Dir: *dir, Sync: *sync})
+	db, err := metadb.Open(metadb.Options{
+		Dir: *dir, Sync: *sync,
+		GroupCommit: *groupCommit, GroupCommitWait: *groupWait,
+	})
 	if err != nil {
 		fatal(err)
 	}

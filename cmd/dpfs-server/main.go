@@ -21,6 +21,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -37,6 +38,7 @@ func main() {
 	root := flag.String("root", "", "directory for subfile storage (required)")
 	name := flag.String("name", "", "server name in the catalog (default: the listen address)")
 	metaAddr := flag.String("meta", "", "metadata server address to register with (optional)")
+	metaAddrs := flag.String("meta-addrs", "", "comma-separated catalog shard addresses to register with (overrides -meta; the server is recorded on every shard)")
 	className := flag.String("class", "", "simulated storage class: class1, class2 or class3 (default: native speed)")
 	capacity := flag.Int64("capacity", 1<<30, "advertised capacity in bytes")
 	advertise := flag.String("advertise", "", "address to advertise in the catalog (default: the listen address)")
@@ -101,25 +103,44 @@ func main() {
 		adv = srv.Addr()
 	}
 
+	regAddrs := ""
+	if *metaAddrs != "" {
+		regAddrs = *metaAddrs
+	} else if *metaAddr != "" {
+		regAddrs = *metaAddr
+	}
 	registered := false
-	if *metaAddr != "" {
-		cli, err := mdbnet.Dial(*metaAddr)
-		if err != nil {
-			fatal(fmt.Errorf("register: %w", err))
+	if regAddrs != "" {
+		// Register with every catalog shard: any shard must be able to
+		// resolve this server for the files it homes.
+		var clis []*mdbnet.Client
+		shards := make([]meta.Router, 0, 1)
+		for _, a := range strings.Split(regAddrs, ",") {
+			cli, err := mdbnet.Dial(a)
+			if err != nil {
+				fatal(fmt.Errorf("register: %w", err))
+			}
+			clis = append(clis, cli)
+			shards = append(shards, meta.NewCatalog(cli))
 		}
-		cat := meta.NewCatalog(cli)
+		var cat meta.Router = shards[0]
+		if len(shards) > 1 {
+			cat = meta.NewShardRouter(shards...)
+		}
 		if err := cat.Init(); err != nil {
 			fatal(fmt.Errorf("register: %w", err))
 		}
 		err = cat.RegisterServer(meta.ServerInfo{
 			Name: serverName, Capacity: *capacity, Performance: perf, Addr: adv,
 		})
-		cli.Close()
+		for _, cli := range clis {
+			cli.Close()
+		}
 		if err != nil {
 			fatal(fmt.Errorf("register: %w", err))
 		}
 		registered = true
-		fmt.Printf("dpfs-server: registered as %q (perf %d) with %s\n", serverName, perf, *metaAddr)
+		fmt.Printf("dpfs-server: registered as %q (perf %d) with %s\n", serverName, perf, regAddrs)
 	}
 	fmt.Printf("dpfs-server: %q serving %s on %s\n", serverName, *root, srv.Addr())
 
@@ -134,7 +155,7 @@ func main() {
 					"name":             serverName,
 					"addr":             srv.Addr(),
 					"root":             *root,
-					"meta":             *metaAddr,
+					"meta":             regAddrs,
 					"registered":       registered,
 					"disk_errors":      hs.DiskErrors,
 					"copy_peer_errors": hs.CopyPeerErrors,

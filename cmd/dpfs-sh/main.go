@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"dpfs"
@@ -31,6 +32,7 @@ const traceCap = 256
 
 func main() {
 	metaAddr := flag.String("meta", "127.0.0.1:7700", "metadata server address")
+	metaAddrs := flag.String("meta-addrs", "", "comma-separated catalog shard addresses (path-hash routed; overrides -meta; every client must list the same order)")
 	command := flag.String("c", "", "run one command and exit")
 	rank := flag.Int("rank", 0, "compute rank (drives staggered scheduling)")
 	cacheMB := flag.Int64("cache-mb", 0, "client data-cache budget in MiB (0 = cache off)")
@@ -49,7 +51,11 @@ func main() {
 		return
 	}
 
-	client, err := dpfs.Connect(*metaAddr, *rank, dpfs.Options{Combine: true, Stagger: true,
+	addrs := []string{*metaAddr}
+	if *metaAddrs != "" {
+		addrs = strings.Split(*metaAddrs, ",")
+	}
+	client, err := dpfs.ConnectShards(addrs, *rank, dpfs.Options{Combine: true, Stagger: true,
 		CacheBytes: *cacheMB << 20, MetaTTL: *metaTTL, Readahead: *readahead,
 		TraceSample: *traceSample, SlowRequest: time.Duration(*slowMS) * time.Millisecond,
 		WireV2: *wireV2})

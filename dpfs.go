@@ -28,6 +28,7 @@ package dpfs
 
 import (
 	"context"
+	"errors"
 	"io"
 
 	"dpfs/internal/core"
@@ -121,25 +122,62 @@ func ReadStats() Stats { return core.ReadStats() }
 func ResetStats() { core.ResetStats() }
 
 // Client is a DPFS mount: one compute process's connection to the
-// metadata database and, lazily, to the I/O servers.
+// metadata database (one or more catalog shards) and, lazily, to the
+// I/O servers.
 type Client struct {
-	fs  *core.FS
-	mdb *mdbnet.Client
+	fs   *core.FS
+	mdbs []*mdbnet.Client
 }
 
 // Connect dials the metadata server at metaAddr and returns a client
 // for the given compute rank. Call Close when done.
 func Connect(metaAddr string, rank int, opts Options) (*Client, error) {
-	mdb, err := mdbnet.Dial(metaAddr)
-	if err != nil {
-		return nil, err
+	return ConnectShards([]string{metaAddr}, rank, opts)
+}
+
+// ConnectShards dials one catalog shard per address (in shard-index
+// order — every client must list the same addresses in the same
+// order) and returns a client whose catalog operations are path-hash
+// routed across them. One address behaves exactly like Connect.
+func ConnectShards(metaAddrs []string, rank int, opts Options) (*Client, error) {
+	if len(metaAddrs) == 0 {
+		return nil, errors.New("dpfs: ConnectShards needs at least one metadata address")
 	}
-	cat := meta.NewCatalog(mdb)
+	c := &Client{}
+	shards := make([]meta.Router, 0, len(metaAddrs))
+	for _, addr := range metaAddrs {
+		mdb, err := mdbnet.Dial(addr)
+		if err != nil {
+			c.closeMeta()
+			return nil, err
+		}
+		c.mdbs = append(c.mdbs, mdb)
+		shards = append(shards, meta.NewCatalog(mdb))
+	}
+	var cat meta.Router
+	if len(shards) == 1 {
+		cat = shards[0]
+	} else {
+		cat = meta.NewShardRouter(shards...)
+	}
 	if err := cat.Init(); err != nil {
-		mdb.Close()
+		c.closeMeta()
 		return nil, err
 	}
-	return &Client{fs: core.NewFS(cat, rank, opts), mdb: mdb}, nil
+	c.fs = core.NewFS(cat, rank, opts)
+	return c, nil
+}
+
+// closeMeta drops the catalog connections.
+func (c *Client) closeMeta() error {
+	var first error
+	for _, mdb := range c.mdbs {
+		if err := mdb.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	c.mdbs = nil
+	return first
 }
 
 // Wrap builds a Client around an existing engine (used by in-process
@@ -149,10 +187,8 @@ func Wrap(fs *core.FS) *Client { return &Client{fs: fs} }
 // Close drops all server connections.
 func (c *Client) Close() error {
 	err := c.fs.Close()
-	if c.mdb != nil {
-		if cerr := c.mdb.Close(); err == nil {
-			err = cerr
-		}
+	if cerr := c.closeMeta(); err == nil {
+		err = cerr
 	}
 	return err
 }

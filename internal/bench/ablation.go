@@ -850,6 +850,139 @@ func runWireCase(ctx context.Context, cfg Config, c *cluster.Cluster, np int) (M
 	return runs[len(runs)/2], nil
 }
 
+// AblationMeta isolates the two metadata scale levers: WAL group
+// commit (one fsync per batch of concurrent committers instead of one
+// per transaction) and path-hash catalog sharding (independent commit
+// pipelines). The workload is open-heavy — np clients concurrently
+// create small files, and each create costs two durable catalog
+// transactions (generation allocation plus the create itself) and
+// negligible data I/O. Every variant runs with Sync on and a modeled
+// per-fsync device cost (cluster.Config.MetaSyncDelay), so the
+// contrast is deterministic across host filesystems: group commit
+// amortizes that cost over whole batches, and a second shard doubles
+// the number of fsync pipelines. The shard rows keep group commit off
+// so routing itself carries the scaling. MBps abuses the field to
+// carry creates per second, as runCacheOpens does for opens.
+func AblationMeta(ctx context.Context, cfg Config, np, io int) ([]Measurement, error) {
+	cfg = cfg.WithDefaults()
+	cases := []struct {
+		label  string
+		shards int
+		group  bool
+	}{
+		{"1 shard fsync/txn", 1, false},
+		{"1 shard group-commit", 1, true},
+		{"2 shards fsync/txn", 2, false},
+		{"2 shards group-commit", 2, true},
+	}
+	var out []Measurement
+	for _, cs := range cases {
+		c, err := cluster.Start(cluster.Config{
+			Servers:         cluster.Uniform(io),
+			Dir:             caseDir(cfg.Dir),
+			DurableMeta:     true,
+			MetaSync:        true,
+			MetaSyncDelay:   4 * time.Millisecond,
+			MetaShards:      cs.shards,
+			MetaGroupCommit: cs.group,
+		})
+		if err != nil {
+			return nil, err
+		}
+		m, err := runMetaCreates(ctx, cfg, c, np)
+		c.Close()
+		if err != nil {
+			return nil, err
+		}
+		m.Figure = "AblMeta"
+		m.Label = cs.label
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// runMetaCreates times np concurrent clients each creating small
+// files (DPFS-Open for writing). Created files are removed untimed
+// after each pass so the catalog stays small — per-create cost would
+// otherwise grow with the accumulated table scans of the capacity
+// check and drown the commit pipeline the ablation isolates. The
+// returned Measurement abuses MBps to carry creates per second.
+func runMetaCreates(ctx context.Context, cfg Config, c *cluster.Cluster, np int) (Measurement, error) {
+	const creates = 6 // per client per pass; each costs two durable commits
+	engines := make([]*core.FS, np)
+	for p := range engines {
+		fs, err := c.NewFS(p, core.Options{Combine: true})
+		if err != nil {
+			return Measurement{}, err
+		}
+		engines[p] = fs
+	}
+	defer func() {
+		for _, fs := range engines {
+			fs.Close()
+		}
+	}()
+	hint := core.Hint{Level: stripe.LevelMultidim, Tile: []int64{8, 8}}
+	forAll := func(op func(rank, i int) error) error {
+		var wg sync.WaitGroup
+		errs := make(chan error, np)
+		for p := 0; p < np; p++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				for i := 0; i < creates; i++ {
+					if err := op(rank, i); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(p)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			return err
+		}
+		return nil
+	}
+	path := func(rank, i int) string { return fmt.Sprintf("/abl-meta-p%d-f%d.dat", rank, i) }
+	mkFiles := func() error {
+		return forAll(func(rank, i int) error {
+			f, err := engines[rank].Create(path(rank, i), elemSize, []int64{8, 8}, hint)
+			if err != nil {
+				return err
+			}
+			return f.Close()
+		})
+	}
+	rmFiles := func() error {
+		return forAll(func(rank, i int) error { return engines[rank].Remove(ctx, path(rank, i)) })
+	}
+	if err := mkFiles(); err != nil { // warm: server dials, conn setup
+		return Measurement{}, err
+	}
+	if err := rmFiles(); err != nil {
+		return Measurement{}, err
+	}
+	runs := make([]Measurement, 0, cfg.Reps)
+	for rep := 0; rep < cfg.Reps; rep++ {
+		start := time.Now()
+		if err := mkFiles(); err != nil {
+			return Measurement{}, err
+		}
+		elapsed := time.Since(start)
+		if err := rmFiles(); err != nil {
+			return Measurement{}, err
+		}
+		runs = append(runs, Measurement{
+			Elapsed: elapsed,
+			MBps:    float64(np*creates) / elapsed.Seconds(), // creates/s
+		})
+	}
+	sortMeasurements(runs)
+	return runs[len(runs)/2], nil
+}
+
 // Ablation dispatches an ablation by name.
 func Ablation(ctx context.Context, cfg Config, name string) ([]Measurement, error) {
 	switch name {
@@ -871,11 +1004,13 @@ func Ablation(ctx context.Context, cfg Config, name string) ([]Measurement, erro
 		return AblationReplica(ctx, cfg, 4, 4)
 	case "wire":
 		return AblationWire(ctx, cfg, 64, 4)
+	case "meta":
+		return AblationMeta(ctx, cfg, 16, 2)
 	}
-	return nil, fmt.Errorf("bench: unknown ablation %q (stagger, shape, servers, exact, collective, parallel, cache, replica, wire)", name)
+	return nil, fmt.Errorf("bench: unknown ablation %q (stagger, shape, servers, exact, collective, parallel, cache, replica, wire, meta)", name)
 }
 
 // AblationNames lists the available ablations.
 func AblationNames() []string {
-	return []string{"stagger", "shape", "servers", "exact", "collective", "parallel", "cache", "replica", "wire"}
+	return []string{"stagger", "shape", "servers", "exact", "collective", "parallel", "cache", "replica", "wire", "meta"}
 }

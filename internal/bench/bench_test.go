@@ -247,7 +247,7 @@ func TestFigureDispatch(t *testing.T) {
 	if _, err := Ablation(ctx, cfg, "nosuch"); err == nil {
 		t.Fatal("unknown ablation should be rejected")
 	}
-	if len(AblationNames()) != 9 {
+	if len(AblationNames()) != 10 {
 		t.Fatalf("ablations = %v", AblationNames())
 	}
 	// Measurement renders.

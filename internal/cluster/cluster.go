@@ -14,6 +14,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"dpfs/internal/core"
 	"dpfs/internal/meta"
@@ -54,16 +55,34 @@ type Config struct {
 	// speak the tagged-frame wire protocol. Inbound needs no switch:
 	// every server auto-detects the protocol per connection.
 	WireV2 bool
+	// MetaShards is the number of catalog shards to run (each its own
+	// metadata database behind its own TCP server, with paths hash-
+	// routed across them by meta.ShardRouter). 0 or 1 runs the single
+	// catalog exactly as before.
+	MetaShards int
+	// MetaSync fsyncs every shard's WAL on commit (needs DurableMeta).
+	MetaSync bool
+	// MetaGroupCommit batches those fsyncs across concurrent
+	// committers (metadb.Options.GroupCommit).
+	MetaGroupCommit bool
+	// MetaSyncDelay models the metadata device's per-fsync cost
+	// (metadb.Options.SyncDelay); benchmarks use it for a
+	// deterministic disk model.
+	MetaSyncDelay time.Duration
 }
 
 // Cluster is a running DPFS deployment.
 type Cluster struct {
+	// DB and MetaSrv are shard 0, which is the whole catalog in the
+	// default single-shard configuration.
 	DB        *metadb.DB
 	MetaSrv   *mdbnet.Server
+	DBs       []*metadb.DB
+	MetaSrvs  []*mdbnet.Server
 	IOServers []*server.Server
 	Specs     []ServerSpec
 
-	mu      sync.Mutex // guards clients (NewFS is called from many goroutines)
+	mu      sync.Mutex // guards clients and MetaSrvs swaps
 	clients []*mdbnet.Client
 }
 
@@ -81,21 +100,39 @@ func Start(cfg Config) (*Cluster, error) {
 		ref = 512 << 10
 	}
 
-	var opts metadb.Options
-	if cfg.DurableMeta {
-		opts.Dir = filepath.Join(cfg.Dir, "meta")
+	shards := cfg.MetaShards
+	if shards < 1 {
+		shards = 1
 	}
-	db, err := metadb.Open(opts)
-	if err != nil {
-		return nil, err
+	c := &Cluster{}
+	for i := 0; i < shards; i++ {
+		opts := metadb.Options{
+			Sync:        cfg.MetaSync,
+			GroupCommit: cfg.MetaGroupCommit,
+			SyncDelay:   cfg.MetaSyncDelay,
+		}
+		if cfg.DurableMeta {
+			if shards == 1 {
+				opts.Dir = filepath.Join(cfg.Dir, "meta")
+			} else {
+				opts.Dir = filepath.Join(cfg.Dir, fmt.Sprintf("meta%d", i))
+			}
+		}
+		db, err := metadb.Open(opts)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.DBs = append(c.DBs, db)
+		srv, err := mdbnet.Listen(db, "")
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.MetaSrvs = append(c.MetaSrvs, srv)
 	}
-	c := &Cluster{DB: db}
-
-	c.MetaSrv, err = mdbnet.Listen(db, "")
-	if err != nil {
-		c.Close()
-		return nil, err
-	}
+	c.DB = c.DBs[0]
+	c.MetaSrv = c.MetaSrvs[0]
 
 	// Normalize performance numbers across the spec classes.
 	classes := make([]netsim.Params, len(cfg.Servers))
@@ -104,7 +141,7 @@ func Start(cfg Config) (*Cluster, error) {
 	}
 	perf := netsim.NormalizedPerf(classes, ref)
 
-	cat, err := c.NewCatalog()
+	cat, err := c.NewRouter()
 	if err != nil {
 		c.Close()
 		return nil, err
@@ -150,11 +187,13 @@ func Start(cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
-// NewCatalog opens a fresh catalog connection through the network
-// metadata server (one database session per connection, as the paper's
-// clients each connect to POSTGRES).
+// NewCatalog opens a fresh catalog connection to shard 0 through the
+// network metadata server (one database session per connection, as the
+// paper's clients each connect to POSTGRES). Single-shard clusters use
+// it as the whole catalog; multi-shard tests use it for direct
+// shard-0 inspection.
 func (c *Cluster) NewCatalog() (*meta.Catalog, error) {
-	cli, err := mdbnet.Dial(c.MetaSrv.Addr())
+	cli, err := mdbnet.Dial(c.MetaAddrs()[0])
 	if err != nil {
 		return nil, err
 	}
@@ -164,9 +203,67 @@ func (c *Cluster) NewCatalog() (*meta.Catalog, error) {
 	return meta.NewCatalog(cli), nil
 }
 
-// NewFS builds a compute-node client with its own catalog connection.
+// MetaAddrs returns every catalog shard's listen address in shard
+// order.
+func (c *Cluster) MetaAddrs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.MetaSrvs))
+	for i, s := range c.MetaSrvs {
+		out[i] = s.Addr()
+	}
+	return out
+}
+
+// NewRouter opens one catalog connection per shard and returns the
+// routed catalog surface: the plain catalog itself for one shard
+// (byte-for-byte the pre-sharding path), a meta.ShardRouter otherwise.
+func (c *Cluster) NewRouter() (meta.Router, error) {
+	return c.NewRouterDial(nil)
+}
+
+// NewRouterDial is NewRouter with a custom transport dialer for the
+// catalog connections (fault injectors wrap it in chaos tests); nil
+// uses the default TCP dialer.
+func (c *Cluster) NewRouterDial(dial mdbnet.DialFunc) (meta.Router, error) {
+	addrs := c.MetaAddrs()
+	shards := make([]meta.Router, len(addrs))
+	for i, addr := range addrs {
+		var cli *mdbnet.Client
+		var err error
+		if dial == nil {
+			cli, err = mdbnet.Dial(addr)
+		} else {
+			cli, err = mdbnet.DialWith(addr, dial)
+		}
+		if err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		c.clients = append(c.clients, cli)
+		c.mu.Unlock()
+		shards[i] = meta.NewCatalog(cli)
+	}
+	if len(shards) == 1 {
+		return shards[0], nil
+	}
+	return meta.NewShardRouter(shards...), nil
+}
+
+// NewFS builds a compute-node client with its own catalog
+// connection(s).
 func (c *Cluster) NewFS(rank int, opts core.Options) (*core.FS, error) {
-	cat, err := c.NewCatalog()
+	cat, err := c.NewRouter()
+	if err != nil {
+		return nil, err
+	}
+	return core.NewFS(cat, rank, opts), nil
+}
+
+// NewFSMetaDial is NewFS with a custom transport dialer for the
+// catalog connections (chaos tests inject faults through it).
+func (c *Cluster) NewFSMetaDial(rank int, opts core.Options, dial mdbnet.DialFunc) (*core.FS, error) {
+	cat, err := c.NewRouterDial(dial)
 	if err != nil {
 		return nil, err
 	}
@@ -177,13 +274,45 @@ func (c *Cluster) NewFS(rank int, opts core.Options) (*core.FS, error) {
 // servers are probed, their health recorded, and under-replicated
 // bricks re-replicated onto healthy servers (see internal/repair).
 func (c *Cluster) Repair(ctx context.Context, opts repair.Options) (*repair.Report, error) {
-	cat, err := c.NewCatalog()
+	cat, err := c.NewRouter()
 	if err != nil {
 		return nil, err
 	}
 	r := repair.New(cat, opts)
 	defer r.Close()
 	return r.Run(ctx)
+}
+
+// StopMetaShard closes shard i's network server, severing every
+// client connection to it. The shard's database (and its WAL) stays
+// intact — this models a metadata server crash that RestartMetaShard
+// recovers from.
+func (c *Cluster) StopMetaShard(i int) error {
+	c.mu.Lock()
+	srv := c.MetaSrvs[i]
+	c.mu.Unlock()
+	return srv.Close()
+}
+
+// RestartMetaShard brings shard i back on its previous address so
+// surviving clients (which redial broken connections lazily)
+// reconnect to the same endpoint.
+func (c *Cluster) RestartMetaShard(i int) error {
+	c.mu.Lock()
+	old := c.MetaSrvs[i]
+	db := c.DBs[i]
+	c.mu.Unlock()
+	srv, err := mdbnet.Listen(db, old.Addr())
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.MetaSrvs[i] = srv
+	if i == 0 {
+		c.MetaSrv = srv
+	}
+	c.mu.Unlock()
+	return nil
 }
 
 // ServerNames returns the registered I/O server names in launch
@@ -214,13 +343,13 @@ func (c *Cluster) Close() error {
 			firstErr = err
 		}
 	}
-	if c.MetaSrv != nil {
-		if err := c.MetaSrv.Close(); err != nil && firstErr == nil {
+	for _, srv := range c.MetaSrvs {
+		if err := srv.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
-	if c.DB != nil {
-		if err := c.DB.Close(); err != nil && firstErr == nil {
+	for _, db := range c.DBs {
+		if err := db.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}

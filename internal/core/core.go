@@ -131,7 +131,7 @@ const (
 
 // FS is one compute node's DPFS client instance.
 type FS struct {
-	cat  *meta.Catalog
+	cat  meta.Router
 	rank int
 	opts Options
 
@@ -154,9 +154,11 @@ type FS struct {
 	closed  bool
 }
 
-// NewFS builds a client around a catalog connection. rank is the
-// compute-node rank used for staggered scheduling.
-func NewFS(cat *meta.Catalog, rank int, opts Options) *FS {
+// NewFS builds a client around a catalog connection — a single
+// *meta.Catalog or a sharded meta.ShardRouter, the engine cannot tell
+// the difference. rank is the compute-node rank used for staggered
+// scheduling.
+func NewFS(cat meta.Router, rank int, opts Options) *FS {
 	if opts.Owner == "" {
 		opts.Owner = "dpfs"
 	}
@@ -265,9 +267,9 @@ func (fs *FS) Stats() Stats {
 	}
 }
 
-// Catalog exposes the underlying catalog (used by the shell and admin
-// tools).
-func (fs *FS) Catalog() *meta.Catalog { return fs.cat }
+// Catalog exposes the underlying catalog surface (used by the shell
+// and admin tools).
+func (fs *FS) Catalog() meta.Router { return fs.cat }
 
 // Rank returns the compute-node rank.
 func (fs *FS) Rank() int { return fs.rank }
@@ -489,7 +491,7 @@ func (fs *FS) Create(path string, elemSize int64, dims []int64, hint Hint) (*Fil
 	if err != nil {
 		return nil, err
 	}
-	gen, err := fs.cat.NextGeneration()
+	gen, err := fs.cat.NextGeneration(clean)
 	if err != nil {
 		return nil, err
 	}

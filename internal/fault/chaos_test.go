@@ -10,6 +10,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"net"
 	"os"
 	"strconv"
 	"sync"
@@ -20,6 +21,7 @@ import (
 	"dpfs/internal/collective"
 	"dpfs/internal/core"
 	"dpfs/internal/fault"
+	"dpfs/internal/meta"
 	"dpfs/internal/obs"
 	"dpfs/internal/server"
 	"dpfs/internal/stripe"
@@ -578,6 +580,166 @@ func TestChaosCollective(t *testing.T) {
 	}
 }
 
+// metaChaosRules is the storm for catalog connections: latency spikes
+// only. The mdbnet transport deliberately never replays a statement on
+// a fresh connection (a COMMIT whose ack was lost must not apply
+// twice), so drops and torn frames surface as hard errors to the
+// engine — a different failure class the shard-restart tests cover.
+// Delays exercise the same conns, framing and routing under load
+// without changing op outcomes.
+func metaChaosRules() []fault.Rule {
+	return []fault.Rule{
+		{Kind: fault.KindDelay, Prob: 0.2, Delay: 2 * time.Millisecond},
+		{Kind: fault.KindDelay, Nth: 13, Delay: 5 * time.Millisecond},
+	}
+}
+
+// startMetaShardChaosCluster is startChaosCluster with the catalog
+// split over two path-hash-routed shards.
+func startMetaShardChaosCluster(t *testing.T, io int, inj *fault.Injector) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.Start(cluster.Config{
+		Servers: cluster.Uniform(io), Dir: t.TempDir(), MetaShards: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	for i, srv := range c.IOServers {
+		inj.SetLabel(srv.Addr(), c.Specs[i].Name)
+	}
+	return c
+}
+
+// runMetaShardChaosWorkload drives per-rank files through a 2-shard
+// catalog with fault storms on BOTH conn kinds: the standard storm on
+// the I/O conns (drops, delays, torn frames — absorbed by the retry
+// ladder) and the delay storm on the catalog conns. Every rank
+// creates its own files so the create/open traffic itself is routed
+// across shards, and the final audit checks bytes and routing.
+func runMetaShardChaosWorkload(t *testing.T, c *cluster.Cluster, inj, metaInj *fault.Injector, np int) *obs.Registry {
+	t.Helper()
+	ctx := context.Background()
+	reg := obs.NewRegistry()
+	metaDial := func(addr string) (net.Conn, error) {
+		return metaInj.DialContext(ctx, addr)
+	}
+	opts := core.Options{
+		Combine: true, Stagger: true,
+		Dial: inj.DialContext, Retry: chaosRetry(),
+	}
+
+	const chunks = 8
+	perRank := int64(chaosN * chaosN / np)
+	chunkBytes := perRank / chunks
+	path := func(rank int) string { return fmt.Sprintf("/chaos-meta-r%d.dat", rank) }
+	var wg sync.WaitGroup
+	errs := make(chan error, np)
+	for p := 0; p < np; p++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			fs, err := c.NewFSMetaDial(rank, opts, metaDial)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer fs.Close()
+			fs.SetMetrics(reg)
+			f, err := fs.Create(path(rank), 1, []int64{perRank},
+				core.Hint{Level: stripe.LevelLinear, BrickBytes: chunkBytes})
+			if err != nil {
+				errs <- fmt.Errorf("rank %d create: %w", rank, err)
+				return
+			}
+			defer f.Close()
+			data := rankBytes(rank, int(perRank))
+			for i := int64(0); i < chunks; i++ {
+				sub := stripe.NewSection([]int64{i * chunkBytes}, []int64{chunkBytes})
+				if err := f.WriteSection(ctx, sub, data[i*chunkBytes:(i+1)*chunkBytes]); err != nil {
+					errs <- fmt.Errorf("rank %d write chunk %d: %w", rank, i, err)
+					return
+				}
+			}
+			// Faulty read-back through a reopened handle (fresh
+			// lookups through the delayed catalog conns).
+			f2, err := fs.Open(path(rank))
+			if err != nil {
+				errs <- fmt.Errorf("rank %d reopen: %w", rank, err)
+				return
+			}
+			defer f2.Close()
+			got := make([]byte, perRank)
+			if err := f2.ReadSection(ctx, stripe.NewSection([]int64{0}, []int64{perRank}), got); err != nil {
+				errs <- fmt.Errorf("rank %d read: %w", rank, err)
+				return
+			}
+			if !bytes.Equal(got, data) {
+				errs <- fmt.Errorf("rank %d: faulty read diverges from fault-free truth", rank)
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Fault-free audit: stored bytes and shard routing.
+	cleanFS, err := c.NewFS(0, core.Options{Combine: true, Stagger: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanFS.Close()
+	for p := 0; p < np; p++ {
+		f, err := cleanFS.Open(path(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, perRank)
+		err = f.ReadSection(ctx, stripe.NewSection([]int64{0}, []int64{perRank}), got)
+		f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, rankBytes(p, int(perRank))) {
+			t.Fatalf("rank %d: stored bytes diverge from fault-free truth", p)
+		}
+	}
+	for s, db := range c.DBs {
+		files, err := meta.NewCatalog(db.Session()).Files()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range files {
+			if home := meta.ShardIndex(p, len(c.DBs)); home != s {
+				t.Fatalf("%s: misrouted onto shard %d (home %d)", p, s, home)
+			}
+		}
+	}
+	return reg
+}
+
+// TestChaosMetaShard runs the metashard mode once: 2 catalog shards,
+// delay storm on catalog conns, standard storm on I/O conns.
+func TestChaosMetaShard(t *testing.T) {
+	inj := fault.New(9, chaosRules()...)
+	metaInj := fault.New(10, metaChaosRules()...)
+	c := startMetaShardChaosCluster(t, 4, inj)
+	reg := runMetaShardChaosWorkload(t, c, inj, metaInj, 4)
+	if inj.Total() == 0 {
+		t.Fatal("the I/O fault schedule never fired")
+	}
+	if metaInj.Total() == 0 {
+		t.Fatal("the catalog fault schedule never fired")
+	}
+	if got := reg.Counter(server.MetricClientRetries).Value(); got == 0 {
+		t.Fatal("client_retries = 0, want > 0 under the storm")
+	}
+	t.Logf("io faults=%v meta faults=%v retries=%d", inj.Counts(), metaInj.Counts(),
+		reg.Counter(server.MetricClientRetries).Value())
+}
+
 // TestChaosSweep re-runs the sequential workload across many seeds.
 // Gated on DPFS_CHAOS_SWEEP (a seed count) because each seed is a full
 // cluster launch; `make chaos` runs it at 25.
@@ -601,6 +763,12 @@ func TestChaosSweep(t *testing.T) {
 			inj := fault.New(seed+1000, chaosRules()...)
 			c := startChaosCluster(t, 4, inj)
 			runReplicaChaosWorkload(t, c, inj, 4, seed%2 == 0, seed%3 == 0, seed%2 == 1)
+		})
+		t.Run(fmt.Sprintf("seed%d-metashard", seed), func(t *testing.T) {
+			inj := fault.New(seed+2000, chaosRules()...)
+			metaInj := fault.New(seed+3000, metaChaosRules()...)
+			c := startMetaShardChaosCluster(t, 4, inj)
+			runMetaShardChaosWorkload(t, c, inj, metaInj, 4)
 		})
 	}
 }

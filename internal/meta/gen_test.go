@@ -11,7 +11,7 @@ func TestNextGenerationMonotonic(t *testing.T) {
 	c := newCatalog(t)
 	var prev int64
 	for i := 0; i < 5; i++ {
-		gen, err := c.NextGeneration()
+		gen, err := c.NextGeneration("/f")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -31,7 +31,7 @@ func TestNextGenerationConcurrent(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			g, err := c.NextGeneration()
+			g, err := c.NextGeneration("/f")
 			if err != nil {
 				t.Error(err)
 				return
@@ -55,7 +55,7 @@ func TestNextGenerationConcurrent(t *testing.T) {
 func TestGenerationRoundtrip(t *testing.T) {
 	c := newCatalog(t)
 	fi := testFileInfo("/f")
-	gen, err := c.NextGeneration()
+	gen, err := c.NextGeneration("/f")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +90,7 @@ func TestGenerationRoundtrip(t *testing.T) {
 	}
 
 	// A recreate of the same path gets a strictly newer generation.
-	gen2, err := c.NextGeneration()
+	gen2, err := c.NextGeneration("/f")
 	if err != nil {
 		t.Fatal(err)
 	}

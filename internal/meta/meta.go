@@ -181,7 +181,13 @@ func (c *Catalog) Init() error {
 // strict 2PL); concurrent allocators serialize on it and each sees a
 // distinct value. Generations only grow, which is what lets the I/O
 // servers order any two distributions of the same path.
-func (c *Catalog) NextGeneration() (int64, error) {
+//
+// The path argument exists for Router: a ShardRouter allocates from
+// the path's home shard so every generation ever issued for a path
+// comes from one counter. A single catalog has one catalog-wide
+// counter and ignores it.
+func (c *Catalog) NextGeneration(path string) (int64, error) {
+	_ = path // one counter per catalog; routing uses the path upstream
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var gen int64

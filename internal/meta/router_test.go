@@ -1,0 +1,324 @@
+package meta
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"dpfs/internal/metadb"
+	"dpfs/internal/metadb/mdbnet"
+)
+
+func TestShardIndexDeterministic(t *testing.T) {
+	if got := ShardIndex("/a/b.dat", 1); got != 0 {
+		t.Fatalf("n=1 must route to 0, got %d", got)
+	}
+	if got := ShardIndex("/a/b.dat", 0); got != 0 {
+		t.Fatalf("n=0 must route to 0, got %d", got)
+	}
+	// Path cleaning happens before hashing: spellings of the same path
+	// agree on a home shard.
+	for n := 2; n <= 5; n++ {
+		a := ShardIndex("/a/b.dat", n)
+		for _, alias := range []string{"/a//b.dat", "/a/./b.dat", "/a/c/../b.dat"} {
+			if got := ShardIndex(alias, n); got != a {
+				t.Fatalf("ShardIndex(%q, %d) = %d, want %d (same as /a/b.dat)", alias, n, got, a)
+			}
+		}
+	}
+	// The hash must actually spread paths: with 2 shards and a few
+	// hundred paths, both shards must be hit.
+	hit := make(map[int]int)
+	for i := 0; i < 256; i++ {
+		hit[ShardIndex(fmt.Sprintf("/spread/f%d.dat", i), 2)]++
+	}
+	if hit[0] == 0 || hit[1] == 0 {
+		t.Fatalf("paths did not spread over 2 shards: %v", hit)
+	}
+}
+
+// routerOp is one randomized catalog operation: it runs against a
+// Router and returns a comparable result (any shape) plus the error.
+type routerOp struct {
+	name string
+	run  func(r Router) (any, error)
+}
+
+// genRouterOp draws one operation from a small path/server vocabulary.
+// The pool mixes valid and invalid paths so error paths are exercised
+// too.
+func genRouterOp(rng *rand.Rand) routerOp {
+	dirs := []string{"/d1", "/d2", "/d1/sub", "/missing"}
+	files := []string{"/a.dat", "/b.dat", "/d1/c.dat", "/d1/sub/d.dat", "/d2/e.dat", "/missing/f.dat"}
+	servers := []string{"io0", "io1", "io2"}
+	states := []string{StateAlive, StateSuspect, StateDead}
+	dir := func() string { return dirs[rng.Intn(len(dirs))] }
+	file := func() string { return files[rng.Intn(len(files))] }
+	srv := func() string { return servers[rng.Intn(len(servers))] }
+
+	ops := []func() routerOp{
+		func() routerOp {
+			p := dir()
+			return routerOp{"mkdir " + p, func(r Router) (any, error) { return nil, r.Mkdir(p) }}
+		},
+		func() routerOp {
+			p := dir()
+			return routerOp{"rmdir " + p, func(r Router) (any, error) { return nil, r.Rmdir(p) }}
+		},
+		func() routerOp {
+			p := dir()
+			return routerOp{"readdir " + p, func(r Router) (any, error) {
+				ds, fs, err := r.ReadDir(p)
+				return [2][]string{ds, fs}, err
+			}}
+		},
+		func() routerOp {
+			p := dir()
+			return routerOp{"isdir " + p, func(r Router) (any, error) { return r.IsDir(p) }}
+		},
+		func() routerOp {
+			p := file()
+			fi := testFileInfo(p)
+			fi.Servers = []string{"io0", "io1"}
+			assign := [][]int{{0, 1}, {1, 0}, {0}, {1}}
+			return routerOp{"create " + p, func(r Router) (any, error) {
+				return nil, r.CreateReplicated(fi, assign)
+			}}
+		},
+		func() routerOp {
+			p := file()
+			return routerOp{"lookup " + p, func(r Router) (any, error) {
+				fi, rs, err := r.LookupReplicated(p)
+				return []any{fi, rs}, err
+			}}
+		},
+		func() routerOp {
+			p := file()
+			return routerOp{"stat " + p, func(r Router) (any, error) { return r.Stat(p) }}
+		},
+		func() routerOp {
+			return routerOp{"files", func(r Router) (any, error) { return r.Files() }}
+		},
+		func() routerOp {
+			p := file()
+			return routerOp{"remove " + p, func(r Router) (any, error) { return r.RemoveFile(p) }}
+		},
+		func() routerOp {
+			o, n := file(), file()
+			return routerOp{fmt.Sprintf("rename %s %s", o, n), func(r Router) (any, error) {
+				srvs, gen, err := r.RenameFile(o, n)
+				return []any{srvs, gen}, err
+			}}
+		},
+		func() routerOp {
+			p := file()
+			return routerOp{"nextgen " + p, func(r Router) (any, error) { return r.NextGeneration(p) }}
+		},
+		func() routerOp {
+			p, sz := file(), rng.Int63n(1<<20)
+			return routerOp{"setsize " + p, func(r Router) (any, error) { return nil, r.SetSize(p, sz) }}
+		},
+		func() routerOp {
+			p, perm := file(), rng.Intn(0o1000)
+			return routerOp{"setperm " + p, func(r Router) (any, error) { return nil, r.SetPerm(p, perm) }}
+		},
+		func() routerOp {
+			p := file()
+			return routerOp{"setowner " + p, func(r Router) (any, error) { return nil, r.SetOwner(p, "u2") }}
+		},
+		func() routerOp {
+			s := srv()
+			si := ServerInfo{Name: s, Capacity: 1 << 30, Performance: 1 + rng.Intn(3), Addr: s + ":1"}
+			return routerOp{"register " + s, func(r Router) (any, error) { return nil, r.RegisterServer(si) }}
+		},
+		func() routerOp {
+			s := srv()
+			return routerOp{"rmserver " + s, func(r Router) (any, error) { return nil, r.RemoveServer(s) }}
+		},
+		func() routerOp {
+			return routerOp{"servers", func(r Router) (any, error) { return r.Servers() }}
+		},
+		func() routerOp {
+			s := srv()
+			return routerOp{"failure " + s, func(r Router) (any, error) { return nil, r.ReportServerFailure(s) }}
+		},
+		func() routerOp {
+			s := srv()
+			return routerOp{"ok " + s, func(r Router) (any, error) { return nil, r.ReportServerOK(s) }}
+		},
+		func() routerOp {
+			s, st := srv(), states[rng.Intn(len(states))]
+			return routerOp{"setstate " + s, func(r Router) (any, error) { return nil, r.SetServerState(s, st) }}
+		},
+		func() routerOp {
+			return routerOp{"health", func(r Router) (any, error) { return r.ServerHealth() }}
+		},
+		func() routerOp {
+			return routerOp{"usage", func(r Router) (any, error) { return r.Usage() }}
+		},
+		func() routerOp {
+			return routerOp{"usedbytes", func(r Router) (any, error) { return r.UsedBytes() }}
+		},
+		func() routerOp {
+			s := srv()
+			return routerOp{"filesonserver " + s, func(r Router) (any, error) { return r.FilesOnServer(s) }}
+		},
+	}
+	return ops[rng.Intn(len(ops))]()
+}
+
+// TestRouterSingleShardEquivalence is the quickcheck satellite: a
+// ShardRouter over one catalog must behave exactly like the bare
+// catalog for every engine-visible operation — same results, same
+// errors — across 500 seeded random operation sequences.
+func TestRouterSingleShardEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 500; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+
+		dbA, dbB := metadb.Memory(), metadb.Memory()
+		direct := NewCatalog(dbA.Session())
+		routed := NewShardRouter(NewCatalog(dbB.Session()))
+		if err := direct.Init(); err != nil {
+			t.Fatal(err)
+		}
+		if err := routed.Init(); err != nil {
+			t.Fatal(err)
+		}
+
+		for i := 0; i < 30; i++ {
+			op := genRouterOp(rng)
+			wantRes, wantErr := op.run(direct)
+			gotRes, gotErr := op.run(routed)
+			if errString(wantErr) != errString(gotErr) {
+				t.Fatalf("seed %d op %d %s: direct err %v, routed err %v", seed, i, op.name, wantErr, gotErr)
+			}
+			if !reflect.DeepEqual(wantRes, gotRes) {
+				t.Fatalf("seed %d op %d %s:\ndirect %#v\nrouted %#v", seed, i, op.name, wantRes, gotRes)
+			}
+		}
+		dbA.Close()
+		dbB.Close()
+	}
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// shardFixture is a network-served catalog shard whose server can be
+// killed and revived on the same address.
+type shardFixture struct {
+	db   *metadb.DB
+	srv  *mdbnet.Server
+	addr string
+}
+
+func startShard(t *testing.T) *shardFixture {
+	t.Helper()
+	db := metadb.Memory()
+	srv, err := mdbnet.Listen(db, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return &shardFixture{db: db, srv: srv, addr: srv.Addr()}
+}
+
+// TestRouterShardFailureIsolation hammers a 2-shard router while shard
+// 1's server is killed and restarted: operations on paths homed on
+// shard 0 must never see an error, proving a shard failure stays
+// contained to the paths it homes. Run under -race this also shakes
+// out data races between the redialing client and concurrent users.
+func TestRouterShardFailureIsolation(t *testing.T) {
+	sh0, sh1 := startShard(t), startShard(t)
+
+	dialShard := func(f *shardFixture) *Catalog {
+		cli, err := mdbnet.Dial(f.addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { cli.Close() })
+		return NewCatalog(cli)
+	}
+	router := NewShardRouter(dialShard(sh0), dialShard(sh1))
+	if err := router.Init(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Find paths homed on each shard.
+	var p0, p1 string
+	for i := 0; p0 == "" || p1 == ""; i++ {
+		p := fmt.Sprintf("/iso-f%d.dat", i)
+		if ShardIndex(p, 2) == 0 {
+			if p0 == "" {
+				p0 = p
+			}
+		} else if p1 == "" {
+			p1 = p
+		}
+	}
+
+	const iters = 200
+	var wg sync.WaitGroup
+	wg.Add(2)
+	errCh := make(chan error, 1)
+	// Shard-0 hammer: must never fail, whatever happens to shard 1.
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			if _, err := router.NextGeneration(p0); err != nil {
+				select {
+				case errCh <- fmt.Errorf("iter %d: shard-0 op failed during shard-1 outage: %w", i, err):
+				default:
+				}
+				return
+			}
+		}
+	}()
+	// Shard-1 hammer: errors are expected mid-outage; just keep the
+	// failure path hot so the redial logic runs concurrently.
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			_, _ = router.NextGeneration(p1)
+		}
+	}()
+
+	if err := sh1.srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond) // let hammers run against the dead shard
+	srv, err := mdbnet.Listen(sh1.db, sh1.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	defer sh0.srv.Close()
+
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+
+	// After the restart the lazily-redialing client must reach shard 1
+	// again (retry: the first call after restart can still consume a
+	// conn broken mid-outage).
+	var lastErr error
+	for i := 0; i < 50; i++ {
+		if _, lastErr = router.NextGeneration(p1); lastErr == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if lastErr != nil {
+		t.Fatalf("shard 1 never recovered after restart: %v", lastErr)
+	}
+}

@@ -29,6 +29,26 @@ type Options struct {
 	// once the WAL grows past this size. Zero uses a default of 4 MiB;
 	// negative disables automatic checkpoints.
 	CheckpointBytes int64
+	// GroupCommit batches commit fsyncs: committers append their WAL
+	// records under the write lock (so WAL order stays commit order),
+	// then wait outside it for a shared fsync that covers their record.
+	// One committer leads each fsync; everyone appended before it
+	// started rides along. Durability is unchanged — a commit is not
+	// acknowledged until an fsync (or snapshot) covers it. Only
+	// meaningful together with Sync.
+	GroupCommit bool
+	// GroupCommitWait is how long a group-commit leader lingers for
+	// followers before issuing the shared fsync. Zero means no added
+	// wait: batches still form naturally from commits that arrive
+	// while an earlier fsync is in flight. Small values (hundreds of
+	// microseconds) trade a little latency for larger batches.
+	GroupCommitWait time.Duration
+	// SyncDelay models the storage device's per-fsync cost by sleeping
+	// that long before every WAL fsync. It exists for benchmarks and
+	// tests that need a deterministic device model independent of the
+	// host filesystem (the WAL analogue of netsim's wire classes);
+	// leave it zero in production.
+	SyncDelay time.Duration
 }
 
 // DB is an embedded relational database. It is safe for concurrent use
@@ -56,6 +76,12 @@ const (
 	MetricWALBytes       = "wal_bytes_total"
 	MetricWALFsyncs      = "wal_fsyncs_total"
 	MetricWALCheckpoints = "wal_checkpoints_total"
+	// MetricWALGroupCommits counts fsyncs that covered more than one
+	// commit (true group commits). MetricWALBatchSize is the
+	// dimensionless histogram of commits covered per group-commit
+	// fsync.
+	MetricWALGroupCommits = "wal_group_commits_total"
+	MetricWALBatchSize    = "wal_batch_size"
 )
 
 // QueryMetric names the latency histogram for a statement kind.
@@ -74,6 +100,9 @@ func Open(opts Options) (*DB, error) {
 			return nil, err
 		}
 		w.reg = db.reg
+		w.group = opts.GroupCommit && opts.Sync
+		w.groupWait = opts.GroupCommitWait
+		w.syncDelay = opts.SyncDelay
 		db.wal = w
 		if err := db.recover(); err != nil {
 			w.close()
@@ -283,12 +312,26 @@ func (s *Session) commit() (*Result, error) {
 	if !tx.locked {
 		return &Result{}, nil // read-only transaction
 	}
-	defer s.db.mu.Unlock()
-	if err := s.db.logCommit(tx.redo); err != nil {
+	wait, err := s.db.logCommit(tx.redo)
+	if err != nil {
 		// The WAL write failed; the safe reaction is to undo the
 		// in-memory effects so memory and disk stay consistent.
 		applyUndo(s.db, tx.undo)
+		s.db.mu.Unlock()
 		return nil, fmt.Errorf("metadb: commit failed, transaction rolled back: %w", err)
+	}
+	s.db.mu.Unlock()
+	if wait > 0 {
+		// Group commit: the record is appended (in commit order) but
+		// not yet fsynced. Wait outside the write lock for a shared
+		// fsync — or a snapshot — to cover it.
+		if err := s.db.wal.waitDurable(wait); err != nil {
+			// The shared fsync failed after the lock was released. The
+			// transaction is applied in memory and later transactions
+			// may already depend on it, so it cannot be rolled back;
+			// report that durability was not achieved.
+			return nil, fmt.Errorf("metadb: commit not durable: %w", err)
+		}
 	}
 	return &Result{}, nil
 }

@@ -267,14 +267,22 @@ func (s *Server) handle(conn net.Conn) {
 
 // Client is a connection to an mdbnet server. A Client owns one
 // database session; it is safe for concurrent use (statements are
-// serialized on the connection).
+// serialized on the connection). A broken connection heals itself: the
+// statement that observes the break fails, and the next statement
+// redials (getting a fresh server-side session). The failed statement
+// is never resent — a COMMIT whose acknowledgement was lost must not
+// be applied twice.
 type Client struct {
 	trace atomic.Pointer[obs.Span]
 
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
+	addr string
+	dial DialFunc
+
+	mu     sync.Mutex
+	conn   net.Conn // nil while broken (between a failure and the next redial)
+	enc    *gob.Encoder
+	dec    *gob.Decoder
+	closed bool
 }
 
 // SetTraceSpan makes subsequent statements record "metadb.rpc" child
@@ -287,6 +295,10 @@ func (c *Client) SetTraceSpan(parent *obs.Span) {
 	c.trace.Store(parent)
 }
 
+// DialFunc opens the transport for a client connection. Tests and
+// fault injectors substitute their own.
+type DialFunc func(addr string) (net.Conn, error)
+
 // Dial connects to an mdbnet server.
 func Dial(addr string) (*Client, error) {
 	return DialTimeout(addr, 10*time.Second)
@@ -294,11 +306,38 @@ func Dial(addr string) (*Client, error) {
 
 // DialTimeout connects with a dial timeout.
 func DialTimeout(addr string, d time.Duration) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, d)
+	return DialWith(addr, func(a string) (net.Conn, error) {
+		return net.DialTimeout("tcp", a, d)
+	})
+}
+
+// DialWith connects through a custom transport dialer and remembers
+// it for reconnects: when the connection later breaks (server restart,
+// injected fault), the next statement redials before executing.
+func DialWith(addr string, dial DialFunc) (*Client, error) {
+	c := &Client{addr: addr, dial: dial}
+	conn, err := dial(addr)
 	if err != nil {
 		return nil, fmt.Errorf("mdbnet: dial %s: %w", addr, err)
 	}
-	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+	c.attach(conn)
+	return c, nil
+}
+
+// attach installs a fresh transport connection.
+func (c *Client) attach(conn net.Conn) {
+	c.conn = conn
+	c.enc = gob.NewEncoder(conn)
+	c.dec = gob.NewDecoder(conn)
+}
+
+// dropLocked discards a broken connection so the next Exec redials.
+// Caller holds c.mu.
+func (c *Client) dropLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
 }
 
 // Exec sends one SQL statement and waits for its result.
@@ -313,13 +352,26 @@ func (c *Client) Exec(sql string) (*metadb.Result, error) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.conn == nil {
+	if c.closed {
 		if sp != nil {
 			sp.End()
 		}
 		return nil, errors.New("mdbnet: client closed")
 	}
+	if c.conn == nil {
+		// The previous statement broke the connection; reconnect with
+		// a fresh server-side session before sending this one.
+		conn, err := c.dial(c.addr)
+		if err != nil {
+			if sp != nil {
+				sp.End()
+			}
+			return nil, fmt.Errorf("mdbnet: redial %s: %w", c.addr, err)
+		}
+		c.attach(conn)
+	}
 	if err := c.enc.Encode(req); err != nil {
+		c.dropLocked()
 		if sp != nil {
 			sp.End()
 		}
@@ -327,6 +379,7 @@ func (c *Client) Exec(sql string) (*metadb.Result, error) {
 	}
 	var resp response
 	if err := c.dec.Decode(&resp); err != nil {
+		c.dropLocked()
 		if sp != nil {
 			sp.End()
 		}
@@ -359,10 +412,14 @@ func sqlKeyword(sql string) string {
 }
 
 // Close tears the connection down (aborting any open transaction on
-// the server side).
+// the server side) and disables reconnects.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
 	if c.conn == nil {
 		return nil
 	}

@@ -10,6 +10,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
+	"time"
 
 	"dpfs/internal/obs"
 )
@@ -53,6 +55,23 @@ type walFile struct {
 	size int64
 
 	reg *obs.Registry // owning DB's registry; nil only in unit tests
+
+	// Group-commit state. appended and durable are monotonic byte
+	// sequence numbers: unlike size they never rewind when a
+	// checkpoint resets the file, so a waiter's target stays
+	// meaningful across resets (a reset marks everything appended so
+	// far durable, because the snapshot supersedes it).
+	group     bool
+	groupWait time.Duration
+	syncDelay time.Duration
+	gcMu      sync.Mutex
+	gcCond    *sync.Cond // lazily created; guards the fields below
+	appended  int64      // bytes ever appended
+	durable   int64      // bytes covered by an fsync or snapshot
+	pending   int64      // commits appended since the last fsync
+	syncing   bool       // a leader's fsync is in flight
+	syncErr   error      // last failed fsync, covering appends <= errUpTo
+	errUpTo   int64
 }
 
 func openWAL(dir string, sync bool) (*walFile, error) {
@@ -95,8 +114,17 @@ func (w *walFile) append(rec commitRecord) error {
 		w.reg.Counter(MetricWALAppends).Inc()
 		w.reg.Counter(MetricWALBytes).Add(8 + int64(buf.Len()))
 	}
+	if w.group {
+		// Group commit: record the append and leave the fsync to the
+		// shared waitDurable path, outside the database write lock.
+		w.gcMu.Lock()
+		w.appended += 8 + int64(buf.Len())
+		w.pending++
+		w.gcMu.Unlock()
+		return nil
+	}
 	if w.sync {
-		if err := w.f.Sync(); err != nil {
+		if err := w.fsync(); err != nil {
 			return err
 		}
 		if w.reg != nil {
@@ -104,6 +132,80 @@ func (w *walFile) append(rec commitRecord) error {
 		}
 	}
 	return nil
+}
+
+// fsync flushes the WAL file, first paying the modeled device cost
+// when Options.SyncDelay is set.
+func (w *walFile) fsync() error {
+	if w.syncDelay > 0 {
+		time.Sleep(w.syncDelay)
+	}
+	return w.f.Sync()
+}
+
+// target returns the monotonic byte sequence number a group-commit
+// waiter must see durable. Caller holds walMu (so appended reflects
+// the caller's own record).
+func (w *walFile) target() int64 {
+	w.gcMu.Lock()
+	defer w.gcMu.Unlock()
+	return w.appended
+}
+
+// waitDurable blocks until an fsync or snapshot covers the given
+// sequence number, leading a shared fsync itself when none is in
+// flight. Callers hold no locks.
+func (w *walFile) waitDurable(target int64) error {
+	w.gcMu.Lock()
+	defer w.gcMu.Unlock()
+	if w.gcCond == nil {
+		w.gcCond = sync.NewCond(&w.gcMu)
+	}
+	for {
+		if w.durable >= target {
+			return nil
+		}
+		if w.syncErr != nil && target <= w.errUpTo {
+			return w.syncErr
+		}
+		if w.syncing {
+			w.gcCond.Wait()
+			continue
+		}
+		// Become the leader: optionally linger for followers, then
+		// fsync everything appended so far in one call.
+		w.syncing = true
+		if w.groupWait > 0 {
+			w.gcMu.Unlock()
+			time.Sleep(w.groupWait)
+			w.gcMu.Lock()
+		}
+		end := w.appended
+		batch := w.pending
+		w.pending = 0
+		w.gcMu.Unlock()
+		err := w.fsync()
+		w.gcMu.Lock()
+		w.syncing = false
+		if err != nil {
+			w.syncErr = err
+			if end > w.errUpTo {
+				w.errUpTo = end
+			}
+		} else {
+			if end > w.durable {
+				w.durable = end
+			}
+			if w.reg != nil {
+				w.reg.Counter(MetricWALFsyncs).Inc()
+				w.reg.Histogram(MetricWALBatchSize).Record(batch)
+				if batch > 1 {
+					w.reg.Counter(MetricWALGroupCommits).Inc()
+				}
+			}
+		}
+		w.gcCond.Broadcast()
+	}
 }
 
 // replay streams committed records to apply, stopping cleanly at a torn
@@ -144,12 +246,26 @@ func (w *walFile) replay(apply func(commitRecord) error) error {
 	return nil
 }
 
-// reset truncates the WAL to empty (after a snapshot).
+// reset truncates the WAL to empty (after a snapshot). In group mode
+// everything appended so far becomes durable — the freshly synced
+// snapshot supersedes the discarded records — so pending waiters are
+// released.
 func (w *walFile) reset() error {
 	if err := w.f.Truncate(0); err != nil {
 		return err
 	}
 	w.size = 0
+	if w.group {
+		w.gcMu.Lock()
+		w.durable = w.appended
+		w.pending = 0
+		w.syncErr = nil
+		w.errUpTo = 0
+		if w.gcCond != nil {
+			w.gcCond.Broadcast()
+		}
+		w.gcMu.Unlock()
+	}
 	if w.sync {
 		return w.f.Sync()
 	}
@@ -158,20 +274,28 @@ func (w *walFile) reset() error {
 
 // logCommit durably records a committed transaction's redo ops and
 // triggers an automatic checkpoint when the WAL has grown large.
-// Caller holds db.mu exclusively.
-func (db *DB) logCommit(redo []RedoOp) error {
+// Caller holds db.mu exclusively. In group-commit mode the returned
+// sequence number is > 0 and the caller must pass it to
+// wal.waitDurable after releasing db.mu; the record is appended here
+// (keeping WAL order equal to commit order) but not yet fsynced.
+func (db *DB) logCommit(redo []RedoOp) (int64, error) {
 	if db.wal == nil || len(redo) == 0 {
-		return nil
+		return 0, nil
 	}
 	db.walMu.Lock()
 	defer db.walMu.Unlock()
 	if err := db.wal.append(commitRecord{Ops: redo}); err != nil {
-		return err
+		return 0, err
 	}
 	if db.opts.CheckpointBytes > 0 && db.wal.size > db.opts.CheckpointBytes {
-		return db.snapshotLocked()
+		// The snapshot makes every appended record durable, so group
+		// committers have nothing to wait for.
+		return 0, db.snapshotLocked()
 	}
-	return nil
+	if db.wal.group {
+		return db.wal.target(), nil
+	}
+	return 0, nil
 }
 
 // checkpointLocked snapshots under db.mu.

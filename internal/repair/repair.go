@@ -105,15 +105,16 @@ type Report struct {
 	Files []FileRepair
 }
 
-// Runner executes repair runs against one catalog.
+// Runner executes repair runs against one catalog surface (a single
+// catalog or a shard router).
 type Runner struct {
-	cat     *meta.Catalog
+	cat     meta.Router
 	opts    Options
 	clients map[string]*server.Client // addr -> copy-traffic client
 }
 
 // New builds a Runner. Close it to drop pooled server connections.
-func New(cat *meta.Catalog, opts Options) *Runner {
+func New(cat meta.Router, opts Options) *Runner {
 	if opts.PingTimeout <= 0 {
 		opts.PingTimeout = 2 * time.Second
 	}
@@ -388,7 +389,7 @@ func (r *Runner) repairFile(ctx context.Context, path string, alive map[string]b
 		}
 	}
 
-	newGen, err := r.cat.NextGeneration()
+	newGen, err := r.cat.NextGeneration(fi.Path)
 	if err != nil {
 		fr.Err = err.Error()
 		return fr

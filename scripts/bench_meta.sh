@@ -1,0 +1,49 @@
+#!/bin/sh
+# bench_meta.sh — metadata commit-pipeline regression gate.
+#
+# Runs the meta ablation (16 concurrent clients creating small files —
+# an open-heavy workload where every create costs two durable catalog
+# commits — over 1 or 2 catalog shards with WAL fsync on every commit
+# and a modeled 4 ms per-fsync device cost; see bench.AblationMeta)
+# and records the table in BENCH_meta.json at the repo root, then
+# asserts the two properties the shard-ready metadata path is built
+# for: group commit amortizes fsyncs across concurrent committers
+# (>= 2x creates/s over fsync-per-txn on one shard) and path-hash
+# routing scales the commit pipeline (2 shards >= 1.4x one shard, both
+# without group commit so routing itself carries the win). Run it
+# after touching internal/metadb's WAL, meta.ShardRouter, or the
+# catalog transaction shapes in internal/meta.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== bench meta: writing BENCH_meta.json =="
+go run ./cmd/dpfs-bench -ablation meta -json > BENCH_meta.json
+cat BENCH_meta.json
+
+echo "== bench meta: asserting group-commit and shard scaling =="
+python3 - <<'EOF'
+import json
+
+rows = json.load(open("BENCH_meta.json"))
+rate = {r["variant"]: r["mbps"] for r in rows}  # creates per second
+
+base = rate["1 shard fsync/txn"]
+group = rate["1 shard group-commit"]
+two = rate["2 shards fsync/txn"]
+print(f"creates/s: 1 shard fsync/txn {base:.1f}, group-commit {group:.1f} "
+      f"({group / base:.2f}x), 2 shards fsync/txn {two:.1f} ({two / base:.2f}x)")
+
+# Group commit's win is the fsync batching factor: with 16 committers
+# feeding one WAL, whole batches share each modeled 4 ms fsync, so the
+# expected factor is well above the 2x floor (~4x in practice).
+if group < 2.0 * base:
+    raise SystemExit(
+        f"group commit {group:.1f} creates/s is below 2x the "
+        f"fsync-per-txn baseline {base:.1f}")
+# Two shards double the serial fsync pipelines; the floor is 1.4x to
+# absorb the unsharded work (server RPCs, broadcasts) both rows share.
+if two < 1.4 * base:
+    raise SystemExit(
+        f"2 shards {two:.1f} creates/s is below 1.4x the 1-shard "
+        f"baseline {base:.1f}")
+EOF

@@ -6,8 +6,9 @@
 #   4. race-enabled test suite
 #   5. seeded chaos suite under -race (fault injection e2e), plus a
 #      3-seed DPFS_CHAOS_SWEEP including the replica-failover mode
-#   6. dispatch + replica + wire bench smokes (BENCH_dispatch.json,
-#      BENCH_replica.json, BENCH_wire.json)
+#   6. dispatch + replica + wire + meta bench smokes
+#      (BENCH_dispatch.json, BENCH_replica.json, BENCH_wire.json,
+#      BENCH_meta.json)
 #   7. documentation lint (godoc coverage + markdown links)
 #   8. obslint: metric names vs the frozen manifest + Prometheus
 #      exposition validity (scripts/obslint.sh)
@@ -39,4 +40,5 @@ DPFS_CHAOS_SWEEP=3 go test -race -count=1 -run Chaos ./internal/fault
 sh scripts/bench_smoke.sh
 sh scripts/bench_replica.sh
 sh scripts/bench_wire.sh
+sh scripts/bench_meta.sh
 echo "== all checks passed =="
