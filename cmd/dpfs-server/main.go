@@ -21,10 +21,10 @@ import (
 	"net"
 	"os"
 	"os/signal"
-	"strings"
 	"syscall"
 	"time"
 
+	"dpfs"
 	"dpfs/internal/fault"
 	"dpfs/internal/meta"
 	"dpfs/internal/metadb/mdbnet"
@@ -38,7 +38,7 @@ func main() {
 	root := flag.String("root", "", "directory for subfile storage (required)")
 	name := flag.String("name", "", "server name in the catalog (default: the listen address)")
 	metaAddr := flag.String("meta", "", "metadata server address to register with (optional)")
-	metaAddrs := flag.String("meta-addrs", "", "comma-separated catalog shard addresses to register with (overrides -meta; the server is recorded on every shard)")
+	metaAddrs := flag.String("meta-addrs", "", "catalog shard addresses to register with (overrides -meta; the server is recorded on every shard); semicolons separate shards, commas a shard's replicas")
 	className := flag.String("class", "", "simulated storage class: class1, class2 or class3 (default: native speed)")
 	capacity := flag.Int64("capacity", 1<<30, "advertised capacity in bytes")
 	advertise := flag.String("advertise", "", "address to advertise in the catalog (default: the listen address)")
@@ -112,16 +112,28 @@ func main() {
 	registered := false
 	if regAddrs != "" {
 		// Register with every catalog shard: any shard must be able to
-		// resolve this server for the files it homes.
-		var clis []*mdbnet.Client
+		// resolve this server for the files it homes. Replicated shards
+		// get a failover connection that follows the group's primary.
+		var clis []interface{ Close() error }
 		shards := make([]meta.Router, 0, 1)
-		for _, a := range strings.Split(regAddrs, ",") {
-			cli, err := mdbnet.Dial(a)
+		for _, group := range dpfs.ParseMetaAddrs(regAddrs) {
+			var (
+				x   meta.Execer
+				err error
+			)
+			if len(group) == 1 {
+				x, err = mdbnet.Dial(group[0])
+			} else {
+				x, err = mdbnet.DialGroup(group, nil)
+			}
 			if err != nil {
 				fatal(fmt.Errorf("register: %w", err))
 			}
-			clis = append(clis, cli)
-			shards = append(shards, meta.NewCatalog(cli))
+			clis = append(clis, x.(interface{ Close() error }))
+			shards = append(shards, meta.NewCatalog(x))
+		}
+		if len(shards) == 0 {
+			fatal(fmt.Errorf("register: no catalog addresses in %q", regAddrs))
 		}
 		var cat meta.Router = shards[0]
 		if len(shards) > 1 {

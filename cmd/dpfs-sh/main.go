@@ -19,7 +19,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 	"time"
 
 	"dpfs"
@@ -32,7 +31,7 @@ const traceCap = 256
 
 func main() {
 	metaAddr := flag.String("meta", "127.0.0.1:7700", "metadata server address")
-	metaAddrs := flag.String("meta-addrs", "", "comma-separated catalog shard addresses (path-hash routed; overrides -meta; every client must list the same order)")
+	metaAddrs := flag.String("meta-addrs", "", "catalog shard addresses, path-hash routed (overrides -meta; every client must list the same order); semicolons separate shards, commas a shard's replicas: 'h1a,h1b;h2a' or legacy comma-only 'h1,h2'")
 	command := flag.String("c", "", "run one command and exit")
 	rank := flag.Int("rank", 0, "compute rank (drives staggered scheduling)")
 	cacheMB := flag.Int64("cache-mb", 0, "client data-cache budget in MiB (0 = cache off)")
@@ -51,11 +50,11 @@ func main() {
 		return
 	}
 
-	addrs := []string{*metaAddr}
+	groups := [][]string{{*metaAddr}}
 	if *metaAddrs != "" {
-		addrs = strings.Split(*metaAddrs, ",")
+		groups = dpfs.ParseMetaAddrs(*metaAddrs)
 	}
-	client, err := dpfs.ConnectShards(addrs, *rank, dpfs.Options{Combine: true, Stagger: true,
+	client, err := dpfs.ConnectGroups(groups, *rank, dpfs.Options{Combine: true, Stagger: true,
 		CacheBytes: *cacheMB << 20, MetaTTL: *metaTTL, Readahead: *readahead,
 		TraceSample: *traceSample, SlowRequest: time.Duration(*slowMS) * time.Millisecond,
 		WireV2: *wireV2})

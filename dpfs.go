@@ -30,6 +30,7 @@ import (
 	"context"
 	"errors"
 	"io"
+	"strings"
 
 	"dpfs/internal/core"
 	"dpfs/internal/meta"
@@ -122,11 +123,11 @@ func ReadStats() Stats { return core.ReadStats() }
 func ResetStats() { core.ResetStats() }
 
 // Client is a DPFS mount: one compute process's connection to the
-// metadata database (one or more catalog shards) and, lazily, to the
-// I/O servers.
+// metadata database (one or more catalog shards, each possibly a
+// replica group) and, lazily, to the I/O servers.
 type Client struct {
 	fs   *core.FS
-	mdbs []*mdbnet.Client
+	mdbs []interface{ Close() error }
 }
 
 // Connect dials the metadata server at metaAddr and returns a client
@@ -135,24 +136,87 @@ func Connect(metaAddr string, rank int, opts Options) (*Client, error) {
 	return ConnectShards([]string{metaAddr}, rank, opts)
 }
 
+// ParseMetaAddrs parses a -meta-addrs flag value into per-shard
+// replica address lists for ConnectGroups. Semicolons separate
+// shards; commas separate a shard's replicas:
+//
+//	"h1:9000"                      one shard, unreplicated
+//	"h1:9000,h2:9000"              two shards (legacy comma form)
+//	"h1a:9000,h1b:9000;h2a:9000"   shard 0 with two replicas, shard 1 with one
+//	"h1a:9000,h1b:9000;"           one shard with two replicas
+//
+// Without any semicolon the commas keep their historical meaning of
+// separating shards, so existing multi-shard invocations parse
+// unchanged; a single replicated shard therefore needs a trailing
+// semicolon. Empty elements are skipped.
+func ParseMetaAddrs(spec string) [][]string {
+	var groups [][]string
+	if !strings.Contains(spec, ";") {
+		for _, a := range strings.Split(spec, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				groups = append(groups, []string{a})
+			}
+		}
+		return groups
+	}
+	for _, g := range strings.Split(spec, ";") {
+		var reps []string
+		for _, a := range strings.Split(g, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				reps = append(reps, a)
+			}
+		}
+		if len(reps) > 0 {
+			groups = append(groups, reps)
+		}
+	}
+	return groups
+}
+
 // ConnectShards dials one catalog shard per address (in shard-index
 // order — every client must list the same addresses in the same
 // order) and returns a client whose catalog operations are path-hash
 // routed across them. One address behaves exactly like Connect.
 func ConnectShards(metaAddrs []string, rank int, opts Options) (*Client, error) {
-	if len(metaAddrs) == 0 {
-		return nil, errors.New("dpfs: ConnectShards needs at least one metadata address")
+	groups := make([][]string, len(metaAddrs))
+	for i, addr := range metaAddrs {
+		groups[i] = []string{addr}
+	}
+	return ConnectGroups(groups, rank, opts)
+}
+
+// ConnectGroups is ConnectShards for replicated catalogs: element i is
+// shard i's full replica address list (every client must list the
+// same shards, in the same order — replica order within a shard does
+// not matter). Shards with one address get a plain connection; shards
+// with several get a failover connection that follows the replica
+// group's primary across elections (see internal/metarepl). Use
+// ParseMetaAddrs to build the address lists from a flag string.
+func ConnectGroups(groups [][]string, rank int, opts Options) (*Client, error) {
+	if len(groups) == 0 {
+		return nil, errors.New("dpfs: ConnectGroups needs at least one metadata shard")
 	}
 	c := &Client{}
-	shards := make([]meta.Router, 0, len(metaAddrs))
-	for _, addr := range metaAddrs {
-		mdb, err := mdbnet.Dial(addr)
+	shards := make([]meta.Router, 0, len(groups))
+	for _, group := range groups {
+		var (
+			x   meta.Execer
+			err error
+		)
+		switch len(group) {
+		case 0:
+			err = errors.New("dpfs: empty replica address list")
+		case 1:
+			x, err = mdbnet.Dial(group[0])
+		default:
+			x, err = mdbnet.DialGroup(group, nil)
+		}
 		if err != nil {
 			c.closeMeta()
 			return nil, err
 		}
-		c.mdbs = append(c.mdbs, mdb)
-		shards = append(shards, meta.NewCatalog(mdb))
+		c.mdbs = append(c.mdbs, x.(interface{ Close() error }))
+		shards = append(shards, meta.NewCatalog(x))
 	}
 	var cat meta.Router
 	if len(shards) == 1 {

@@ -861,19 +861,26 @@ func runWireCase(ctx context.Context, cfg Config, c *cluster.Cluster, np int) (M
 // contrast is deterministic across host filesystems: group commit
 // amortizes that cost over whole batches, and a second shard doubles
 // the number of fsync pipelines. The shard rows keep group commit off
-// so routing itself carries the scaling. MBps abuses the field to
-// carry creates per second, as runCacheOpens does for opens.
+// so routing itself carries the scaling. A final row replicates the
+// shard three ways with majority acknowledgement, pricing the
+// durability upgrade of DESIGN.md §13 on the same workload. MBps
+// abuses the field to carry creates per second, as runCacheOpens does
+// for opens.
 func AblationMeta(ctx context.Context, cfg Config, np, io int) ([]Measurement, error) {
 	cfg = cfg.WithDefaults()
 	cases := []struct {
-		label  string
-		shards int
-		group  bool
+		label    string
+		shards   int
+		group    bool
+		replicas int
 	}{
-		{"1 shard fsync/txn", 1, false},
-		{"1 shard group-commit", 1, true},
-		{"2 shards fsync/txn", 2, false},
-		{"2 shards group-commit", 2, true},
+		{"1 shard fsync/txn", 1, false, 1},
+		{"1 shard group-commit", 1, true, 1},
+		{"2 shards fsync/txn", 2, false, 1},
+		{"2 shards group-commit", 2, true, 1},
+		// The replication tax: every create additionally waits for a
+		// majority of the R=3 group to hold it durably (DESIGN.md §13).
+		{"1 shard R=3 majority-ack", 1, true, 3},
 	}
 	var out []Measurement
 	for _, cs := range cases {
@@ -885,6 +892,7 @@ func AblationMeta(ctx context.Context, cfg Config, np, io int) ([]Measurement, e
 			MetaSyncDelay:   4 * time.Millisecond,
 			MetaShards:      cs.shards,
 			MetaGroupCommit: cs.group,
+			MetaReplicas:    cs.replicas,
 		})
 		if err != nil {
 			return nil, err

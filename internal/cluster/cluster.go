@@ -20,7 +20,9 @@ import (
 	"dpfs/internal/meta"
 	"dpfs/internal/metadb"
 	"dpfs/internal/metadb/mdbnet"
+	"dpfs/internal/metarepl"
 	"dpfs/internal/netsim"
+	"dpfs/internal/obs"
 	"dpfs/internal/repair"
 	"dpfs/internal/server"
 )
@@ -69,12 +71,27 @@ type Config struct {
 	// (metadb.Options.SyncDelay); benchmarks use it for a
 	// deterministic disk model.
 	MetaSyncDelay time.Duration
+	// MetaReplicas runs every catalog shard as an R-way replica group
+	// (internal/metarepl): replica 0 bootstraps as primary, the rest
+	// follow as warm standbys, and clients fail over by redirect. 0 or
+	// 1 runs unreplicated shards exactly as before.
+	MetaReplicas int
+	// MetaReplAck selects the replication acknowledgement quorum
+	// (majority by default).
+	MetaReplAck metarepl.Ack
+	// MetaHeartbeat and MetaElectionTimeout tune replication failover
+	// timing; zero uses the metarepl defaults.
+	MetaHeartbeat       time.Duration
+	MetaElectionTimeout time.Duration
+	// MetaEvents receives the replica groups' promotion/step-down/
+	// resync events (default: the process-wide obs.Events log).
+	MetaEvents *obs.EventLog
 }
 
 // Cluster is a running DPFS deployment.
 type Cluster struct {
-	// DB and MetaSrv are shard 0, which is the whole catalog in the
-	// default single-shard configuration.
+	// DB and MetaSrv are shard 0 (replica 0 when replicated), which is
+	// the whole catalog in the default single-shard configuration.
 	DB        *metadb.DB
 	MetaSrv   *mdbnet.Server
 	DBs       []*metadb.DB
@@ -82,8 +99,20 @@ type Cluster struct {
 	IOServers []*server.Server
 	Specs     []ServerSpec
 
-	mu      sync.Mutex // guards clients and MetaSrvs swaps
+	// Replica-group state, populated only with Config.MetaReplicas > 1:
+	// index [shard][replica]. DBs[i] and MetaSrvs[i] alias replica 0.
+	// Entries go nil while a replica is killed (KillMetaReplica).
+	Replicas [][]*metarepl.Replica
+	ReplDBs  [][]*metadb.DB
+	ReplSrvs [][]*mdbnet.Server
+
+	cfg       Config
+	replPeers [][]string // replication-stream addresses per shard
+	replSQL   [][]string // client SQL addresses per shard
+
+	mu      sync.Mutex // guards clients and server/replica slice swaps
 	clients []*mdbnet.Client
+	groups  []*mdbnet.GroupClient
 }
 
 // Start launches the metadata server and all I/O servers, registers
@@ -104,32 +133,16 @@ func Start(cfg Config) (*Cluster, error) {
 	if shards < 1 {
 		shards = 1
 	}
-	c := &Cluster{}
+	replicas := cfg.MetaReplicas
+	if replicas < 1 {
+		replicas = 1
+	}
+	c := &Cluster{cfg: cfg}
 	for i := 0; i < shards; i++ {
-		opts := metadb.Options{
-			Sync:        cfg.MetaSync,
-			GroupCommit: cfg.MetaGroupCommit,
-			SyncDelay:   cfg.MetaSyncDelay,
-		}
-		if cfg.DurableMeta {
-			if shards == 1 {
-				opts.Dir = filepath.Join(cfg.Dir, "meta")
-			} else {
-				opts.Dir = filepath.Join(cfg.Dir, fmt.Sprintf("meta%d", i))
-			}
-		}
-		db, err := metadb.Open(opts)
-		if err != nil {
+		if err := c.startMetaGroup(i, shards, replicas); err != nil {
 			c.Close()
 			return nil, err
 		}
-		c.DBs = append(c.DBs, db)
-		srv, err := mdbnet.Listen(db, "")
-		if err != nil {
-			c.Close()
-			return nil, err
-		}
-		c.MetaSrvs = append(c.MetaSrvs, srv)
 	}
 	c.DB = c.DBs[0]
 	c.MetaSrv = c.MetaSrvs[0]
@@ -187,30 +200,206 @@ func Start(cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
+// metaDBOptions builds shard i, replica j's database options. Durable
+// layouts keep the historical paths (meta, meta<i>) for unreplicated
+// clusters and use meta<i>r<j> per replica otherwise.
+func (c *Cluster) metaDBOptions(i, j, shards, replicas int) metadb.Options {
+	opts := metadb.Options{
+		Sync:        c.cfg.MetaSync,
+		GroupCommit: c.cfg.MetaGroupCommit,
+		SyncDelay:   c.cfg.MetaSyncDelay,
+	}
+	if c.cfg.DurableMeta {
+		switch {
+		case shards == 1 && replicas == 1:
+			opts.Dir = filepath.Join(c.cfg.Dir, "meta")
+		case replicas == 1:
+			opts.Dir = filepath.Join(c.cfg.Dir, fmt.Sprintf("meta%d", i))
+		default:
+			opts.Dir = filepath.Join(c.cfg.Dir, fmt.Sprintf("meta%dr%d", i, j))
+		}
+	}
+	return opts
+}
+
+// startMetaGroup launches catalog shard i: one database and SQL server
+// when unreplicated, a full metarepl replica group otherwise.
+func (c *Cluster) startMetaGroup(i, shards, replicas int) error {
+	var (
+		dbs  []*metadb.DB
+		srvs []*mdbnet.Server
+		liss []*mdbnet.ReplListener
+	)
+	// fail releases everything this call created that the cluster does
+	// not yet own.
+	fail := func(err error) error {
+		for _, l := range liss {
+			l.Close()
+		}
+		for _, s := range srvs {
+			s.Close()
+		}
+		for _, d := range dbs {
+			d.Close()
+		}
+		return err
+	}
+	peers := make([]string, 0, replicas)
+	if replicas > 1 {
+		// Replication listeners are bound first so every replica knows
+		// the full peer list before any of them starts.
+		for j := 0; j < replicas; j++ {
+			lis, err := mdbnet.ListenRepl("")
+			if err != nil {
+				return fail(err)
+			}
+			liss = append(liss, lis)
+			peers = append(peers, lis.Addr())
+		}
+	}
+	for j := 0; j < replicas; j++ {
+		db, err := metadb.Open(c.metaDBOptions(i, j, shards, replicas))
+		if err != nil {
+			return fail(err)
+		}
+		dbs = append(dbs, db)
+		srv, err := mdbnet.Listen(db, "")
+		if err != nil {
+			return fail(err)
+		}
+		srvs = append(srvs, srv)
+	}
+	c.DBs = append(c.DBs, dbs[0])
+	c.MetaSrvs = append(c.MetaSrvs, srvs[0])
+	c.ReplDBs = append(c.ReplDBs, dbs)
+	c.ReplSrvs = append(c.ReplSrvs, srvs)
+	if replicas == 1 {
+		c.Replicas = append(c.Replicas, nil)
+		c.replPeers = append(c.replPeers, nil)
+		c.replSQL = append(c.replSQL, []string{srvs[0].Addr()})
+		return nil
+	}
+
+	sqlAddrs := make([]string, replicas)
+	for j, s := range srvs {
+		sqlAddrs[j] = s.Addr()
+	}
+	reps := make([]*metarepl.Replica, replicas)
+	for j := 0; j < replicas; j++ {
+		rep, err := metarepl.New(metarepl.Config{
+			Name:            fmt.Sprintf("meta%d", i),
+			ID:              j,
+			Peers:           peers,
+			SQLAddrs:        sqlAddrs,
+			DB:              dbs[j],
+			Listener:        liss[j],
+			Ack:             c.cfg.MetaReplAck,
+			Heartbeat:       c.cfg.MetaHeartbeat,
+			ElectionTimeout: c.cfg.MetaElectionTimeout,
+			Events:          c.cfg.MetaEvents,
+		})
+		if err != nil {
+			// Replicas 0..j-1 own their listeners and are closed by
+			// Cluster.Close via the Replicas row below; the rest are
+			// still this call's to release.
+			for _, l := range liss[j:] {
+				l.Close()
+			}
+			c.Replicas = append(c.Replicas, reps[:j])
+			c.replPeers = append(c.replPeers, peers)
+			c.replSQL = append(c.replSQL, sqlAddrs)
+			return err
+		}
+		reps[j] = rep
+		srvs[j].SetGate(rep.Gate())
+	}
+	c.Replicas = append(c.Replicas, reps)
+	c.replPeers = append(c.replPeers, peers)
+	c.replSQL = append(c.replSQL, sqlAddrs)
+	// Fresh groups get replica 0 as the first primary; a group restarted
+	// on durable state already has an epoch and lets an election decide.
+	if epoch, _ := dbs[0].ReplEpoch(); epoch == 0 {
+		if err := reps[0].Bootstrap(); err != nil {
+			return err
+		}
+	}
+	for _, rep := range reps {
+		rep.Start()
+	}
+	return nil
+}
+
 // NewCatalog opens a fresh catalog connection to shard 0 through the
 // network metadata server (one database session per connection, as the
 // paper's clients each connect to POSTGRES). Single-shard clusters use
 // it as the whole catalog; multi-shard tests use it for direct
-// shard-0 inspection.
+// shard-0 inspection. On a replicated cluster the connection follows
+// the shard's primary across failovers.
 func (c *Cluster) NewCatalog() (*meta.Catalog, error) {
-	cli, err := mdbnet.Dial(c.MetaAddrs()[0])
+	x, err := c.dialShard(0, nil)
+	if err != nil {
+		return nil, err
+	}
+	return meta.NewCatalog(x), nil
+}
+
+// dialShard opens one catalog connection to shard i: a plain client
+// for unreplicated shards, a replica-group client otherwise. The
+// connection is tracked for Close.
+func (c *Cluster) dialShard(i int, dial mdbnet.DialFunc) (meta.Execer, error) {
+	c.mu.Lock()
+	addrs := append([]string(nil), c.replSQL[i]...)
+	c.mu.Unlock()
+	if len(addrs) == 1 {
+		var (
+			cli *mdbnet.Client
+			err error
+		)
+		if dial == nil {
+			cli, err = mdbnet.Dial(addrs[0])
+		} else {
+			cli, err = mdbnet.DialWith(addrs[0], dial)
+		}
+		if err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		c.clients = append(c.clients, cli)
+		c.mu.Unlock()
+		return cli, nil
+	}
+	g, err := mdbnet.DialGroup(addrs, dial)
 	if err != nil {
 		return nil, err
 	}
 	c.mu.Lock()
-	c.clients = append(c.clients, cli)
+	c.groups = append(c.groups, g)
 	c.mu.Unlock()
-	return meta.NewCatalog(cli), nil
+	return g, nil
 }
 
 // MetaAddrs returns every catalog shard's listen address in shard
-// order.
+// order (replica 0's address on replicated clusters; see
+// MetaGroupAddrs for the full replica lists).
 func (c *Cluster) MetaAddrs() []string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := make([]string, len(c.MetaSrvs))
 	for i, s := range c.MetaSrvs {
 		out[i] = s.Addr()
+	}
+	return out
+}
+
+// MetaGroupAddrs returns every catalog shard's full replica address
+// list (client SQL addresses), in shard then replica order — the
+// [][]string shape dpfs.ConnectGroups takes.
+func (c *Cluster) MetaGroupAddrs() [][]string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([][]string, len(c.replSQL))
+	for i, g := range c.replSQL {
+		out[i] = append([]string(nil), g...)
 	}
 	return out
 }
@@ -226,23 +415,16 @@ func (c *Cluster) NewRouter() (meta.Router, error) {
 // catalog connections (fault injectors wrap it in chaos tests); nil
 // uses the default TCP dialer.
 func (c *Cluster) NewRouterDial(dial mdbnet.DialFunc) (meta.Router, error) {
-	addrs := c.MetaAddrs()
-	shards := make([]meta.Router, len(addrs))
-	for i, addr := range addrs {
-		var cli *mdbnet.Client
-		var err error
-		if dial == nil {
-			cli, err = mdbnet.Dial(addr)
-		} else {
-			cli, err = mdbnet.DialWith(addr, dial)
-		}
+	c.mu.Lock()
+	n := len(c.replSQL)
+	c.mu.Unlock()
+	shards := make([]meta.Router, n)
+	for i := range shards {
+		x, err := c.dialShard(i, dial)
 		if err != nil {
 			return nil, err
 		}
-		c.mu.Lock()
-		c.clients = append(c.clients, cli)
-		c.mu.Unlock()
-		shards[i] = meta.NewCatalog(cli)
+		shards[i] = meta.NewCatalog(x)
 	}
 	if len(shards) == 1 {
 		return shards[0], nil
@@ -315,6 +497,117 @@ func (c *Cluster) RestartMetaShard(i int) error {
 	return nil
 }
 
+// KillMetaReplica kills shard i's replica j entirely: replication
+// core, SQL server and database all go down, modeling a metadata
+// server machine crash. With in-memory databases the replica's state
+// dies with it (a restart resyncs by snapshot); durable replicas
+// recover their own WAL. The cluster slot goes nil until
+// RestartMetaReplica.
+func (c *Cluster) KillMetaReplica(i, j int) error {
+	c.mu.Lock()
+	rep := c.Replicas[i][j]
+	srv := c.ReplSrvs[i][j]
+	db := c.ReplDBs[i][j]
+	c.Replicas[i][j] = nil
+	c.ReplSrvs[i][j] = nil
+	c.ReplDBs[i][j] = nil
+	c.mu.Unlock()
+	var firstErr error
+	if rep != nil {
+		firstErr = rep.Close()
+	}
+	if srv != nil {
+		if err := srv.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if db != nil {
+		if err := db.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// RestartMetaReplica brings a killed replica back on its previous
+// replication and SQL addresses. It rejoins as a follower (the durable
+// epoch, or a snapshot resync for in-memory state, catches it up);
+// elections decide whether it ever leads again.
+func (c *Cluster) RestartMetaReplica(i, j int) error {
+	c.mu.Lock()
+	shards := len(c.replSQL)
+	peers := c.replPeers[i]
+	sqlAddrs := c.replSQL[i]
+	replicas := len(peers)
+	c.mu.Unlock()
+	if replicas < 2 {
+		return fmt.Errorf("cluster: shard %d is not replicated", i)
+	}
+	db, err := metadb.Open(c.metaDBOptions(i, j, shards, replicas))
+	if err != nil {
+		return err
+	}
+	lis, err := mdbnet.ListenRepl(peers[j])
+	if err != nil {
+		db.Close()
+		return err
+	}
+	srv, err := mdbnet.Listen(db, sqlAddrs[j])
+	if err != nil {
+		lis.Close()
+		db.Close()
+		return err
+	}
+	rep, err := metarepl.New(metarepl.Config{
+		Name:            fmt.Sprintf("meta%d", i),
+		ID:              j,
+		Peers:           peers,
+		SQLAddrs:        sqlAddrs,
+		DB:              db,
+		Listener:        lis,
+		Ack:             c.cfg.MetaReplAck,
+		Heartbeat:       c.cfg.MetaHeartbeat,
+		ElectionTimeout: c.cfg.MetaElectionTimeout,
+		Events:          c.cfg.MetaEvents,
+	})
+	if err != nil {
+		srv.Close()
+		lis.Close()
+		db.Close()
+		return err
+	}
+	srv.SetGate(rep.Gate())
+	rep.Start()
+	c.mu.Lock()
+	c.Replicas[i][j] = rep
+	c.ReplSrvs[i][j] = srv
+	c.ReplDBs[i][j] = db
+	if j == 0 {
+		c.DBs[i] = db
+		c.MetaSrvs[i] = srv
+		if i == 0 {
+			c.DB = db
+			c.MetaSrv = srv
+		}
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// MetaPrimary returns shard i's current primary replica ID, or -1
+// while the group has none (mid-election, or unreplicated).
+func (c *Cluster) MetaPrimary(i int) int {
+	c.mu.Lock()
+	reps := c.Replicas[i]
+	c.mu.Unlock()
+	for j, rep := range reps {
+		if rep != nil && rep.Role() == metarepl.Primary {
+			return j
+		}
+	}
+	return -1
+}
+
 // ServerNames returns the registered I/O server names in launch
 // order.
 func (c *Cluster) ServerNames() []string {
@@ -325,16 +618,23 @@ func (c *Cluster) ServerNames() []string {
 	return out
 }
 
-// Close shuts everything down: catalog connections, I/O servers, the
-// metadata server and the database.
+// Close shuts everything down: catalog connections, I/O servers,
+// replica groups, the metadata servers and the databases.
 func (c *Cluster) Close() error {
 	var firstErr error
 	c.mu.Lock()
 	clients := c.clients
 	c.clients = nil
+	groups := c.groups
+	c.groups = nil
 	c.mu.Unlock()
 	for _, cli := range clients {
 		if err := cli.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, g := range groups {
+		if err := g.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -343,14 +643,34 @@ func (c *Cluster) Close() error {
 			firstErr = err
 		}
 	}
-	for _, srv := range c.MetaSrvs {
-		if err := srv.Close(); err != nil && firstErr == nil {
-			firstErr = err
+	for _, reps := range c.Replicas {
+		for _, rep := range reps {
+			if rep == nil {
+				continue
+			}
+			if err := rep.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
 		}
 	}
-	for _, db := range c.DBs {
-		if err := db.Close(); err != nil && firstErr == nil {
-			firstErr = err
+	for _, srvs := range c.ReplSrvs {
+		for _, srv := range srvs {
+			if srv == nil {
+				continue
+			}
+			if err := srv.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	for _, dbs := range c.ReplDBs {
+		for _, db := range dbs {
+			if db == nil {
+				continue
+			}
+			if err := db.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
 		}
 	}
 	return firstErr

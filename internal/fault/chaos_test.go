@@ -22,6 +22,7 @@ import (
 	"dpfs/internal/core"
 	"dpfs/internal/fault"
 	"dpfs/internal/meta"
+	"dpfs/internal/metarepl"
 	"dpfs/internal/obs"
 	"dpfs/internal/server"
 	"dpfs/internal/stripe"
@@ -740,6 +741,224 @@ func TestChaosMetaShard(t *testing.T) {
 		reg.Counter(server.MetricClientRetries).Value())
 }
 
+// startMetaReplChaosCluster is startChaosCluster with the catalog run
+// as one 3-way replica group with fast failover timeouts.
+func startMetaReplChaosCluster(t *testing.T, io int, inj *fault.Injector) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.Start(cluster.Config{
+		Servers: cluster.Uniform(io), Dir: t.TempDir(),
+		MetaReplicas:        3,
+		MetaHeartbeat:       10 * time.Millisecond,
+		MetaElectionTimeout: 80 * time.Millisecond,
+		MetaEvents:          obs.NewEventLog(128),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	for i, srv := range c.IOServers {
+		inj.SetLabel(srv.Addr(), c.Specs[i].Name)
+	}
+	return c
+}
+
+// runMetaReplChaosWorkload drives per-rank files through a replicated
+// catalog with the standard storm on the I/O conns, the delay storm on
+// the catalog conns, and the shard's primary killed mid-workload. A
+// failover aborts in-flight catalog transactions (the group client
+// surfaces mdbnet.ErrNotPrimary), so the catalog ops are retried at
+// the workload level with lost-ack tolerance, exactly as a real
+// MPI-IO launcher would. The audit then checks bytes fault-free and
+// that a promotion actually happened.
+func runMetaReplChaosWorkload(t *testing.T, c *cluster.Cluster, inj, metaInj *fault.Injector, np int) *obs.Registry {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	reg := obs.NewRegistry()
+	metaDial := func(addr string) (net.Conn, error) {
+		return metaInj.DialContext(ctx, addr)
+	}
+	opts := core.Options{
+		Combine: true, Stagger: true,
+		Dial: inj.DialContext, Retry: chaosRetry(),
+	}
+	retry := func(what string, op func() error) error {
+		var err error
+		for attempt := 0; attempt < 2000; attempt++ {
+			if err = op(); err == nil {
+				return nil
+			}
+			select {
+			case <-ctx.Done():
+				return fmt.Errorf("%s: gave up: %w", what, err)
+			case <-time.After(2 * time.Millisecond):
+			}
+		}
+		return fmt.Errorf("%s: still failing after 2000 attempts: %w", what, err)
+	}
+
+	const chunks = 8
+	perRank := int64(chaosN * chaosN / np)
+	chunkBytes := perRank / chunks
+	path := func(rank int) string { return fmt.Sprintf("/chaos-repl-r%d.dat", rank) }
+	var wg sync.WaitGroup
+	errs := make(chan error, np)
+	for p := 0; p < np; p++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			fs, err := c.NewFSMetaDial(rank, opts, metaDial)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer fs.Close()
+			fs.SetMetrics(reg)
+			// Create with lost-ack tolerance: a commit the old primary
+			// acknowledged before dying must not be recreated.
+			err = retry(fmt.Sprintf("rank %d create", rank), func() error {
+				f, err := fs.Create(path(rank), 1, []int64{perRank},
+					core.Hint{Level: stripe.LevelLinear, BrickBytes: chunkBytes})
+				if err != nil {
+					if f2, err2 := fs.Open(path(rank)); err2 == nil {
+						f2.Close()
+						return nil
+					}
+					return err
+				}
+				return f.Close()
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			data := rankBytes(rank, int(perRank))
+			for i := int64(0); i < chunks; i++ {
+				sub := stripe.NewSection([]int64{i * chunkBytes}, []int64{chunkBytes})
+				err := retry(fmt.Sprintf("rank %d chunk %d", rank, i), func() error {
+					f, err := fs.Open(path(rank))
+					if err != nil {
+						return err
+					}
+					defer f.Close()
+					return f.WriteSection(ctx, sub, data[i*chunkBytes:(i+1)*chunkBytes])
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+			err = retry(fmt.Sprintf("rank %d read", rank), func() error {
+				f, err := fs.Open(path(rank))
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				got := make([]byte, perRank)
+				if err := f.ReadSection(ctx, stripe.NewSection([]int64{0}, []int64{perRank}), got); err != nil {
+					return err
+				}
+				if !bytes.Equal(got, data) {
+					return fmt.Errorf("rank %d: faulty read diverges from fault-free truth", rank)
+				}
+				return nil
+			})
+			if err != nil {
+				errs <- err
+			}
+		}(p)
+	}
+
+	// Kill the primary mid-workload; the survivors elect and the group
+	// clients chase the new primary by redirect. The dead replica comes
+	// back as a follower while the workload is still running.
+	time.Sleep(20 * time.Millisecond)
+	primary := -1
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+		if primary = c.MetaPrimary(0); primary >= 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if primary < 0 {
+		t.Fatal("no primary to kill")
+	}
+	if err := c.KillMetaReplica(0, primary); err != nil {
+		t.Fatal(err)
+	}
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		if cur := c.MetaPrimary(0); cur >= 0 && cur != primary {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no new primary elected after the kill")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := c.RestartMetaReplica(0, primary); err != nil {
+		t.Fatal(err)
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Fault-free audit of the stored bytes.
+	cleanFS, err := c.NewFS(0, core.Options{Combine: true, Stagger: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanFS.Close()
+	for p := 0; p < np; p++ {
+		f, err := cleanFS.Open(path(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, perRank)
+		err = f.ReadSection(ctx, stripe.NewSection([]int64{0}, []int64{perRank}), got)
+		f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, rankBytes(p, int(perRank))) {
+			t.Fatalf("rank %d: stored bytes diverge from fault-free truth", p)
+		}
+	}
+	promotions := int64(0)
+	for _, rep := range c.Replicas[0] {
+		if rep != nil {
+			promotions += rep.Metrics().Counter(metarepl.MetricPromotions).Value()
+		}
+	}
+	if promotions == 0 {
+		t.Fatal("metarepl_promotions_total = 0 after a primary kill")
+	}
+	return reg
+}
+
+// TestChaosMetaRepl runs the metarepl mode once: a 3-way replicated
+// catalog, its primary killed mid-workload, the delay storm on catalog
+// conns and the standard storm on I/O conns.
+func TestChaosMetaRepl(t *testing.T) {
+	inj := fault.New(11, chaosRules()...)
+	metaInj := fault.New(12, metaChaosRules()...)
+	c := startMetaReplChaosCluster(t, 4, inj)
+	reg := runMetaReplChaosWorkload(t, c, inj, metaInj, 4)
+	if inj.Total() == 0 {
+		t.Fatal("the I/O fault schedule never fired")
+	}
+	if metaInj.Total() == 0 {
+		t.Fatal("the catalog fault schedule never fired")
+	}
+	if got := reg.Counter(server.MetricClientRetries).Value(); got == 0 {
+		t.Fatal("client_retries = 0, want > 0 under the storm")
+	}
+	t.Logf("io faults=%v meta faults=%v retries=%d", inj.Counts(), metaInj.Counts(),
+		reg.Counter(server.MetricClientRetries).Value())
+}
+
 // TestChaosSweep re-runs the sequential workload across many seeds.
 // Gated on DPFS_CHAOS_SWEEP (a seed count) because each seed is a full
 // cluster launch; `make chaos` runs it at 25.
@@ -769,6 +988,12 @@ func TestChaosSweep(t *testing.T) {
 			metaInj := fault.New(seed+3000, metaChaosRules()...)
 			c := startMetaShardChaosCluster(t, 4, inj)
 			runMetaShardChaosWorkload(t, c, inj, metaInj, 4)
+		})
+		t.Run(fmt.Sprintf("seed%d-metarepl", seed), func(t *testing.T) {
+			inj := fault.New(seed+4000, chaosRules()...)
+			metaInj := fault.New(seed+5000, metaChaosRules()...)
+			c := startMetaReplChaosCluster(t, 4, inj)
+			runMetaReplChaosWorkload(t, c, inj, metaInj, 4)
 		})
 	}
 }

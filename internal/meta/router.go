@@ -1,6 +1,7 @@
 package meta
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -360,14 +361,40 @@ func (r *ShardRouter) RemoveFile(path string) (FileInfo, error) {
 	return r.shard(path).RemoveFile(path)
 }
 
+// ErrCrossShardRename reports a rename whose source and destination
+// hash to different shards, which ShardRouter cannot perform (moving a
+// file's rows between shards needs a cross-shard transaction this
+// layer does not have). Match it with errors.Is(err,
+// ErrCrossShardRename); the returned error also carries both paths and
+// both shard indices for operators (errors.As with
+// *CrossShardRenameError).
+var ErrCrossShardRename = errors.New("meta: cross-shard rename not supported")
+
+// CrossShardRenameError is the concrete error behind
+// ErrCrossShardRename, naming the offending rename.
+type CrossShardRenameError struct {
+	OldPath, NewPath   string
+	OldShard, NewShard int
+}
+
+func (e *CrossShardRenameError) Error() string {
+	return fmt.Sprintf("meta: rename %s (shard %d) -> %s (shard %d): cross-shard rename not supported",
+		e.OldPath, e.OldShard, e.NewPath, e.NewShard)
+}
+
+// Is makes errors.Is(err, ErrCrossShardRename) match.
+func (e *CrossShardRenameError) Is(target error) bool { return target == ErrCrossShardRename }
+
 // RenameFile moves the file when source and destination hash to the
-// same shard; cross-shard renames are not supported yet (they need a
-// cross-shard transaction, which arrives with shard replication).
+// same shard; cross-shard renames fail with ErrCrossShardRename (they
+// need a cross-shard transaction this layer does not have).
 func (r *ShardRouter) RenameFile(oldPath, newPath string) (servers []string, gen int64, err error) {
 	oi := ShardIndex(oldPath, len(r.shards))
 	ni := ShardIndex(newPath, len(r.shards))
 	if oi != ni {
-		return nil, 0, fmt.Errorf("meta: rename %s -> %s crosses shards (%d -> %d): cross-shard rename not supported", oldPath, newPath, oi, ni)
+		return nil, 0, &CrossShardRenameError{
+			OldPath: oldPath, NewPath: newPath, OldShard: oi, NewShard: ni,
+		}
 	}
 	return r.shards[oi].RenameFile(oldPath, newPath)
 }

@@ -1,9 +1,11 @@
 package meta
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -320,5 +322,74 @@ func TestRouterShardFailureIsolation(t *testing.T) {
 	}
 	if lastErr != nil {
 		t.Fatalf("shard 1 never recovered after restart: %v", lastErr)
+	}
+}
+
+// TestCrossShardRenameTypedError pins the cross-shard rename failure
+// mode: the error must match ErrCrossShardRename via errors.Is and
+// name both paths and both shard indices so operators can see which
+// shards disagree.
+func TestCrossShardRenameTypedError(t *testing.T) {
+	shards := make([]Router, 2)
+	for i := range shards {
+		db := metadb.Memory()
+		t.Cleanup(func() { db.Close() })
+		c := NewCatalog(db.Session())
+		if err := c.Init(); err != nil {
+			t.Fatal(err)
+		}
+		shards[i] = c
+	}
+	router := NewShardRouter(shards...)
+
+	// Find a pair of paths homed on different shards.
+	oldPath := "/cross/a0.dat"
+	var newPath string
+	for i := 0; i < 256; i++ {
+		p := fmt.Sprintf("/cross/b%d.dat", i)
+		if ShardIndex(p, 2) != ShardIndex(oldPath, 2) {
+			newPath = p
+			break
+		}
+	}
+	if newPath == "" {
+		t.Fatal("no cross-shard path pair found")
+	}
+
+	_, _, err := router.RenameFile(oldPath, newPath)
+	if err == nil {
+		t.Fatal("cross-shard rename succeeded")
+	}
+	if !errors.Is(err, ErrCrossShardRename) {
+		t.Fatalf("error %v does not match ErrCrossShardRename", err)
+	}
+	var cerr *CrossShardRenameError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("error %T is not *CrossShardRenameError", err)
+	}
+	if cerr.OldPath != oldPath || cerr.NewPath != newPath {
+		t.Fatalf("error names paths %q -> %q, want %q -> %q", cerr.OldPath, cerr.NewPath, oldPath, newPath)
+	}
+	if cerr.OldShard == cerr.NewShard {
+		t.Fatalf("error reports equal shards %d -> %d", cerr.OldShard, cerr.NewShard)
+	}
+	for _, want := range []string{oldPath, newPath, fmt.Sprintf("shard %d", cerr.OldShard), fmt.Sprintf("shard %d", cerr.NewShard)} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error text %q missing %q", err, want)
+		}
+	}
+
+	// Same-shard renames must be unaffected by the guard (the catalog
+	// itself then reports the missing file).
+	samePath := ""
+	for i := 0; i < 256; i++ {
+		p := fmt.Sprintf("/cross/c%d.dat", i)
+		if ShardIndex(p, 2) == ShardIndex(oldPath, 2) {
+			samePath = p
+			break
+		}
+	}
+	if _, _, err := router.RenameFile(oldPath, samePath); errors.Is(err, ErrCrossShardRename) {
+		t.Fatalf("same-shard rename reported as cross-shard: %v", err)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dpfs/internal/obs"
@@ -65,6 +66,18 @@ type DB struct {
 	walMu sync.Mutex // serializes WAL appends and checkpoints (under mu)
 	wal   *walFile
 	opts  Options
+
+	// Replication state (DESIGN.md §13). replSeq is the 1-based
+	// sequence number of the last commit in the replicated log,
+	// replLastEpoch the epoch stamped on that commit, and replEpoch the
+	// epoch stamped on new commits. All three are guarded by mu;
+	// replEpoch is additionally persisted in <dir>/epoch together with
+	// the lease holder so a restarted replica cannot regress its term.
+	replSeq       int64
+	replLastEpoch int64
+	replEpoch     int64
+	replLeader    int
+	repl          atomic.Pointer[ReplHooks]
 }
 
 // Metadata database metric names. Per-statement-kind latency
@@ -105,6 +118,10 @@ func Open(opts Options) (*DB, error) {
 		w.syncDelay = opts.SyncDelay
 		db.wal = w
 		if err := db.recover(); err != nil {
+			w.close()
+			return nil, err
+		}
+		if err := db.loadEpoch(); err != nil {
 			w.close()
 			return nil, err
 		}
@@ -312,13 +329,19 @@ func (s *Session) commit() (*Result, error) {
 	if !tx.locked {
 		return &Result{}, nil // read-only transaction
 	}
-	wait, err := s.db.logCommit(tx.redo)
+	wait, seq, err := s.db.logCommit(tx.redo)
 	if err != nil {
 		// The WAL write failed; the safe reaction is to undo the
 		// in-memory effects so memory and disk stay consistent.
 		applyUndo(s.db, tx.undo)
 		s.db.mu.Unlock()
 		return nil, fmt.Errorf("metadb: commit failed, transaction rolled back: %w", err)
+	}
+	hooks := s.db.repl.Load()
+	if hooks != nil && hooks.Ship != nil && seq > 0 {
+		// Still under db.mu: ship order equals commit order. The hook
+		// only enqueues; network and fsync costs stay off this path.
+		hooks.Ship(seq, s.db.replEpoch, tx.redo)
 	}
 	s.db.mu.Unlock()
 	if wait > 0 {
@@ -331,6 +354,13 @@ func (s *Session) commit() (*Result, error) {
 			// may already depend on it, so it cannot be rolled back;
 			// report that durability was not achieved.
 			return nil, fmt.Errorf("metadb: commit not durable: %w", err)
+		}
+	}
+	if hooks != nil && hooks.Ack != nil && seq > 0 {
+		// Replication: the commit is locally durable but must not be
+		// acknowledged until enough replicas hold it (DESIGN.md §13).
+		if err := hooks.Ack(seq); err != nil {
+			return nil, fmt.Errorf("metadb: commit not replicated: %w", err)
 		}
 	}
 	return &Result{}, nil

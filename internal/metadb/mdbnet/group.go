@@ -1,0 +1,201 @@
+package mdbnet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dpfs/internal/metadb"
+	"dpfs/internal/obs"
+)
+
+// GroupClient is a client for one replicated catalog shard: it holds
+// the shard's full replica address list and keeps statements flowing
+// to whichever replica currently holds the primary lease (DESIGN.md
+// §13). Failover is driven by the two error classes the servers
+// produce:
+//
+//   - A NotPrimaryError rejection guarantees the statement never
+//     executed, so the client follows the redirect (or rotates to the
+//     next replica) and safely resends — unless a transaction is open,
+//     in which case the transaction is already doomed on the old
+//     primary and the error surfaces for the caller to retry whole.
+//   - A TransportError means the statement may have executed, so it is
+//     never resent (the same lost-ack COMMIT contract as Client); the
+//     client rotates its target so the *next* statement tries another
+//     replica.
+//
+// Statements are serialized, matching the one-session-per-connection
+// model.
+type GroupClient struct {
+	trace atomic.Pointer[obs.Span]
+
+	addrs []string
+	dial  DialFunc
+
+	mu     sync.Mutex
+	cur    int     // index of the believed primary
+	cli    *Client // connection to addrs[cur]; nil between failures
+	inTx   bool    // a BEGIN succeeded with no COMMIT/ROLLBACK yet
+	closed bool
+}
+
+// DialGroup connects to a replica group given its full address list
+// (the same list, in the same order, on every client). The initial
+// primary is resolved lazily by redirect; dialing succeeds as long as
+// one replica is reachable.
+func DialGroup(addrs []string, dial DialFunc) (*GroupClient, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("mdbnet: empty replica address list")
+	}
+	g := &GroupClient{addrs: addrs, dial: dial}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if err := g.connectLocked(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// connectLocked dials addrs[cur], advancing through the list until one
+// replica accepts. Caller holds g.mu.
+func (g *GroupClient) connectLocked() error {
+	var last error
+	for range g.addrs {
+		var (
+			cli *Client
+			err error
+		)
+		if g.dial != nil {
+			cli, err = DialWith(g.addrs[g.cur], g.dial)
+		} else {
+			cli, err = Dial(g.addrs[g.cur])
+		}
+		if err == nil {
+			g.cli = cli
+			cli.SetTraceSpan(g.trace.Load())
+			return nil
+		}
+		last = err
+		g.cur = (g.cur + 1) % len(g.addrs)
+	}
+	return fmt.Errorf("mdbnet: no replica reachable in %v: %w", g.addrs, last)
+}
+
+// dropLocked abandons the current connection (aborting any server-side
+// transaction) so the next statement reconnects. Caller holds g.mu.
+func (g *GroupClient) dropLocked() {
+	if g.cli != nil {
+		g.cli.Close()
+		g.cli = nil
+	}
+	g.inTx = false
+}
+
+// retarget points the client at a redirect address when it is in the
+// replica list, or at the next replica otherwise. Caller holds g.mu.
+func (g *GroupClient) retargetLocked(redirect string) {
+	if redirect != "" {
+		for i, a := range g.addrs {
+			if a == redirect {
+				g.cur = i
+				return
+			}
+		}
+	}
+	g.cur = (g.cur + 1) % len(g.addrs)
+}
+
+// SetTraceSpan forwards trace context to the current and all future
+// replica connections (same contract as Client.SetTraceSpan).
+func (g *GroupClient) SetTraceSpan(parent *obs.Span) {
+	g.trace.Store(parent)
+	g.mu.Lock()
+	if g.cli != nil {
+		g.cli.SetTraceSpan(parent)
+	}
+	g.mu.Unlock()
+}
+
+// Exec sends one SQL statement to the current primary, following
+// not-primary redirects.
+func (g *GroupClient) Exec(sql string) (*metadb.Result, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return nil, errors.New("mdbnet: client closed")
+	}
+	var lastErr error
+	// One redirect per replica plus one rotation covers any single
+	// failover; beyond that the group is unstable and the caller
+	// should see the error.
+	for attempt := 0; attempt <= len(g.addrs); attempt++ {
+		if g.cli == nil {
+			if err := g.connectLocked(); err != nil {
+				return nil, err
+			}
+		}
+		res, err := g.cli.Exec(sql)
+		if err == nil {
+			g.trackTx(sql)
+			return res, nil
+		}
+		lastErr = err
+		var te *TransportError
+		if errors.As(err, &te) {
+			// May have executed: never resend. Rotate so the next
+			// statement tries another replica, and abandon the
+			// connection (the server aborts any open transaction).
+			g.dropLocked()
+			g.cur = (g.cur + 1) % len(g.addrs)
+			return nil, err
+		}
+		if redirect, ok := ParseNotPrimary(err.Error()); ok {
+			if g.inTx {
+				// The statement was rejected, but earlier statements of
+				// this transaction ran on the deposed primary; drop the
+				// connection (aborting them there) and surface the
+				// error so the caller retries the transaction whole.
+				g.dropLocked()
+				g.retargetLocked(redirect)
+				return nil, fmt.Errorf("%w (transaction aborted by failover): %v", ErrNotPrimary, err)
+			}
+			// Never executed: safe to resend at the new target.
+			g.dropLocked()
+			g.retargetLocked(redirect)
+			continue
+		}
+		// An ordinary SQL error from the primary.
+		g.trackTx(sql)
+		return nil, err
+	}
+	return nil, fmt.Errorf("%w: no stable primary: %v", ErrNotPrimary, lastErr)
+}
+
+// trackTx follows the session's transaction state by statement
+// keyword. Caller holds g.mu.
+func (g *GroupClient) trackTx(sql string) {
+	switch sqlKeyword(sql) {
+	case "begin":
+		g.inTx = true
+	case "commit", "rollback":
+		g.inTx = false
+	}
+}
+
+// Close tears down the current connection and disables reconnects.
+func (g *GroupClient) Close() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return nil
+	}
+	g.closed = true
+	if g.cli != nil {
+		err := g.cli.Close()
+		g.cli = nil
+		return err
+	}
+	return nil
+}

@@ -70,6 +70,22 @@ type Server struct {
 	closed   bool
 	draining bool
 	wg       sync.WaitGroup
+
+	gate atomic.Pointer[func() error]
+}
+
+// SetGate installs a per-statement admission check: when it returns an
+// error, the statement is rejected with that error instead of reaching
+// the database. A replica group uses this to bounce SQL off followers
+// with a NotPrimaryError redirect (DESIGN.md §13); nil removes the
+// gate. Rejected statements are never executed, so clients may safely
+// resend them elsewhere.
+func (s *Server) SetGate(gate func() error) {
+	if gate == nil {
+		s.gate.Store(nil)
+		return
+	}
+	s.gate.Store(&gate)
 }
 
 // connState tracks whether a connection is mid-statement, so a drain
@@ -231,6 +247,21 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		st.busy = true
 		s.mu.Unlock()
+		if g := s.gate.Load(); g != nil {
+			if gerr := (*g)(); gerr != nil {
+				s.reg.Counter(MetricRequests).Inc()
+				s.reg.Counter(MetricErrors).Inc()
+				err := enc.Encode(&response{Err: gerr.Error()})
+				s.mu.Lock()
+				st.busy = false
+				drain := s.draining
+				s.mu.Unlock()
+				if err != nil || drain {
+					return
+				}
+				continue
+			}
+		}
 		var resp response
 		var sp *obs.Span
 		if req.TraceID != 0 && req.Sampled {
@@ -366,7 +397,7 @@ func (c *Client) Exec(sql string) (*metadb.Result, error) {
 			if sp != nil {
 				sp.End()
 			}
-			return nil, fmt.Errorf("mdbnet: redial %s: %w", c.addr, err)
+			return nil, &TransportError{Op: "redial", Addr: c.addr, Err: err}
 		}
 		c.attach(conn)
 	}
@@ -375,7 +406,7 @@ func (c *Client) Exec(sql string) (*metadb.Result, error) {
 		if sp != nil {
 			sp.End()
 		}
-		return nil, fmt.Errorf("mdbnet: send: %w", err)
+		return nil, &TransportError{Op: "send", Addr: c.addr, Err: err}
 	}
 	var resp response
 	if err := c.dec.Decode(&resp); err != nil {
@@ -383,7 +414,7 @@ func (c *Client) Exec(sql string) (*metadb.Result, error) {
 		if sp != nil {
 			sp.End()
 		}
-		return nil, fmt.Errorf("mdbnet: receive: %w", err)
+		return nil, &TransportError{Op: "receive", Addr: c.addr, Err: err}
 	}
 	if sp != nil {
 		sp.End()

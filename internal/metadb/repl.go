@@ -1,0 +1,241 @@
+package metadb
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// This file is the database side of metadata replication (DESIGN.md
+// §13). The DB itself knows nothing about networks or elections — it
+// only exposes the four capabilities a log-replication core needs:
+//
+//   - a commit hook called in commit order with each committed
+//     transaction's redo ops (ReplHooks.Ship), plus an acknowledgement
+//     gate that can hold a commit until a majority of replicas is
+//     durable (ReplHooks.Ack);
+//   - an apply path for shipped records (ApplyShipped) that keeps the
+//     follower's own WAL as its durability story;
+//   - a durable epoch (SetReplEpoch) so a restarted replica cannot
+//     vote or accept records at a term it already moved past;
+//   - full-state transfer (StateSnapshot/RestoreSnapshot) for
+//     followers too far behind — or too diverged — to stream.
+
+// ReplHooks connects a DB acting as a replica-group primary to the
+// replication core. Ship is called under the database write lock
+// immediately after the commit's WAL append, so ship order equals WAL
+// order equals commit order; it must only enqueue. Ack is called after
+// local durability, outside all locks; commit blocks until it returns
+// and reports its error as "commit not replicated".
+type ReplHooks struct {
+	Ship func(seq, epoch int64, ops []RedoOp)
+	Ack  func(seq int64) error
+}
+
+// SetReplHooks installs or clears (nil) the primary-side replication
+// hooks. In-flight commits that already loaded the previous hooks
+// finish with them.
+func (db *DB) SetReplHooks(h *ReplHooks) { db.repl.Store(h) }
+
+// ReplState returns the replicated-log position: the sequence number
+// of the last commit applied to this database and the epoch stamped on
+// it. (0, 0) means the log is empty.
+func (db *DB) ReplState() (seq, lastEpoch int64) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.replSeq, db.replLastEpoch
+}
+
+// ReplEpoch returns the durable epoch and the replica ID holding the
+// primary lease for it.
+func (db *DB) ReplEpoch() (epoch int64, leader int) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.replEpoch, db.replLeader
+}
+
+// SetReplEpoch durably records a new epoch and its lease holder. New
+// commits are stamped with the new epoch. Epochs never regress: a
+// smaller value than the current one is an error.
+func (db *DB) SetReplEpoch(epoch int64, leader int) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return errors.New("metadb: database closed")
+	}
+	if epoch < db.replEpoch {
+		return fmt.Errorf("metadb: epoch regression %d -> %d", db.replEpoch, epoch)
+	}
+	db.replEpoch = epoch
+	db.replLeader = leader
+	return db.writeEpochLocked()
+}
+
+// writeEpochLocked persists "<epoch> <leader>" to <dir>/epoch with an
+// fsync (atomic via rename). In-memory databases keep it in memory
+// only. Caller holds db.mu.
+func (db *DB) writeEpochLocked() error {
+	if db.opts.Dir == "" {
+		return nil
+	}
+	tmp := filepath.Join(db.opts.Dir, "epoch.tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(f, "%d %d\n", db.replEpoch, db.replLeader); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(db.opts.Dir, "epoch"))
+}
+
+// loadEpoch restores the durable epoch on open; a missing file means
+// epoch 0 (never part of a replica group, or created pre-replication).
+func (db *DB) loadEpoch() error {
+	data, err := os.ReadFile(filepath.Join(db.opts.Dir, "epoch"))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Sscanf(string(data), "%d %d", &db.replEpoch, &db.replLeader); err != nil {
+		return fmt.Errorf("metadb: corrupt epoch file: %w", err)
+	}
+	return nil
+}
+
+// ErrSeqGap reports a shipped record that does not directly extend the
+// replica's log; the shipper reacts with a snapshot resync.
+type ErrSeqGap struct {
+	Have int64 // last applied sequence number
+	Want int64 // sequence number of the rejected record
+}
+
+func (e *ErrSeqGap) Error() string {
+	return fmt.Sprintf("metadb: shipped record %d does not extend log at %d", e.Want, e.Have)
+}
+
+// ApplyShipped applies one shipped commit record on a follower: the
+// redo ops mutate the tables and the record lands in the follower's
+// own WAL, so follower durability works exactly like primary
+// durability. The returned wait target is the group-commit watermark —
+// pass it to WaitWAL before acknowledging the record (0 means the
+// append is already as durable as Options demand). A seq that is not
+// exactly ReplState()+1 fails with *ErrSeqGap.
+func (db *DB) ApplyShipped(seq, epoch int64, ops []RedoOp) (int64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return 0, errors.New("metadb: database closed")
+	}
+	if seq != db.replSeq+1 {
+		return 0, &ErrSeqGap{Have: db.replSeq, Want: seq}
+	}
+	if err := db.applyRedo(ops); err != nil {
+		return 0, fmt.Errorf("metadb: apply shipped record %d: %w", seq, err)
+	}
+	db.replSeq = seq
+	db.replLastEpoch = epoch
+	if db.wal == nil {
+		return 0, nil
+	}
+	db.walMu.Lock()
+	defer db.walMu.Unlock()
+	if err := db.wal.append(commitRecord{Seq: seq, Epoch: epoch, Ops: ops}); err != nil {
+		return 0, err
+	}
+	if db.opts.CheckpointBytes > 0 && db.wal.size > db.opts.CheckpointBytes {
+		return 0, db.snapshotLocked()
+	}
+	if db.wal.group {
+		return db.wal.target(), nil
+	}
+	return 0, nil
+}
+
+// WaitWAL blocks until the WAL is durable up to the given wait target
+// returned by ApplyShipped (a no-op for 0 or in-memory databases).
+// Waiting outside ApplyShipped lets a follower keep applying records
+// while a shared fsync is in flight — the same batching the primary
+// gets from group commit.
+func (db *DB) WaitWAL(wait int64) error {
+	if wait == 0 || db.wal == nil {
+		return nil
+	}
+	return db.wal.waitDurable(wait)
+}
+
+// StateSnapshot serializes the full database state, including the
+// replicated-log position, for shipping to a follower that cannot be
+// caught up record by record.
+func (db *DB) StateSnapshot() ([]byte, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, errors.New("metadb: database closed")
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(db.buildSnapshotLocked()); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreSnapshot replaces the entire database state with a shipped
+// snapshot, discarding any divergent local history. On a durable
+// database the snapshot is persisted and the WAL reset, so a crash
+// right after restore recovers the restored state.
+func (db *DB) RestoreSnapshot(data []byte) error {
+	var rec snapshotRecord
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&rec); err != nil {
+		return fmt.Errorf("metadb: corrupt shipped snapshot: %w", err)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return errors.New("metadb: database closed")
+	}
+	tables := make(map[string]*Table, len(rec.Tables))
+	for _, dump := range rec.Tables {
+		t, err := NewTable(dump.Name, dump.Cols)
+		if err != nil {
+			return err
+		}
+		for i, rid := range dump.RowIDs {
+			t.insert(dump.Rows[i], rid)
+		}
+		if dump.NextRow > t.nextRow {
+			t.nextRow = dump.NextRow
+		}
+		for _, ix := range dump.Indexes {
+			if err := t.createIndex(ix.Name, ix.Col); err != nil {
+				return err
+			}
+		}
+		tables[dump.Name] = t
+	}
+	db.tables = tables
+	db.replSeq = rec.Seq
+	db.replLastEpoch = rec.Epoch
+	if db.wal == nil {
+		return nil
+	}
+	db.walMu.Lock()
+	defer db.walMu.Unlock()
+	return db.writeSnapshotLocked(rec)
+}

@@ -1,0 +1,168 @@
+package metadb
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// shippedRecord is one captured Ship-hook call: what a primary's
+// replication core would put on the wire.
+type shippedRecord struct {
+	seq, epoch int64
+	ops        []RedoOp
+}
+
+// shipBatch builds a primary at epoch 1 with the Ship hook installed,
+// commits one CREATE plus `inserts` single-row commits, and returns
+// the primary and the captured records in commit order.
+func shipBatch(t *testing.T, inserts int) (*DB, []shippedRecord) {
+	t.Helper()
+	primary, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { primary.Close() })
+	if err := primary.SetReplEpoch(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	var records []shippedRecord
+	primary.SetReplHooks(&ReplHooks{
+		Ship: func(seq, epoch int64, ops []RedoOp) {
+			records = append(records, shippedRecord{seq: seq, epoch: epoch, ops: ops})
+		},
+		Ack: func(int64) error { return nil },
+	})
+	s := primary.Session()
+	mustExec(t, s, `CREATE TABLE t (id INT PRIMARY KEY, v TEXT)`)
+	for i := 0; i < inserts; i++ {
+		mustExec(t, s, fmt.Sprintf(`INSERT INTO t VALUES (%d, 'v%d')`, i, i))
+	}
+	if len(records) != inserts+1 {
+		t.Fatalf("captured %d shipped records, want %d", len(records), inserts+1)
+	}
+	return primary, records
+}
+
+// applyRecords ships records[from:] onto the follower, settling each
+// record's group-commit wait target.
+func applyRecords(t *testing.T, db *DB, records []shippedRecord, from int64) {
+	t.Helper()
+	for _, rec := range records {
+		if rec.seq <= from {
+			continue
+		}
+		wait, err := db.ApplyShipped(rec.seq, rec.epoch, rec.ops)
+		if err != nil {
+			t.Fatalf("apply record %d: %v", rec.seq, err)
+		}
+		if err := db.WaitWAL(wait); err != nil {
+			t.Fatalf("wait record %d: %v", rec.seq, err)
+		}
+	}
+}
+
+// dumpT reads the full contents of table t for comparison.
+func dumpT(t *testing.T, db *DB) [][]Value {
+	t.Helper()
+	res, err := db.Exec(`SELECT id, v FROM t ORDER BY id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Rows
+}
+
+// TestShippedWALCrashAtEveryRecordBoundary is the WAL-shipping crash
+// quickcheck of DESIGN.md §13: a follower that crashes at any record
+// boundary (and just before one — a torn append) during a shipped
+// batch must recover its position from its own WAL, reject records
+// that do not extend it with *ErrSeqGap, and converge byte-for-byte
+// with the primary once the remainder of the batch is re-shipped.
+func TestShippedWALCrashAtEveryRecordBoundary(t *testing.T) {
+	const inserts = 6
+	primary, records := shipBatch(t, inserts)
+	wantRows := dumpT(t, primary)
+	wantSeq, wantLast := primary.ReplState()
+
+	// A reference follower applies the whole batch; its WAL bytes are
+	// the crash corpus.
+	refDir := t.TempDir()
+	ref := openDir(t, refDir)
+	applyRecords(t, ref, records, 0)
+	// Crash without Close: the WAL is the only durable state.
+	wal, err := os.ReadFile(filepath.Join(refDir, "wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ends := walRecordEnds(t, wal)
+	if len(ends) != len(records) {
+		t.Fatalf("follower WAL holds %d records, want %d", len(ends), len(records))
+	}
+
+	base := t.TempDir()
+	cuts := []int64{0}
+	for _, end := range ends {
+		cuts = append(cuts, end-1, end) // torn tail, then clean boundary
+	}
+	for i, cut := range cuts {
+		dir := filepath.Join(base, fmt.Sprintf("cut%d", i))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "wal"), wal[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		db, err := Open(Options{Dir: dir})
+		if err != nil {
+			t.Fatalf("cut %d: recovery failed: %v", cut, err)
+		}
+		complete := int64(0)
+		for _, end := range ends {
+			if end <= cut {
+				complete++
+			}
+		}
+		seq, _ := db.ReplState()
+		if seq != complete {
+			t.Fatalf("cut %d: recovered to seq %d, want %d", cut, seq, complete)
+		}
+
+		// A record that skips ahead must be rejected with a gap error,
+		// never silently applied out of order.
+		if seq+2 <= int64(len(records)) {
+			skip := records[seq+1]
+			var gap *ErrSeqGap
+			if _, err := db.ApplyShipped(skip.seq, skip.epoch, skip.ops); !errors.As(err, &gap) {
+				t.Fatalf("cut %d: out-of-order record %d gave %v, want *ErrSeqGap", cut, skip.seq, err)
+			} else if gap.Have != seq || gap.Want != skip.seq {
+				t.Fatalf("cut %d: gap error %+v, want have=%d want=%d", cut, gap, seq, skip.seq)
+			}
+		}
+
+		// Re-ship the remainder: the follower must converge exactly.
+		applyRecords(t, db, records, seq)
+		gotSeq, gotLast := db.ReplState()
+		if gotSeq != wantSeq || gotLast != wantLast {
+			t.Fatalf("cut %d: converged to (%d, %d), want (%d, %d)", cut, gotSeq, gotLast, wantSeq, wantLast)
+		}
+		if got := dumpT(t, db); !reflect.DeepEqual(got, wantRows) {
+			t.Fatalf("cut %d: rows diverged:\n got %v\nwant %v", cut, got, wantRows)
+		}
+
+		// The converged follower must survive one more crash/recover
+		// cycle with nothing left to re-ship.
+		if err := db.Close(); err != nil {
+			t.Fatalf("cut %d: close: %v", cut, err)
+		}
+		db2 := openDir(t, dir)
+		if seq2, _ := db2.ReplState(); seq2 != wantSeq {
+			t.Fatalf("cut %d: reopen lost records: seq %d, want %d", cut, seq2, wantSeq)
+		}
+		if err := db2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

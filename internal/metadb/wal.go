@@ -27,10 +27,20 @@ import (
 // discarded).
 
 type commitRecord struct {
-	Ops []RedoOp
+	// Seq is the record's 1-based position in the replicated log and
+	// Epoch the primary term that produced it (DESIGN.md §13). Both are
+	// zero in WALs written before replication existed; recovery treats
+	// that as "counting starts now".
+	Seq   int64
+	Epoch int64
+	Ops   []RedoOp
 }
 
 type snapshotRecord struct {
+	// Seq/Epoch of the last commit record the snapshot covers, so the
+	// replicated-log position survives WAL truncation.
+	Seq   int64
+	Epoch int64
 	Tables []tableDump
 }
 
@@ -274,28 +284,39 @@ func (w *walFile) reset() error {
 
 // logCommit durably records a committed transaction's redo ops and
 // triggers an automatic checkpoint when the WAL has grown large.
-// Caller holds db.mu exclusively. In group-commit mode the returned
-// sequence number is > 0 and the caller must pass it to
-// wal.waitDurable after releasing db.mu; the record is appended here
-// (keeping WAL order equal to commit order) but not yet fsynced.
-func (db *DB) logCommit(redo []RedoOp) (int64, error) {
-	if db.wal == nil || len(redo) == 0 {
-		return 0, nil
+// Caller holds db.mu exclusively. The first return is the group-commit
+// wait target: when > 0 the caller must pass it to wal.waitDurable
+// after releasing db.mu — the record is appended here (keeping WAL
+// order equal to commit order) but not yet fsynced. The second return
+// is the commit's replicated-log sequence number (0 for empty
+// commits): logCommit advances it under db.mu so log order, WAL order
+// and commit order all agree.
+func (db *DB) logCommit(redo []RedoOp) (int64, int64, error) {
+	if len(redo) == 0 {
+		return 0, 0, nil
+	}
+	seq := db.replSeq + 1
+	if db.wal == nil {
+		db.replSeq = seq
+		db.replLastEpoch = db.replEpoch
+		return 0, seq, nil
 	}
 	db.walMu.Lock()
 	defer db.walMu.Unlock()
-	if err := db.wal.append(commitRecord{Ops: redo}); err != nil {
-		return 0, err
+	if err := db.wal.append(commitRecord{Seq: seq, Epoch: db.replEpoch, Ops: redo}); err != nil {
+		return 0, 0, err
 	}
+	db.replSeq = seq
+	db.replLastEpoch = db.replEpoch
 	if db.opts.CheckpointBytes > 0 && db.wal.size > db.opts.CheckpointBytes {
 		// The snapshot makes every appended record durable, so group
 		// committers have nothing to wait for.
-		return 0, db.snapshotLocked()
+		return 0, seq, db.snapshotLocked()
 	}
 	if db.wal.group {
-		return db.wal.target(), nil
+		return db.wal.target(), seq, nil
 	}
-	return 0, nil
+	return 0, seq, nil
 }
 
 // checkpointLocked snapshots under db.mu.
@@ -308,7 +329,13 @@ func (db *DB) checkpointLocked() error {
 // snapshotLocked writes the full database state atomically and resets
 // the WAL. Caller holds both db.mu and db.walMu.
 func (db *DB) snapshotLocked() error {
-	rec := snapshotRecord{}
+	return db.writeSnapshotLocked(db.buildSnapshotLocked())
+}
+
+// buildSnapshotLocked captures the full database state as a snapshot
+// record. Caller holds at least db.mu for reading.
+func (db *DB) buildSnapshotLocked() snapshotRecord {
+	rec := snapshotRecord{Seq: db.replSeq, Epoch: db.replLastEpoch}
 	for _, name := range db.tableNamesLocked() {
 		t := db.tables[name]
 		dump := tableDump{Name: t.Name, Cols: t.Cols, NextRow: t.nextRow}
@@ -327,6 +354,12 @@ func (db *DB) snapshotLocked() error {
 		}
 		rec.Tables = append(rec.Tables, dump)
 	}
+	return rec
+}
+
+// writeSnapshotLocked persists a snapshot record atomically and resets
+// the WAL. Caller holds both db.mu and db.walMu.
+func (db *DB) writeSnapshotLocked(rec snapshotRecord) error {
 	tmp := filepath.Join(db.wal.dir, "snapshot.tmp")
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -395,10 +428,22 @@ func (db *DB) recover() error {
 			}
 			db.tables[dump.Name] = t
 		}
+		db.replSeq = rec.Seq
+		db.replLastEpoch = rec.Epoch
 	} else if !errors.Is(err, os.ErrNotExist) {
 		return err
 	}
-	return db.wal.replay(func(rec commitRecord) error { return db.applyRedo(rec.Ops) })
+	return db.wal.replay(func(rec commitRecord) error {
+		if rec.Seq > db.replSeq {
+			db.replSeq = rec.Seq
+			db.replLastEpoch = rec.Epoch
+		} else if rec.Seq == 0 {
+			// Pre-replication record: count it so the log position
+			// still reflects every commit.
+			db.replSeq++
+		}
+		return db.applyRedo(rec.Ops)
+	})
 }
 
 // applyRedo replays committed operations during recovery.

@@ -1,0 +1,122 @@
+package metarepl
+
+import (
+	"time"
+
+	"dpfs/internal/metadb/mdbnet"
+)
+
+// This file is failover: a follower that stops hearing from its
+// primary campaigns at the next epoch. Campaign timing is staggered by
+// replica ID — replica i tolerates ElectionTimeout + i*ElectionTimeout/2
+// of silence — so after a primary death the lowest live replica
+// normally reaches a majority before anyone else even starts, making
+// failover deterministic in the common case without weakening the
+// vote-safety rules that handle the races.
+
+func (r *Replica) electionLoop() {
+	defer r.wg.Done()
+	silence := r.cfg.ElectionTimeout + time.Duration(r.cfg.ID)*r.cfg.ElectionTimeout/2
+	tick := time.NewTicker(r.cfg.ElectionTimeout / 8)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-tick.C:
+		}
+		r.mu.Lock()
+		quiet := r.role == Follower && !r.closed && time.Since(r.lastHeard) > silence
+		r.mu.Unlock()
+		if quiet {
+			r.campaign()
+		}
+	}
+}
+
+// campaign runs one election round at the next epoch. The self-vote is
+// made durable before any request goes out, so a crashed-and-restarted
+// candidate cannot hand its epoch's vote to someone else.
+func (r *Replica) campaign() {
+	r.mu.Lock()
+	if r.closed || r.role != Follower {
+		r.mu.Unlock()
+		return
+	}
+	newEpoch := r.epoch + 1
+	r.mu.Unlock()
+
+	if err := r.db.SetReplEpoch(newEpoch, -1); err != nil {
+		return // a higher epoch landed durably first; retry later
+	}
+	r.mu.Lock()
+	if r.closed || newEpoch < r.epoch {
+		r.mu.Unlock()
+		return
+	}
+	r.epoch = newEpoch
+	r.leader = -1
+	r.lastHeard = time.Now() // one full round before escalating again
+	r.mu.Unlock()
+
+	seq, last := r.db.ReplState()
+	replies := make(chan *mdbnet.ReplMsg, len(r.cfg.Peers))
+	for id, addr := range r.cfg.Peers {
+		if id == r.cfg.ID {
+			continue
+		}
+		go func(addr string) {
+			conn, err := mdbnet.DialRepl(addr, r.cfg.Dial)
+			if err != nil {
+				replies <- nil
+				return
+			}
+			defer conn.Close()
+			if err := conn.Send(&mdbnet.ReplMsg{
+				Kind: mdbnet.ReplVoteReq, From: r.cfg.ID, Epoch: newEpoch,
+				Seq: seq, LastEpoch: last,
+			}); err != nil {
+				replies <- nil
+				return
+			}
+			m, err := conn.Recv()
+			if err != nil || m.Kind != mdbnet.ReplVote {
+				replies <- nil
+				return
+			}
+			replies <- m
+		}(addr)
+	}
+
+	grants := 1 // the durable self-vote
+	pending := len(r.cfg.Peers) - 1
+	round := time.After(r.cfg.ElectionTimeout)
+	for grants < r.quorum() && pending > 0 {
+		select {
+		case m := <-replies:
+			pending--
+			if m == nil {
+				continue
+			}
+			if m.Ok {
+				grants++
+			} else if m.Epoch > newEpoch {
+				r.stepTo(m.Epoch, -1, false)
+				return
+			}
+		case <-round:
+			pending = 0
+		case <-r.stop:
+			return
+		}
+	}
+	if grants < r.quorum() {
+		return // split or dead round; the next timeout campaigns higher
+	}
+	r.mu.Lock()
+	won := !r.closed && r.epoch == newEpoch && r.role == Follower
+	r.mu.Unlock()
+	if won {
+		_ = r.becomePrimary(newEpoch, true)
+	}
+}

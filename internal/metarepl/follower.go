@@ -1,0 +1,226 @@
+package metarepl
+
+import (
+	"fmt"
+	"time"
+
+	"dpfs/internal/metadb/mdbnet"
+)
+
+// This file is the serving half of a replica: every inbound
+// replication connection is either a vote request (answered and
+// closed) or a shipping stream from the primary (applied until it
+// breaks). Both paths enforce epoch fencing — anything from an epoch
+// older than ours is rejected with the newer epoch so the deposed
+// sender steps down.
+
+func (r *Replica) acceptLoop() {
+	defer r.wg.Done()
+	for {
+		conn, err := r.lis.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		r.wg.Add(1)
+		go r.handleConn(conn)
+	}
+}
+
+func (r *Replica) handleConn(conn *mdbnet.ReplConn) {
+	defer r.wg.Done()
+	defer conn.Close()
+	if !r.track(conn) {
+		return
+	}
+	defer r.untrack(conn)
+	m, err := conn.Recv()
+	if err != nil {
+		return
+	}
+	switch m.Kind {
+	case mdbnet.ReplVoteReq:
+		r.handleVote(conn, m)
+	case mdbnet.ReplHello:
+		r.handleStream(conn, m)
+	}
+}
+
+// handleVote answers one vote request. A vote is granted only when
+// both election-safety conditions hold (DESIGN.md §13):
+//
+//   - the candidate's epoch is strictly newer than any epoch this
+//     replica has seen — and the adoption is durable before the grant
+//     leaves, so one epoch can never collect two votes from the same
+//     replica, not even across a crash;
+//   - the candidate's log position (last record epoch, then sequence
+//     number) is at least this replica's, so every majority-durable
+//     record survives into any electable candidate.
+func (r *Replica) handleVote(conn *mdbnet.ReplConn, m *mdbnet.ReplMsg) {
+	r.mu.Lock()
+	cur := r.epoch
+	r.mu.Unlock()
+	if m.Epoch <= cur {
+		_ = conn.Send(&mdbnet.ReplMsg{Kind: mdbnet.ReplVote, From: r.cfg.ID, Epoch: cur, Ok: false})
+		return
+	}
+	seq, last := r.db.ReplState()
+	grant := m.LastEpoch > last || (m.LastEpoch == last && m.Seq >= seq)
+	if grant {
+		// Adopt the epoch (durably, inside stepTo) before replying;
+		// granting also resets the election clock so the voter gives
+		// the candidate a full round before campaigning itself.
+		r.stepTo(m.Epoch, -1, true)
+		r.mu.Lock()
+		grant = r.epoch == m.Epoch // a yet-higher epoch may have raced in
+		cur = r.epoch
+		r.mu.Unlock()
+	}
+	_ = conn.Send(&mdbnet.ReplMsg{Kind: mdbnet.ReplVote, From: r.cfg.ID, Epoch: cur, Ok: grant})
+}
+
+// handleStream serves one shipping stream from a primary: handshake
+// (report our durable position, or receive a snapshot), then apply
+// records in order. Applying and acknowledging are pipelined — the
+// receive loop hands each applied record's group-commit wait target to
+// an acker goroutine, so the follower keeps applying while a shared
+// fsync is in flight and its WAL batches exactly like the primary's.
+func (r *Replica) handleStream(conn *mdbnet.ReplConn, hello *mdbnet.ReplMsg) {
+	r.mu.Lock()
+	cur := r.epoch
+	amPrimary := r.role == Primary
+	r.mu.Unlock()
+	if hello.Epoch < cur || (hello.Epoch == cur && amPrimary) {
+		_ = conn.Send(&mdbnet.ReplMsg{
+			Kind: mdbnet.ReplError, From: r.cfg.ID, Epoch: cur,
+			Err: fmt.Sprintf("metarepl: stale epoch %d (current %d)", hello.Epoch, cur),
+		})
+		return
+	}
+	r.stepTo(hello.Epoch, hello.From, true)
+	r.mu.Lock()
+	adopted := r.epoch == hello.Epoch
+	cur = r.epoch
+	wait := r.applyWait
+	r.mu.Unlock()
+	if !adopted {
+		_ = conn.Send(&mdbnet.ReplMsg{
+			Kind: mdbnet.ReplError, From: r.cfg.ID, Epoch: cur,
+			Err: fmt.Sprintf("metarepl: stale epoch %d (current %d)", hello.Epoch, cur),
+		})
+		return
+	}
+
+	// Handshake ack: report a position that is proven durable. Records
+	// applied by an earlier stream may still await their shared fsync,
+	// so settle the outstanding wait target first.
+	if err := r.db.WaitWAL(wait); err != nil {
+		return
+	}
+	seq, last := r.db.ReplState()
+	r.setDurable(seq)
+	if err := conn.Send(&mdbnet.ReplMsg{
+		Kind: mdbnet.ReplAck, From: r.cfg.ID, Epoch: hello.Epoch, Seq: seq, LastEpoch: last,
+	}); err != nil {
+		return
+	}
+
+	type applied struct{ seq, wait int64 }
+	ackCh := make(chan applied, 256)
+	ackerDone := make(chan struct{})
+	go func() {
+		defer close(ackerDone)
+		for p := range ackCh {
+			if err := r.db.WaitWAL(p.wait); err != nil {
+				return
+			}
+			r.setDurable(p.seq)
+			if err := conn.Send(&mdbnet.ReplMsg{
+				Kind: mdbnet.ReplAck, From: r.cfg.ID, Epoch: hello.Epoch, Seq: p.seq,
+			}); err != nil {
+				return
+			}
+		}
+	}()
+	defer func() {
+		close(ackCh)
+		<-ackerDone
+	}()
+
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		r.mu.Lock()
+		cur = r.epoch
+		r.lastHeard = time.Now()
+		r.mu.Unlock()
+		if cur > hello.Epoch {
+			// A newer primary took over mid-stream; fence this one off.
+			_ = conn.Send(&mdbnet.ReplMsg{
+				Kind: mdbnet.ReplError, From: r.cfg.ID, Epoch: cur,
+				Err: fmt.Sprintf("metarepl: stale epoch %d (current %d)", hello.Epoch, cur),
+			})
+			return
+		}
+		switch m.Kind {
+		case mdbnet.ReplRecord:
+			w, err := r.db.ApplyShipped(m.Seq, m.Epoch, m.Ops)
+			if err != nil {
+				// Sequence gap or apply failure: drop the stream; the
+				// primary re-handshakes and resyncs by snapshot.
+				return
+			}
+			r.noteApplyWait(w)
+			select {
+			case ackCh <- applied{seq: m.Seq, wait: w}:
+			case <-ackerDone:
+				return
+			}
+		case mdbnet.ReplSnapshot:
+			if err := r.db.RestoreSnapshot(m.Snap); err != nil {
+				return
+			}
+			sseq, slast := r.db.ReplState()
+			r.setDurable(sseq)
+			if err := conn.Send(&mdbnet.ReplMsg{
+				Kind: mdbnet.ReplAck, From: r.cfg.ID, Epoch: hello.Epoch, Seq: sseq, LastEpoch: slast,
+			}); err != nil {
+				return
+			}
+		case mdbnet.ReplHeartbeat:
+			// Re-ack the durable watermark so the primary's lag gauge
+			// stays honest through quiet periods.
+			r.mu.Lock()
+			dseq := r.durableSeq
+			r.mu.Unlock()
+			if err := conn.Send(&mdbnet.ReplMsg{
+				Kind: mdbnet.ReplAck, From: r.cfg.ID, Epoch: hello.Epoch, Seq: dseq,
+			}); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// noteApplyWait records an in-flight group-commit wait target so a
+// future handshake can settle it before reporting durability.
+func (r *Replica) noteApplyWait(wait int64) {
+	if wait == 0 {
+		return
+	}
+	r.mu.Lock()
+	if wait > r.applyWait {
+		r.applyWait = wait
+	}
+	r.mu.Unlock()
+}
+
+// setDurable raises the proven-durable watermark.
+func (r *Replica) setDurable(seq int64) {
+	r.mu.Lock()
+	if seq > r.durableSeq {
+		r.durableSeq = seq
+	}
+	r.mu.Unlock()
+}

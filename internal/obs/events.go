@@ -53,6 +53,15 @@ const (
 	// configured slow-request threshold; the event carries the
 	// stitched trace rendering.
 	EventSlowRequest = "slow_request"
+	// EventMetaPromotion fires when a catalog replica wins an election
+	// and takes over as its shard's primary (DESIGN.md §13).
+	EventMetaPromotion = "meta_promotion"
+	// EventMetaStepDown fires when a catalog primary discovers a
+	// higher epoch and demotes itself to follower.
+	EventMetaStepDown = "meta_step_down"
+	// EventMetaResync fires when a follower's log cannot be extended
+	// record by record and the primary ships a full snapshot instead.
+	EventMetaResync = "meta_resync"
 )
 
 // Event is one structured entry in the cluster event log.

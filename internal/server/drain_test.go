@@ -91,7 +91,16 @@ func TestShutdownDeadlineForces(t *testing.T) {
 		})
 		done <- err
 	}()
-	time.Sleep(100 * time.Millisecond)
+	// Wait until the server has actually claimed the write (dispatch
+	// bumps requests_total on entry) — a fixed sleep races with loaded
+	// machines, and a Shutdown before the claim drains gracefully.
+	claimDeadline := time.Now().Add(10 * time.Second)
+	for srv.Metrics().Counter(MetricRequests).Value() == 0 {
+		if time.Now().After(claimDeadline) {
+			t.Fatal("write never reached the server")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
 	defer cancel()

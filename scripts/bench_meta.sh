@@ -10,9 +10,12 @@
 # for: group commit amortizes fsyncs across concurrent committers
 # (>= 2x creates/s over fsync-per-txn on one shard) and path-hash
 # routing scales the commit pipeline (2 shards >= 1.4x one shard, both
-# without group commit so routing itself carries the win). Run it
-# after touching internal/metadb's WAL, meta.ShardRouter, or the
-# catalog transaction shapes in internal/meta.
+# without group commit so routing itself carries the win). A final
+# row prices DESIGN.md §13 replication: the same workload against an
+# R=3 majority-ack replica group must still commit (> 0 creates/s,
+# reported as the replication tax against plain group commit). Run it
+# after touching internal/metadb's WAL, meta.ShardRouter, the
+# catalog transaction shapes in internal/meta, or internal/metarepl.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -46,4 +49,14 @@ if two < 1.4 * base:
     raise SystemExit(
         f"2 shards {two:.1f} creates/s is below 1.4x the 1-shard "
         f"baseline {base:.1f}")
+
+# The replication row prices DESIGN.md §13: same workload, same group
+# commit, but every txn also waits for a majority of an R=3 group to
+# be durable. It must keep committing; the tax vs plain group commit
+# is reported so regressions are visible in review diffs.
+repl = rate["1 shard R=3 majority-ack"]
+print(f"replication tax: R=3 majority-ack {repl:.1f} creates/s "
+      f"({repl / group:.2f}x of group-commit)")
+if repl <= 0:
+    raise SystemExit("R=3 majority-ack row recorded no completed creates")
 EOF

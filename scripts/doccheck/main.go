@@ -8,6 +8,10 @@
 //     have a doc comment.
 //  2. Markdown link integrity: relative links in the repo's top-level
 //     markdown files must point at files that exist.
+//  3. Flag-table parity: every flag a command under cmd/ registers
+//     must have a row in that command's README flag table, and every
+//     row must name a registered flag — stale docs and undocumented
+//     flags both fail.
 //
 // Any violation is printed as file:line and the process exits 1.
 package main
@@ -32,6 +36,7 @@ func main() {
 	var problems []string
 	problems = append(problems, checkGoDocs(root)...)
 	problems = append(problems, checkMarkdownLinks(root)...)
+	problems = append(problems, checkFlagTables(root)...)
 	for _, p := range problems {
 		fmt.Println(p)
 	}
@@ -157,6 +162,143 @@ func exportedRecv(recv *ast.FieldList) bool {
 			return false
 		}
 	}
+}
+
+// flagTableIntro matches the line introducing a command's flag table
+// in README.md, e.g. "`dpfs-meta` flags:". The table rows follow.
+var flagTableIntro = regexp.MustCompile("^`([a-z0-9-]+)` flags:$")
+
+// flagTableRow extracts the flag name from a README table row like
+// "| `-meta ADDR` | 127.0.0.1:7700 | metadata database address |".
+var flagTableRow = regexp.MustCompile("^\\| `-([a-zA-Z0-9-]+)")
+
+// checkFlagTables cross-checks flag registrations in cmd/*/main.go
+// against the per-command flag tables in README.md, in both
+// directions: a registered flag missing from the table is an
+// undocumented knob; a table row naming no registered flag is stale
+// documentation.
+func checkFlagTables(root string) []string {
+	var problems []string
+	readme := filepath.Join(root, "README.md")
+	data, err := os.ReadFile(readme)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v", readme, err)}
+	}
+
+	// README side: command -> flag name -> line number of its row.
+	documented := map[string]map[string]int{}
+	cmd := ""
+	for i, line := range strings.Split(string(data), "\n") {
+		if m := flagTableIntro.FindStringSubmatch(line); m != nil {
+			cmd = m[1]
+			documented[cmd] = map[string]int{}
+			continue
+		}
+		if cmd == "" {
+			continue
+		}
+		if m := flagTableRow.FindStringSubmatch(line); m != nil {
+			documented[cmd][m[1]] = i + 1
+		} else if strings.TrimSpace(line) != "" && !strings.HasPrefix(line, "|") {
+			cmd = "" // table ended
+		}
+	}
+
+	// Source side: every cmd/<name> package's flag registrations.
+	cmdDir := filepath.Join(root, "cmd")
+	entries, err := os.ReadDir(cmdDir)
+	if err != nil {
+		return append(problems, fmt.Sprintf("%s: %v", cmdDir, err))
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		registered := registeredFlags(filepath.Join(cmdDir, name), &problems)
+		table := documented[name]
+		if table == nil {
+			if len(registered) > 0 {
+				problems = append(problems,
+					fmt.Sprintf("%s: no \"`%s` flags:\" table in README.md", readme, name))
+			}
+			continue
+		}
+		for flagName, pos := range registered {
+			if _, ok := table[flagName]; !ok {
+				problems = append(problems,
+					fmt.Sprintf("%s: flag -%s of %s is missing from its README flag table", pos, flagName, name))
+			}
+		}
+		for flagName, line := range table {
+			if _, ok := registered[flagName]; !ok {
+				problems = append(problems,
+					fmt.Sprintf("%s:%d: README documents flag -%s that %s does not register", readme, line, flagName, name))
+			}
+		}
+	}
+	return problems
+}
+
+// flagFuncs are the flag-package constructors whose first argument is
+// the flag name; the *Var and Func forms take the name second.
+var flagFuncs = map[string]int{
+	"Bool": 0, "Duration": 0, "Float64": 0, "Int": 0, "Int64": 0,
+	"String": 0, "Uint": 0, "Uint64": 0, "Func": 0, "TextVar": 1,
+	"BoolVar": 1, "DurationVar": 1, "Float64Var": 1, "IntVar": 1,
+	"Int64Var": 1, "StringVar": 1, "UintVar": 1, "Uint64Var": 1,
+	"Var": 1,
+}
+
+// registeredFlags parses a command directory's non-test Go files and
+// returns flag name -> "file:line" of each flag registration.
+func registeredFlags(dir string, problems *[]string) map[string]string {
+	flags := map[string]string{}
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		*problems = append(*problems, fmt.Sprintf("%s: %v", dir, err))
+		return flags
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			*problems = append(*problems, fmt.Sprintf("%s: parse: %v", path, err))
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok || pkg.Name != "flag" {
+				return true
+			}
+			argIdx, ok := flagFuncs[sel.Sel.Name]
+			if !ok || len(call.Args) <= argIdx {
+				return true
+			}
+			lit, ok := call.Args[argIdx].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			flagName := strings.Trim(lit.Value, "`\"")
+			p := fset.Position(call.Pos())
+			flags[flagName] = fmt.Sprintf("%s:%d", path, p.Line)
+			return true
+		})
+	}
+	return flags
 }
 
 // mdLink matches inline markdown links; bare URLs and reference-style
