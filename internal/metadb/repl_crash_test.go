@@ -55,7 +55,7 @@ func applyRecords(t *testing.T, db *DB, records []shippedRecord, from int64) {
 		if rec.seq <= from {
 			continue
 		}
-		wait, err := db.ApplyShipped(rec.seq, rec.epoch, rec.ops)
+		wait, err := db.ApplyShipped(rec.epoch, rec.seq, rec.epoch, rec.ops)
 		if err != nil {
 			t.Fatalf("apply record %d: %v", rec.seq, err)
 		}
@@ -135,7 +135,7 @@ func TestShippedWALCrashAtEveryRecordBoundary(t *testing.T) {
 		if seq+2 <= int64(len(records)) {
 			skip := records[seq+1]
 			var gap *ErrSeqGap
-			if _, err := db.ApplyShipped(skip.seq, skip.epoch, skip.ops); !errors.As(err, &gap) {
+			if _, err := db.ApplyShipped(skip.epoch, skip.seq, skip.epoch, skip.ops); !errors.As(err, &gap) {
 				t.Fatalf("cut %d: out-of-order record %d gave %v, want *ErrSeqGap", cut, skip.seq, err)
 			} else if gap.Have != seq || gap.Want != skip.seq {
 				t.Fatalf("cut %d: gap error %+v, want have=%d want=%d", cut, gap, seq, skip.seq)

@@ -1,0 +1,93 @@
+package metadb
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestApplyShippedStaleEpochFence is the regression test for the
+// lost-acknowledged-write race: once a replica grants a vote at epoch
+// e+1 (durably, under the database lock), no record arriving on an
+// epoch-e stream may be applied — and therefore never acknowledged —
+// because the e+1 winner's log does not contain it.
+func TestApplyShippedStaleEpochFence(t *testing.T) {
+	primary, records := shipBatch(t, 3) // epoch-1 records, seq 1..4
+
+	follower, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+	for _, rec := range records[:2] {
+		if _, err := follower.ApplyShipped(1, rec.seq, rec.epoch, rec.ops); err != nil {
+			t.Fatalf("apply record %d: %v", rec.seq, err)
+		}
+	}
+	seq, last := follower.ReplState()
+
+	// A candidate at the follower's exact position wins a vote at
+	// epoch 2...
+	if _, _, granted, err := follower.GrantVote(2, seq, last); err != nil || !granted {
+		t.Fatalf("vote at epoch 2 refused (granted=%v err=%v)", granted, err)
+	}
+
+	// ...after which the deposed epoch-1 stream must not extend the log.
+	var stale *ErrStaleEpoch
+	if _, err := follower.ApplyShipped(1, records[2].seq, records[2].epoch, records[2].ops); !errors.As(err, &stale) {
+		t.Fatalf("stale-stream record gave %v, want *ErrStaleEpoch", err)
+	} else if stale.Stream != 1 || stale.Current != 2 {
+		t.Fatalf("fence reported %+v, want stream=1 current=2", stale)
+	}
+	if got, _ := follower.ReplState(); got != seq {
+		t.Fatalf("fenced record moved the log to %d", got)
+	}
+
+	// Nor may it wipe the follower with a snapshot.
+	snap, err := primary.StateSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := follower.RestoreSnapshot(1, snap); !errors.As(err, &stale) {
+		t.Fatalf("stale-stream snapshot gave %v, want *ErrStaleEpoch", err)
+	}
+
+	// The same record and snapshot are fine on the new epoch's stream.
+	if _, err := follower.ApplyShipped(2, records[2].seq, records[2].epoch, records[2].ops); err != nil {
+		t.Fatalf("record on current-epoch stream: %v", err)
+	}
+	if err := follower.RestoreSnapshot(2, snap); err != nil {
+		t.Fatalf("snapshot on current-epoch stream: %v", err)
+	}
+}
+
+// TestGrantVoteSemantics pins the vote rules: strictly one durable
+// vote per epoch, log-behind candidates refused without burning the
+// epoch, self-votes always log-current.
+func TestGrantVoteSemantics(t *testing.T) {
+	db, records := shipBatch(t, 2) // log at (seq 3, epoch 1)
+	_ = records
+	seq, last := db.ReplState()
+
+	// A candidate behind our log is refused, and the epoch is NOT
+	// adopted — an up-to-date candidate can still win it here.
+	if _, _, granted, err := db.GrantVote(2, seq-1, last); err != nil || granted {
+		t.Fatalf("log-behind candidate granted (err=%v)", err)
+	}
+	if epoch, _ := db.ReplEpoch(); epoch != 1 {
+		t.Fatalf("refused vote moved the epoch to %d", epoch)
+	}
+	if vseq, vlast, granted, err := db.GrantVote(2, seq, last); err != nil || !granted {
+		t.Fatalf("up-to-date candidate refused (err=%v)", err)
+	} else if vseq != seq || vlast != last {
+		t.Fatalf("grant reported position (%d,%d), want (%d,%d)", vseq, vlast, seq, last)
+	}
+	// One vote per epoch: the same epoch never grants twice, whatever
+	// the candidate's log.
+	if _, _, granted, _ := db.GrantVote(2, seq+10, last+1); granted {
+		t.Fatal("epoch 2 granted twice")
+	}
+	// A self-vote (candSeq < 0) is trivially log-current.
+	if _, _, granted, err := db.GrantVote(3, -1, 0); err != nil || !granted {
+		t.Fatalf("self-vote at epoch 3 refused (err=%v)", err)
+	}
+}

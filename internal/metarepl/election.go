@@ -35,8 +35,11 @@ func (r *Replica) electionLoop() {
 }
 
 // campaign runs one election round at the next epoch. The self-vote is
-// made durable before any request goes out, so a crashed-and-restarted
-// candidate cannot hand its epoch's vote to someone else.
+// a metadb.GrantVote like any other: durable before any request goes
+// out (a crashed-and-restarted candidate cannot hand its epoch's vote
+// to someone else), strictly epoch-increasing (it cannot stack on top
+// of a vote already granted at the same epoch to someone else), and
+// the advertised log position is read atomically with the grant.
 func (r *Replica) campaign() {
 	r.mu.Lock()
 	if r.closed || r.role != Follower {
@@ -46,8 +49,9 @@ func (r *Replica) campaign() {
 	newEpoch := r.epoch + 1
 	r.mu.Unlock()
 
-	if err := r.db.SetReplEpoch(newEpoch, -1); err != nil {
-		return // a higher epoch landed durably first; retry later
+	seq, last, granted, err := r.db.GrantVote(newEpoch, -1, 0)
+	if err != nil || !granted {
+		return // a higher epoch landed durably first (or I/O failed); retry later
 	}
 	r.mu.Lock()
 	if r.closed || newEpoch < r.epoch {
@@ -59,7 +63,6 @@ func (r *Replica) campaign() {
 	r.lastHeard = time.Now() // one full round before escalating again
 	r.mu.Unlock()
 
-	seq, last := r.db.ReplState()
 	replies := make(chan *mdbnet.ReplMsg, len(r.cfg.Peers))
 	for id, addr := range r.cfg.Peers {
 		if id == r.cfg.ID {
@@ -101,7 +104,9 @@ func (r *Replica) campaign() {
 			if m.Ok {
 				grants++
 			} else if m.Epoch > newEpoch {
-				r.stepTo(m.Epoch, -1, false)
+				// Fence reaction only; vote safety does not depend on
+				// this persist, so a failure here is not fatal.
+				_ = r.stepTo(m.Epoch, -1, false, true)
 				return
 			}
 		case <-round:

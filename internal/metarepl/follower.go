@@ -1,9 +1,11 @@
 package metarepl
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
+	"dpfs/internal/metadb"
 	"dpfs/internal/metadb/mdbnet"
 )
 
@@ -45,37 +47,33 @@ func (r *Replica) handleConn(conn *mdbnet.ReplConn) {
 	}
 }
 
-// handleVote answers one vote request. A vote is granted only when
-// both election-safety conditions hold (DESIGN.md §13):
+// handleVote answers one vote request. The whole decision lives in
+// metadb.GrantVote, under the same lock as record application, so both
+// election-safety conditions hold atomically (DESIGN.md §13):
 //
 //   - the candidate's epoch is strictly newer than any epoch this
-//     replica has seen — and the adoption is durable before the grant
-//     leaves, so one epoch can never collect two votes from the same
-//     replica, not even across a crash;
+//     replica has durably seen — and the adoption is persisted before
+//     the grant leaves, so one epoch can never collect two votes from
+//     the same replica, not even across a crash;
 //   - the candidate's log position (last record epoch, then sequence
-//     number) is at least this replica's, so every majority-durable
-//     record survives into any electable candidate.
+//     number) is at least this replica's *at the moment of the grant* —
+//     a shipped record either lands before the comparison (and counts
+//     against the candidate) or after the epoch adoption (and is
+//     fenced by ApplyShipped, never acknowledged). A persistence
+//     failure refuses the vote rather than granting on a promise the
+//     disk did not keep.
 func (r *Replica) handleVote(conn *mdbnet.ReplConn, m *mdbnet.ReplMsg) {
-	r.mu.Lock()
-	cur := r.epoch
-	r.mu.Unlock()
-	if m.Epoch <= cur {
-		_ = conn.Send(&mdbnet.ReplMsg{Kind: mdbnet.ReplVote, From: r.cfg.ID, Epoch: cur, Ok: false})
+	_, _, granted, err := r.db.GrantVote(m.Epoch, m.Seq, m.LastEpoch)
+	if err != nil || !granted {
+		epoch, _ := r.db.ReplEpoch()
+		_ = conn.Send(&mdbnet.ReplMsg{Kind: mdbnet.ReplVote, From: r.cfg.ID, Epoch: epoch, Ok: false})
 		return
 	}
-	seq, last := r.db.ReplState()
-	grant := m.LastEpoch > last || (m.LastEpoch == last && m.Seq >= seq)
-	if grant {
-		// Adopt the epoch (durably, inside stepTo) before replying;
-		// granting also resets the election clock so the voter gives
-		// the candidate a full round before campaigning itself.
-		r.stepTo(m.Epoch, -1, true)
-		r.mu.Lock()
-		grant = r.epoch == m.Epoch // a yet-higher epoch may have raced in
-		cur = r.epoch
-		r.mu.Unlock()
-	}
-	_ = conn.Send(&mdbnet.ReplMsg{Kind: mdbnet.ReplVote, From: r.cfg.ID, Epoch: cur, Ok: grant})
+	// The grant is durable; adopt it in memory too (demoting a primary,
+	// resetting the election clock so the candidate gets a full round
+	// before this voter campaigns itself). No second persist needed.
+	_ = r.stepTo(m.Epoch, -1, true, false)
+	_ = conn.Send(&mdbnet.ReplMsg{Kind: mdbnet.ReplVote, From: r.cfg.ID, Epoch: m.Epoch, Ok: true})
 }
 
 // handleStream serves one shipping stream from a primary: handshake
@@ -96,7 +94,17 @@ func (r *Replica) handleStream(conn *mdbnet.ReplConn, hello *mdbnet.ReplMsg) {
 		})
 		return
 	}
-	r.stepTo(hello.Epoch, hello.From, true)
+	// The stream's epoch must be durable before any record from it is
+	// acknowledged: an ack at epoch e promises "I will never vote at
+	// e", and GrantVote enforces that promise against the durable
+	// epoch. A persistence failure therefore rejects the stream.
+	if err := r.stepTo(hello.Epoch, hello.From, true, true); err != nil {
+		_ = conn.Send(&mdbnet.ReplMsg{
+			Kind: mdbnet.ReplError, From: r.cfg.ID, Epoch: cur,
+			Err: fmt.Sprintf("metarepl: cannot adopt epoch %d: %v", hello.Epoch, err),
+		})
+		return
+	}
 	r.mu.Lock()
 	adopted := r.epoch == hello.Epoch
 	cur = r.epoch
@@ -165,10 +173,22 @@ func (r *Replica) handleStream(conn *mdbnet.ReplConn, hello *mdbnet.ReplMsg) {
 		}
 		switch m.Kind {
 		case mdbnet.ReplRecord:
-			w, err := r.db.ApplyShipped(m.Seq, m.Epoch, m.Ops)
+			// ApplyShipped re-checks the stream epoch against the
+			// durable epoch under the database lock — the authoritative
+			// fence; the r.mu check above is only a fast path.
+			w, err := r.db.ApplyShipped(hello.Epoch, m.Seq, m.Epoch, m.Ops)
 			if err != nil {
-				// Sequence gap or apply failure: drop the stream; the
-				// primary re-handshakes and resyncs by snapshot.
+				// A stale stream epoch means a newer primary won a vote
+				// here mid-stream: fence the deposed sender explicitly.
+				// Anything else (sequence gap, apply failure) just drops
+				// the stream; the primary re-handshakes and resyncs.
+				var stale *metadb.ErrStaleEpoch
+				if errors.As(err, &stale) {
+					_ = conn.Send(&mdbnet.ReplMsg{
+						Kind: mdbnet.ReplError, From: r.cfg.ID, Epoch: stale.Current,
+						Err: fmt.Sprintf("metarepl: stale epoch %d (current %d)", hello.Epoch, stale.Current),
+					})
+				}
 				return
 			}
 			r.noteApplyWait(w)
@@ -178,7 +198,14 @@ func (r *Replica) handleStream(conn *mdbnet.ReplConn, hello *mdbnet.ReplMsg) {
 				return
 			}
 		case mdbnet.ReplSnapshot:
-			if err := r.db.RestoreSnapshot(m.Snap); err != nil {
+			if err := r.db.RestoreSnapshot(hello.Epoch, m.Snap); err != nil {
+				var stale *metadb.ErrStaleEpoch
+				if errors.As(err, &stale) {
+					_ = conn.Send(&mdbnet.ReplMsg{
+						Kind: mdbnet.ReplError, From: r.cfg.ID, Epoch: stale.Current,
+						Err: fmt.Sprintf("metarepl: stale epoch %d (current %d)", hello.Epoch, stale.Current),
+					})
+				}
 				return
 			}
 			sseq, slast := r.db.ReplState()

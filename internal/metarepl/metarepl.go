@@ -30,6 +30,7 @@
 package metarepl
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -388,6 +389,13 @@ func (r *Replica) onAck(seq int64) error {
 	deadline := time.Now().Add(r.cfg.AckTimeout)
 	r.mu.Lock()
 	for {
+		if r.closed {
+			// Close fires r.stop, which would otherwise turn the select
+			// below into a busy loop (role stays Primary, quorum never
+			// arrives); fail the commit immediately instead.
+			r.mu.Unlock()
+			return fmt.Errorf("metarepl: replica closed before seq %d reached a majority", seq)
+		}
 		if r.role != Primary {
 			epoch := r.epoch
 			r.mu.Unlock()
@@ -451,7 +459,7 @@ func (r *Replica) becomePrimary(epoch int64, elected bool) error {
 	if err := r.db.SetReplEpoch(epoch, r.cfg.ID); err != nil {
 		return err
 	}
-	seq, _ := r.db.ReplState()
+	seq, last := r.db.ReplState()
 
 	r.mu.Lock()
 	if r.closed || epoch < r.epoch {
@@ -463,6 +471,16 @@ func (r *Replica) becomePrimary(epoch int64, elected bool) error {
 	r.leader = r.cfg.ID
 	r.shipSeq = seq
 	r.tail = nil
+	if seq > 0 {
+		// Seed the tail with a boundary marker — the last record's
+		// position, no ops. A follower handshaking at exactly (seq,
+		// last) after new commits have moved shipSeq on can then verify
+		// its history against the marker and resume streaming, instead
+		// of taking a full snapshot on every routine failover. The
+		// marker itself is never shipped: any follower that passes
+		// tailCovers is at seq or beyond, so streaming starts at seq+1.
+		r.tail = []record{{seq: seq, epoch: last}}
+	}
 	r.acked = make(map[int]int64)
 	r.shippers = make(map[int]*shipper)
 	for id := range r.cfg.Peers {
@@ -495,17 +513,27 @@ func (r *Replica) becomePrimary(epoch int64, elected bool) error {
 // stepTo adopts a (higher or equal) epoch as a follower. leader is the
 // epoch's known lease holder or -1. Demotes a primary, halts its
 // shippers, fails its pending acknowledgements.
-func (r *Replica) stepTo(epoch int64, leader int, heard bool) {
+//
+// persist controls whether a higher epoch is durably recorded; pass
+// false when the caller already persisted it (the vote path, via
+// metadb.GrantVote). The returned error is a genuine persistence
+// failure only — a concurrent adoption of an even higher epoch is a
+// benign lost race and reported as nil. Callers that go on to
+// acknowledge anything at the new epoch (the stream handler) must
+// abort on error; callers merely reacting to a fence may ignore it,
+// because vote and apply safety rest on the durable writes inside
+// metadb.GrantVote and ApplyShipped, not on this one.
+func (r *Replica) stepTo(epoch int64, leader int, heard, persist bool) error {
 	r.mu.Lock()
 	if epoch < r.epoch || r.closed {
 		r.mu.Unlock()
-		return
+		return nil
 	}
 	wasPrimary := r.role == Primary && epoch > r.epoch
 	if r.role == Primary && !wasPrimary {
 		// Same epoch as our own lease: nothing to adopt.
 		r.mu.Unlock()
-		return
+		return nil
 	}
 	higher := epoch > r.epoch
 	r.role = Follower
@@ -535,12 +563,19 @@ func (r *Replica) stepTo(epoch int64, leader int, heard bool) {
 			"epoch":   fmt.Sprint(epoch),
 		})
 	}
-	if higher {
+	if higher && persist {
 		// Durable before anything is acknowledged at the new epoch. A
-		// concurrent adoption of an even higher epoch wins the race;
-		// the regression error is then the correct outcome.
-		_ = r.db.SetReplEpoch(epoch, maxInt(leader, -1))
+		// concurrent adoption of an even higher epoch wins the race and
+		// surfaces as a regression error — the correct outcome, not a
+		// failure. Anything else is an I/O problem the caller must see.
+		if err := r.db.SetReplEpoch(epoch, maxInt(leader, -1)); err != nil {
+			var reg *metadb.ErrEpochRegression
+			if !errors.As(err, &reg) {
+				return err
+			}
+		}
 	}
+	return nil
 }
 
 func maxInt(a, b int) int {

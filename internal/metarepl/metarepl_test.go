@@ -204,6 +204,112 @@ func TestSingleVotePerEpoch(t *testing.T) {
 	}
 }
 
+// TestTakeoverTailSeedAvoidsSnapshot: a primary that takes over with
+// existing history seeds its tail with a boundary marker, so a
+// follower standing exactly at the takeover position can verify its
+// history and resume streaming even after new commits — instead of
+// eating a full snapshot on every routine failover.
+func TestTakeoverTailSeedAvoidsSnapshot(t *testing.T) {
+	lis, err := mdbnet.ListenRepl("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := metadb.Open(metadb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec("CREATE TABLE kv (k TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := db.Exec(fmt.Sprintf("INSERT INTO kv (k) VALUES ('pre%d')", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := New(Config{
+		Name: "g0", ID: 0, Peers: []string{lis.Addr()}, DB: db, Listener: lis,
+		ElectionTimeout: time.Hour, Events: obs.NewEventLog(16),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+	if err := rep.Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	bSeq, bLast := db.ReplState()
+
+	// One commit after the takeover moves shipSeq past the boundary.
+	if _, err := db.Exec("INSERT INTO kv (k) VALUES ('post')"); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.tailCovers(bSeq, bLast) {
+		t.Fatalf("follower at the takeover boundary (%d,%d) would be snapshotted", bSeq, bLast)
+	}
+	if rep.tailCovers(bSeq-1, bLast) {
+		t.Fatalf("position %d predates the tail and must not verify", bSeq-1)
+	}
+	batch, ok := rep.tailFrom(bSeq + 1)
+	if !ok || len(batch) != 1 || batch[0].seq != bSeq+1 {
+		t.Fatalf("tailFrom(%d) = (%d records, %v), want the one post-takeover record", bSeq+1, len(batch), ok)
+	}
+	if len(batch[0].ops) == 0 {
+		t.Fatal("streamed record carries no ops — the boundary marker leaked out")
+	}
+}
+
+// TestCloseFailsPendingAcks: closing a primary with a commit stuck
+// waiting for its quorum must fail that commit immediately, not spin
+// on the closed stop channel until AckTimeout.
+func TestCloseFailsPendingAcks(t *testing.T) {
+	lis0, err := mdbnet.ListenRepl("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The follower address accepts connections but never speaks the
+	// protocol, so no ack ever arrives.
+	lis1, err := mdbnet.ListenRepl("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis1.Close()
+	db, err := metadb.Open(metadb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	rep, err := New(Config{
+		Name: "g0", ID: 0, Peers: []string{lis0.Addr(), lis1.Addr()},
+		DB: db, Listener: lis0, ElectionTimeout: time.Hour,
+		AckTimeout: time.Hour, Events: obs.NewEventLog(16),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := db.Exec("CREATE TABLE kv (k TEXT)")
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the commit reach its ack wait
+	if err := rep.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "replica closed") {
+			t.Fatalf("pending commit finished with %v, want a replica-closed failure", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("pending commit still blocked after Close")
+	}
+}
+
 func TestAckAllBlocksOnDeadFollower(t *testing.T) {
 	reps, dbs := newGroup(t, 3, AckAll, 200*time.Millisecond)
 	if _, err := dbs[0].Exec("CREATE TABLE kv (k TEXT)"); err != nil {

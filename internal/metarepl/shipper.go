@@ -130,7 +130,9 @@ func (s *shipper) serve(conn *mdbnet.ReplConn) error {
 	}
 	if m.Kind == mdbnet.ReplError {
 		// Fencing: the follower is at a newer epoch; our lease is over.
-		s.r.stepTo(m.Epoch, -1, false)
+		// Best-effort persist — stepping down needs no durability, the
+		// durable gates are GrantVote and ApplyShipped on the voters.
+		_ = s.r.stepTo(m.Epoch, -1, false, true)
 		return errors.New(m.Err)
 	}
 	if m.Kind != mdbnet.ReplAck {
@@ -177,7 +179,7 @@ func (s *shipper) serve(conn *mdbnet.ReplConn) error {
 			case mdbnet.ReplAck:
 				s.r.recordAck(s.peer, m.Seq)
 			case mdbnet.ReplError:
-				s.r.stepTo(m.Epoch, -1, false)
+				_ = s.r.stepTo(m.Epoch, -1, false, true)
 				return
 			}
 		}
