@@ -11,6 +11,7 @@ import (
 	"dpfs"
 	"dpfs/internal/cluster"
 	"dpfs/internal/obs"
+	"dpfs/internal/repair"
 	"dpfs/internal/server"
 )
 
@@ -121,6 +122,90 @@ func TestChaosEventLog(t *testing.T) {
 			if e.Type != typ {
 				t.Fatalf("/debug/events?type=%s returned %+v", typ, e)
 			}
+		}
+	}
+}
+
+// TestGossipEventLog is TestChaosEventLog for the health plane: a
+// gossip-enabled cluster narrates membership convergence into the
+// event log, a killed server produces gossip_suspect from the
+// surviving mesh, and a repair probe that finds the metadata service
+// gone reports its fallback with meta_unreachable — all three new
+// event types queryable alongside the breaker/failover events through
+// /debug/events.
+func TestGossipEventLog(t *testing.T) {
+	events := obs.NewEventLog(512)
+	c, err := cluster.Start(cluster.Config{
+		Servers: cluster.Uniform(4), Dir: t.TempDir(),
+		Gossip:         true,
+		GossipInterval: 20 * time.Millisecond,
+		GossipSeed:     42,
+		GossipEvents:   events,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	waitEvent := func(typ, what string) {
+		t.Helper()
+		deadline := time.Now().Add(30 * time.Second)
+		for len(events.ByType(typ)) == 0 {
+			if time.Now().After(deadline) {
+				t.Fatalf("no %q event: %s; log:\n%v", typ, what, events.Events())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// Convergence: each node starts knowing only itself and learns the
+	// rest as records merge in.
+	waitEvent(obs.EventGossipMemberJoin, "the mesh never converged")
+
+	// The prober's catalog connection must exist before the outage.
+	cat, err := c.NewRouter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := repair.New(cat, repair.Options{Gossip: c.GossipNodes[0], Events: events})
+	defer r.Close()
+
+	// A crash (listener and gossip node both gone) makes the survivors
+	// suspect the silent peer.
+	if err := c.KillServer(len(c.IOServers) - 1); err != nil {
+		t.Fatal(err)
+	}
+	waitEvent(obs.EventGossipSuspect, "no survivor suspected the killed server")
+
+	// With the catalog gone too, the probe falls back to the gossip
+	// snapshot and says so.
+	if err := c.StopMetaShard(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Probe(ctx); err != nil {
+		t.Fatalf("probe did not fall back to the gossip snapshot: %v", err)
+	}
+	waitEvent(obs.EventMetaUnreachable, "the fallback probe stayed quiet")
+
+	// The same three types through the debug endpoint.
+	h := obs.NewHandler(obs.HandlerConfig{Events: events})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	for _, typ := range []string{obs.EventGossipMemberJoin, obs.EventGossipSuspect,
+		obs.EventMetaUnreachable} {
+		resp, err := http.Get(srv.URL + "/debug/events?type=" + typ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []obs.Event
+		err = json.NewDecoder(resp.Body).Decode(&got)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("/debug/events?type=%s: bad JSON: %v", typ, err)
+		}
+		if len(got) == 0 {
+			t.Fatalf("/debug/events?type=%s returned no events", typ)
 		}
 	}
 }

@@ -10,14 +10,17 @@
 //	dpfs-server -addr :7802 -root /tmp/s2 -name io1 -meta ... -class class3
 //
 // With -debug-addr the server also serves /metrics (Prometheus text),
-// /healthz, /debug/vars (JSON), /debug/trace, /debug/events and
-// /debug/pprof over HTTP for scraping and debugging.
+// /healthz, /debug/vars (JSON), /debug/trace, /debug/events,
+// /debug/gossip and /debug/pprof over HTTP for scraping and debugging.
+// With -gossip the server joins the peer-to-peer health plane on its
+// data port (DESIGN.md §14), seeded from the catalog's server table.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"net"
 	"os"
 	"os/signal"
@@ -26,6 +29,7 @@ import (
 
 	"dpfs"
 	"dpfs/internal/fault"
+	"dpfs/internal/gossip"
 	"dpfs/internal/meta"
 	"dpfs/internal/metadb/mdbnet"
 	"dpfs/internal/netsim"
@@ -48,6 +52,9 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown bound: in-flight requests get this long to finish on SIGTERM/SIGINT")
 	slowMS := flag.Int64("slow-request-ms", 0, "log requests slower than this to the event log (with their trace when traced; 0 = off)")
 	wireV2 := flag.Bool("wire-v2", false, "speak the tagged-frame wire protocol on outbound repair pulls (inbound is auto-detected per connection)")
+	gossipOn := flag.Bool("gossip", false, "run the gossip health plane on the data port: membership and health spread peer-to-peer and RPC responses piggyback server-table deltas (DESIGN.md §14)")
+	gossipInterval := flag.Duration("gossip-interval", time.Second, "gossip round period")
+	gossipFanout := flag.Int("gossip-fanout", 0, "gossip exchange fan-out per round (0 derives it from the registered server count)")
 	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
 
@@ -110,6 +117,7 @@ func main() {
 		regAddrs = *metaAddr
 	}
 	registered := false
+	var gossipSeeds []string
 	if regAddrs != "" {
 		// Register with every catalog shard: any shard must be able to
 		// resolve this server for the files it homes. Replicated shards
@@ -145,6 +153,17 @@ func main() {
 		err = cat.RegisterServer(meta.ServerInfo{
 			Name: serverName, Capacity: *capacity, Performance: perf, Addr: adv,
 		})
+		if err == nil && *gossipOn {
+			// The registered server table doubles as the gossip seed
+			// list: every already-known peer bootstraps this node's view.
+			if infos, serr := cat.Servers(); serr == nil {
+				for _, si := range infos {
+					if si.Addr != adv {
+						gossipSeeds = append(gossipSeeds, si.Addr)
+					}
+				}
+			}
+		}
 		for _, cli := range clis {
 			cli.Close()
 		}
@@ -155,6 +174,41 @@ func main() {
 		fmt.Printf("dpfs-server: registered as %q (perf %d) with %s\n", serverName, perf, regAddrs)
 	}
 	fmt.Printf("dpfs-server: %q serving %s on %s\n", serverName, *root, srv.Addr())
+
+	var gnode *gossip.Node
+	if *gossipOn {
+		params := gossip.DefaultParams(len(gossipSeeds) + 1)
+		if *gossipFanout > 0 {
+			params.L1 = *gossipFanout
+			params.L2 = 2 * *gossipFanout
+		}
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(serverName + "|" + adv))
+		gnode, err = gossip.NewNode(gossip.Config{
+			Self:      gossip.Record{Addr: adv, Name: serverName, State: gossip.StateAlive},
+			Seeds:     gossipSeeds,
+			Seed:      int64(h.Sum64()),
+			Params:    params,
+			Transport: &gossip.NetTransport{},
+			Metrics:   srv.Metrics(),
+			Events:    obs.Events(),
+			SelfUpdate: func(rec *gossip.Record) {
+				rec.Gen = srv.GenHighWater()
+				hs := srv.Health()
+				rec.DiskErrors = hs.DiskErrors
+				rec.CopyPeerErrors = hs.CopyPeerErrors
+			},
+		})
+		if err != nil {
+			fatal(fmt.Errorf("gossip: %w", err))
+		}
+		srv.SetGossip(gnode)
+		gctx, gcancel := context.WithCancel(context.Background())
+		defer gcancel()
+		go gnode.Run(gctx, *gossipInterval)
+		fmt.Printf("dpfs-server: gossip on (interval %v, fanout %d, %d seeds)\n",
+			*gossipInterval, params.L1, len(gossipSeeds))
+	}
 
 	if *debugAddr != "" {
 		regs := map[string]*obs.Registry{"server": srv.Metrics()}
@@ -175,6 +229,7 @@ func main() {
 			},
 			Traces: srv.Traces(),
 			Pprof:  true,
+			Gossip: gossipView(gnode),
 		})
 		dbg, err := obs.StartDebug(*debugAddr, h)
 		if err != nil {
@@ -200,6 +255,23 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("dpfs-server: drained")
+}
+
+// gossipView adapts a gossip node into the /debug/gossip callback
+// (nil node -> nil callback, so the endpoint reports gossip off).
+func gossipView(n *gossip.Node) func() any {
+	if n == nil {
+		return nil
+	}
+	return func() any {
+		return map[string]any{
+			"enabled": true,
+			"self":    n.Self(),
+			"rounds":  n.Rounds(),
+			"version": n.Version(),
+			"members": n.Snapshot(),
+		}
+	}
 }
 
 func fatal(err error) {

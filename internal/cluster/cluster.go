@@ -11,12 +11,14 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"net"
 	"os"
 	"path/filepath"
 	"sync"
 	"time"
 
 	"dpfs/internal/core"
+	"dpfs/internal/gossip"
 	"dpfs/internal/meta"
 	"dpfs/internal/metadb"
 	"dpfs/internal/metadb/mdbnet"
@@ -86,6 +88,24 @@ type Config struct {
 	// MetaEvents receives the replica groups' promotion/step-down/
 	// resync events (default: the process-wide obs.Events log).
 	MetaEvents *obs.EventLog
+	// Gossip starts a gossip node inside every I/O server (DESIGN.md
+	// §14): membership and health spread peer-to-peer over the
+	// servers' existing listeners, RPC responses piggyback
+	// server-table deltas to clients, and repair runs gain the gossip
+	// second witness automatically.
+	Gossip bool
+	// GossipInterval is the gossip round period (default 50ms — tuned
+	// for in-process tests; production deployments use seconds).
+	GossipInterval time.Duration
+	// GossipSeed seeds each node's deterministic peer selection
+	// (node i derives its own seed from it), so chaos sweeps replay.
+	GossipSeed int64
+	// GossipDial overrides how gossip exchanges dial peers (fault
+	// injection). Nil uses plain TCP.
+	GossipDial func(ctx context.Context, addr string) (net.Conn, error)
+	// GossipEvents receives the nodes' membership events (default:
+	// the process-wide obs.Events log).
+	GossipEvents *obs.EventLog
 }
 
 // Cluster is a running DPFS deployment.
@@ -98,6 +118,9 @@ type Cluster struct {
 	MetaSrvs  []*mdbnet.Server
 	IOServers []*server.Server
 	Specs     []ServerSpec
+	// GossipNodes holds each I/O server's gossip node, index-aligned
+	// with IOServers (nil unless Config.Gossip).
+	GossipNodes []*gossip.Node
 
 	// Replica-group state, populated only with Config.MetaReplicas > 1:
 	// index [shard][replica]. DBs[i] and MetaSrvs[i] alias replica 0.
@@ -113,6 +136,8 @@ type Cluster struct {
 	mu      sync.Mutex // guards clients and server/replica slice swaps
 	clients []*mdbnet.Client
 	groups  []*mdbnet.GroupClient
+
+	gossipCancels []context.CancelFunc // per-node Run cancels
 }
 
 // Start launches the metadata server and all I/O servers, registers
@@ -197,7 +222,74 @@ func Start(cfg Config) (*Cluster, error) {
 		spec.Name = name
 		c.Specs = append(c.Specs, spec)
 	}
+	if cfg.Gossip {
+		if err := c.startGossip(); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
 	return c, nil
+}
+
+// startGossip builds and starts one gossip node per I/O server: every
+// node seeds its view with every other server's address, attaches to
+// its server (delta piggybacking, 0xDB connection serving) and runs
+// jittered rounds until the cluster closes or the server is killed.
+func (c *Cluster) startGossip() error {
+	addrs := make([]string, len(c.IOServers))
+	for i, srv := range c.IOServers {
+		addrs[i] = srv.Addr()
+	}
+	interval := c.cfg.GossipInterval
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	events := c.cfg.GossipEvents
+	c.gossipCancels = make([]context.CancelFunc, len(c.IOServers))
+	for i, srv := range c.IOServers {
+		srv := srv
+		seeds := make([]string, 0, len(addrs)-1)
+		for j, a := range addrs {
+			if j != i {
+				seeds = append(seeds, a)
+			}
+		}
+		node, err := gossip.NewNode(gossip.Config{
+			Self:      gossip.Record{Addr: addrs[i], Name: c.Specs[i].Name, State: gossip.StateAlive},
+			Seeds:     seeds,
+			Seed:      c.cfg.GossipSeed + int64(i)*7919,
+			Params:    gossip.DefaultParams(len(addrs)),
+			Transport: &gossip.NetTransport{Dial: c.cfg.GossipDial},
+			Metrics:   srv.Metrics(),
+			Events:    events,
+			SelfUpdate: func(rec *gossip.Record) {
+				rec.Gen = srv.GenHighWater()
+			},
+		})
+		if err != nil {
+			return err
+		}
+		srv.SetGossip(node)
+		ctx, cancel := context.WithCancel(context.Background())
+		c.gossipCancels[i] = cancel
+		go node.Run(ctx, interval)
+		c.GossipNodes = append(c.GossipNodes, node)
+	}
+	return nil
+}
+
+// KillServer stops I/O server i like a crash: its gossip node stops
+// announcing (the rest of the mesh must detect the silence) and the
+// listener closes. Tests that only close the listener keep the old
+// c.IOServers[i].Close() path.
+func (c *Cluster) KillServer(i int) error {
+	c.mu.Lock()
+	if c.gossipCancels != nil && c.gossipCancels[i] != nil {
+		c.gossipCancels[i]()
+		c.gossipCancels[i] = nil
+	}
+	c.mu.Unlock()
+	return c.IOServers[i].Close()
 }
 
 // metaDBOptions builds shard i, replica j's database options. Durable
@@ -455,14 +547,38 @@ func (c *Cluster) NewFSMetaDial(rank int, opts core.Options, dial mdbnet.DialFun
 // Repair runs one online-repair pass over the cluster's catalog:
 // servers are probed, their health recorded, and under-replicated
 // bricks re-replicated onto healthy servers (see internal/repair).
+// With gossip enabled, the run automatically consults the mesh (via
+// the first still-running node) as the second witness for dead
+// escalation, unless the caller supplied its own gossip view.
 func (c *Cluster) Repair(ctx context.Context, opts repair.Options) (*repair.Report, error) {
 	cat, err := c.NewRouter()
 	if err != nil {
 		return nil, err
 	}
+	if opts.Gossip == nil {
+		if n := c.liveGossipNode(); n != nil {
+			opts.Gossip = n
+		}
+	}
 	r := repair.New(cat, opts)
 	defer r.Close()
 	return r.Run(ctx)
+}
+
+// liveGossipNode returns a gossip node whose server has not been
+// killed (nil when gossip is off or every node is stopped).
+func (c *Cluster) liveGossipNode() *gossip.Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.gossipCancels == nil {
+		return nil
+	}
+	for i, n := range c.GossipNodes {
+		if c.gossipCancels[i] != nil {
+			return n
+		}
+	}
+	return nil
 }
 
 // StopMetaShard closes shard i's network server, severing every
@@ -636,6 +752,15 @@ func (c *Cluster) Close() error {
 	for _, g := range groups {
 		if err := g.Close(); err != nil && firstErr == nil {
 			firstErr = err
+		}
+	}
+	c.mu.Lock()
+	cancels := c.gossipCancels
+	c.gossipCancels = nil
+	c.mu.Unlock()
+	for _, cancel := range cancels {
+		if cancel != nil {
+			cancel()
 		}
 	}
 	for _, srv := range c.IOServers {

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"dpfs/internal/cache"
+	"dpfs/internal/gossip"
 	"dpfs/internal/meta"
 	"dpfs/internal/obs"
 	"dpfs/internal/server"
@@ -127,6 +128,16 @@ const (
 	// MetricFailureReports counts server failures reported to the
 	// catalog's health table.
 	MetricFailureReports = "client_failure_reports_total"
+	// MetricDeltasApplied counts gossip server-table deltas the engine
+	// decoded off piggybacked RPC responses and applied (DESIGN.md §14).
+	MetricDeltasApplied = "gossip_deltas_applied_total"
+	// MetricDeadHints counts servers the engine marked hinted-dead from
+	// a gossip delta, letting reads fail over immediately instead of
+	// waiting out a timeout or the metadata cache TTL.
+	MetricDeadHints = "gossip_dead_hints_total"
+	// MetricDeadHintSkips counts read exchanges redirected straight to
+	// replica failover because their preferred server was hinted dead.
+	MetricDeadHintSkips = "gossip_dead_hint_skips_total"
 )
 
 // FS is one compute node's DPFS client instance.
@@ -152,6 +163,18 @@ type FS struct {
 	clients map[string]*server.Client // server name -> I/O client
 	addrs   map[string]string         // server name -> address (cached)
 	closed  bool
+
+	// Gossip hints piggybacked on RPC responses (DESIGN.md §14): the
+	// last health record seen per server name, incarnation-ordered so a
+	// stale delta arriving late cannot resurrect or re-kill a server.
+	hintMu sync.Mutex
+	hints  map[string]serverHint
+}
+
+// serverHint is the engine's view of one server's gossip health record.
+type serverHint struct {
+	inc   int64
+	state string
 }
 
 // NewFS builds a client around a catalog connection — a single
@@ -170,6 +193,7 @@ func NewFS(cat meta.Router, rank int, opts Options) *FS {
 		events:  opts.Events,
 		clients: make(map[string]*server.Client),
 		addrs:   make(map[string]string),
+		hints:   make(map[string]serverHint),
 	}
 	if fs.events == nil {
 		fs.events = obs.Events()
@@ -343,9 +367,120 @@ func (fs *FS) client(name string) (*server.Client, error) {
 		Metrics:      fs.reg,
 		Events:       fs.events,
 		WireV2:       fs.opts.WireV2,
+		OnDelta:      fs.ApplyDelta,
 	})
 	fs.clients[name] = c
 	return c, nil
+}
+
+// ApplyDelta folds a gossip server-table delta piggybacked on an RPC
+// response into the engine's server view (DESIGN.md §14). The delta is
+// best-effort cargo: anything that does not decode is dropped without
+// touching the carrying RPC. Applied records update cached server
+// addresses and maintain the hinted-dead set that lets reads skip
+// straight to replica failover instead of waiting out a timeout. The
+// engine's I/O clients call it for every piggybacked delta; tests and
+// admin tooling may inject deltas directly.
+func (fs *FS) ApplyDelta(delta []byte) {
+	recs, err := gossip.DecodeDelta(delta)
+	if err != nil || len(recs) == 0 {
+		return
+	}
+	fs.reg.Counter(MetricDeltasApplied).Inc()
+	for i := range recs {
+		fs.applyServerRecord(&recs[i])
+	}
+}
+
+// applyServerRecord applies one gossip health record: incarnation-
+// ordered hint maintenance plus address refresh for servers that
+// re-registered somewhere else.
+func (fs *FS) applyServerRecord(rec *gossip.Record) {
+	if rec.Name == "" {
+		return
+	}
+	fs.refreshAddr(rec.Name, rec.Addr)
+
+	fs.hintMu.Lock()
+	cur, ok := fs.hints[rec.Name]
+	if ok && rec.Inc < cur.inc {
+		fs.hintMu.Unlock()
+		return // stale: an older incarnation cannot override a newer one
+	}
+	wasDead := ok && cur.state == gossip.StateDead
+	fs.hints[rec.Name] = serverHint{inc: rec.Inc, state: rec.State}
+	fs.hintMu.Unlock()
+
+	switch rec.State {
+	case gossip.StateDead:
+		if !wasDead {
+			fs.reg.Counter(MetricDeadHints).Inc()
+			fs.events.Emit(obs.EventGossipSuspect, "client", map[string]string{
+				"server": rec.Name,
+				"state":  rec.State,
+				"inc":    fmt.Sprint(rec.Inc),
+			})
+		}
+	case gossip.StateSuspect:
+		if !ok || (cur.state != gossip.StateSuspect && cur.state != gossip.StateDead) {
+			fs.events.Emit(obs.EventGossipSuspect, "client", map[string]string{
+				"server": rec.Name,
+				"state":  rec.State,
+				"inc":    fmt.Sprint(rec.Inc),
+			})
+		}
+	}
+}
+
+// refreshAddr updates the engine's cached address for a server when a
+// gossip record shows it registered somewhere else, dropping the stale
+// pooled client so the next request dials the new address.
+func (fs *FS) refreshAddr(name, addr string) {
+	if addr == "" {
+		return
+	}
+	fs.mu.Lock()
+	old, ok := fs.addrs[name]
+	var stale *server.Client
+	if ok && old != addr {
+		fs.addrs[name] = addr
+		stale = fs.clients[name]
+		delete(fs.clients, name)
+	}
+	fs.mu.Unlock()
+	if stale != nil {
+		stale.Close()
+	}
+	if ok && old != addr && fs.metaCache != nil {
+		if si, hit := fs.metaCache.GetServer(name); hit {
+			si.Addr = addr
+			fs.metaCache.PutServer(si)
+		}
+	}
+}
+
+// hintedDead reports whether gossip last marked a server dead. Used by
+// the read path to pre-fail exchanges that would otherwise burn a full
+// RPC timeout discovering what the cluster already knows.
+func (fs *FS) hintedDead(name string) bool {
+	fs.hintMu.Lock()
+	defer fs.hintMu.Unlock()
+	return fs.hints[name].state == gossip.StateDead
+}
+
+// DeadHints returns the names of servers currently hinted dead by
+// gossip (sorted; for debug endpoints and tests).
+func (fs *FS) DeadHints() []string {
+	fs.hintMu.Lock()
+	defer fs.hintMu.Unlock()
+	var out []string
+	for name, h := range fs.hints {
+		if h.state == gossip.StateDead {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Hint is the DPFS-API hint structure of Section 6: the user's

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -475,10 +476,22 @@ func (f *File) reportFailure(name string) {
 	}
 }
 
+// errHintedDead seeds replica failover for read exchanges pre-failed
+// by a gossip dead hint: the preferred server was skipped, not tried.
+// It surfaces only if every backup replica also fails.
+var errHintedDead = errors.New("dpfs: preferred server hinted dead by gossip")
+
 // doExchange performs one server exchange and, for reads of a
 // replicated file, fails over to backup replicas when the preferred
-// server fails at the transport level.
+// server fails at the transport level. A preferred server that gossip
+// already marked dead is not even tried: the read goes straight to its
+// backup replicas instead of burning an RPC timeout rediscovering the
+// failure (DESIGN.md §14).
 func (f *File) doExchange(ctx context.Context, r *stripe.Request, buf []byte, write bool, sp *obs.Span) error {
+	if !write && f.rs.Replicas() > 1 && f.fs.hintedDead(f.info.Servers[r.Server]) {
+		f.fs.reg.Counter(MetricDeadHintSkips).Inc()
+		return f.failoverRead(ctx, r, buf, errHintedDead, sp)
+	}
 	err := f.doRequest(ctx, r, buf, write, sp)
 	if err == nil || write || f.rs.Replicas() == 1 || !transportFailure(ctx, err) {
 		return err

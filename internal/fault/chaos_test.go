@@ -995,5 +995,10 @@ func TestChaosSweep(t *testing.T) {
 			c := startMetaReplChaosCluster(t, 4, inj)
 			runMetaReplChaosWorkload(t, c, inj, metaInj, 4)
 		})
+		t.Run(fmt.Sprintf("seed%d-gossip", seed), func(t *testing.T) {
+			inj := fault.New(seed+6000, chaosRules()...)
+			c := startGossipChaosCluster(t, 4, inj, seed+7000, obs.NewEventLog(256))
+			runGossipChaosWorkload(t, c, inj, 4, seed%2 == 0, seed%3 == 0, seed%2 == 1)
+		})
 	}
 }

@@ -1,0 +1,268 @@
+package gossip
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"net"
+	"reflect"
+	"testing"
+)
+
+func newLocalListener(t testing.TB) net.Listener {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lis
+}
+
+func sampleRecords() []Record {
+	return []Record{
+		{Addr: "10.0.0.1:7801", Name: "io0", Inc: 2, State: StateAlive, Gen: 17},
+		{Addr: "10.0.0.2:7801", Name: "io1", Inc: 0, State: StateSuspect, Gen: 3,
+			Observers: []string{"10.0.0.1:7801"}},
+		{Addr: "10.0.0.3:7801", Name: "io2", Inc: 5, State: StateDead},
+		{Addr: "10.0.0.4:7801", Name: "io3", Inc: 1, State: StateDraining, Gen: 9},
+	}
+}
+
+// TestDeltaRoundtrip pins the encoding: identity, state, incarnation
+// and gen survive; observer sets and health counters are dropped by
+// design.
+func TestDeltaRoundtrip(t *testing.T) {
+	in := sampleRecords()
+	data := EncodeDelta(in)
+	if data == nil {
+		t.Fatal("empty encoding")
+	}
+	out, err := DecodeDelta(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d records, want %d", len(out), len(in))
+	}
+	for i := range in {
+		want := Record{Addr: in[i].Addr, Name: in[i].Name, Inc: in[i].Inc,
+			Gen: in[i].Gen, State: in[i].State}
+		if !reflect.DeepEqual(out[i], want) {
+			t.Fatalf("record %d = %+v, want %+v", i, out[i], want)
+		}
+	}
+}
+
+// TestDeltaDecodeRobustness is the satellite-task table: truncated,
+// corrupt and oversized deltas must all yield a decode error (which
+// the carrying RPC treats as "no delta") and never a panic.
+func TestDeltaDecodeRobustness(t *testing.T) {
+	valid := EncodeDelta(sampleRecords())
+
+	t.Run("every prefix truncation", func(t *testing.T) {
+		for cut := 0; cut < len(valid); cut++ {
+			if _, err := DecodeDelta(valid[:cut]); err == nil {
+				t.Fatalf("prefix of %d/%d bytes decoded without error", cut, len(valid))
+			}
+		}
+	})
+
+	mutants := []struct {
+		name   string
+		mutate func(b []byte) []byte
+	}{
+		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }},
+		{"unknown version", func(b []byte) []byte { b[4] = 99; return b }},
+		{"zero count", func(b []byte) []byte {
+			binary.LittleEndian.PutUint16(b[5:7], 0)
+			return b
+		}},
+		{"count beyond cap", func(b []byte) []byte {
+			binary.LittleEndian.PutUint16(b[5:7], MaxDeltaRecords+1)
+			return b
+		}},
+		{"count beyond body", func(b []byte) []byte {
+			binary.LittleEndian.PutUint16(b[5:7], 200)
+			return b
+		}},
+		{"unknown state byte", func(b []byte) []byte { b[7] = 0xEE; return b }},
+		{"address length overruns", func(b []byte) []byte {
+			binary.LittleEndian.PutUint16(b[7+17:], 0xFFFF)
+			return b
+		}},
+		{"trailing garbage", func(b []byte) []byte { return append(b, 0xAB) }},
+		{"oversized buffer", func(b []byte) []byte {
+			return append(b, make([]byte, MaxDeltaBytes)...)
+		}},
+	}
+	for _, tc := range mutants {
+		t.Run(tc.name, func(t *testing.T) {
+			b := tc.mutate(append([]byte(nil), valid...))
+			if _, err := DecodeDelta(b); err == nil {
+				t.Fatal("corrupt delta decoded without error")
+			}
+		})
+	}
+
+	t.Run("empty input", func(t *testing.T) {
+		if _, err := DecodeDelta(nil); err == nil {
+			t.Fatal("nil delta decoded without error")
+		}
+	})
+}
+
+// TestDeltaEncodeSkipsUnencodable pins that records without an
+// address or with an unknown state are skipped, and an all-skipped
+// batch encodes to nil.
+func TestDeltaEncodeSkipsUnencodable(t *testing.T) {
+	if got := EncodeDelta([]Record{{Addr: "", State: StateAlive}, {Addr: "a:1", State: "zombie"}}); got != nil {
+		t.Fatalf("unencodable records produced %d bytes", len(got))
+	}
+	if got := EncodeDelta(nil); got != nil {
+		t.Fatal("nil records produced a delta")
+	}
+}
+
+// TestDeltaTruncationPrefersSevere pins that when a delta overflows
+// the record cap, non-alive records survive the cut.
+func TestDeltaTruncationPrefersSevere(t *testing.T) {
+	recs := make([]Record, 0, MaxDeltaRecords+10)
+	for i := 0; i < MaxDeltaRecords+9; i++ {
+		recs = append(recs, Record{Addr: addrN(i), Name: "x", State: StateAlive})
+	}
+	recs = append(recs, Record{Addr: "dead:1", Name: "dead", Inc: 1, State: StateDead})
+	out, err := DecodeDelta(EncodeDelta(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != MaxDeltaRecords {
+		t.Fatalf("got %d records, want cap %d", len(out), MaxDeltaRecords)
+	}
+	if out[0].State != StateDead || out[0].Addr != "dead:1" {
+		t.Fatalf("severe record lost in truncation; first = %+v", out[0])
+	}
+}
+
+func addrN(i int) string {
+	return "10.0." + string(rune('a'+i%26)) + ":7801"
+}
+
+// TestDeltaSince pins the per-connection versioning: a delta covers
+// exactly the records that changed after the caller's version, and
+// an unchanged table yields nil.
+func TestDeltaSince(t *testing.T) {
+	node, err := NewNode(Config{
+		Self:      Record{Addr: "a:1", Name: "a"},
+		Seed:      1,
+		Transport: NewMemNet(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, v1 := node.DeltaSince(0)
+	recs, err := DecodeDelta(data)
+	if err != nil || len(recs) != 1 || recs[0].Addr != "a:1" {
+		t.Fatalf("initial delta = %v (%v)", recs, err)
+	}
+	if data, v := node.DeltaSince(v1); data != nil || v != v1 {
+		t.Fatalf("unchanged table produced a delta (%d bytes)", len(data))
+	}
+	node.Inject(Record{Addr: "b:1", Name: "b", State: StateSuspect, Inc: 0,
+		Observers: []string{"c:1"}})
+	data, v2 := node.DeltaSince(v1)
+	if v2 == v1 {
+		t.Fatal("version did not advance")
+	}
+	recs, err = DecodeDelta(data)
+	if err != nil || len(recs) != 1 || recs[0].Addr != "b:1" || recs[0].State != StateSuspect {
+		t.Fatalf("incremental delta = %v (%v)", recs, err)
+	}
+}
+
+// TestNetTransportRoundtrip runs a real push/pull over TCP through
+// ServeConn, as the server's accept loop would after sniffing the
+// gossip magic.
+func TestNetTransportRoundtrip(t *testing.T) {
+	node, err := NewNode(Config{
+		Self:      Record{Addr: "srv:1", Name: "srv"},
+		Seed:      1,
+		Transport: NewMemNet(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis := newLocalListener(t)
+	defer lis.Close()
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			one := make([]byte, 1)
+			if _, err := conn.Read(one); err != nil || one[0] != Magic {
+				conn.Close()
+				continue
+			}
+			go ServeConn(conn, node)
+		}
+	}()
+
+	tr := &NetTransport{}
+	reply, err := tr.Exchange(context.Background(), lis.Addr().String(), &Message{
+		Kind: KindPull, From: "cli:1",
+		Recs: []Record{{Addr: "cli:1", Name: "cli", State: StateAlive}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply == nil || reply.From != "srv:1" {
+		t.Fatalf("reply = %+v", reply)
+	}
+	found := false
+	for _, r := range reply.Recs {
+		if r.Addr == "srv:1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("pull reply missing the server's own record")
+	}
+	// The pull also delivered the client's record to the server.
+	if rec, ok := node.Lookup("cli:1"); !ok || rec.Name != "cli" {
+		t.Fatalf("server did not merge the pull's records: %+v", rec)
+	}
+	// A push gets no reply but still merges.
+	if _, err := tr.Exchange(context.Background(), lis.Addr().String(), &Message{
+		Kind: KindPush, From: "cli:2",
+		Recs: []Record{{Addr: "cli:2", State: StateDraining, Inc: 1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if rec, ok := node.Lookup("cli:2"); !ok || rec.State != StateDraining {
+		t.Fatalf("push did not merge: %+v", rec)
+	}
+}
+
+// FuzzDecodeDelta throws arbitrary bytes at the delta decoder: it
+// must never panic, and anything it accepts must re-encode and
+// decode to the same records.
+func FuzzDecodeDelta(f *testing.F) {
+	f.Add(EncodeDelta(sampleRecords()))
+	f.Add(EncodeDelta([]Record{{Addr: "a:1", State: StateAlive}}))
+	f.Add([]byte("DPgd\x01\x00\x00"))
+	f.Add(bytes.Repeat([]byte{0xDB}, 32))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := DecodeDelta(data)
+		if err != nil {
+			return
+		}
+		again, err := DecodeDelta(EncodeDelta(recs))
+		if err != nil {
+			t.Fatalf("re-encoded accepted delta rejected: %v", err)
+		}
+		if !reflect.DeepEqual(recs, again) {
+			t.Fatalf("roundtrip mismatch: %+v vs %+v", recs, again)
+		}
+	})
+}

@@ -1,0 +1,89 @@
+package gossip
+
+import (
+	"hash/fnv"
+	"math/rand"
+)
+
+// sampler is the Brahms min-wise independent sampler: L2 slots, each
+// with its own random hash key, each retaining the ID that minimizes
+// its keyed hash over everything the node has ever heard. Because an
+// adversary cannot predict the keys, flooding the view with sybil
+// IDs does not displace honest IDs from the sample — the property
+// that keeps the gamma fraction of the view honest.
+type sampler struct {
+	slots []samplerSlot
+}
+
+type samplerSlot struct {
+	key uint64
+	id  string
+	min uint64
+}
+
+// newSampler builds an n-slot sampler keyed from rnd.
+func newSampler(rnd *rand.Rand, n int) *sampler {
+	if n < 1 {
+		n = 1
+	}
+	s := &sampler{slots: make([]samplerSlot, n)}
+	for i := range s.slots {
+		s.slots[i].key = rnd.Uint64()
+	}
+	return s
+}
+
+// update offers id to every slot.
+func (s *sampler) update(id string) {
+	if id == "" {
+		return
+	}
+	for i := range s.slots {
+		h := keyedHash(s.slots[i].key, id)
+		if s.slots[i].id == "" || h < s.slots[i].min {
+			s.slots[i].id = id
+			s.slots[i].min = h
+		}
+	}
+}
+
+// sample returns the distinct IDs currently held, in slot order.
+func (s *sampler) sample() []string {
+	out := make([]string, 0, len(s.slots))
+	seen := make(map[string]struct{}, len(s.slots))
+	for i := range s.slots {
+		id := s.slots[i].id
+		if id == "" {
+			continue
+		}
+		if _, ok := seen[id]; ok {
+			continue
+		}
+		seen[id] = struct{}{}
+		out = append(out, id)
+	}
+	return out
+}
+
+// invalidate evicts id from any slot holding it (used when a member
+// is confirmed dead, so the sampler re-fills from live IDs).
+func (s *sampler) invalidate(id string) {
+	for i := range s.slots {
+		if s.slots[i].id == id {
+			s.slots[i].id = ""
+			s.slots[i].min = 0
+		}
+	}
+}
+
+// keyedHash is FNV-1a over the slot key then the ID bytes.
+func keyedHash(key uint64, id string) uint64 {
+	h := fnv.New64a()
+	var kb [8]byte
+	for i := 0; i < 8; i++ {
+		kb[i] = byte(key >> (8 * i))
+	}
+	h.Write(kb[:])
+	h.Write([]byte(id))
+	return h.Sum64()
+}

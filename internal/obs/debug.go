@@ -39,6 +39,13 @@ type HandlerConfig struct {
 	Events *EventLog
 	// Pprof registers net/http/pprof handlers under /debug/pprof/.
 	Pprof bool
+	// Gossip, when non-nil, returns the daemon's gossip membership
+	// view, served as indented JSON at /debug/gossip (typically the
+	// node's self ID, round count and health-table snapshot). Nil makes
+	// the endpoint report gossip as disabled. The callback's result
+	// must be JSON-encodable; obs stays ignorant of the gossip types to
+	// avoid an import cycle.
+	Gossip func() any
 }
 
 // Handler builds the debug endpoint with the pre-v6 signature:
@@ -59,6 +66,7 @@ func Handler(regs map[string]*Registry, health func() Health) http.Handler {
 //	               ?n=<count> limits to the most recent n)
 //	/debug/events  cluster event log as a JSON array
 //	               (?type=<event type> filters, ?n=<count> limits)
+//	/debug/gossip  gossip membership view as JSON (when cfg.Gossip)
 //	/debug/pprof/  standard pprof handlers (when cfg.Pprof)
 func NewHandler(cfg HandlerConfig) http.Handler {
 	mux := http.NewServeMux()
@@ -142,6 +150,16 @@ func NewHandler(cfg HandlerConfig) http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(events)
+	})
+	mux.HandleFunc("/debug/gossip", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if cfg.Gossip == nil {
+			fmt.Fprintln(w, `{"enabled":false}`)
+			return
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(cfg.Gossip())
 	})
 	if cfg.Pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -31,10 +31,14 @@ package repair
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
+	"sync"
 	"time"
 
+	"dpfs/internal/gossip"
 	"dpfs/internal/meta"
 	"dpfs/internal/obs"
 	"dpfs/internal/server"
@@ -51,7 +55,25 @@ const (
 	MetricBricksCopied = "repair_bricks_copied_total"
 	// MetricFilesFailed counts files a run could not repair.
 	MetricFilesFailed = "repair_files_failed_total"
+	// MetricDeadHolds counts dead escalations withheld because the
+	// gossip plane had not independently confirmed the failure (the
+	// two-witness rule of DESIGN.md §14).
+	MetricDeadHolds = "repair_dead_holds_total"
 )
+
+// GossipView is the slice of a *gossip.Node the repair plane consumes:
+// the second witness consulted before a server may be declared dead,
+// and the membership snapshot used to keep assessing liveness when the
+// metadata service itself is unreachable.
+type GossipView interface {
+	// Snapshot returns the node's full health table.
+	Snapshot() []gossip.Record
+	// Lookup returns the health record for one server address.
+	Lookup(addr string) (gossip.Record, bool)
+	// Inject merges a locally-derived record (the prober feeding a
+	// two-witness-confirmed death back into the mesh).
+	Inject(rec gossip.Record)
+}
 
 // Options tune a repair run.
 type Options struct {
@@ -73,6 +95,25 @@ type Options struct {
 	// WireV2 switches the copy-traffic clients to the tagged-frame
 	// wire protocol (DESIGN.md §11). Default off.
 	WireV2 bool
+	// Gossip, when non-nil, arms the two-witness rule: a failed central
+	// probe escalates a server to dead only if the gossip plane also
+	// reports it suspect (with at least Witnesses distinct observers)
+	// or dead. It also lets the prober keep assessing liveness from the
+	// gossip snapshot when the metadata service is unreachable, and
+	// receives confirmed deaths back via Inject. Nil restores
+	// probe-only escalation.
+	Gossip GossipView
+	// Witnesses is how many distinct gossip observers must corroborate
+	// a suspicion before the prober may escalate a probe-failed server
+	// to dead (default 2). Only meaningful with Gossip set.
+	Witnesses int
+	// ProbeConcurrency caps how many liveness probes run at once in one
+	// Probe pass (default 8) — the fan-out bound that keeps a probe of
+	// a large cluster from opening every connection simultaneously.
+	ProbeConcurrency int
+	// Seed makes RunProber's interval jitter deterministic (tests,
+	// chaos sweeps). The zero value is a valid seed.
+	Seed int64
 }
 
 // FileRepair is one file's outcome in a repair run.
@@ -178,14 +219,79 @@ func (r *Runner) ping(ctx context.Context, addr string) error {
 	return nil
 }
 
-// Probe pings every registered server once and records the outcome in
-// the catalog's health table. A responding server becomes alive; a
-// non-responding one escalates one step per probe (alive → suspect →
-// dead), so a single missed probe never declares death. The returned
-// map holds this probe's raw liveness.
+// pingAll probes every address concurrently, at most ProbeConcurrency
+// at a time, and returns each probe's error in address order. The
+// bound keeps a probe pass over a large cluster from opening every
+// connection at the same instant.
+func (r *Runner) pingAll(ctx context.Context, addrs []string) []error {
+	conc := r.opts.ProbeConcurrency
+	if conc <= 0 {
+		conc = 8
+	}
+	errs := make([]error, len(addrs))
+	sem := make(chan struct{}, conc)
+	var wg sync.WaitGroup
+	for i := range addrs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[i] = r.ping(ctx, addrs[i])
+		}(i)
+	}
+	wg.Wait()
+	return errs
+}
+
+// deadConfirmed applies the two-witness rule: a probe-failed server
+// already suspect may become dead only when the gossip plane
+// independently agrees — its record is dead, or suspect with at least
+// Witnesses distinct observers. With no gossip source the central
+// probe remains the sole authority (the pre-gossip behaviour).
+func (r *Runner) deadConfirmed(addr string) bool {
+	g := r.opts.Gossip
+	if g == nil {
+		return true
+	}
+	rec, ok := g.Lookup(addr)
+	if !ok {
+		return false
+	}
+	switch rec.State {
+	case gossip.StateDead:
+		return true
+	case gossip.StateSuspect:
+		k := r.opts.Witnesses
+		if k <= 0 {
+			k = 2
+		}
+		return len(rec.Observers) >= k
+	}
+	return false
+}
+
+// Probe pings every registered server once (bounded fan-out) and
+// records the outcome in the catalog's health table. A responding
+// server becomes alive; a non-responding one escalates one step per
+// probe (alive → suspect → dead), so a single missed probe never
+// declares death — and with a gossip source configured, the final step
+// additionally requires the mesh to corroborate (two-witness rule,
+// DESIGN.md §14), so a server only the prober cannot reach is held at
+// suspect instead of being falsely buried. Confirmed deaths are
+// injected back into the gossip mesh. When the metadata service itself
+// is unreachable, the probe falls back to the last gossip snapshot so
+// liveness assessment survives a meta outage (the returned map then
+// reflects gossip state and nothing is written to the catalog).
 func (r *Runner) Probe(ctx context.Context) (map[string]bool, error) {
 	infos, err := r.cat.Servers()
 	if err != nil {
+		if alive, ok := r.gossipAlive(); ok {
+			r.opts.Events.Emit(obs.EventMetaUnreachable, "repair", map[string]string{
+				"err": err.Error(),
+			})
+			return alive, nil
+		}
 		return nil, err
 	}
 	states := make(map[string]string)
@@ -194,9 +300,14 @@ func (r *Runner) Probe(ctx context.Context) (map[string]bool, error) {
 			states[h.Name] = h.State
 		}
 	}
+	addrs := make([]string, len(infos))
+	for i, si := range infos {
+		addrs[i] = si.Addr
+	}
+	pings := r.pingAll(ctx, addrs)
 	alive := make(map[string]bool, len(infos))
-	for _, si := range infos {
-		if err := r.ping(ctx, si.Addr); err == nil {
+	for i, si := range infos {
+		if pings[i] == nil {
 			alive[si.Name] = true
 			_ = r.cat.SetServerState(si.Name, meta.StateAlive)
 			continue
@@ -204,7 +315,11 @@ func (r *Runner) Probe(ctx context.Context) (map[string]bool, error) {
 		alive[si.Name] = false
 		next := meta.StateSuspect
 		if states[si.Name] == meta.StateSuspect || states[si.Name] == meta.StateDead {
-			next = meta.StateDead
+			if r.deadConfirmed(si.Addr) {
+				next = meta.StateDead
+			} else if r.opts.Metrics != nil {
+				r.opts.Metrics.Counter(MetricDeadHolds).Inc()
+			}
 		}
 		if next != states[si.Name] {
 			from := states[si.Name]
@@ -218,21 +333,95 @@ func (r *Runner) Probe(ctx context.Context) (map[string]bool, error) {
 			})
 		}
 		_ = r.cat.SetServerState(si.Name, next)
+		if next == meta.StateDead && r.opts.Gossip != nil {
+			if rec, ok := r.opts.Gossip.Lookup(si.Addr); ok {
+				rec.State = gossip.StateDead
+				// The mesh may only know this server by address (it
+				// learned of it through a failed exchange); the prober
+				// has the catalog name, so the verdict carries it.
+				if rec.Name == "" || rec.Name == rec.Addr {
+					rec.Name = si.Name
+				}
+				r.opts.Gossip.Inject(rec)
+			}
+		}
 	}
 	return alive, nil
 }
 
+// gossipAlive derives a liveness map from the gossip snapshot: alive
+// and draining records count as up, suspect and dead as down. ok is
+// false when no gossip source is configured or its table is empty.
+func (r *Runner) gossipAlive() (map[string]bool, bool) {
+	g := r.opts.Gossip
+	if g == nil {
+		return nil, false
+	}
+	recs := g.Snapshot()
+	if len(recs) == 0 {
+		return nil, false
+	}
+	alive := make(map[string]bool, len(recs))
+	for _, rec := range recs {
+		name := rec.Name
+		if name == "" {
+			name = rec.Addr
+		}
+		alive[name] = rec.State == gossip.StateAlive || rec.State == gossip.StateDraining
+	}
+	return alive, true
+}
+
+// PlanOffline assesses cluster liveness without the metadata service:
+// the server set comes from the gossip snapshot, each server is probed
+// directly (bounded fan-out), and a server counts as down only when
+// BOTH the direct probe failed and gossip does not call it alive — the
+// offline form of the two-witness rule, so a server merely partitioned
+// from this prober is not planned into a repair. The report carries
+// the aliveness assessment; file repair itself still needs the catalog
+// and runs once the metadata service returns.
+func (r *Runner) PlanOffline(ctx context.Context) (*Report, error) {
+	g := r.opts.Gossip
+	if g == nil {
+		return nil, errors.New("repair: no gossip source to plan from")
+	}
+	recs := g.Snapshot()
+	if len(recs) == 0 {
+		return nil, errors.New("repair: gossip snapshot is empty")
+	}
+	addrs := make([]string, len(recs))
+	for i := range recs {
+		addrs[i] = recs[i].Addr
+	}
+	pings := r.pingAll(ctx, addrs)
+	alive := make(map[string]bool, len(recs))
+	for i, rec := range recs {
+		name := rec.Name
+		if name == "" {
+			name = rec.Addr
+		}
+		gossipUp := rec.State == gossip.StateAlive || rec.State == gossip.StateDraining
+		alive[name] = pings[i] == nil || gossipUp
+	}
+	return &Report{Alive: alive}, nil
+}
+
 // RunProber probes all servers every interval until ctx is done — the
 // background health feed that turns unreachable servers suspect and
-// then dead between repair runs.
+// then dead between repair runs. Each cycle sleeps the interval plus
+// up to 25% deterministic jitter (Options.Seed), so several probers
+// started together do not fire their probe fan-outs in lockstep.
 func (r *Runner) RunProber(ctx context.Context, interval time.Duration) {
-	t := time.NewTicker(interval)
-	defer t.Stop()
+	rnd := rand.New(rand.NewSource(r.opts.Seed))
 	for {
+		d := interval
+		if interval >= 4 {
+			d += time.Duration(rnd.Int63n(int64(interval) / 4))
+		}
 		select {
 		case <-ctx.Done():
 			return
-		case <-t.C:
+		case <-time.After(d):
 			_, _ = r.Probe(ctx)
 		}
 	}

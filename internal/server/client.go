@@ -48,6 +48,7 @@ type Client struct {
 	retry   RetryPolicy
 	reg     *obs.Registry
 	events  *obs.EventLog
+	onDelta func([]byte)
 
 	mu     sync.Mutex
 	idle   []idleConn
@@ -260,6 +261,12 @@ type ClientConfig struct {
 	// DefaultMuxWindow); a new conn is dialed only when every existing
 	// one is at the window. Only meaningful with WireV2.
 	MuxWindow int
+	// OnDelta, when non-nil, receives the raw gossip server-table
+	// delta piggybacked on a response (wire.Response.Delta) before the
+	// response is returned. Deltas are best-effort: the callback must
+	// tolerate garbage (gossip.DecodeDelta rejects it) and must not
+	// block — it runs on the request path.
+	OnDelta func(delta []byte)
 }
 
 // NewClient creates a lazy client for the server at addr with default
@@ -290,6 +297,7 @@ func NewClientWith(addr string, cfg ClientConfig) *Client {
 		retry:   cfg.Retry.withDefaults(),
 		reg:     cfg.Metrics,
 		events:  cfg.Events,
+		onDelta: cfg.OnDelta,
 	}
 	if cfg.WireV2 {
 		c.mux = newMux(c, cfg.MuxWindow)
@@ -334,6 +342,12 @@ func (c *Client) do(ctx context.Context, req *wire.Request, scratch []byte) (*wi
 		resp, err := c.attempt(ctx, req, scratch)
 		if err == nil {
 			c.breakerResult(probe, true)
+			if len(resp.Delta) > 0 && c.onDelta != nil {
+				// Piggybacked membership news rides every response,
+				// including application errors — deliver before the
+				// error split below.
+				c.onDelta(resp.Delta)
+			}
 			if resp.Err != "" {
 				// The server answered; its error is an application
 				// outcome, not a transport failure — never retried.

@@ -21,8 +21,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"dpfs/internal/gossip"
 	"dpfs/internal/netsim"
 	"dpfs/internal/obs"
 	"dpfs/internal/wire"
@@ -66,6 +68,9 @@ const (
 	MetricCopyBytes      = "copy_bytes_total"
 	MetricCopyPeerErrors = "copy_peer_errors_total"
 	MetricDiskErrors     = "disk_errors_total"
+	// MetricGossipDeltasSent counts gossip table deltas piggybacked on
+	// outgoing responses (DESIGN.md §14).
+	MetricGossipDeltasSent = "gossip_deltas_sent_total"
 )
 
 // OpMetric names the handler latency histogram for an op.
@@ -93,6 +98,11 @@ type Server struct {
 	draining bool
 	wg       sync.WaitGroup
 
+	// gossip, when set, is the server's membership node: inbound
+	// connections opening with the gossip magic are handed to it, and
+	// table deltas piggyback on outgoing responses (DESIGN.md §14).
+	gossip atomic.Pointer[gossip.Node]
+
 	ctx    context.Context
 	cancel context.CancelFunc
 }
@@ -104,6 +114,10 @@ type Server struct {
 type connState struct {
 	busy     bool
 	inflight int
+	// gossipVer is the gossip-table version this connection last saw:
+	// each client conn receives each membership change exactly once,
+	// piggybacked on whatever response goes out next.
+	gossipVer uint64
 }
 
 // subfile is an open local file with a reference to keep handle reuse
@@ -286,6 +300,61 @@ type HealthState struct {
 	CopyPeerErrors int64  `json:"copy_peer_errors"`
 }
 
+// SetGossip attaches a gossip membership node: inbound connections
+// opening with gossip.Magic are routed to it, and table deltas
+// piggyback on outgoing responses so clients track membership at RPC
+// latency. Safe to call at any time; nil detaches.
+func (s *Server) SetGossip(n *gossip.Node) {
+	s.gossip.Store(n)
+}
+
+// Gossip returns the attached gossip node (nil when gossip is off).
+func (s *Server) Gossip() *gossip.Node {
+	return s.gossip.Load()
+}
+
+// GenHighWater returns the highest subfile generation this server has
+// observed across all bases — the mark gossip spreads so repair can
+// plan without the catalog.
+func (s *Server) GenHighWater() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var hw int64
+	for _, g := range s.gens {
+		if g > hw {
+			hw = g
+		}
+	}
+	return hw
+}
+
+// attachDelta piggybacks a gossip table delta on resp when the table
+// advanced past what this connection last saw. Best-effort: the
+// response goes out unchanged when gossip is off or the table is
+// quiet.
+func (s *Server) attachDelta(st *connState, resp *wire.Response) {
+	g := s.gossip.Load()
+	if g == nil || st == nil || resp == nil {
+		return
+	}
+	s.mu.Lock()
+	last := st.gossipVer
+	s.mu.Unlock()
+	delta, v := g.DeltaSince(last)
+	if v == last {
+		return
+	}
+	s.mu.Lock()
+	if st.gossipVer < v {
+		st.gossipVer = v
+	}
+	s.mu.Unlock()
+	if delta != nil {
+		resp.Delta = delta
+		s.reg.Counter(MetricGossipDeltasSent).Inc()
+	}
+}
+
 // Health reports the server's current health classification.
 func (s *Server) Health() HealthState {
 	h := HealthState{
@@ -340,14 +409,21 @@ func (s *Server) handleConn(conn net.Conn) {
 	}()
 	// Version sniff: the first byte of a connection is the protocol
 	// magic — 0xD9 opens a v1 one-exchange-at-a-time session, 0xDA a
-	// v2 tagged-frame session. Both versions share one port, so mixed
-	// fleets and rolling -wire-v2 flips need no coordination.
+	// v2 tagged-frame session, 0xDB one gossip exchange. All three
+	// share one port, so mixed fleets, rolling -wire-v2 flips and the
+	// gossip health plane need no extra listeners or coordination.
 	var first [1]byte
 	if _, err := io.ReadFull(conn, first[:]); err != nil {
 		return
 	}
 	if first[0] == wire.Magic2 {
 		s.handleConnV2(connCtx, cancel, conn, first[0])
+		return
+	}
+	if first[0] == gossip.Magic {
+		if g := s.gossip.Load(); g != nil {
+			gossip.ServeConn(conn, g)
+		}
 		return
 	}
 	// v1 reads stay unbuffered past the replayed sniff byte: watchPeer
@@ -389,6 +465,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		} else {
 			resp = s.dispatch(connCtx, req)
 		}
+		s.attachDelta(st, resp)
 		err = wire.WriteResponse(conn, resp)
 		if req.Op == wire.OpRead && resp.Data != nil {
 			// Read responses carry a pooled buffer; it is ours again
@@ -459,7 +536,7 @@ func (s *Server) handleConnV2(connCtx context.Context, cancel context.CancelFunc
 			wg.Add(1)
 			go func(tag uint32, req *wire.Request) {
 				defer wg.Done()
-				s.serveTagV2(reqCtx, conn, &wmu, tag, req)
+				s.serveTagV2(reqCtx, conn, st, &wmu, tag, req)
 				reqCancel()
 				cmu.Lock()
 				delete(tagCancels, tag)
@@ -497,7 +574,7 @@ func (s *Server) handleConnV2(connCtx context.Context, cancel context.CancelFunc
 // responses); the RESP trailer then closes the tag — carrying the
 // error when the op failed, even mid-stream, which is why a failed
 // read no longer costs the connection.
-func (s *Server) serveTagV2(ctx context.Context, conn net.Conn, wmu *sync.Mutex, tag uint32, req *wire.Request) {
+func (s *Server) serveTagV2(ctx context.Context, conn net.Conn, st *connState, wmu *sync.Mutex, tag uint32, req *wire.Request) {
 	var wErr error
 	emit := func(chunk []byte) error {
 		wmu.Lock()
@@ -520,6 +597,7 @@ func (s *Server) serveTagV2(ctx context.Context, conn net.Conn, wmu *sync.Mutex,
 		conn.Close()
 		return
 	}
+	s.attachDelta(st, resp)
 	wmu.Lock()
 	err := wire.WriteResponseV2(conn, tag, resp, streamed)
 	wmu.Unlock()

@@ -1,0 +1,174 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// The gossip server-table delta piggybacks on responses the server
+// was sending anyway (DESIGN.md §14). These tests pin its carrying
+// contract, mirroring the trace-trailer pinning: a well-formed delta
+// roundtrips on both wire versions, and a truncated, corrupt or
+// oversized footer silently yields a delta-less response — it must
+// never fail the RPC that carried it.
+
+func deltaBytes() []byte {
+	// Opaque at the wire layer; gossip.DecodeDelta interprets it.
+	return []byte("DPgd\x01----delta-payload----")
+}
+
+// TestResponseDeltaRoundtripV1 pins the v1 footer: Data, Trace and
+// Delta all survive together, and each is independent of the others.
+func TestResponseDeltaRoundtripV1(t *testing.T) {
+	cases := []struct {
+		name string
+		resp Response
+	}{
+		{"delta alone", Response{N: 1, Delta: deltaBytes()}},
+		{"delta with data", Response{Data: []byte("payload"), Delta: deltaBytes()}},
+		{"delta with trace", Response{Trace: []byte{9, 9, 9}, Delta: deltaBytes()}},
+		{"delta with data and trace", Response{Data: []byte("d"), Trace: []byte{1, 2}, Delta: deltaBytes()}},
+		{"delta with error", Response{Err: "boom", Delta: deltaBytes()}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ReadResponse(bytes.NewReader(encodeResponse(t, &tc.resp)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got.Delta, tc.resp.Delta) {
+				t.Fatalf("delta = %q, want %q", got.Delta, tc.resp.Delta)
+			}
+			if !bytes.Equal(got.Data, tc.resp.Data) || !bytes.Equal(got.Trace, tc.resp.Trace) ||
+				got.Err != tc.resp.Err {
+				t.Fatalf("carrying response corrupted: %+v", got)
+			}
+		})
+	}
+}
+
+// TestResponseDeltaFooterBestEffortV1 pins the failure half of the
+// contract: malformed footers degrade to trailer bytes, never to an
+// RPC error.
+func TestResponseDeltaFooterBestEffortV1(t *testing.T) {
+	base := &Response{Data: []byte("payload"), Trace: []byte{5, 5}}
+
+	grow := func(frame []byte, extra []byte) []byte {
+		out := append(append([]byte(nil), frame...), extra...)
+		binary.LittleEndian.PutUint32(out[4:8],
+			binary.LittleEndian.Uint32(out[4:8])+uint32(len(extra)))
+		return out
+	}
+
+	t.Run("magic with oversized length", func(t *testing.T) {
+		foot := make([]byte, deltaFooterLen)
+		binary.LittleEndian.PutUint32(foot[0:4], 1<<20) // claims more than the body holds
+		copy(foot[4:8], deltaFooterMagic[:])
+		got, err := ReadResponse(bytes.NewReader(grow(encodeResponse(t, base), foot)))
+		if err != nil {
+			t.Fatalf("oversized footer failed the response: %v", err)
+		}
+		if got.Delta != nil {
+			t.Fatalf("oversized footer produced a delta: %q", got.Delta)
+		}
+		if !bytes.Equal(got.Data, base.Data) {
+			t.Fatal("payload corrupted")
+		}
+	})
+
+	t.Run("magic with zero length", func(t *testing.T) {
+		foot := make([]byte, deltaFooterLen)
+		copy(foot[4:8], deltaFooterMagic[:])
+		got, err := ReadResponse(bytes.NewReader(grow(encodeResponse(t, base), foot)))
+		if err != nil || got.Delta != nil {
+			t.Fatalf("zero-length footer: delta=%q err=%v", got.Delta, err)
+		}
+	})
+
+	t.Run("truncated footer", func(t *testing.T) {
+		// The delta plus only half the footer: the tail no longer ends
+		// with the magic, so everything stays trailer bytes.
+		partial := append(deltaBytes(), deltaFooterMagic[0], deltaFooterMagic[1])
+		got, err := ReadResponse(bytes.NewReader(grow(encodeResponse(t, base), partial)))
+		if err != nil {
+			t.Fatalf("truncated footer failed the response: %v", err)
+		}
+		if got.Delta != nil {
+			t.Fatal("truncated footer produced a delta")
+		}
+	})
+
+	t.Run("trace alone is never misread", func(t *testing.T) {
+		resp := &Response{Data: []byte("d"), Trace: []byte{1, 2, 3, 4, 5, 6, 7, 8, 9}}
+		got, err := ReadResponse(bytes.NewReader(encodeResponse(t, resp)))
+		if err != nil || got.Delta != nil || !bytes.Equal(got.Trace, resp.Trace) {
+			t.Fatalf("plain trace misparsed: %+v (%v)", got, err)
+		}
+	})
+}
+
+// TestResponseDeltaRoundtripV2 pins the v2 section: the delta rides
+// the RESP metadata and coexists with streamed data and the trace.
+func TestResponseDeltaRoundtripV2(t *testing.T) {
+	var buf bytes.Buffer
+	resp := &Response{N: 7, Data: []byte("payload"), Trace: []byte{3, 3}, Delta: deltaBytes()}
+	if err := WriteResponseV2(&buf, 11, resp, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadResponseV2Into(bytes.NewReader(buf.Bytes()), 11, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Delta, resp.Delta) {
+		t.Fatalf("delta = %q, want %q", got.Delta, resp.Delta)
+	}
+	if !bytes.Equal(got.Data, resp.Data) || !bytes.Equal(got.Trace, resp.Trace) || got.N != resp.N {
+		t.Fatalf("carrying response corrupted: %+v", got)
+	}
+}
+
+// TestResponseDeltaBestEffortV2 pins that trailing RESP-metadata
+// bytes that do not form an exact delta section are ignored, not an
+// error — the forward-compatibility contract that lets older
+// responses and future extensions coexist.
+func TestResponseDeltaBestEffortV2(t *testing.T) {
+	resp := &Response{N: 7, Trace: []byte{3, 3}}
+	cases := []struct {
+		name  string
+		extra []byte
+	}{
+		{"short garbage", []byte{0xAB}},
+		{"length without body", []byte{0xFF, 0xFF, 0x00, 0x00}},
+		{"length overrunning body", append([]byte{0xFF, 0xFF, 0xFF, 0x7F}, deltaBytes()...)},
+		{"zero length with body", append([]byte{0, 0, 0, 0}, 'x', 'y')},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			body := append(EncodeResponseMetaV2(resp, 0), tc.extra...)
+			got, _, err := DecodeResponseMetaV2(body)
+			if err != nil {
+				t.Fatalf("trailing bytes failed the response: %v", err)
+			}
+			if got.Delta != nil {
+				t.Fatalf("trailing bytes produced a delta: %q", got.Delta)
+			}
+			if got.N != resp.N || !bytes.Equal(got.Trace, resp.Trace) {
+				t.Fatalf("carrying response corrupted: %+v", got)
+			}
+		})
+	}
+
+	t.Run("truncation inside the delta still errors", func(t *testing.T) {
+		full := EncodeResponseMetaV2(&Response{N: 7, Delta: deltaBytes()}, 0)
+		// Cutting the body mid-delta invalidates the section (length no
+		// longer matches) but must not fail the decode.
+		got, _, err := DecodeResponseMetaV2(full[:len(full)-3])
+		if err != nil {
+			t.Fatalf("truncated delta failed the response: %v", err)
+		}
+		if got.Delta != nil {
+			t.Fatal("truncated delta section still surfaced")
+		}
+	})
+}

@@ -341,13 +341,16 @@ func ReadRequestV2(r io.Reader, h FrameHeader, alloc func(int64) []byte) (*Reque
 
 // EncodeResponseMetaV2 builds the body of a RESP frame: u16 error
 // length, error, u64 scalar, u32 total data length (the sum of the
-// DATA frames that preceded this RESP), u32 trace length, trace bytes.
+// DATA frames that preceded this RESP), u32 trace length, trace
+// bytes, then optionally u32 delta length and the gossip-delta bytes
+// (the section is omitted entirely when there is no delta, keeping
+// the original encoding byte-identical).
 func EncodeResponseMetaV2(resp *Response, dataLen int64) []byte {
 	errStr := resp.Err
 	if len(errStr) > 0xFFFF {
 		errStr = errStr[:0xFFFF]
 	}
-	n := 2 + len(errStr) + 8 + 4 + 4 + len(resp.Trace)
+	n := 2 + len(errStr) + 8 + 4 + 4 + len(resp.Trace) + 4 + len(resp.Delta)
 	buf := make([]byte, 0, n)
 	var tmp [8]byte
 	binary.LittleEndian.PutUint16(tmp[:2], uint16(len(errStr)))
@@ -360,6 +363,11 @@ func EncodeResponseMetaV2(resp *Response, dataLen int64) []byte {
 	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(resp.Trace)))
 	buf = append(buf, tmp[:4]...)
 	buf = append(buf, resp.Trace...)
+	if len(resp.Delta) > 0 {
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(len(resp.Delta)))
+		buf = append(buf, tmp[:4]...)
+		buf = append(buf, resp.Delta...)
+	}
 	return buf
 }
 
@@ -410,8 +418,15 @@ func DecodeResponseMetaV2(body []byte) (resp *Response, dataLen int64, err error
 	if tlen > 0 {
 		resp.Trace = b
 	}
-	if p != len(body) {
-		return nil, 0, errors.New("wire: trailing bytes in v2 response metadata")
+	// Optional delta section: u32 length + bytes, present only when it
+	// fits the remaining body exactly. Any other remainder is ignored
+	// for forward compatibility — the delta, like the trace, is
+	// best-effort and must never fail the response that carries it.
+	if rest := len(body) - p; rest >= 4 {
+		dlen := int(binary.LittleEndian.Uint32(body[p : p+4]))
+		if dlen > 0 && 4+dlen == rest {
+			resp.Delta = body[p+4:]
+		}
 	}
 	return resp, dataLen, nil
 }

@@ -277,6 +277,8 @@ func FuzzReadResponse(f *testing.F) {
 	f.Add(encodeResponse(f, &Response{Err: "subfile missing"}))
 	f.Add(encodeResponse(f, &Response{N: 1 << 40, Data: []byte("data")}))
 	f.Add(encodeResponse(f, &Response{Data: []byte("d"), Trace: []byte{1, 0, 0, 9, 9}}))
+	f.Add(encodeResponse(f, &Response{Data: []byte("d"), Delta: []byte("DPgd-delta")}))
+	f.Add(encodeResponse(f, &Response{Trace: []byte{7}, Delta: []byte("DPgd!")}))
 	f.Add([]byte{magic, version, 0, 0, 0xFF, 0xFF, 0xFF, 0x7F})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		resp, err := ReadResponse(bytes.NewReader(data))
@@ -293,6 +295,9 @@ func FuzzReadResponse(f *testing.F) {
 		}
 		if !bytes.Equal(resp.Trace, again.Trace) {
 			t.Fatalf("trace trailer roundtrip mismatch: %v vs %v", resp.Trace, again.Trace)
+		}
+		if !bytes.Equal(resp.Delta, again.Delta) {
+			t.Fatalf("delta footer roundtrip mismatch: %v vs %v", resp.Delta, again.Delta)
 		}
 	})
 }
@@ -580,6 +585,7 @@ func FuzzReadResponseV2(f *testing.F) {
 	f.Add(encode(f, &Response{Err: "subfile missing"}))
 	f.Add(encode(f, &Response{N: 1 << 40, Data: []byte("data")}))
 	f.Add(encode(f, &Response{Data: []byte("d"), Trace: []byte{1, 0, 0, 9, 9}}))
+	f.Add(encode(f, &Response{Data: []byte("d"), Delta: []byte("DPgd-delta")}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		resp, err := ReadResponseV2Into(bytes.NewReader(data), 1, nil)
 		if err != nil {
@@ -594,6 +600,9 @@ func FuzzReadResponseV2(f *testing.F) {
 		}
 		if !bytes.Equal(resp.Trace, again.Trace) {
 			t.Fatalf("trace roundtrip mismatch: %v vs %v", resp.Trace, again.Trace)
+		}
+		if !bytes.Equal(resp.Delta, again.Delta) {
+			t.Fatalf("delta roundtrip mismatch: %v vs %v", resp.Delta, again.Delta)
 		}
 	})
 }

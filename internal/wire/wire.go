@@ -151,6 +151,15 @@ type Response struct {
 	// passed to ReadResponseInto, so consume it before reuse. Decoding
 	// failures are ignored by callers — tracing is best-effort.
 	Trace []byte
+	// Delta optionally carries a gossip server-table delta
+	// (internal/gossip delta format) piggybacked on the response, so
+	// clients learn membership changes at RPC latency instead of
+	// waiting out their metadata-cache TTL. On v1 it rides as a
+	// self-delimiting footer after the span trailer; on v2 as an
+	// explicit section of the RESP metadata. Like Trace it is
+	// best-effort — a damaged delta is dropped, never an RPC error —
+	// and may alias the scratch buffer.
+	Delta []byte
 }
 
 const (
@@ -175,6 +184,20 @@ const RespOverhead = 2 + 8 + 4
 // payload carries trace context; any other remainder is ignored so
 // future extensions and garbage alike never fail a request.
 const traceTrailerLen = 8 + 8 + 1
+
+// deltaFooterLen is the fixed tail of the optional v1 response delta
+// footer: u32 delta length followed by the 4-byte footer magic. The
+// footer is parsed from the end of the response body — everything
+// between the payload and the footer remains the span trailer — so
+// old peers, which treat all post-payload bytes as the trailer, and
+// new peers interoperate without negotiation. A body whose tail
+// happens to end in the magic without a consistent length is treated
+// as plain trailer bytes: the delta is best-effort by contract.
+const deltaFooterLen = 4 + 4
+
+// deltaFooterMagic closes a v1 response delta footer. It is distinct
+// from every frame magic so a truncation cannot alias a frame start.
+var deltaFooterMagic = [4]byte{0xDB, 'g', 'd', 0xD9}
 
 // FormatCopySource encodes the OpCopy source descriptor carried in
 // Request.Data.
@@ -362,13 +385,18 @@ func ReadRequest(r io.Reader) (*Request, error) {
 }
 
 // WriteResponse frames and sends a response. A non-empty Trace is
-// appended after Data as the span trailer.
+// appended after Data as the span trailer; a non-empty Delta follows
+// it as a magic-closed footer.
 func WriteResponse(w io.Writer, resp *Response) error {
 	if len(resp.Err) > 0xFFFF {
 		resp = &Response{Err: resp.Err[:0xFFFF]}
 	}
-	n := 2 + len(resp.Err) + 8 + 4 + len(resp.Data) + len(resp.Trace)
-	buf := make([]byte, headerLen, headerLen+n-len(resp.Data)-len(resp.Trace))
+	footer := len(resp.Delta)
+	if footer > 0 {
+		footer += deltaFooterLen
+	}
+	n := 2 + len(resp.Err) + 8 + 4 + len(resp.Data) + len(resp.Trace) + footer
+	buf := make([]byte, headerLen, headerLen+n-len(resp.Data)-len(resp.Trace)-footer)
 	buf[0] = magic
 	buf[1] = version
 	binary.LittleEndian.PutUint32(buf[4:8], uint32(n))
@@ -391,6 +419,17 @@ func WriteResponse(w io.Writer, resp *Response) error {
 	}
 	if len(resp.Trace) > 0 {
 		if _, err := w.Write(resp.Trace); err != nil {
+			return err
+		}
+	}
+	if len(resp.Delta) > 0 {
+		foot := make([]byte, deltaFooterLen)
+		binary.LittleEndian.PutUint32(foot[0:4], uint32(len(resp.Delta)))
+		copy(foot[4:8], deltaFooterMagic[:])
+		if _, err := w.Write(resp.Delta); err != nil {
+			return err
+		}
+		if _, err := w.Write(foot); err != nil {
 			return err
 		}
 	}
@@ -466,12 +505,21 @@ func ReadResponseInto(r io.Reader, scratch []byte) (*Response, error) {
 	if dlen > 0 {
 		resp.Data = b
 	}
-	// Bytes past the payload are the optional span trailer. Like the
-	// request-side trace trailer this is best-effort: the raw bytes
-	// are handed to the caller, and a caller that fails to decode them
-	// just drops the remote spans.
-	if p < len(body) {
-		resp.Trace = body[p:]
+	// Bytes past the payload are the optional span trailer, possibly
+	// closed by a gossip-delta footer. Both are best-effort: the raw
+	// bytes are handed to the caller, a caller that fails to decode
+	// them just drops the remote spans or the delta, and a footer
+	// whose length does not fit stays part of the trailer.
+	tail := body[p:]
+	if len(tail) >= deltaFooterLen && [4]byte(tail[len(tail)-4:]) == deltaFooterMagic {
+		dlen := int(binary.LittleEndian.Uint32(tail[len(tail)-8 : len(tail)-4]))
+		if dlen > 0 && dlen <= len(tail)-deltaFooterLen {
+			resp.Delta = tail[len(tail)-deltaFooterLen-dlen : len(tail)-deltaFooterLen]
+			tail = tail[:len(tail)-deltaFooterLen-dlen]
+		}
+	}
+	if len(tail) > 0 {
+		resp.Trace = tail
 	}
 	return resp, nil
 }

@@ -5,7 +5,8 @@
 #   3. govulncheck (soft-fail: warns when the tool or network is absent)
 #   4. race-enabled test suite
 #   5. seeded chaos suite under -race (fault injection e2e), plus a
-#      3-seed DPFS_CHAOS_SWEEP including the replica-failover mode
+#      3-seed DPFS_CHAOS_SWEEP including the replica-failover,
+#      metashard, metarepl and gossip modes
 #   6. dispatch + replica + wire + meta bench smokes
 #      (BENCH_dispatch.json, BENCH_replica.json, BENCH_wire.json,
 #      BENCH_meta.json)
